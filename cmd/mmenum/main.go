@@ -1,0 +1,175 @@
+// Command mmenum enumerates every behavior of a litmus test under a
+// memory model, using the procedure of Section 4 of "Memory Model =
+// Instruction Reordering + Store Atomicity" (ISCA 2006).
+//
+// Usage:
+//
+//	mmenum -list
+//	mmenum [-model NAME] [-sources] [-graph] [-serialize] TEST
+//
+// Examples:
+//
+//	mmenum -model SC SB
+//	mmenum -model Relaxed -sources Figure5
+//	mmenum -model TSO -serialize Figure10
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/program"
+	"storeatomicity/internal/serial"
+)
+
+func main() {
+	var (
+		list      = flag.Bool("list", false, "list registered litmus tests and exit")
+		model     = flag.String("model", "Relaxed", "model configuration (SC, TSO, NaiveTSO, PSO, Relaxed, Relaxed+spec)")
+		sources   = flag.Bool("sources", false, "print load→store source assignments, not just values")
+		graph     = flag.Bool("graph", false, "dump each execution's edge list")
+		dot       = flag.Bool("dot", false, "emit each execution as a Graphviz digraph")
+		file      = flag.String("file", "", "load the test from a .litmus file instead of the registry")
+		serialize = flag.Bool("serialize", false, "print a witness serialization per execution (or report non-serializability)")
+		why       = flag.String("why", "", "explain an outcome (\"L5=3,L6=1\"): check every justifying source assignment")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, t := range litmus.Registry() {
+			fmt.Printf("%-14s %s\n", t.Name, t.Doc)
+		}
+		return
+	}
+	var tc *litmus.Test
+	switch {
+	case *file != "":
+		data, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
+			os.Exit(1)
+		}
+		tc, err = litmus.Parse(string(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmenum: %s: %v\n", *file, err)
+			os.Exit(1)
+		}
+	case flag.NArg() == 1:
+		var ok bool
+		tc, ok = litmus.ByName(flag.Arg(0))
+		if !ok {
+			fmt.Fprintf(os.Stderr, "mmenum: unknown test %q (try -list)\n", flag.Arg(0))
+			os.Exit(2)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "usage: mmenum [-model NAME] [-sources] [-graph] [-dot] [-serialize] TEST\n       mmenum -file test.litmus\n       mmenum -list")
+		os.Exit(2)
+	}
+	m, ok := litmus.ModelByName(*model)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mmenum: unknown model %q\n", *model)
+		os.Exit(2)
+	}
+
+	prog := tc.Build()
+	fmt.Printf("%s under %s\n\n%s\n", tc.Name, m.Name, prog)
+
+	if *why != "" {
+		o := litmus.Outcome{}
+		for _, kv := range strings.Split(*why, ",") {
+			parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+			if len(parts) != 2 {
+				fmt.Fprintf(os.Stderr, "mmenum: bad constraint %q\n", kv)
+				os.Exit(2)
+			}
+			v, err := strconv.ParseInt(parts[1], 10, 64)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "mmenum: bad value in %q\n", kv)
+				os.Exit(2)
+			}
+			o[parts[0]] = program.Value(v)
+		}
+		ex, err := litmus.Explain(tc, m, o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
+			os.Exit(1)
+		}
+		forbidden, reasons := litmus.Forbidden(ex)
+		if forbidden {
+			fmt.Printf("outcome %s is FORBIDDEN under %s; every justification fails:\n", o, m.Name)
+			for _, r := range reasons {
+				fmt.Println("  -", r)
+			}
+		} else {
+			fmt.Printf("outcome %s is ALLOWED under %s; witnessing assignments:\n", o, m.Name)
+			for _, e := range ex {
+				if e.Accepted {
+					fmt.Printf("  %v\n", e.Assignment)
+				}
+			}
+		}
+		return
+	}
+
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("%d distinct executions (%d states explored, %d forks, %d duplicates discarded, %d rollbacks)\n\n",
+		len(res.Executions), res.Stats.StatesExplored, res.Stats.Forks,
+		res.Stats.DuplicatesDiscarded, res.Stats.Rollbacks)
+
+	byKey := map[string]int{}
+	for i, e := range res.Executions {
+		k := e.Key()
+		if *sources {
+			k = e.SourceKey()
+		}
+		if _, seen := byKey[k]; !seen {
+			byKey[k] = i
+		}
+	}
+	keys := make([]string, 0, len(byKey))
+	for k := range byKey {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := res.Executions[byKey[k]]
+		fmt.Printf("  %s\n", k)
+		if *serialize {
+			if w, err := serial.Witness(e); err != nil {
+				fmt.Printf("    NOT serializable (non-atomic TSO bypass)\n")
+			} else {
+				fmt.Printf("    witness:")
+				for _, id := range w {
+					fmt.Printf(" %s", e.Nodes[id].Label)
+				}
+				fmt.Println()
+			}
+		}
+		if *graph {
+			for _, ed := range e.Graph.Edges() {
+				fmt.Printf("    %s -> %s (%s)\n", e.Nodes[ed.From].Label, e.Nodes[ed.To].Label, ed.Kind)
+			}
+		}
+		if *dot {
+			fmt.Println(e.DOT())
+		}
+	}
+
+	if bad := litmus.CheckResult(tc, m.Name, res); len(bad) > 0 {
+		fmt.Println("\nEXPECTATION FAILURES:")
+		for _, b := range bad {
+			fmt.Println(" ", b)
+		}
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,104 @@
+// Command mmsim runs a litmus test many times on the operational
+// multiprocessor simulator (out-of-order cores over an MSI coherence
+// protocol) and checks the observed behaviors against the abstract model
+// — the Section 4.2 "conservative approximation" experiment on demand.
+//
+// Usage:
+//
+//	mmsim [-model NAME] [-seeds N] [-window W] TEST
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/machine"
+)
+
+func main() {
+	var (
+		model  = flag.String("model", "Relaxed", "reordering policy for both machine and model")
+		seeds  = flag.Int("seeds", 1000, "number of seeded runs")
+		window = flag.Int("window", 8, "issue window size per core (1 = in-order)")
+		tso    = flag.Bool("tso", false, "use the in-order store-buffer machine (checks against the TSO model; -model/-window ignored)")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mmsim [-model NAME | -tso] [-seeds N] [-window W] TEST")
+		os.Exit(2)
+	}
+	if *tso {
+		*model = "TSO"
+	}
+	tc, ok := litmus.ByName(flag.Arg(0))
+	if !ok {
+		fmt.Fprintf(os.Stderr, "mmsim: unknown test %q\n", flag.Arg(0))
+		os.Exit(2)
+	}
+	m, ok := litmus.ModelByName(*model)
+	if !ok || m.Speculative {
+		fmt.Fprintf(os.Stderr, "mmsim: unknown or unsupported model %q\n", *model)
+		os.Exit(2)
+	}
+
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmsim: %v\n", err)
+		os.Exit(1)
+	}
+	allowed := map[string]bool{}
+	for _, e := range res.Executions {
+		allowed[e.SourceKey()] = true
+	}
+
+	hist := map[string]int{}
+	busOps, misses := 0, 0
+	escaped := 0
+	for seed := 0; seed < *seeds; seed++ {
+		var tr *machine.Trace
+		var err error
+		if *tso {
+			tr, err = machine.RunTSO(tc.Build(), machine.Config{Seed: int64(seed)})
+		} else {
+			tr, err = machine.Run(tc.Build(), machine.Config{
+				Policy: m.Policy, Seed: int64(seed), WindowSize: *window,
+			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "mmsim: seed %d: %v\n", seed, err)
+			os.Exit(1)
+		}
+		key := tr.SourceKey()
+		hist[key]++
+		busOps += tr.Coherence.BusOps
+		misses += tr.Coherence.ReadMisses
+		if !allowed[key] {
+			escaped++
+			fmt.Printf("ESCAPE seed %d: %s\n", seed, key)
+		}
+	}
+
+	keys := make([]string, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("%s on %s machine (window %d), %d seeds:\n", tc.Name, m.Name, *window, *seeds)
+	for _, k := range keys {
+		mark := " "
+		if !allowed[k] {
+			mark = "!"
+		}
+		fmt.Printf(" %s %6d  %s\n", mark, hist[k], k)
+	}
+	fmt.Printf("\nmachine exhibited %d of the model's %d behaviors; %d bus ops, %d read misses.\n",
+		len(hist), len(allowed), busOps, misses)
+	if escaped > 0 {
+		fmt.Printf("%d runs escaped the model — conservativity violated\n", escaped)
+		os.Exit(1)
+	}
+	fmt.Println("containment holds: every machine behavior is a model behavior.")
+}

@@ -1,0 +1,11 @@
+// Package storeatomicity is a Go reproduction of Arvind and Jan-Willem
+// Maessen, "Memory Model = Instruction Reordering + Store Atomicity"
+// (ISCA 2006).
+//
+// The public API lives in storeatomicity/memmodel; the command-line tools
+// in cmd/mmenum, cmd/mmlitmus, cmd/mmverify, and cmd/mmsim. See README.md
+// for an overview, DESIGN.md for the system inventory, and EXPERIMENTS.md
+// for the per-figure reproduction results. The root package exists to
+// carry module documentation and the benchmark harness (bench_test.go),
+// which regenerates every experiment.
+package storeatomicity

@@ -1,0 +1,77 @@
+// Command coherence demonstrates Section 4.2: an ownership-based cache
+// coherence protocol is a conservative approximation of Store Atomicity.
+//
+// It runs the message-passing litmus test many times on the operational
+// simulator (out-of-order cores over an MSI bus protocol), histograms the
+// observed behaviors, and verifies every one of them is contained in the
+// behavior set the abstract model enumerates — typically a strict subset,
+// because the hardware inserts ordering edges eagerly.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"storeatomicity/memmodel"
+)
+
+func messagePassing() *memmodel.Program {
+	b := memmodel.NewProgram()
+	b.Thread("A").
+		StoreL("Sdata", memmodel.X, 42).
+		StoreL("Sflag", memmodel.Y, 1)
+	b.Thread("B").
+		LoadL("Lflag", 1, memmodel.Y).
+		LoadL("Ldata", 2, memmodel.X)
+	return b.Build()
+}
+
+func main() {
+	const seeds = 2000
+	p := messagePassing()
+	pol := memmodel.Relaxed()
+
+	res, err := memmodel.Enumerate(p, pol, memmodel.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, e := range res.Executions {
+		allowed[e.SourceKey()] = true
+	}
+	fmt.Printf("Model (%s) admits %d executions of MP.\n\n", pol.Name(), len(res.Executions))
+
+	hist := map[string]int{}
+	var agg memmodel.Trace
+	for seed := int64(0); seed < seeds; seed++ {
+		tr, err := memmodel.Simulate(p, memmodel.SimConfig{Policy: pol, Seed: seed})
+		if err != nil {
+			log.Fatal(err)
+		}
+		key := tr.SourceKey()
+		if !allowed[key] {
+			log.Fatalf("seed %d: machine produced %q, outside the model", seed, key)
+		}
+		hist[key]++
+		agg.Coherence.BusOps += tr.Coherence.BusOps
+		agg.Coherence.ReadMisses += tr.Coherence.ReadMisses
+		agg.Coherence.Invalidations += tr.Coherence.Invalidations
+		agg.Coherence.Writebacks += tr.Coherence.Writebacks
+	}
+
+	keys := make([]string, 0, len(hist))
+	for k := range hist {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("Machine behavior histogram over %d seeded runs:\n", seeds)
+	for _, k := range keys {
+		fmt.Printf("  %6d  %s\n", hist[k], k)
+	}
+	fmt.Printf("\nMachine exercised %d of the model's %d behaviors — containment holds;\n",
+		len(hist), len(allowed))
+	fmt.Println("the gap is the protocol's eagerness (extra @ edges are always safe).")
+	fmt.Printf("\nAggregate protocol activity: %d bus ops, %d read misses, %d invalidations, %d writebacks.\n",
+		agg.Coherence.BusOps, agg.Coherence.ReadMisses, agg.Coherence.Invalidations, agg.Coherence.Writebacks)
+}

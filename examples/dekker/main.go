@@ -1,0 +1,77 @@
+// Command dekker uses the enumeration engine the way the paper suggests
+// programmers should: "to guarantee that a program actually behaves as
+// expected (for example, to check that a locking algorithm meets its
+// specification)".
+//
+// The entry protocol of Dekker's mutual-exclusion algorithm has each
+// thread raise its flag and then inspect the other's:
+//
+//	Thread A: flagA := 1 ; if flagB == 0 { enter }
+//	Thread B: flagB := 1 ; if flagA == 0 { enter }
+//
+// Mutual exclusion demands that the two threads never both observe the
+// other's flag as 0. We enumerate every behavior under SC, under the
+// relaxed model, and under the relaxed model with fences, and report
+// whether the bad outcome is reachable.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"storeatomicity/memmodel"
+)
+
+const (
+	flagA = memmodel.X
+	flagB = memmodel.Y
+)
+
+func dekkerEntry(fenced bool) *memmodel.Program {
+	b := memmodel.NewProgram()
+	ta := b.Thread("A").StoreL("setA", flagA, 1)
+	if fenced {
+		ta.Fence()
+	}
+	ta.LoadL("A.sees.B", 1, flagB)
+	tb := b.Thread("B").StoreL("setB", flagB, 1)
+	if fenced {
+		tb.Fence()
+	}
+	tb.LoadL("B.sees.A", 2, flagA)
+	return b.Build()
+}
+
+func main() {
+	bad := map[string]memmodel.Value{"A.sees.B": 0, "B.sees.A": 0}
+
+	type check struct {
+		name   string
+		pol    memmodel.Policy
+		fenced bool
+	}
+	for _, c := range []check{
+		{"SC, no fences", memmodel.SC(), false},
+		{"Relaxed, no fences", memmodel.Relaxed(), false},
+		{"Relaxed, with fences", memmodel.Relaxed(), true},
+		{"TSO, no fences", memmodel.TSO(), false},
+		{"TSO, with fences", memmodel.TSO(), true},
+	} {
+		res, err := memmodel.Enumerate(dekkerEntry(c.fenced), c.pol, memmodel.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ex := res.FindOutcome(bad); ex != nil {
+			fmt.Printf("%-22s BROKEN: both threads can enter the critical section\n", c.name)
+			fmt.Printf("%22s witness execution: %s\n", "", ex.Key())
+		} else {
+			fmt.Printf("%-22s mutual exclusion holds (%d behaviors checked)\n",
+				c.name, len(res.Executions))
+		}
+	}
+
+	fmt.Println()
+	fmt.Println("The paper's prescriptive reading: a program is well synchronized when")
+	fmt.Println("every load has exactly one eligible store under Store Atomicity; the")
+	fmt.Println("fenced variant restores that discipline on weak hardware.")
+}

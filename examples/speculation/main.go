@@ -1,0 +1,104 @@
+// Command speculation reproduces the Section 5 case study: address
+// aliasing speculation introduces genuinely new program behaviors.
+//
+// The program is the paper's Figure 8. Location x holds a pointer;
+// thread B loads it into r6 and stores through it, then loads y:
+//
+//	Thread A: S1 x,&w ; Fence ; S2 y,2 ; S4 y,4 ; Fence ; S5 x,&z
+//	Thread B: L3 y ; Fence ; r6 = L6 x ; S7 [r6],7 ; r8 = L8 y
+//
+// Non-speculatively, L8 may not be reordered until the address of the
+// potentially-aliasing S7 is known, which makes L8 depend on L6; in the
+// executions where L3 = 2 and r6 = &z this forces r8 = 4. Speculating
+// that S7 and L8 do not alias drops that dependency and r8 = 2 becomes
+// observable — at the price of rollbacks in executions where the guess
+// was wrong.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"storeatomicity/memmodel"
+)
+
+func figure8() *memmodel.Program {
+	b := memmodel.NewProgram()
+	b.Init(memmodel.W, 0)
+	b.Init(memmodel.Z, 0)
+	b.Thread("A").
+		StoreL("S1", memmodel.X, memmodel.AddrValue(memmodel.W)).
+		Fence().
+		StoreL("S2", memmodel.Y, 2).
+		StoreL("S4", memmodel.Y, 4).
+		Fence().
+		StoreL("S5", memmodel.X, memmodel.AddrValue(memmodel.Z))
+	b.Thread("B").
+		LoadL("L3", 1, memmodel.Y).
+		Fence().
+		LoadL("L6", 6, memmodel.X).
+		StoreIndL("S7", 6, 7).
+		LoadL("L8", 8, memmodel.Y)
+	return b.Build()
+}
+
+func main() {
+	p := figure8()
+	zPtr := memmodel.AddrValue(memmodel.Z)
+
+	show := func(name string, spec bool) map[string]bool {
+		res, err := memmodel.Enumerate(p, memmodel.Relaxed(), memmodel.Options{Speculative: spec})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Collect r8 values in the executions the paper fixes:
+		// source(L3) = S2 and source(L6) = S5 (r6 = &z).
+		r8 := map[memmodel.Value]bool{}
+		for _, e := range res.Executions {
+			vals := e.LoadValues()
+			if vals["L3"] == 2 && vals["L6"] == zPtr {
+				r8[vals["L8"]] = true
+			}
+		}
+		var vs []int
+		for v := range r8 {
+			vs = append(vs, int(v))
+		}
+		sort.Ints(vs)
+		fmt.Printf("%-16s executions=%-3d rollbacks=%-3d  r8 ∈ %v  (given L3=2, r6=&z)\n",
+			name, len(res.Executions), res.Stats.Rollbacks, vs)
+		keys := map[string]bool{}
+		for _, e := range res.Executions {
+			keys[e.Key()] = true
+		}
+		return keys
+	}
+
+	nonspec := show("non-speculative", false)
+	spec := show("speculative", true)
+
+	var gained []string
+	for k := range spec {
+		if !nonspec[k] {
+			gained = append(gained, k)
+		}
+	}
+	var lost []string
+	for k := range nonspec {
+		if !spec[k] {
+			lost = append(lost, k)
+		}
+	}
+	sort.Strings(gained)
+	fmt.Printf("\nBehaviors only reachable with speculation (%d):\n", len(gained))
+	for _, k := range gained {
+		fmt.Println("  ", k)
+	}
+	if len(lost) != 0 {
+		log.Fatalf("speculation lost behaviors — it must be a superset: %v", lost)
+	}
+	fmt.Println("\nEvery non-speculative behavior remains valid speculatively, as the")
+	fmt.Println("paper requires; the losses show up only as rollbacks, never as")
+	fmt.Println("missing executions.")
+}

@@ -1,0 +1,71 @@
+// Command tso reproduces Section 6: Total Store Order is a *non-atomic*
+// model. The Figure 10 execution — both threads satisfying a load from
+// their own store buffer — is legal TSO yet has no single serialization
+// of all operations.
+//
+//	Thread A: S1 x,1 ; S2 x,2 ; S3 z,3 ; L4 z ; L6 y
+//	Thread B: S5 y,5 ; S7 y,7 ; S8 z,8 ; L9 z ; L10 x
+//
+// The probed outcome is L4=3, L6=5, L9=8, L10=1.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"storeatomicity/memmodel"
+)
+
+func figure10() *memmodel.Program {
+	b := memmodel.NewProgram()
+	b.Thread("A").
+		StoreL("S1", memmodel.X, 1).
+		StoreL("S2", memmodel.X, 2).
+		StoreL("S3", memmodel.Z, 3).
+		LoadL("L4", 1, memmodel.Z).
+		LoadL("L6", 2, memmodel.Y)
+	b.Thread("B").
+		StoreL("S5", memmodel.Y, 5).
+		StoreL("S7", memmodel.Y, 7).
+		StoreL("S8", memmodel.Z, 8).
+		LoadL("L9", 3, memmodel.Z).
+		LoadL("L10", 4, memmodel.X)
+	return b.Build()
+}
+
+func main() {
+	p := figure10()
+	probe := map[string]memmodel.Value{"L4": 3, "L6": 5, "L9": 8, "L10": 1}
+
+	for _, pol := range []memmodel.Policy{
+		memmodel.SC(), memmodel.NaiveTSO(), memmodel.TSO(), memmodel.Relaxed(),
+	} {
+		res, err := memmodel.Enumerate(p, pol, memmodel.Options{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		ex := res.FindOutcome(probe)
+		if ex == nil {
+			fmt.Printf("%-10s forbids the Figure 10 outcome (%d behaviors)\n",
+				pol.Name(), len(res.Executions))
+			continue
+		}
+		fmt.Printf("%-10s allows the Figure 10 outcome", pol.Name())
+		if len(ex.Bypasses) > 0 {
+			fmt.Printf(" via %d store-buffer bypasses", len(ex.Bypasses))
+		}
+		if _, err := memmodel.Witness(ex); err != nil {
+			fmt.Printf("; NOT serializable (memory atomicity violated)")
+		} else {
+			fmt.Printf("; serializable")
+		}
+		fmt.Println()
+	}
+
+	fmt.Println()
+	fmt.Println("NaiveTSO (store→load reordering without the bypass special case)")
+	fmt.Println("wrongly rejects a legal TSO execution; the correct treatment keeps")
+	fmt.Println("the local observation out of the @ order entirely (grey edges of")
+	fmt.Println("Figure 11). The relaxed model admits the outcome too — and there it")
+	fmt.Println("even stays serializable, because nothing orders the z operations.")
+}

@@ -1,0 +1,3 @@
+module storeatomicity
+
+go 1.22

@@ -1,0 +1,113 @@
+package coherence
+
+import (
+	"testing"
+
+	"storeatomicity/internal/program"
+)
+
+func TestReadMissInstallsShared(t *testing.T) {
+	s := NewSystem(2, map[program.Addr]program.Value{program.X: 7})
+	d := s.Read(0, program.X)
+	if d.Value != 7 || d.Store != InitLabel(program.X) {
+		t.Fatalf("got %+v", d)
+	}
+	if s.State(0, program.X) != Shared {
+		t.Errorf("state = %v, want S", s.State(0, program.X))
+	}
+	st := s.Stats()
+	if st.ReadMisses != 1 || st.ReadHits != 0 {
+		t.Errorf("stats %+v", st)
+	}
+	// Second read hits.
+	s.Read(0, program.X)
+	if st := s.Stats(); st.ReadHits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestWriteInvalidatesSharers(t *testing.T) {
+	s := NewSystem(3, nil)
+	s.Read(0, program.X)
+	s.Read(1, program.X)
+	s.Write(2, program.X, 5, "S1")
+	if s.State(0, program.X) != Invalid || s.State(1, program.X) != Invalid {
+		t.Error("sharers not invalidated")
+	}
+	if s.State(2, program.X) != Modified {
+		t.Error("writer not Modified")
+	}
+	if st := s.Stats(); st.Invalidations != 2 || st.WriteMisses != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	// Reader now observes the new tagged value.
+	d := s.Read(0, program.X)
+	if d.Value != 5 || d.Store != "S1" {
+		t.Errorf("read after write: %+v", d)
+	}
+	// And the owner was downgraded with a writeback.
+	if s.State(2, program.X) != Shared {
+		t.Error("owner not downgraded to Shared on remote read")
+	}
+	if st := s.Stats(); st.Writebacks != 1 {
+		t.Errorf("stats %+v", st)
+	}
+}
+
+func TestWriteHitAndUpgrade(t *testing.T) {
+	s := NewSystem(2, nil)
+	s.Write(0, program.X, 1, "A")
+	s.Write(0, program.X, 2, "B") // M hit
+	if st := s.Stats(); st.WriteHits != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	s.Read(1, program.X) // downgrade owner
+	s.Write(0, program.X, 3, "C")
+	if st := s.Stats(); st.WriteUpgrades != 1 {
+		t.Errorf("stats %+v", st)
+	}
+	if s.State(1, program.X) != Invalid {
+		t.Error("remote copy survived upgrade")
+	}
+}
+
+func TestOwnershipSerializesStores(t *testing.T) {
+	// Two cores alternate stores; each write must first strip the other's
+	// ownership, so the last writer's datum is what memory sees.
+	s := NewSystem(2, nil)
+	s.Write(0, program.Y, 1, "S0")
+	s.Write(1, program.Y, 2, "S1")
+	s.Write(0, program.Y, 3, "S2")
+	s.Flush()
+	d := s.Memory(program.Y)
+	if d.Value != 3 || d.Store != "S2" {
+		t.Errorf("memory after flush: %+v", d)
+	}
+}
+
+func TestFlushIdempotent(t *testing.T) {
+	s := NewSystem(1, nil)
+	s.Write(0, program.Z, 9, "S")
+	s.Flush()
+	before := s.Stats().Writebacks
+	s.Flush()
+	if s.Stats().Writebacks != before {
+		t.Error("second flush wrote back again")
+	}
+}
+
+func TestUninitializedReadsZero(t *testing.T) {
+	s := NewSystem(1, nil)
+	d := s.Read(0, program.W)
+	if d.Value != 0 || d.Store != InitLabel(program.W) {
+		t.Errorf("got %+v", d)
+	}
+}
+
+func TestLineStateString(t *testing.T) {
+	for st, want := range map[LineState]string{Invalid: "I", Shared: "S", Modified: "M"} {
+		if st.String() != want {
+			t.Errorf("%d -> %s, want %s", st, st.String(), want)
+		}
+	}
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"storeatomicity/internal/graph"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// This file implements Section 3.3 (the Store Atomicity property as an
+// edge-insertion closure) and Section 4's candidates(L).
+//
+// The closure adds the minimum @ orderings required by rules a, b, and c,
+// iterating until fixpoint because "including a dependency to enforce
+// Store Atomicity can expose the need for additional dependencies"
+// (Figure 7). A required ordering that contradicts the existing graph
+// (a cycle) means the execution is not serializable; enumeration never
+// produces one non-speculatively, while speculative resolution uses it as
+// the rollback signal.
+
+// closure applies Store Atomicity rules a, b, c to fixpoint. It returns
+// errInconsistent if a required ordering would create a cycle.
+func (s *state) closure() error {
+	// Collect memory nodes by address once per call; node set is stable
+	// during closure.
+	type memSet struct {
+		stores []int // store-effect nodes (a DidStore atomic is both)
+		loads  []int // resolved reading nodes
+	}
+	byAddr := map[program.Addr]*memSet{}
+	for id := range s.nodes {
+		n := &s.nodes[id]
+		if !n.IsMemory() || !n.AddrKnown {
+			continue
+		}
+		ms := byAddr[n.Addr]
+		if ms == nil {
+			ms = &memSet{}
+			byAddr[n.Addr] = ms
+		}
+		if n.StoreEffect() {
+			ms.stores = append(ms.stores, id)
+		}
+		if n.Reads() && n.Resolved {
+			ms.loads = append(ms.loads, id)
+		}
+	}
+
+	// Read-modify-write atomicity: two atomics that both stored cannot
+	// observe the same source — each one's write must directly follow
+	// its read in every serialization.
+	for _, ms := range byAddr {
+		for i := 0; i < len(ms.loads); i++ {
+			a1 := &s.nodes[ms.loads[i]]
+			if a1.Kind != program.KindAtomic || !a1.DidStore {
+				continue
+			}
+			for j := i + 1; j < len(ms.loads); j++ {
+				a2 := &s.nodes[ms.loads[j]]
+				if a2.Kind == program.KindAtomic && a2.DidStore && a1.Source == a2.Source {
+					return errInconsistent
+				}
+			}
+		}
+	}
+
+	for {
+		changed := false
+		for _, ms := range byAddr {
+			// Rules a and b, per resolved load.
+			for _, lid := range ms.loads {
+				src := s.nodes[lid].Source
+				for _, sid := range ms.stores {
+					if sid == src || sid == lid {
+						continue
+					}
+					// Rule a: a predecessor store of L is
+					// ordered before source(L).
+					if s.g.Before(sid, lid) {
+						if err := s.addOrder(sid, src, &changed); err != nil {
+							return err
+						}
+					}
+					// Rule b: a successor store of
+					// source(L) is ordered after L.
+					if s.g.Before(src, sid) {
+						if err := s.addOrder(lid, sid, &changed); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			// Rule c: mutual ancestors of two loads observing
+			// distinct stores precede mutual successors of those
+			// stores.
+			for i := 0; i < len(ms.loads); i++ {
+				for j := i + 1; j < len(ms.loads); j++ {
+					l1, l2 := ms.loads[i], ms.loads[j]
+					s1, s2 := s.nodes[l1].Source, s.nodes[l2].Source
+					if s1 == s2 {
+						continue
+					}
+					if err := s.ruleC(l1, l2, s1, s2, &changed); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		if !changed {
+			return nil
+		}
+	}
+}
+
+// addOrder requires a @ b, translating a cycle into errInconsistent.
+func (s *state) addOrder(a, b int, changed *bool) error {
+	if s.g.Before(a, b) {
+		return nil
+	}
+	if err := s.g.AddOrder(a, b, graph.EdgeAtomicity); err != nil {
+		return errInconsistent
+	}
+	*changed = true
+	return nil
+}
+
+// ruleC inserts A @ B for every mutual strict ancestor A of loads l1, l2
+// and mutual strict descendant B of their (distinct) sources.
+func (s *state) ruleC(l1, l2, s1, s2 int, changed *bool) error {
+	commonAnc := s.g.Anc(l1).Clone()
+	commonAnc.And(s.g.Anc(l2))
+	if commonAnc.Empty() {
+		return nil
+	}
+	commonDesc := s.g.Desc(s1).Clone()
+	commonDesc.And(s.g.Desc(s2))
+	if commonDesc.Empty() {
+		return nil
+	}
+	var outer error
+	commonAnc.ForEach(func(a int) bool {
+		da := s.g.Desc(a)
+		bad := false
+		commonDesc.ForEach(func(b int) bool {
+			if a == b {
+				outer = errInconsistent
+				bad = true
+				return false
+			}
+			if !da.Has(b) {
+				if err := s.addOrder(a, b, changed); err != nil {
+					outer = err
+					bad = true
+					return false
+				}
+			}
+			return true
+		})
+		return !bad
+	})
+	return outer
+}
+
+// eligible reports whether unresolved load L may be resolved now: its
+// address is known, every predecessor Load (L0 @ L) is resolved (Section
+// 4: resolving out of order could retroactively invalidate a predecessor's
+// candidate set), and — under a bypass policy — every program-order-earlier
+// local store knows its address, so the bypass/ordering split of Section 6
+// is decidable.
+func (s *state) eligible(lid int) bool {
+	l := &s.nodes[lid]
+	if !l.Reads() || l.Resolved || !l.AddrKnown {
+		return false
+	}
+	// An atomic's operand must be available so its store half is
+	// computable at resolution.
+	if l.Kind == program.KindAtomic && l.valDep != NoNode && !s.nodes[l.valDep].Resolved {
+		return false
+	}
+	ok := true
+	s.g.Anc(lid).ForEach(func(a int) bool {
+		n := &s.nodes[a]
+		if n.Reads() && !n.Resolved {
+			ok = false
+			return false
+		}
+		return true
+	})
+	if !ok {
+		return false
+	}
+	for _, sid := range s.localPriorStores(lid, false) {
+		if !s.nodes[sid].AddrKnown {
+			return false
+		}
+	}
+	return true
+}
+
+// localPriorStores returns same-thread stores that precede load lid in
+// program order and fall under a Bypass table cell. With sameAddrOnly the
+// list is filtered to stores matching the load's address.
+func (s *state) localPriorStores(lid int, sameAddrOnly bool) []int {
+	l := &s.nodes[lid]
+	if l.Thread < 0 {
+		return nil
+	}
+	var out []int
+	for _, id := range s.byThread[l.Thread] {
+		n := &s.nodes[id]
+		if n.Seq >= l.Seq {
+			break
+		}
+		if n.Kind != program.KindStore {
+			continue
+		}
+		if s.pol.Require(program.KindStore, program.KindLoad) != order.Bypass {
+			continue
+		}
+		if sameAddrOnly && (!n.AddrKnown || n.Addr != l.Addr) {
+			continue
+		}
+		out = append(out, id)
+	}
+	return out
+}
+
+// candidates computes candidates(L) per Section 4:
+//
+//  1. every Load and Store preceding S in @ is resolved;
+//  2. S has not certainly been overwritten: no same-address S0 with
+//     S @ S0 @ L;
+//
+// plus the structural requirements that S is itself resolved with a known
+// matching address and is not ordered after L.
+func (s *state) candidates(lid int) []int {
+	l := &s.nodes[lid]
+	// Under a bypass policy (Section 6), resolving L orders every
+	// non-source prior local same-address store before L; any candidate
+	// already ordered before the latest such store is therefore
+	// certainly overwritten, except that store itself (the bypass).
+	lastLocal := NoNode
+	if locals := s.localPriorStores(lid, true); len(locals) > 0 {
+		lastLocal = locals[len(locals)-1]
+	}
+	var out []int
+	for sid := range s.nodes {
+		sn := &s.nodes[sid]
+		if sid == lid || !sn.StoreEffect() || !sn.Resolved || !sn.AddrKnown || sn.Addr != l.Addr {
+			continue
+		}
+		if s.g.Before(lid, sid) {
+			continue // L @ S: observing the future is a cycle
+		}
+		if lastLocal != NoNode && sid != lastLocal && s.g.Before(sid, lastLocal) {
+			continue
+		}
+		if !s.priorsResolved(sid) {
+			continue
+		}
+		if s.overwrittenFor(sid, lid) {
+			continue
+		}
+		// RMW atomicity (see closure): a store-effect resolution may
+		// not share its source with another atomic that stored.
+		if l.Kind == program.KindAtomic && s.wouldStore(lid, sn.StoredValue()) && s.sourceTakenByRMW(sid, lid) {
+			continue
+		}
+		out = append(out, sid)
+	}
+	return out
+}
+
+// wouldStore reports whether resolving atomic lid against the given read
+// value triggers its store half.
+func (s *state) wouldStore(lid int, read program.Value) bool {
+	l := &s.nodes[lid]
+	switch l.instr.Atomic {
+	case program.AtomicCAS:
+		return read == l.instr.Expect
+	default:
+		return true
+	}
+}
+
+// sourceTakenByRMW reports whether a resolved store-effect atomic other
+// than lid already observes sid.
+func (s *state) sourceTakenByRMW(sid, lid int) bool {
+	for aid := range s.nodes {
+		a := &s.nodes[aid]
+		if aid != lid && a.Kind == program.KindAtomic && a.Resolved && a.DidStore && a.Source == sid {
+			return true
+		}
+	}
+	return false
+}
+
+// priorsResolved reports whether every memory node preceding sid in @ is
+// resolved (candidate condition 1).
+func (s *state) priorsResolved(sid int) bool {
+	ok := true
+	s.g.Anc(sid).ForEach(func(a int) bool {
+		n := &s.nodes[a]
+		if n.IsMemory() && !n.Resolved {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// overwrittenFor reports whether some same-address store S0 satisfies
+// S @ S0 @ L (candidate condition 2).
+func (s *state) overwrittenFor(sid, lid int) bool {
+	addr := s.nodes[sid].Addr
+	found := false
+	s.g.Desc(sid).ForEach(func(mid int) bool {
+		n := &s.nodes[mid]
+		if n.StoreEffect() && n.AddrKnown && n.Addr == addr && s.g.Before(mid, lid) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// resolveLoad assigns source(L) = S on this state (Section 4.1 step 3),
+// inserting the observation edge — or, under TSO bypass, recording the
+// grey non-@ observation and ordering L after every *other*
+// program-order-earlier local store to the same address ("S ̸@ L when
+// S = source(L) and S ≺ L otherwise"). The caller runs the closure.
+func (s *state) resolveLoad(lid, sid int) error {
+	l := &s.nodes[lid]
+	l.Resolved = true
+	l.Val = s.nodes[sid].StoredValue()
+	l.Source = sid
+	if l.Kind == program.KindAtomic {
+		operand := l.instr.ValConst
+		if l.valDep != NoNode {
+			operand = s.nodes[l.valDep].Val
+		}
+		switch l.instr.Atomic {
+		case program.AtomicCAS:
+			if l.Val == l.instr.Expect {
+				l.DidStore, l.StoreVal = true, operand
+			}
+		case program.AtomicSwap:
+			l.DidStore, l.StoreVal = true, operand
+		case program.AtomicAdd:
+			l.DidStore, l.StoreVal = true, l.Val+operand
+		}
+	}
+	locals := s.localPriorStores(lid, true)
+	bypass := false
+	for _, loc := range locals {
+		if loc == sid {
+			bypass = true
+			break
+		}
+	}
+	if bypass {
+		l.Bypassed = true
+		s.bypasses = append(s.bypasses, [2]int{sid, lid})
+	} else {
+		if err := s.g.AddEdge(sid, lid, graph.EdgeSource); err != nil {
+			return errInconsistent
+		}
+	}
+	for _, loc := range locals {
+		if loc == sid {
+			continue
+		}
+		if err := s.g.AddEdge(loc, lid, graph.EdgeLocal); err != nil {
+			return errInconsistent
+		}
+	}
+	return nil
+}

@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"storeatomicity/internal/graph"
+	"storeatomicity/internal/program"
+)
+
+// DOT renders the execution graph in Graphviz format, styled after the
+// paper's Figure 2 legend: solid black edges are local ordering (≺),
+// bold edges are observations (source(L) → L, "ringed" in the paper),
+// dashed edges are derived Store Atomicity orderings, dotted edges are
+// the non-speculative alias checks, and grey edges are TSO store-buffer
+// bypasses (not part of @ at all). The start barrier and its fan-out are
+// suppressed for readability.
+func (e *Execution) DOT() string {
+	var b strings.Builder
+	b.WriteString("digraph execution {\n")
+	b.WriteString("  rankdir=TB;\n  node [shape=box, fontname=\"monospace\"];\n")
+	fmt.Fprintf(&b, "  label=%q;\n", e.Model+": "+e.Key())
+
+	startID := -1
+	for i := range e.Nodes {
+		n := &e.Nodes[i]
+		if n.Label == "start" {
+			startID = n.ID
+			continue
+		}
+		if n.Kind == program.KindOp || n.Kind == program.KindBranch {
+			continue // register traffic clutters the picture
+		}
+		shape := "box"
+		if n.Kind == program.KindFence {
+			shape = "hexagon"
+		}
+		fmt.Fprintf(&b, "  n%d [label=%q, shape=%s];\n", n.ID, nodeCaption(n), shape)
+	}
+	shown := func(id int) bool {
+		if id == startID {
+			return false
+		}
+		k := e.Nodes[id].Kind
+		return k != program.KindOp && k != program.KindBranch
+	}
+	for _, ed := range e.Graph.Edges() {
+		if !shown(ed.From) || !shown(ed.To) {
+			continue
+		}
+		style := ""
+		switch ed.Kind {
+		case graph.EdgeSource:
+			style = " [penwidth=2.2]"
+		case graph.EdgeAtomicity:
+			style = " [style=dashed]"
+		case graph.EdgeAlias:
+			style = " [style=dotted]"
+		}
+		fmt.Fprintf(&b, "  n%d -> n%d%s;\n", ed.From, ed.To, style)
+	}
+	for _, bp := range e.Bypasses {
+		fmt.Fprintf(&b, "  n%d -> n%d [color=grey, penwidth=2.2, constraint=false];\n", bp[0], bp[1])
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// nodeCaption renders the node the way the paper labels figure nodes.
+func nodeCaption(n *Node) string {
+	switch n.Kind {
+	case program.KindStore:
+		return fmt.Sprintf("%s: S a%d,%d", n.Label, n.Addr, n.Val)
+	case program.KindLoad:
+		if n.Resolved {
+			return fmt.Sprintf("%s: L a%d = %d", n.Label, n.Addr, n.Val)
+		}
+		return fmt.Sprintf("%s: L a%d", n.Label, n.Addr)
+	case program.KindAtomic:
+		if n.Resolved && n.DidStore {
+			return fmt.Sprintf("%s: RMW a%d %d->%d", n.Label, n.Addr, n.Val, n.StoreVal)
+		}
+		return fmt.Sprintf("%s: RMW a%d", n.Label, n.Addr)
+	case program.KindFence:
+		if n.FenceMask() != 0 {
+			return n.Label + ": Membar"
+		}
+		return n.Label + ": Fence"
+	default:
+		return n.Label
+	}
+}

@@ -1,0 +1,49 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+func TestDOTRendersLegend(t *testing.T) {
+	res, err := Enumerate(figure10Prog(), order.TSO(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.FindOutcome(map[string]program.Value{"L4": 3, "L6": 5, "L9": 8, "L10": 1})
+	if e == nil {
+		t.Fatal("figure 10 execution not found")
+	}
+	dot := e.DOT()
+	for _, frag := range []string{
+		"digraph execution",
+		"penwidth=2.2",              // observation edges
+		"color=grey",                // bypass edges
+		"style=dashed",              // derived atomicity edges
+		"L4: L a2 = 3",              // resolved load caption
+		"TSO: L10=1;L4=3;L6=5;L9=8", // graph label
+	} {
+		if !strings.Contains(dot, frag) {
+			t.Errorf("DOT output missing %q:\n%s", frag, dot)
+		}
+	}
+	if strings.Contains(dot, "start") {
+		t.Error("start barrier should be suppressed")
+	}
+}
+
+func TestDOTAtomicCaption(t *testing.T) {
+	b := program.NewBuilder()
+	b.Thread("A").CASL("cas", 1, program.X, 0, 9)
+	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := res.Executions[0].DOT()
+	if !strings.Contains(dot, "RMW a0 0->9") {
+		t.Errorf("atomic caption missing:\n%s", dot)
+	}
+}

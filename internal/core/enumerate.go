@@ -1,0 +1,229 @@
+package core
+
+import (
+	"fmt"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// Options tunes enumeration.
+type Options struct {
+	// Speculative enables address-aliasing speculation (Section 5.2):
+	// the alias-check ≺ edges of the non-speculative model are dropped,
+	// loads may resolve before potentially-aliasing addresses are
+	// known, and behaviors whose late-discovered aliases contradict an
+	// early resolution are rolled back (discarded).
+	Speculative bool
+	// MaxNodes bounds graph growth; programs with unbounded loops
+	// exceed it and enumeration errors out (the paper notes its
+	// procedure "is not a normalizing strategy"). Default 192.
+	MaxNodes int
+	// MaxBehaviors bounds total states explored. Default 1 << 20.
+	MaxBehaviors int
+	// DisableDedup turns off the Load–Store-graph duplicate discard of
+	// Section 4.1 — the ablation for DESIGN.md (duplicate-work blowup).
+	DisableDedup bool
+	// CandidateHook, when non-nil, observes every Load Resolution
+	// point: the resolving load's label and address, and the labels of
+	// its candidate stores. The discipline package uses it to check
+	// the paper's well-synchronization criterion ("exactly one
+	// eligible store").
+	CandidateHook func(loadLabel string, addr program.Addr, candidates []string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxNodes == 0 {
+		o.MaxNodes = 192
+	}
+	if o.MaxBehaviors == 0 {
+		o.MaxBehaviors = 1 << 20
+	}
+	return o
+}
+
+// Stats counts enumeration work.
+type Stats struct {
+	// StatesExplored counts behaviors removed from the work set.
+	StatesExplored int
+	// Forks counts (load, candidate) resolutions attempted.
+	Forks int
+	// DuplicatesDiscarded counts forks dropped by Load–Store-graph
+	// dedup.
+	DuplicatesDiscarded int
+	// Rollbacks counts behaviors discarded as inconsistent — nonzero
+	// only under speculation.
+	Rollbacks int
+}
+
+// Result is the full set of distinct final executions of a program under a
+// model, plus work statistics.
+type Result struct {
+	Model      string
+	Executions []*Execution
+	Stats      Stats
+}
+
+// OutcomeSet returns the distinct load-value outcome keys, deduplicated
+// (several executions — different source assignments — may produce equal
+// values).
+func (r *Result) OutcomeSet() map[string]bool {
+	out := map[string]bool{}
+	for _, e := range r.Executions {
+		out[e.Key()] = true
+	}
+	return out
+}
+
+// HasOutcome reports whether some execution matches every (load label →
+// value) constraint in want.
+func (r *Result) HasOutcome(want map[string]program.Value) bool {
+	return r.FindOutcome(want) != nil
+}
+
+// FindOutcome returns an execution matching every (load label → value)
+// constraint in want, or nil.
+func (r *Result) FindOutcome(want map[string]program.Value) *Execution {
+	for _, e := range r.Executions {
+		vals := e.LoadValues()
+		ok := true
+		for l, v := range want {
+			if vals[l] != v {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return e
+		}
+	}
+	return nil
+}
+
+// Enumerate computes every behavior of p under the reordering policy pol
+// with Store Atomicity, per the procedure of Section 4.1: repeat graph
+// generation and dataflow execution to fixpoint, then fork one behavior
+// per (eligible load, candidate store) choice, deduplicating by Load–Store
+// graph; completed behaviors are collected.
+func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	res := &Result{Model: pol.Name()}
+	seen := map[string]bool{}
+	finals := map[string]bool{}
+
+	work := []*state{newState(p, pol, opts)}
+	for len(work) > 0 {
+		s := work[len(work)-1]
+		work = work[:len(work)-1]
+		res.Stats.StatesExplored++
+		if res.Stats.StatesExplored > opts.MaxBehaviors {
+			return res, fmt.Errorf("core: behavior budget (%d) exhausted", opts.MaxBehaviors)
+		}
+
+		// Phase 1+2 to fixpoint (generation unblocks after branch
+		// resolution, so the two interleave).
+		if err := s.runToQuiescence(); err != nil {
+			if err == errInconsistent {
+				res.Stats.Rollbacks++
+				continue
+			}
+			return res, err
+		}
+
+		if s.done() {
+			key := s.signature()
+			if !finals[key] {
+				finals[key] = true
+				res.Executions = append(res.Executions, s.finish())
+			}
+			continue
+		}
+
+		// Load–Store-graph dedup (Section 4.1): states reached by
+		// resolving the same loads from the same stores in different
+		// orders are equivalent; explore one representative. The
+		// check runs post-quiescence so that generation unlocked by
+		// branch outcomes has settled.
+		if !opts.DisableDedup {
+			key := s.signature()
+			if seen[key] {
+				res.Stats.DuplicatesDiscarded++
+				continue
+			}
+			seen[key] = true
+		}
+
+		// Phase 3: Load Resolution.
+		progressed := false
+		for lid := range s.nodes {
+			if !s.eligible(lid) {
+				continue
+			}
+			cands := s.candidates(lid)
+			if opts.CandidateHook != nil {
+				labels := make([]string, len(cands))
+				for i, sid := range cands {
+					labels[i] = s.nodes[sid].Label
+				}
+				opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
+			}
+			for _, sid := range cands {
+				res.Stats.Forks++
+				ns := s.clone()
+				if err := ns.resolveLoad(lid, sid); err != nil {
+					res.Stats.Rollbacks++
+					continue
+				}
+				if err := ns.closure(); err != nil {
+					res.Stats.Rollbacks++
+					continue
+				}
+				progressed = true
+				work = append(work, ns)
+			}
+		}
+		if !progressed {
+			// No eligible load made progress. With speculation
+			// every candidate of every eligible load may roll
+			// back — that just kills this behavior. Anything
+			// else is an engine invariant violation.
+			if s.hasEligibleLoad() {
+				res.Stats.Rollbacks++
+				continue
+			}
+			return res, fmt.Errorf("core: enumeration stalled with unresolved loads (model %s)", pol.Name())
+		}
+	}
+	return res, nil
+}
+
+// runToQuiescence alternates generation and execution until neither makes
+// progress, then applies the Store Atomicity closure (alias edges inserted
+// during execution can require derived edges before any new resolution).
+func (s *state) runToQuiescence() error {
+	for {
+		gen, err := s.generate()
+		if err != nil {
+			return err
+		}
+		exe, err := s.execute()
+		if err != nil {
+			return err
+		}
+		if !gen && !exe {
+			break
+		}
+	}
+	return s.closure()
+}
+
+// hasEligibleLoad reports whether any unresolved load is currently
+// eligible for resolution.
+func (s *state) hasEligibleLoad() bool {
+	for lid := range s.nodes {
+		if s.eligible(lid) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,133 @@
+package core
+
+import (
+	"testing"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// TestMembarNoTransitiveLeak pins the reason partial fences insert
+// pairwise edges rather than fence-node edges: a MEMBAR #LoadLoad|StoreStore
+// must order L→L and S→S across it but must NOT order the earlier Load
+// before the later Store (or the earlier Store before the later Load),
+// which a shared fence node would leak transitively.
+func TestMembarNoTransitiveLeak(t *testing.T) {
+	b := program.NewBuilder()
+	b.Thread("A").
+		LoadL("L1", 1, program.X).
+		StoreL("S1", program.Y, 1).
+		Membar(program.BarrierLL|program.BarrierSS).
+		LoadL("L2", 2, program.Z).
+		StoreL("S2", program.W, 2)
+	res, err := Enumerate(b.Build(), order.Relaxed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Executions[0]
+	g := e.Graph
+	id := func(label string) int { return e.NodeByLabel(label).ID }
+	if !g.Before(id("L1"), id("L2")) {
+		t.Error("LL ordering missing")
+	}
+	if !g.Before(id("S1"), id("S2")) {
+		t.Error("SS ordering missing")
+	}
+	if g.Before(id("L1"), id("S2")) {
+		t.Error("LL|SS membar leaked an L→S ordering")
+	}
+	if g.Before(id("S1"), id("L2")) {
+		t.Error("LL|SS membar leaked an S→L ordering")
+	}
+}
+
+// TestMembarOrdersAcrossOnly: operations between the barrier and the
+// later op are unaffected; only ops strictly before the barrier are
+// ordered against ops strictly after it.
+func TestMembarOrdersAcrossOnly(t *testing.T) {
+	b := program.NewBuilder()
+	b.Thread("A").
+		StoreL("S1", program.X, 1).
+		Membar(program.BarrierSS).
+		StoreL("S2", program.Y, 2).
+		StoreL("S3", program.Z, 3)
+	res, err := Enumerate(b.Build(), order.Relaxed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Executions[0]
+	id := func(label string) int { return e.NodeByLabel(label).ID }
+	if !e.Graph.Before(id("S1"), id("S2")) || !e.Graph.Before(id("S1"), id("S3")) {
+		t.Error("pre-barrier store not ordered before post-barrier stores")
+	}
+	// S2 and S3 are both after the barrier; the relaxed table leaves
+	// different-address stores free.
+	if e.Graph.Before(id("S2"), id("S3")) || e.Graph.Before(id("S3"), id("S2")) {
+		t.Error("membar ordered two post-barrier stores")
+	}
+}
+
+// TestTSOAtomicHardensBypass: under TSO a load may bypass a plain store
+// but not an atomic — the derived atomic cells turn Bypass into Always.
+func TestTSOAtomicHardensBypass(t *testing.T) {
+	// Plain store: SB outcome reachable.
+	b := program.NewBuilder()
+	b.Thread("A").StoreL("Sx", program.X, 1).LoadL("Ly", 1, program.Y)
+	b.Thread("B").StoreL("Sy", program.Y, 1).LoadL("Lx", 2, program.X)
+	res, err := Enumerate(b.Build(), order.TSO(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasOutcome(map[string]program.Value{"Ly": 0, "Lx": 0}) {
+		t.Fatal("baseline SB outcome missing under TSO")
+	}
+	// Swap in place of the stores: the relaxed outcome must vanish.
+	b2 := program.NewBuilder()
+	b2.Thread("A").SwapL("Sx", 3, program.X, 1).LoadL("Ly", 1, program.Y)
+	b2.Thread("B").SwapL("Sy", 4, program.Y, 1).LoadL("Lx", 2, program.X)
+	res, err = Enumerate(b2.Build(), order.TSO(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasOutcome(map[string]program.Value{"Ly": 0, "Lx": 0}) {
+		t.Error("TSO let a load bypass an atomic store")
+	}
+}
+
+// TestAtomicRegisterOperand: FetchAdd with a register operand waits for
+// the producer and stores the computed sum.
+func TestAtomicRegisterOperand(t *testing.T) {
+	b := program.NewBuilder()
+	tb := b.Thread("A")
+	tb.Op(1, func([]program.Value) program.Value { return 5 })
+	tb.Raw(program.Instr{
+		Kind: program.KindAtomic, Atomic: program.AtomicAdd,
+		Dest: 2, AddrConst: program.X, UseValReg: true, ValReg: 1, Label: "fadd",
+	})
+	tb.LoadL("after", 3, program.X)
+	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasOutcome(map[string]program.Value{"fadd": 0, "after": 5}) {
+		t.Errorf("outcomes: %v", res.OutcomeSet())
+	}
+}
+
+// TestCASFailureIsLoadOnly: a failed CAS observes but does not store, so
+// a racing store's value survives.
+func TestCASFailureIsLoadOnly(t *testing.T) {
+	b := program.NewBuilder()
+	b.Init(program.X, 9)
+	b.Thread("A").CASL("cas", 1, program.X, 0, 1).LoadL("after", 2, program.X)
+	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasOutcome(map[string]program.Value{"cas": 9, "after": 9}) {
+		t.Errorf("outcomes: %v", res.OutcomeSet())
+	}
+	if res.HasOutcome(map[string]program.Value{"after": 1}) {
+		t.Error("failed CAS stored anyway")
+	}
+}

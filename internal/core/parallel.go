@@ -1,0 +1,181 @@
+package core
+
+// Parallel enumeration: the behavior set B of Section 4.1 is an
+// unordered work pool — behaviors are independent once forked, so the
+// engine parallelizes naturally. Workers pop behaviors, run them to
+// quiescence, fork at Load Resolution, and push the children back;
+// dedup and result maps are shared under a mutex. The behavior set is
+// identical to sequential enumeration (tests enforce it); only discovery
+// order differs, so results are canonically sorted before returning.
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// EnumerateParallel is Enumerate distributed over workers goroutines
+// (runtime.NumCPU() when workers <= 0). Options.CandidateHook, if set,
+// must be safe for concurrent use.
+func EnumerateParallel(p *program.Program, pol order.Policy, opts Options, workers int) (*Result, error) {
+	opts = opts.withDefaults()
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers == 1 {
+		return Enumerate(p, pol, opts)
+	}
+
+	res := &Result{Model: pol.Name()}
+	var (
+		mu          sync.Mutex
+		cond        = sync.NewCond(&mu)
+		work        []*state
+		outstanding int // states popped but not yet fully processed
+		seen        = map[string]bool{}
+		finals      = map[string]bool{}
+		firstErr    error
+	)
+	work = append(work, newState(p, pol, opts))
+
+	worker := func() {
+		for {
+			mu.Lock()
+			for len(work) == 0 && outstanding > 0 && firstErr == nil {
+				cond.Wait()
+			}
+			if firstErr != nil || (len(work) == 0 && outstanding == 0) {
+				mu.Unlock()
+				return
+			}
+			s := work[len(work)-1]
+			work = work[:len(work)-1]
+			outstanding++
+			res.Stats.StatesExplored++
+			if res.Stats.StatesExplored > opts.MaxBehaviors {
+				firstErr = fmt.Errorf("core: behavior budget (%d) exhausted", opts.MaxBehaviors)
+				cond.Broadcast()
+				mu.Unlock()
+				return
+			}
+			mu.Unlock()
+
+			children, exec, stats, err := step(s, opts)
+
+			mu.Lock()
+			outstanding--
+			res.Stats.Forks += stats.Forks
+			res.Stats.Rollbacks += stats.Rollbacks
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else if exec != nil {
+				key := exec.keyState.signature()
+				if !finals[key] {
+					finals[key] = true
+					res.Executions = append(res.Executions, exec.exec)
+				}
+			} else {
+				for _, c := range children {
+					if !opts.DisableDedup {
+						// Fork-time keys are checked at pop in the
+						// sequential engine; here children are
+						// keyed post-quiescence by the worker that
+						// pops them. To avoid re-queuing converged
+						// states we also pre-filter on the fork
+						// signature.
+						k := c.signature()
+						if seen[k] {
+							res.Stats.DuplicatesDiscarded++
+							continue
+						}
+						seen[k] = true
+					}
+					work = append(work, c)
+				}
+			}
+			cond.Broadcast()
+			mu.Unlock()
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			worker()
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return res, firstErr
+	}
+	sort.Slice(res.Executions, func(i, j int) bool {
+		return res.Executions[i].SourceKey() < res.Executions[j].SourceKey()
+	})
+	return res, nil
+}
+
+// stepOutcome wraps a completed behavior with the state that produced it
+// (for final dedup keying).
+type stepOutcome struct {
+	exec     *Execution
+	keyState *state
+}
+
+// step processes one behavior outside the lock: quiescence, then either a
+// finished execution or the forked children.
+func step(s *state, opts Options) (children []*state, done *stepOutcome, stats Stats, err error) {
+	if qerr := s.runToQuiescence(); qerr != nil {
+		if qerr == errInconsistent {
+			stats.Rollbacks++
+			return nil, nil, stats, nil
+		}
+		return nil, nil, stats, qerr
+	}
+	if s.done() {
+		return nil, &stepOutcome{exec: s.finish(), keyState: s}, stats, nil
+	}
+	progressed := false
+	for lid := range s.nodes {
+		if !s.eligible(lid) {
+			continue
+		}
+		cands := s.candidates(lid)
+		if opts.CandidateHook != nil {
+			labels := make([]string, len(cands))
+			for i, sid := range cands {
+				labels[i] = s.nodes[sid].Label
+			}
+			opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
+		}
+		for _, sid := range cands {
+			stats.Forks++
+			ns := s.clone()
+			if rerr := ns.resolveLoad(lid, sid); rerr != nil {
+				stats.Rollbacks++
+				continue
+			}
+			if cerr := ns.closure(); cerr != nil {
+				stats.Rollbacks++
+				continue
+			}
+			progressed = true
+			children = append(children, ns)
+		}
+	}
+	if !progressed {
+		if s.hasEligibleLoad() {
+			stats.Rollbacks++
+			return nil, nil, stats, nil
+		}
+		return nil, nil, stats, fmt.Errorf("core: enumeration stalled with unresolved loads")
+	}
+	return children, nil, stats, nil
+}

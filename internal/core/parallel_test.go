@@ -1,0 +1,127 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// figure10Prog builds Figure 10 for parallel-vs-sequential comparisons.
+func figure10Prog() *program.Program {
+	b := program.NewBuilder()
+	b.Thread("A").
+		StoreL("S1", program.X, 1).StoreL("S2", program.X, 2).StoreL("S3", program.Z, 3).
+		LoadL("L4", 1, program.Z).LoadL("L6", 2, program.Y)
+	b.Thread("B").
+		StoreL("S5", program.Y, 5).StoreL("S7", program.Y, 7).StoreL("S8", program.Z, 8).
+		LoadL("L9", 3, program.Z).LoadL("L10", 4, program.X)
+	return b.Build()
+}
+
+// TestParallelMatchesSequential: identical behavior sets on a nontrivial
+// program, across models and worker counts.
+func TestParallelMatchesSequential(t *testing.T) {
+	for _, pol := range []order.Policy{order.SC(), order.TSO(), order.Relaxed()} {
+		seq, err := Enumerate(figure10Prog(), pol, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := map[string]bool{}
+		for _, e := range seq.Executions {
+			want[e.SourceKey()] = true
+		}
+		for _, workers := range []int{2, 4, 0} {
+			par, err := EnumerateParallel(figure10Prog(), pol, Options{}, workers)
+			if err != nil {
+				t.Fatalf("%s workers=%d: %v", pol.Name(), workers, err)
+			}
+			got := map[string]bool{}
+			for _, e := range par.Executions {
+				got[e.SourceKey()] = true
+			}
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: %d behaviors, want %d", pol.Name(), workers, len(got), len(want))
+			}
+			for k := range want {
+				if !got[k] {
+					t.Errorf("%s workers=%d: missing behavior %q", pol.Name(), workers, k)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterministicOrder: results are canonically sorted, so two
+// parallel runs agree element-wise.
+func TestParallelDeterministicOrder(t *testing.T) {
+	a, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Executions) != len(b.Executions) {
+		t.Fatalf("%d vs %d executions", len(a.Executions), len(b.Executions))
+	}
+	for i := range a.Executions {
+		if a.Executions[i].SourceKey() != b.Executions[i].SourceKey() {
+			t.Errorf("position %d differs", i)
+		}
+	}
+}
+
+// TestParallelSingleWorkerDelegates: workers=1 is exactly Enumerate.
+func TestParallelSingleWorkerDelegates(t *testing.T) {
+	seq, err := Enumerate(sbProgram(), order.SC(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EnumerateParallel(sbProgram(), order.SC(), Options{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Stats != par.Stats {
+		t.Errorf("single-worker stats diverge: %+v vs %+v", seq.Stats, par.Stats)
+	}
+}
+
+// TestParallelBudget: the behavior budget still trips.
+func TestParallelBudget(t *testing.T) {
+	_, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{MaxBehaviors: 3}, 4)
+	if err == nil || !strings.Contains(err.Error(), "behavior budget") {
+		t.Errorf("err = %v", err)
+	}
+}
+
+// TestParallelSpeculation: rollbacks work concurrently (Figure 8 under
+// speculation).
+func TestParallelSpeculation(t *testing.T) {
+	b := program.NewBuilder()
+	b.Init(program.W, 0)
+	b.Init(program.Z, 0)
+	b.Thread("A").
+		StoreL("S1", program.X, program.AddrValue(program.W)).Fence().
+		StoreL("S2", program.Y, 2).StoreL("S4", program.Y, 4).Fence().
+		StoreL("S5", program.X, program.AddrValue(program.Z))
+	b.Thread("B").
+		LoadL("L3", 1, program.Y).Fence().
+		LoadL("L6", 6, program.X).StoreIndL("S7", 6, 7).LoadL("L8", 8, program.Y)
+	p := b.Build()
+
+	seq, err := Enumerate(p, order.Relaxed(), Options{Speculative: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EnumerateParallel(p, order.Relaxed(), Options{Speculative: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.Executions) != len(par.Executions) {
+		t.Errorf("speculative parallel found %d executions, sequential %d",
+			len(par.Executions), len(seq.Executions))
+	}
+}

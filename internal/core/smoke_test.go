@@ -1,0 +1,46 @@
+package core
+
+import (
+	"testing"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// sbProgram is the store-buffering (Dekker) litmus test:
+//
+//	Thread A: S x,1 ; r1 = L y
+//	Thread B: S y,1 ; r2 = L x
+//
+// SC forbids r1=0 ∧ r2=0; TSO and weaker allow it.
+func sbProgram() *program.Program {
+	b := program.NewBuilder()
+	b.Thread("A").StoreL("Sa", program.X, 1).LoadL("La", 1, program.Y)
+	b.Thread("B").StoreL("Sb", program.Y, 1).LoadL("Lb", 2, program.X)
+	return b.Build()
+}
+
+func TestSmokeSB(t *testing.T) {
+	for _, tc := range []struct {
+		pol       order.Policy
+		wantBoth0 bool
+		wantTotal int // distinct value outcomes
+	}{
+		{order.SC(), false, 3},
+		{order.TSO(), true, 4},
+		{order.Relaxed(), true, 4},
+	} {
+		res, err := Enumerate(sbProgram(), tc.pol, Options{})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.pol.Name(), err)
+		}
+		got := res.HasOutcome(map[string]program.Value{"La": 0, "Lb": 0})
+		if got != tc.wantBoth0 {
+			t.Errorf("%s: r1=0,r2=0 allowed=%v want %v (outcomes %v)",
+				tc.pol.Name(), got, tc.wantBoth0, res.OutcomeSet())
+		}
+		if n := len(res.OutcomeSet()); n != tc.wantTotal {
+			t.Errorf("%s: %d distinct outcomes, want %d: %v", tc.pol.Name(), n, tc.wantTotal, res.OutcomeSet())
+		}
+	}
+}

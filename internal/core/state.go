@@ -1,0 +1,479 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"storeatomicity/internal/graph"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// errInconsistent marks a behavior that violated Store Atomicity (cycle in
+// @). In non-speculative enumeration this never fires; in speculative
+// enumeration it is the rollback trigger of Section 5.2.
+var errInconsistent = errors.New("core: execution violates store atomicity")
+
+// threadState carries the per-thread program counter and register map
+// ("the PC and register state of each of its threads", Section 4).
+// Registers map to the node that produces their current value.
+type threadState struct {
+	pc      int
+	regs    map[program.Reg]int
+	blocked int // node ID of the unresolved branch blocking generation, or NoNode
+	genSeq  int // dynamic instruction count, for Node.Seq
+}
+
+func (t *threadState) clone() threadState {
+	c := *t
+	c.regs = make(map[program.Reg]int, len(t.regs))
+	for k, v := range t.regs {
+		c.regs[k] = v
+	}
+	return c
+}
+
+// aliasPair records two same-thread memory nodes whose reordering
+// requirement is address-dependent and not yet decidable (at least one
+// address unknown at generation time).
+type aliasPair struct {
+	earlier, later int
+	done           bool
+}
+
+// state is one in-flight behavior: program graph, thread states, and
+// bookkeeping. It forks (clone) at Load Resolution.
+type state struct {
+	prog *program.Program
+	pol  order.Policy
+	opts Options
+
+	g     *graph.Graph
+	nodes []Node
+
+	threads []threadState
+
+	// start is the barrier node ordered after initializing stores and
+	// before every thread node.
+	start int
+	// initByAddr maps an address to its initializing store node.
+	initByAddr map[program.Addr]int
+
+	// memByThread lists memory/fence/branch node IDs per thread in
+	// program (generation) order, for reordering-axiom edge insertion.
+	byThread [][]int
+
+	aliases  []aliasPair
+	bypasses [][2]int
+}
+
+// newState builds the initial behavior: start barrier, initializing
+// stores for every statically known address, and empty threads.
+func newState(p *program.Program, pol order.Policy, opts Options) *state {
+	addrs := p.Addresses()
+	capHint := len(addrs) + 2
+	for _, t := range p.Threads {
+		capHint += len(t.Instrs) + 1
+	}
+	s := &state{
+		prog:       p,
+		pol:        pol,
+		opts:       opts,
+		g:          graph.New(0, capHint*2),
+		initByAddr: map[program.Addr]int{},
+		threads:    make([]threadState, len(p.Threads)),
+		byThread:   make([][]int, len(p.Threads)),
+	}
+	// Initializing stores precede everything (Section 4: "Memory is
+	// initialized with Store operations before any thread is started").
+	for _, a := range addrs {
+		s.addInitStore(a, p.Init[a], false)
+	}
+	s.start = s.g.AddNodes(1)
+	s.nodes = append(s.nodes, Node{
+		ID: s.start, Thread: -1, Kind: program.KindFence, Label: "start",
+		Resolved: true, Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
+	})
+	for a := range s.initByAddr {
+		mustEdge(s.g.AddEdge(s.initByAddr[a], s.start, graph.EdgeLocal))
+	}
+	for i := range s.threads {
+		s.threads[i] = threadState{regs: map[program.Reg]int{}, blocked: NoNode}
+	}
+	return s
+}
+
+// addInitStore creates the initializing store node for address a. When
+// late is true the store is being discovered mid-run (a register-indirect
+// access hit an address with no static reference); it is still ordered
+// before the start barrier, which is sound because a fresh node has no
+// predecessors.
+func (s *state) addInitStore(a program.Addr, v program.Value, late bool) int {
+	id := s.g.AddNodes(1)
+	s.nodes = append(s.nodes, Node{
+		ID: id, Thread: -1, Kind: program.KindStore,
+		Label:     fmt.Sprintf("init:%d", a),
+		AddrKnown: true, Addr: a, Resolved: true, Val: v,
+		Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
+	})
+	s.initByAddr[a] = id
+	if late {
+		mustEdge(s.g.AddEdge(id, s.start, graph.EdgeLocal))
+	}
+	return id
+}
+
+func mustEdge(err error) {
+	if err != nil {
+		panic("core: unexpected cycle inserting structural edge: " + err.Error())
+	}
+}
+
+// clone forks the behavior.
+func (s *state) clone() *state {
+	c := &state{
+		prog: s.prog, pol: s.pol, opts: s.opts,
+		g:          s.g.Clone(),
+		nodes:      append([]Node(nil), s.nodes...),
+		threads:    make([]threadState, len(s.threads)),
+		start:      s.start,
+		initByAddr: make(map[program.Addr]int, len(s.initByAddr)),
+		byThread:   make([][]int, len(s.byThread)),
+		aliases:    append([]aliasPair(nil), s.aliases...),
+		bypasses:   append([][2]int(nil), s.bypasses...),
+	}
+	for i := range s.threads {
+		c.threads[i] = s.threads[i].clone()
+	}
+	for k, v := range s.initByAddr {
+		c.initByAddr[k] = v
+	}
+	for i, l := range s.byThread {
+		c.byThread[i] = append([]int(nil), l...)
+	}
+	return c
+}
+
+// regNode returns the node currently bound to a register, or NoNode (an
+// unwritten register reads as zero).
+func (s *state) regNode(t int, r program.Reg) int {
+	if id, ok := s.threads[t].regs[r]; ok {
+		return id
+	}
+	return NoNode
+}
+
+// generate runs Section 4.1 step 1 for every thread: create unresolved
+// nodes from the current PC up to (and including) the first unresolved
+// branch, inserting all ≺ edges required by the reordering axioms and, in
+// non-speculative mode, the alias-check edges of Section 5.1. Returns
+// whether any node was generated.
+func (s *state) generate() (bool, error) {
+	progress := false
+	for ti := range s.threads {
+		th := &s.threads[ti]
+		for th.blocked == NoNode && th.pc < len(s.prog.Threads[ti].Instrs) {
+			if len(s.nodes) >= s.opts.MaxNodes {
+				return progress, fmt.Errorf("core: node budget (%d) exhausted; unbounded loop?", s.opts.MaxNodes)
+			}
+			if err := s.genOne(ti); err != nil {
+				return progress, err
+			}
+			progress = true
+		}
+	}
+	return progress, nil
+}
+
+// genOne generates the next instruction of thread ti.
+func (s *state) genOne(ti int) error {
+	th := &s.threads[ti]
+	in := s.prog.Threads[ti].Instrs[th.pc]
+	id := s.g.AddNodes(1)
+	n := Node{
+		ID: id, Thread: ti, PC: th.pc, Seq: th.genSeq, Kind: in.Kind,
+		Label:  in.Label,
+		Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
+		instr: in,
+	}
+	if n.Label == "" {
+		n.Label = fmt.Sprintf("T%d.%d", ti, th.genSeq)
+	}
+	th.genSeq++
+	th.pc++
+
+	// Dataflow (the "indep" entries of Figure 1): edges from producers.
+	switch in.Kind {
+	case program.KindLoad, program.KindStore, program.KindAtomic:
+		if in.UseAddrReg {
+			n.addrDep = s.regNode(ti, in.AddrReg)
+		} else {
+			n.AddrKnown, n.Addr = true, in.AddrConst
+		}
+		if in.Kind != program.KindLoad && in.UseValReg {
+			n.valDep = s.regNode(ti, in.ValReg)
+		}
+	case program.KindOp:
+		n.argDeps = make([]int, len(in.Args))
+		for i, r := range in.Args {
+			n.argDeps[i] = s.regNode(ti, r)
+		}
+	case program.KindBranch:
+		n.condDep = s.regNode(ti, in.CondReg)
+		th.blocked = id
+	}
+
+	s.nodes = append(s.nodes, n)
+	nn := &s.nodes[id]
+
+	// Register rebinding for value producers.
+	if in.Kind == program.KindLoad || in.Kind == program.KindOp || in.Kind == program.KindAtomic {
+		th.regs[in.Dest] = id
+	}
+
+	// Structural edges: start barrier and dataflow.
+	mustEdge(s.g.AddEdge(s.start, id, graph.EdgeLocal))
+	for _, d := range []int{nn.addrDep, nn.valDep, nn.condDep} {
+		if d != NoNode {
+			mustEdge(s.g.AddEdge(d, id, graph.EdgeLocal))
+		}
+	}
+	for _, d := range nn.argDeps {
+		if d != NoNode {
+			mustEdge(s.g.AddEdge(d, id, graph.EdgeLocal))
+		}
+	}
+
+	// Reordering-axiom edges against every earlier node of the thread.
+	// Partial fences (nonzero FenceMask) opt out of the table's fence
+	// cells; their ordering is inserted pairwise below, which keeps a
+	// MEMBAR #StoreLoad from transitively ordering, say, loads before
+	// stores the way a shared fence node would.
+	for _, eid := range s.byThread[ti] {
+		e := &s.nodes[eid]
+		req := s.pol.Require(e.Kind, nn.Kind)
+		if (e.Kind == program.KindFence && e.instr.FenceMask != 0) ||
+			(nn.Kind == program.KindFence && nn.instr.FenceMask != 0) {
+			req = order.Free
+		}
+		switch req {
+		case order.Always:
+			mustEdge(s.g.AddEdge(eid, id, graph.EdgeLocal))
+		case order.SameAddr:
+			s.requireSameAddr(eid, id)
+		case order.Bypass:
+			// Resolved at Load Resolution: the pair is ordered
+			// unless the load observes this exact store
+			// (Section 6). Nothing to insert now.
+		}
+	}
+	if nn.IsMemory() {
+		for _, fid := range s.byThread[ti] {
+			f := &s.nodes[fid]
+			if f.Kind != program.KindFence || f.instr.FenceMask == 0 {
+				continue
+			}
+			for _, eid := range s.byThread[ti] {
+				e := &s.nodes[eid]
+				if e.Seq >= f.Seq || !e.IsMemory() {
+					continue
+				}
+				if program.MaskOrders(f.instr.FenceMask, e.Kind, nn.Kind) {
+					mustEdge(s.g.AddEdge(eid, id, graph.EdgeLocal))
+				}
+			}
+		}
+	}
+	if nn.Kind == program.KindFence || nn.Kind == program.KindBranch || nn.IsMemory() {
+		s.byThread[ti] = append(s.byThread[ti], id)
+	}
+	return nil
+}
+
+// requireSameAddr handles an "x ≠ y" table cell between two same-thread
+// memory nodes. With both addresses known the decision is immediate.
+// Otherwise the pair is deferred, and — in the non-speculative model — the
+// later operation additionally waits for the instruction that produces the
+// earlier operation's address (Section 5.1: "every memory operation
+// depends upon the instruction which provides the address of each previous
+// potentially-aliasing memory operation").
+func (s *state) requireSameAddr(earlier, later int) {
+	e, l := &s.nodes[earlier], &s.nodes[later]
+	if e.AddrKnown && l.AddrKnown {
+		if e.Addr == l.Addr {
+			mustEdge(s.g.AddEdge(earlier, later, graph.EdgeLocal))
+		}
+		return
+	}
+	s.aliases = append(s.aliases, aliasPair{earlier: earlier, later: later})
+	if !s.opts.Speculative && e.addrDep != NoNode {
+		mustEdge(s.g.AddEdge(e.addrDep, later, graph.EdgeAlias))
+	}
+}
+
+// resolveAliases decides deferred same-address pairs whose addresses have
+// both become known. In speculative mode a newly required edge may
+// contradict an early load resolution; the resulting cycle (possibly
+// surfaced by the subsequent atomicity closure) discards the behavior —
+// the formal analogue of squash-and-retry.
+func (s *state) resolveAliases() (bool, error) {
+	progress := false
+	for i := range s.aliases {
+		ap := &s.aliases[i]
+		if ap.done {
+			continue
+		}
+		e, l := &s.nodes[ap.earlier], &s.nodes[ap.later]
+		if !e.AddrKnown || !l.AddrKnown {
+			continue
+		}
+		ap.done = true
+		progress = true
+		if e.Addr != l.Addr {
+			continue
+		}
+		if err := s.g.AddEdge(ap.earlier, ap.later, graph.EdgeLocal); err != nil {
+			return progress, errInconsistent
+		}
+	}
+	return progress, nil
+}
+
+// execute runs Section 4.1 step 2: propagate values dataflow-style until
+// only Loads remain executable. Branch resolution unblocks generation and
+// resets the thread PC. Returns whether any node changed state.
+func (s *state) execute() (bool, error) {
+	progress := false
+	for {
+		changed := false
+		for id := range s.nodes {
+			n := &s.nodes[id]
+			// Address resolution is independent of value
+			// resolution and can unlock alias decisions.
+			if n.IsMemory() && !n.AddrKnown && n.addrDep != NoNode && s.nodes[n.addrDep].Resolved {
+				n.AddrKnown = true
+				n.Addr = program.ValueAddr(s.nodes[n.addrDep].Val)
+				if _, ok := s.initByAddr[n.Addr]; !ok {
+					s.addInitStore(n.Addr, s.prog.Init[n.Addr], true)
+				}
+				changed = true
+			}
+			// Loads and Atomics resolve only through Load
+			// Resolution (Section 4.1 step 3).
+			if n.Resolved || n.Reads() {
+				continue
+			}
+			switch n.Kind {
+			case program.KindFence:
+				n.Resolved = true
+				changed = true
+			case program.KindOp:
+				vals := make([]program.Value, len(n.argDeps))
+				ok := true
+				for i, d := range n.argDeps {
+					if d == NoNode {
+						vals[i] = 0
+						continue
+					}
+					if !s.nodes[d].Resolved {
+						ok = false
+						break
+					}
+					vals[i] = s.nodes[d].Val
+				}
+				if ok {
+					if n.instr.Fn != nil {
+						n.Val = n.instr.Fn(vals)
+					}
+					n.Resolved = true
+					changed = true
+				}
+			case program.KindBranch:
+				v, ok := program.Value(0), true
+				if n.condDep != NoNode {
+					if !s.nodes[n.condDep].Resolved {
+						ok = false
+					} else {
+						v = s.nodes[n.condDep].Val
+					}
+				}
+				if ok {
+					n.Resolved = true
+					n.Val = v
+					th := &s.threads[n.Thread]
+					if th.blocked == n.ID {
+						th.blocked = NoNode
+						if v != 0 {
+							th.pc = n.instr.Target
+						}
+					}
+					changed = true
+				}
+			case program.KindStore:
+				if !n.AddrKnown {
+					continue
+				}
+				if n.valDep == NoNode {
+					n.Val = n.instr.ValConst
+					n.Resolved = true
+					changed = true
+				} else if s.nodes[n.valDep].Resolved {
+					n.Val = s.nodes[n.valDep].Val
+					n.Resolved = true
+					changed = true
+				}
+			}
+		}
+		ap, err := s.resolveAliases()
+		if err != nil {
+			return progress, err
+		}
+		if !changed && !ap {
+			return progress, nil
+		}
+		progress = true
+	}
+}
+
+// done reports whether the behavior is complete: all threads ran off the
+// end of their programs and every node is resolved.
+func (s *state) done() bool {
+	for ti := range s.threads {
+		if s.threads[ti].blocked != NoNode || s.threads[ti].pc < len(s.prog.Threads[ti].Instrs) {
+			return false
+		}
+	}
+	for id := range s.nodes {
+		if !s.nodes[id].Resolved {
+			return false
+		}
+	}
+	return true
+}
+
+// signature is the dedup key of Section 4.1 ("It is sufficient to compare
+// the Load-Store graph of each execution"): the derived edge set is a
+// deterministic function of the program, the model, and the partial
+// source assignment, so the resolved (load → source) map plus the node
+// count canonically identifies the Load-Store graph.
+func (s *state) signature() string {
+	b := make([]byte, 0, 8*len(s.nodes))
+	b = append(b, fmt.Sprintf("n%d|", len(s.nodes))...)
+	for id := range s.nodes {
+		n := &s.nodes[id]
+		if n.Reads() && n.Resolved {
+			b = append(b, fmt.Sprintf("%d<%d;", id, n.Source)...)
+		}
+	}
+	return string(b)
+}
+
+// finish freezes the state into an Execution.
+func (s *state) finish() *Execution {
+	return &Execution{
+		Graph:    s.g,
+		Nodes:    s.nodes,
+		Bypasses: s.bypasses,
+		Model:    s.pol.Name(),
+	}
+}

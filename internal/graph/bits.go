@@ -1,0 +1,109 @@
+// Package graph provides the partially ordered execution graphs at the heart
+// of the framework: a growable DAG with incrementally maintained transitive
+// closure (dense bitsets), cycle detection, topological enumeration, and
+// linear-extension counting.
+//
+// Executions in the paper are partial orders; nearly every rule — the
+// candidate-store computation, the three Store Atomicity rules, the
+// serializability checks — is phrased as reachability queries, so the
+// closure is maintained eagerly: Before(a,b) is O(1).
+package graph
+
+import "math/bits"
+
+// Bits is a fixed-capacity bitset over node IDs.
+type Bits []uint64
+
+// NewBits returns a bitset able to hold n bits.
+func NewBits(n int) Bits { return make(Bits, (n+63)/64) }
+
+// Has reports whether bit i is set.
+func (b Bits) Has(i int) bool { return b[i>>6]&(1<<uint(i&63)) != 0 }
+
+// Set sets bit i.
+func (b Bits) Set(i int) { b[i>>6] |= 1 << uint(i&63) }
+
+// Clear clears bit i.
+func (b Bits) Clear(i int) { b[i>>6] &^= 1 << uint(i&63) }
+
+// Or sets b |= o. The operands must have equal capacity.
+func (b Bits) Or(o Bits) {
+	for i := range b {
+		b[i] |= o[i]
+	}
+}
+
+// AndNot sets b &^= o.
+func (b Bits) AndNot(o Bits) {
+	for i := range b {
+		b[i] &^= o[i]
+	}
+}
+
+// And sets b &= o.
+func (b Bits) And(o Bits) {
+	for i := range b {
+		b[i] &= o[i]
+	}
+}
+
+// CopyFrom overwrites b with o.
+func (b Bits) CopyFrom(o Bits) { copy(b, o) }
+
+// Clone returns an independent copy.
+func (b Bits) Clone() Bits {
+	c := make(Bits, len(b))
+	copy(c, b)
+	return c
+}
+
+// Count returns the number of set bits.
+func (b Bits) Count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (b Bits) Empty() bool {
+	for _, w := range b {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ForEach calls fn for every set bit in ascending order, stopping if fn
+// returns false.
+func (b Bits) ForEach(fn func(i int) bool) {
+	for wi, w := range b {
+		for w != 0 {
+			i := wi<<6 + bits.TrailingZeros64(w)
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// Slice returns the set bits in ascending order.
+func (b Bits) Slice() []int {
+	out := make([]int, 0, b.Count())
+	b.ForEach(func(i int) bool { out = append(out, i); return true })
+	return out
+}
+
+// grow returns b extended to hold n bits, reallocating if needed.
+func (b Bits) grow(n int) Bits {
+	need := (n + 63) / 64
+	if need <= len(b) {
+		return b
+	}
+	nb := make(Bits, need)
+	copy(nb, b)
+	return nb
+}

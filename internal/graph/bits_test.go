@@ -1,0 +1,137 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsBasics(t *testing.T) {
+	b := NewBits(130)
+	if !b.Empty() {
+		t.Error("fresh bitset not empty")
+	}
+	for _, i := range []int{0, 63, 64, 127, 129} {
+		b.Set(i)
+		if !b.Has(i) {
+			t.Errorf("bit %d lost", i)
+		}
+	}
+	if b.Count() != 5 {
+		t.Errorf("count = %d", b.Count())
+	}
+	b.Clear(64)
+	if b.Has(64) {
+		t.Error("clear failed")
+	}
+	got := b.Slice()
+	want := []int{0, 63, 127, 129}
+	if len(got) != len(want) {
+		t.Fatalf("slice %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("slice %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsSetOps(t *testing.T) {
+	a := NewBits(100)
+	b := NewBits(100)
+	a.Set(1)
+	a.Set(70)
+	b.Set(70)
+	b.Set(99)
+
+	or := a.Clone()
+	or.Or(b)
+	if or.Count() != 3 || !or.Has(1) || !or.Has(70) || !or.Has(99) {
+		t.Errorf("or: %v", or.Slice())
+	}
+	and := a.Clone()
+	and.And(b)
+	if and.Count() != 1 || !and.Has(70) {
+		t.Errorf("and: %v", and.Slice())
+	}
+	anot := a.Clone()
+	anot.AndNot(b)
+	if anot.Count() != 1 || !anot.Has(1) {
+		t.Errorf("andnot: %v", anot.Slice())
+	}
+}
+
+func TestBitsForEachOrderAndStop(t *testing.T) {
+	b := NewBits(200)
+	for _, i := range []int{5, 64, 65, 190} {
+		b.Set(i)
+	}
+	var seen []int
+	b.ForEach(func(i int) bool {
+		seen = append(seen, i)
+		return len(seen) < 3
+	})
+	if len(seen) != 3 || seen[0] != 5 || seen[1] != 64 || seen[2] != 65 {
+		t.Errorf("seen %v", seen)
+	}
+}
+
+func TestBitsCloneIndependent(t *testing.T) {
+	a := NewBits(64)
+	a.Set(3)
+	c := a.Clone()
+	c.Set(4)
+	if a.Has(4) {
+		t.Error("clone shares storage")
+	}
+}
+
+// TestBitsAgainstMap is a property test: a Bits behaves like a set of ints.
+func TestBitsAgainstMap(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(300)
+		b := NewBits(n)
+		ref := map[int]bool{}
+		for op := 0; op < 200; op++ {
+			i := rng.Intn(n)
+			if rng.Intn(2) == 0 {
+				b.Set(i)
+				ref[i] = true
+			} else {
+				b.Clear(i)
+				delete(ref, i)
+			}
+		}
+		if b.Count() != len(ref) {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if b.Has(i) != ref[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBitsGrow(t *testing.T) {
+	b := NewBits(10)
+	b.Set(5)
+	g := b.grow(500)
+	if !g.Has(5) {
+		t.Error("grow lost bits")
+	}
+	g.Set(400)
+	if !g.Has(400) {
+		t.Error("grown region unusable")
+	}
+	// Growing within capacity returns the same backing.
+	same := g.grow(100)
+	if len(same) != len(g) {
+		t.Error("grow reallocated unnecessarily")
+	}
+}

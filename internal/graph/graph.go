@@ -1,0 +1,302 @@
+package graph
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// EdgeKind distinguishes why an edge exists. The paper's Figure 2 legend:
+// solid local-ordering edges (≺), ringed observation edges (source), and
+// dotted Store Atomicity edges. We also record TSO's grey bypass edges —
+// they are *excluded* from the @ order (Section 6) and live outside Graph —
+// and alias-check edges separately so the speculation study can drop them.
+type EdgeKind uint8
+
+const (
+	// EdgeLocal is a ≺ edge from the reordering axioms.
+	EdgeLocal EdgeKind = iota
+	// EdgeAlias is a ≺ edge required by non-speculative address
+	// disambiguation (Section 5.1); speculative models omit these.
+	EdgeAlias
+	// EdgeSource is an observation edge source(L) → L.
+	EdgeSource
+	// EdgeAtomicity is a derived edge inserted by the Store Atomicity
+	// closure (rules a, b, c of Section 3.3).
+	EdgeAtomicity
+)
+
+// String implements fmt.Stringer.
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeLocal:
+		return "local"
+	case EdgeAlias:
+		return "alias"
+	case EdgeSource:
+		return "source"
+	case EdgeAtomicity:
+		return "atomicity"
+	default:
+		return fmt.Sprintf("EdgeKind(%d)", uint8(k))
+	}
+}
+
+// Edge is a directed, kinded edge between node IDs.
+type Edge struct {
+	From, To int
+	Kind     EdgeKind
+}
+
+// ErrCycle is returned when an edge insertion would create a cycle — in the
+// framework a cycle means the execution violates the memory model (the
+// trigger for speculation rollback).
+var ErrCycle = errors.New("graph: edge would create a cycle")
+
+// Graph is a DAG over dense integer node IDs with an incrementally
+// maintained strict transitive closure. desc[i] holds every node reachable
+// from i by one or more edges; anc[i] holds every node that reaches i.
+//
+// The zero value is not usable; call New.
+type Graph struct {
+	n     int
+	cap   int
+	edges []Edge
+	// succ/pred are direct (non-transitive) adjacency bitsets.
+	succ []Bits
+	pred []Bits
+	// desc/anc are the strict transitive closure.
+	desc []Bits
+	anc  []Bits
+}
+
+// New returns a graph with n nodes and capacity for at least capHint nodes
+// (growing beyond the hint reallocates bitsets).
+func New(n, capHint int) *Graph {
+	if capHint < n {
+		capHint = n
+	}
+	g := &Graph{n: 0, cap: capHint}
+	g.AddNodes(n)
+	return g
+}
+
+// Len returns the current node count.
+func (g *Graph) Len() int { return g.n }
+
+// AddNodes appends k nodes and returns the ID of the first.
+func (g *Graph) AddNodes(k int) int {
+	first := g.n
+	g.n += k
+	if g.n > g.cap {
+		g.cap = g.n*2 + 8
+		for i := range g.succ {
+			g.succ[i] = g.succ[i].grow(g.cap)
+			g.pred[i] = g.pred[i].grow(g.cap)
+			g.desc[i] = g.desc[i].grow(g.cap)
+			g.anc[i] = g.anc[i].grow(g.cap)
+		}
+	}
+	for i := len(g.succ); i < g.n; i++ {
+		g.succ = append(g.succ, NewBits(g.cap))
+		g.pred = append(g.pred, NewBits(g.cap))
+		g.desc = append(g.desc, NewBits(g.cap))
+		g.anc = append(g.anc, NewBits(g.cap))
+	}
+	return first
+}
+
+// Before reports the strict order a @ b (a reaches b through one or more
+// edges).
+func (g *Graph) Before(a, b int) bool { return g.desc[a].Has(b) }
+
+// HasEdge reports whether a direct edge a→b exists (any kind).
+func (g *Graph) HasEdge(a, b int) bool { return g.succ[a].Has(b) }
+
+// Desc returns the strict descendant set of a. The caller must not modify
+// or retain it across mutations.
+func (g *Graph) Desc(a int) Bits { return g.desc[a] }
+
+// Anc returns the strict ancestor set of a, with the same aliasing caveat.
+func (g *Graph) Anc(a int) Bits { return g.anc[a] }
+
+// Succ returns the direct successor set of a (same caveat).
+func (g *Graph) Succ(a int) Bits { return g.succ[a] }
+
+// Pred returns the direct predecessor set of a (same caveat).
+func (g *Graph) Pred(a int) Bits { return g.pred[a] }
+
+// Edges returns the direct edge list in insertion order. Callers must not
+// modify it.
+func (g *Graph) Edges() []Edge { return g.edges }
+
+// AddEdge inserts a→b of the given kind, updating the closure. It is a
+// no-op (returning nil) when the edge already exists directly; a transitive
+// ordering does not suppress insertion of a direct edge, because edge kinds
+// carry meaning for rendering and dedup. Returns ErrCycle (leaving the
+// graph unmodified) when a == b or b already precedes a.
+func (g *Graph) AddEdge(a, b int, kind EdgeKind) error {
+	if a == b || g.desc[b].Has(a) {
+		return ErrCycle
+	}
+	if g.succ[a].Has(b) {
+		return nil
+	}
+	g.succ[a].Set(b)
+	g.pred[b].Set(a)
+	g.edges = append(g.edges, Edge{From: a, To: b, Kind: kind})
+	if g.desc[a].Has(b) {
+		return nil // closure already knew a @ b transitively
+	}
+	// newDesc = {b} ∪ desc(b); propagate to a and every ancestor of a
+	// that does not already reach b. newAnc symmetric.
+	g.propagate(a, b)
+	return nil
+}
+
+// AddOrder is AddEdge but treats an already-implied transitive ordering as
+// satisfied without inserting a direct edge. The Store Atomicity closure
+// uses it: rules only require a @ b, not a specific edge.
+func (g *Graph) AddOrder(a, b int, kind EdgeKind) error {
+	if a == b || g.desc[b].Has(a) {
+		return ErrCycle
+	}
+	if g.desc[a].Has(b) {
+		return nil
+	}
+	g.succ[a].Set(b)
+	g.pred[b].Set(a)
+	g.edges = append(g.edges, Edge{From: a, To: b, Kind: kind})
+	g.propagate(a, b)
+	return nil
+}
+
+func (g *Graph) propagate(a, b int) {
+	g.desc[a].Set(b)
+	g.desc[a].Or(g.desc[b])
+	g.anc[b].Set(a)
+	g.anc[b].Or(g.anc[a])
+	// Every ancestor p of a gains a's new descendants; every descendant s
+	// of b gains b's new ancestors.
+	da := g.desc[a]
+	g.anc[a].ForEach(func(p int) bool {
+		g.desc[p].Or(da)
+		return true
+	})
+	ab := g.anc[b]
+	g.desc[b].ForEach(func(s int) bool {
+		g.anc[s].Or(ab)
+		return true
+	})
+}
+
+// WouldCycle reports whether inserting a→b would create a cycle.
+func (g *Graph) WouldCycle(a, b int) bool { return a == b || g.desc[b].Has(a) }
+
+// Clone returns a deep copy sharing no storage; enumeration forks behaviors
+// by cloning.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{n: g.n, cap: g.cap}
+	c.edges = append([]Edge(nil), g.edges...)
+	c.succ = cloneBitsSlice(g.succ)
+	c.pred = cloneBitsSlice(g.pred)
+	c.desc = cloneBitsSlice(g.desc)
+	c.anc = cloneBitsSlice(g.anc)
+	return c
+}
+
+func cloneBitsSlice(in []Bits) []Bits {
+	out := make([]Bits, len(in))
+	for i, b := range in {
+		out[i] = b.Clone()
+	}
+	return out
+}
+
+// Unordered reports whether neither a @ b nor b @ a (and a != b): the pair
+// may execute in either order.
+func (g *Graph) Unordered(a, b int) bool {
+	return a != b && !g.desc[a].Has(b) && !g.desc[b].Has(a)
+}
+
+// RecomputeClosure rebuilds desc/anc from the direct edges. It exists as
+// the ablation baseline for the incremental maintenance (DESIGN.md) and as
+// a validation oracle in tests.
+func (g *Graph) RecomputeClosure() {
+	for i := 0; i < g.n; i++ {
+		for w := range g.desc[i] {
+			g.desc[i][w] = 0
+			g.anc[i][w] = 0
+		}
+	}
+	order, err := g.Toposort()
+	if err != nil {
+		panic("graph: RecomputeClosure on cyclic graph")
+	}
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		g.succ[v].ForEach(func(s int) bool {
+			g.desc[v].Set(s)
+			g.desc[v].Or(g.desc[s])
+			return true
+		})
+	}
+	for _, v := range order {
+		g.pred[v].ForEach(func(p int) bool {
+			g.anc[v].Set(p)
+			g.anc[v].Or(g.anc[p])
+			return true
+		})
+	}
+}
+
+// Toposort returns one topological order of all nodes, or an error if the
+// direct edges contain a cycle (which AddEdge/AddOrder prevent, so this
+// only errors on graphs built by hand for checker tests).
+func (g *Graph) Toposort() ([]int, error) {
+	indeg := make([]int, g.n)
+	for i := 0; i < g.n; i++ {
+		indeg[i] = g.pred[i].Count()
+	}
+	queue := make([]int, 0, g.n)
+	for i := 0; i < g.n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	out := make([]int, 0, g.n)
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		out = append(out, v)
+		g.succ[v].ForEach(func(s int) bool {
+			indeg[s]--
+			if indeg[s] == 0 {
+				queue = append(queue, s)
+			}
+			return true
+		})
+	}
+	if len(out) != g.n {
+		return nil, errors.New("graph: cycle detected")
+	}
+	return out, nil
+}
+
+// String renders the edge list for debugging.
+func (g *Graph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "graph n=%d\n", g.n)
+	es := append([]Edge(nil), g.edges...)
+	sort.Slice(es, func(i, j int) bool {
+		if es[i].From != es[j].From {
+			return es[i].From < es[j].From
+		}
+		return es[i].To < es[j].To
+	})
+	for _, e := range es {
+		fmt.Fprintf(&b, "  %d -> %d (%s)\n", e.From, e.To, e.Kind)
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package litmus
+
+import (
+	"storeatomicity/internal/program"
+)
+
+// This file covers the paper's conclusions-section extension: "Real
+// architectures also provide atomic memory primitives such as Compare and
+// Swap which atomically combine Load and Store actions." The tests pin
+// the indivisibility of read-modify-write operations under every model —
+// atomics are the one place where even the weakest table must serialize.
+
+// Atomics returns the read-modify-write tests.
+func Atomics() []*Test {
+	return []*Test{CASLock(), AtomicInc(), BrokenInc(), SwapExchange()}
+}
+
+// CASLock is a one-shot lock acquisition race: both threads try
+// CAS x: 0 → their id. Exactly one must win; a result where both loads
+// observed 0 (both "acquired") or both observed nonzero is impossible in
+// any model.
+func CASLock() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").CASL("A.cas", 1, program.X, 0, 1)
+		b.Thread("B").CASL("B.cas", 2, program.X, 0, 2)
+		return b.Build()
+	}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{
+			Model: m,
+			Allowed: []Outcome{
+				{"A.cas": 0, "B.cas": 1}, // A won, B saw A's value
+				{"A.cas": 2, "B.cas": 0}, // B won
+			},
+			Forbidden: []Outcome{
+				{"A.cas": 0, "B.cas": 0}, // both won: atomicity broken
+				{"A.cas": 2, "B.cas": 1}, // circular observation
+			},
+		})
+	}
+	return &Test{
+		Name:   "CAS-Lock",
+		Doc:    "Two CAS attempts on one lock: exactly one wins under every model.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// AtomicInc has both threads FetchAdd x,1: the lost-update outcome (both
+// observe 0) is forbidden everywhere — RMW atomicity serializes them.
+func AtomicInc() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").FetchAddL("A.add", 1, program.X, 1)
+		b.Thread("B").FetchAddL("B.add", 2, program.X, 1)
+		return b.Build()
+	}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{
+			Model: m,
+			Allowed: []Outcome{
+				{"A.add": 0, "B.add": 1},
+				{"A.add": 1, "B.add": 0},
+			},
+			Forbidden: []Outcome{
+				{"A.add": 0, "B.add": 0}, // lost update
+				{"A.add": 1, "B.add": 1},
+			},
+		})
+	}
+	return &Test{
+		Name:   "AtomicInc",
+		Doc:    "Concurrent FetchAdds serialize: no lost update in any model.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// BrokenInc is the control for AtomicInc: the increment decomposed into
+// load + op + store. The lost update (both loads observe 0) is allowed in
+// every model — even SC — because interleaving can split the halves.
+func BrokenInc() *Test {
+	inc := func(a []program.Value) program.Value { return a[0] + 1 }
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		ta := b.Thread("A")
+		ta.LoadL("A.load", 1, program.X)
+		ta.Op(3, inc, 1)
+		ta.StoreReg(program.X, 3)
+		tb := b.Thread("B")
+		tb.LoadL("B.load", 2, program.X)
+		tb.Op(4, inc, 2)
+		tb.StoreReg(program.X, 4)
+		return b.Build()
+	}
+	lost := Outcome{"A.load": 0, "B.load": 0}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed"} {
+		exp = append(exp, Expectation{Model: m, Allowed: []Outcome{lost}})
+	}
+	return &Test{
+		Name:   "BrokenInc",
+		Doc:    "Non-atomic increment loses updates even under SC — the contrast with AtomicInc.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// SwapExchange: both threads Swap their id into x and a reader inspects
+// the end state. The swaps serialize, so the two observed old values are
+// never equal and form a chain from the initializer.
+func SwapExchange() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").SwapL("A.swap", 1, program.X, 1)
+		b.Thread("B").SwapL("B.swap", 2, program.X, 2)
+		return b.Build()
+	}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed"} {
+		exp = append(exp, Expectation{
+			Model: m,
+			Allowed: []Outcome{
+				{"A.swap": 0, "B.swap": 1},
+				{"B.swap": 0, "A.swap": 2},
+			},
+			Forbidden: []Outcome{
+				{"A.swap": 0, "B.swap": 0},
+				{"A.swap": 2, "B.swap": 1},
+			},
+		})
+	}
+	return &Test{
+		Name:   "SwapExchange",
+		Doc:    "Two Swaps serialize into a chain from the initial value.",
+		Build:  build,
+		Expect: exp,
+	}
+}

@@ -1,0 +1,311 @@
+package litmus
+
+import (
+	"storeatomicity/internal/program"
+)
+
+// This file defines the classic litmus tests used by the model-comparison
+// experiment (DESIGN.md E12). Expectations encode textbook results: which
+// model admits which relaxed outcome, plus the behaviors specific to this
+// paper's relaxed table (e.g. same-address load-load reordering).
+
+// Classics returns the classic tests.
+func Classics() []*Test {
+	return []*Test{
+		SB(), SBFenced(), MP(), MPFenced(), MPDep(),
+		LB(), LBFenced(), IRIW(), IRIWFenced(), WRCFenced(), CoRR(),
+	}
+}
+
+// SB is store buffering (Dekker's core):
+//
+//	Thread A: S x,1 ; r1 = L y        Thread B: S y,1 ; r2 = L x
+//
+// r1 = r2 = 0 requires store→load reordering: forbidden under SC, allowed
+// under TSO and everything weaker.
+func SB() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).LoadL("Ly", 1, program.Y)
+		b.Thread("B").StoreL("Sy", program.Y, 1).LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	relaxedOutcome := Outcome{"Ly": 0, "Lx": 0}
+	return &Test{
+		Name:  "SB",
+		Doc:   "Store buffering: both loads reading 0 needs S→L reordering.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "SC", Forbidden: []Outcome{relaxedOutcome},
+				Allowed: []Outcome{{"Ly": 1, "Lx": 0}, {"Ly": 0, "Lx": 1}, {"Ly": 1, "Lx": 1}}},
+			{Model: "TSO", Allowed: []Outcome{relaxedOutcome}},
+			{Model: "PSO", Allowed: []Outcome{relaxedOutcome}},
+			{Model: "Relaxed", Allowed: []Outcome{relaxedOutcome}},
+		},
+	}
+}
+
+// SBFenced is SB with full fences between the store and the load; the
+// relaxed outcome is forbidden under every model.
+func SBFenced() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).Fence().LoadL("Ly", 1, program.Y)
+		b.Thread("B").StoreL("Sy", program.Y, 1).Fence().LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 0, "Lx": 0}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "NaiveTSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{
+		Name:   "SB+Fences",
+		Doc:    "Fenced store buffering: the relaxed outcome is gone everywhere.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// MP is message passing:
+//
+//	Thread A: S x,1 ; S y,1          Thread B: r1 = L y ; r2 = L x
+//
+// r1 = 1 ∧ r2 = 0 requires store→store or load→load reordering: forbidden
+// under SC and TSO, allowed under PSO (store→store) and Relaxed.
+func MP() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).StoreL("Sy", program.Y, 1)
+		b.Thread("B").LoadL("Ly", 1, program.Y).LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 1, "Lx": 0}
+	return &Test{
+		Name:  "MP",
+		Doc:   "Message passing: stale data after seeing the flag.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "SC", Forbidden: []Outcome{bad}},
+			{Model: "TSO", Forbidden: []Outcome{bad}},
+			{Model: "PSO", Allowed: []Outcome{bad}},
+			{Model: "Relaxed", Allowed: []Outcome{bad}},
+		},
+	}
+}
+
+// MPFenced is MP with fences on both sides; forbidden everywhere.
+func MPFenced() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).Fence().StoreL("Sy", program.Y, 1)
+		b.Thread("B").LoadL("Ly", 1, program.Y).Fence().LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 1, "Lx": 0}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "NaiveTSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{Name: "MP+Fences", Doc: "Fenced message passing.", Build: build, Expect: exp}
+}
+
+// MPDep is message passing with an address dependency on the consumer
+// side: the flag is a pointer through which the data is loaded.
+//
+//	Thread A: S w,42 ; Fence ; S x,&w
+//	Thread B: r1 = L x ; r2 = L [r1]
+//
+// Dataflow (the "indep" entries) orders the consumer loads, so seeing the
+// published pointer guarantees seeing the data in every model — including
+// the speculative one, because a true data dependency is not an aliasing
+// guess and cannot be dropped.
+func MPDep() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Init(program.X, program.AddrValue(program.U))
+		b.Init(program.U, 0)
+		b.Init(program.W, 0)
+		b.Thread("A").
+			StoreL("Sw", program.W, 42).
+			Fence().
+			StoreL("Sx", program.X, program.AddrValue(program.W))
+		b.Thread("B").
+			LoadL("Lp", 1, program.X).
+			LoadIndL("Ld", 2, 1)
+		return b.Build()
+	}
+	wv := program.AddrValue(program.W)
+	bad := Outcome{"Lp": wv, "Ld": 0}
+	good := Outcome{"Lp": wv, "Ld": 42}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}, Allowed: []Outcome{good}})
+	}
+	return &Test{
+		Name:   "MP+AddrDep",
+		Doc:    "Address dependency orders consumer loads in every model.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// LB is load buffering:
+//
+//	Thread A: r1 = L y ; S x,1      Thread B: r2 = L x ; S y,1
+//
+// r1 = r2 = 1 requires load→store reordering: forbidden under SC, TSO and
+// PSO; allowed under the paper's relaxed table (load→store to different
+// addresses is a blank cell).
+func LB() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").LoadL("Ly", 1, program.Y).StoreL("Sx", program.X, 1)
+		b.Thread("B").LoadL("Lx", 2, program.X).StoreL("Sy", program.Y, 1)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 1, "Lx": 1}
+	return &Test{
+		Name:  "LB",
+		Doc:   "Load buffering: both loads see the other thread's later store.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "SC", Forbidden: []Outcome{bad}},
+			{Model: "TSO", Forbidden: []Outcome{bad}},
+			{Model: "PSO", Forbidden: []Outcome{bad}},
+			{Model: "Relaxed", Allowed: []Outcome{bad}},
+		},
+	}
+}
+
+// LBFenced is LB with fences; forbidden everywhere.
+func LBFenced() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").LoadL("Ly", 1, program.Y).Fence().StoreL("Sx", program.X, 1)
+		b.Thread("B").LoadL("Lx", 2, program.X).Fence().StoreL("Sy", program.Y, 1)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 1, "Lx": 1}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{Name: "LB+Fences", Doc: "Fenced load buffering.", Build: build, Expect: exp}
+}
+
+// IRIW is independent reads of independent writes, unfenced:
+//
+//	Thread A: S x,1                 Thread C: r1 = L x ; r2 = L y
+//	Thread B: S y,1                 Thread D: r3 = L y ; r4 = L x
+//
+// The relaxed outcome r1=1,r2=0,r3=1,r4=0 is allowed when the reader
+// loads can reorder (Relaxed) and forbidden when they cannot (SC, TSO,
+// PSO keep load→load order).
+func IRIW() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1)
+		b.Thread("B").StoreL("Sy", program.Y, 1)
+		b.Thread("C").LoadL("C.Lx", 1, program.X).LoadL("C.Ly", 2, program.Y)
+		b.Thread("D").LoadL("D.Ly", 3, program.Y).LoadL("D.Lx", 4, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"C.Lx": 1, "C.Ly": 0, "D.Ly": 1, "D.Lx": 0}
+	return &Test{
+		Name:  "IRIW",
+		Doc:   "Independent reads of independent writes, no fences.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "SC", Forbidden: []Outcome{bad}},
+			{Model: "TSO", Forbidden: []Outcome{bad}},
+			{Model: "PSO", Forbidden: []Outcome{bad}},
+			{Model: "Relaxed", Allowed: []Outcome{bad}},
+		},
+	}
+}
+
+// IRIWFenced is IRIW with fences between the reader loads. Store
+// Atomicity forbids the relaxed outcome in *every* model here — the
+// signature difference between store-atomic models and non-atomic ones
+// (POWER allows fenceless-equivalent IRIW; any model built from this
+// framework cannot, which is the paper's central structural claim).
+func IRIWFenced() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1)
+		b.Thread("B").StoreL("Sy", program.Y, 1)
+		b.Thread("C").LoadL("C.Lx", 1, program.X).Fence().LoadL("C.Ly", 2, program.Y)
+		b.Thread("D").LoadL("D.Ly", 3, program.Y).Fence().LoadL("D.Lx", 4, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"C.Lx": 1, "C.Ly": 0, "D.Ly": 1, "D.Lx": 0}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "NaiveTSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{
+		Name:   "IRIW+Fences",
+		Doc:    "Store Atomicity forbids divergent write orders in every model.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// WRCFenced is write-to-read causality with fences:
+//
+//	Thread A: S x,1
+//	Thread B: r1 = L x ; Fence ; S y,1
+//	Thread C: r2 = L y ; Fence ; r3 = L x
+//
+// r1=1, r2=1, r3=0 breaks causality and is forbidden in every
+// store-atomic model.
+func WRCFenced() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1)
+		b.Thread("B").LoadL("B.Lx", 1, program.X).Fence().StoreL("Sy", program.Y, 1)
+		b.Thread("C").LoadL("C.Ly", 2, program.Y).Fence().LoadL("C.Lx", 3, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"B.Lx": 1, "C.Ly": 1, "C.Lx": 0}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "NaiveTSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{
+		Name:   "WRC+Fences",
+		Doc:    "Write-to-read causality holds under Store Atomicity.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// CoRR is coherent read-read:
+//
+//	Thread A: S x,1                 Thread B: r1 = L x ; r2 = L x
+//
+// r1=1, r2=0 (new value then old) is forbidden wherever load→load order
+// is kept (SC, TSO, PSO) but *allowed* by the paper's Figure 1 table,
+// whose only same-address constraints involve a Store. The paper notes
+// exactly three "x ≠ y" cells; this test pins that reading down.
+func CoRR() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1)
+		b.Thread("B").LoadL("L1", 1, program.X).LoadL("L2", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"L1": 1, "L2": 0}
+	return &Test{
+		Name:  "CoRR",
+		Doc:   "Same-address load-load reordering: allowed by Figure 1, not by SC/TSO/PSO.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "SC", Forbidden: []Outcome{bad}},
+			{Model: "TSO", Forbidden: []Outcome{bad}},
+			{Model: "PSO", Forbidden: []Outcome{bad}},
+			{Model: "Relaxed", Allowed: []Outcome{bad}},
+		},
+	}
+}

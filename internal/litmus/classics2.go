@@ -1,0 +1,238 @@
+package litmus
+
+import (
+	"storeatomicity/internal/program"
+)
+
+// This file extends the corpus with per-location coherence shapes,
+// control-dependency tests (exposing the branch speculation the engine
+// models through candidates "looking back in time", Section 4.1), and a
+// bounded Peterson's algorithm.
+
+// Extras returns the second wave of classic tests.
+func Extras() []*Test {
+	return []*Test{
+		CoWW(), CoWR(), CoRW(), MPCtrlDep(), MPCtrlDepFence(),
+		Peterson(false), Peterson(true),
+	}
+}
+
+// CoWW: same-address stores stay ordered (an "x = y" cell), so a fenced
+// observer can never see them inverted — in any model.
+//
+//	Thread A: S x,1 ; S x,2      Thread B: r1 = L x ; Fence ; r2 = L x
+func CoWW() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("S1", program.X, 1).StoreL("S2", program.X, 2)
+		b.Thread("B").LoadL("L1", 1, program.X).Fence().LoadL("L2", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"L1": 2, "L2": 1}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "NaiveTSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{
+		Name:   "CoWW",
+		Doc:    "Same-address store order is visible in order through a fence.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// CoWR: a load after a same-address store in its own thread never reads
+// an older value than that store — single-thread determinism, including
+// through the TSO bypass.
+//
+//	Thread A: S x,1 ; r1 = L x     Thread B: S x,2
+func CoWR() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("S1", program.X, 1).LoadL("L1", 1, program.X)
+		b.Thread("B").StoreL("S2", program.X, 2)
+		return b.Build()
+	}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "NaiveTSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{
+			Model:     m,
+			Forbidden: []Outcome{{"L1": 0}},
+			Allowed:   []Outcome{{"L1": 1}, {"L1": 2}},
+		})
+	}
+	return &Test{
+		Name:   "CoWR",
+		Doc:    "A thread never reads past its own store back to the initial value.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// CoRW: a load never observes a same-address store that follows it in
+// its own thread (observing the future is a @ cycle).
+//
+//	Thread A: r1 = L x ; S x,1     Thread B: S x,2
+func CoRW() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").LoadL("L1", 1, program.X).StoreL("S1", program.X, 1)
+		b.Thread("B").StoreL("S2", program.X, 2)
+		return b.Build()
+	}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{
+			Model:     m,
+			Forbidden: []Outcome{{"L1": 1}},
+			Allowed:   []Outcome{{"L1": 0}, {"L1": 2}},
+		})
+	}
+	return &Test{
+		Name:   "CoRW",
+		Doc:    "No thread observes its own future store.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// MPCtrlDep is message passing with a fenced writer and a *control
+// dependency* (no fence) guarding the reader's data load:
+//
+//	Thread W: S x,42 ; Fence ; S y,1
+//	Thread R: r1 = L y ; if r1 == 0 skip ; r2 = L x
+//
+// Under SC/TSO/PSO the reader's loads are ordered anyway, so seeing the
+// flag implies seeing the data. Under the Figure 1 table a load may be
+// speculated past a branch (Branch→Load is a blank cell), so r1=1, r2=0
+// survives the control dependency — the classic result that control
+// dependencies do not order loads on weakly ordered machines.
+func MPCtrlDep() *Test {
+	return mpCtrl("MP+CtrlDep", false, []Expectation{
+		{Model: "SC", Forbidden: []Outcome{{"Ly": 1, "Lx": 0}}},
+		{Model: "TSO", Forbidden: []Outcome{{"Ly": 1, "Lx": 0}}},
+		{Model: "PSO", Forbidden: []Outcome{{"Ly": 1, "Lx": 0}}},
+		{Model: "Relaxed", Allowed: []Outcome{{"Ly": 1, "Lx": 0}}},
+		{Model: "Relaxed+spec", Allowed: []Outcome{{"Ly": 1, "Lx": 0}}},
+	})
+}
+
+// MPCtrlDepFence adds the fence after the branch (the isync/isb idiom);
+// the stale read disappears in every model.
+func MPCtrlDepFence() *Test {
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{{"Ly": 1, "Lx": 0}}})
+	}
+	return mpCtrl("MP+CtrlDep+Fence", true, exp)
+}
+
+func mpCtrl(name string, fenced bool, exp []Expectation) *Test {
+	build := func() *program.Program {
+		isZero := func(a []program.Value) program.Value {
+			if a[0] == 0 {
+				return 1
+			}
+			return 0
+		}
+		b := program.NewBuilder()
+		b.Thread("W").StoreL("Sx", program.X, 42).Fence().StoreL("Sy", program.Y, 1)
+		tr := b.Thread("R")
+		tr.LoadL("Ly", 1, program.Y)
+		tr.Op(2, isZero, 1)
+		end := tr.Len() + 2
+		if fenced {
+			end++
+		}
+		tr.Branch(2, end)
+		if fenced {
+			tr.Fence()
+		}
+		tr.LoadL("Lx", 3, program.X)
+		return b.Build()
+	}
+	return &Test{
+		Name:   name,
+		Doc:    "Control dependencies do not order loads without a fence.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// Peterson is a bounded (single-attempt) Peterson's algorithm entry:
+//
+//	Thread A: S flagA,1 ; [F] ; S turn,2 ; [F] ; r1 = L flagB ; r2 = L turn
+//	Thread B: S flagB,1 ; [F] ; S turn,1 ; [F] ; r3 = L flagA ; r4 = L turn
+//
+// A enters its critical section when r1 == 0 or r2 != 2; B when r3 == 0
+// or r4 != 1. SC forbids both entering; the unfenced version breaks under
+// the relaxed table; the fenced version holds everywhere.
+func Peterson(fenced bool) *Test {
+	const (
+		flagA = program.X
+		flagB = program.Y
+		turn  = program.Z
+	)
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		ta := b.Thread("A")
+		ta.StoreL("A.flag", flagA, 1)
+		if fenced {
+			ta.Fence()
+		}
+		ta.StoreL("A.turn", turn, 2)
+		if fenced {
+			ta.Fence()
+		}
+		ta.LoadL("r1", 1, flagB).LoadL("r2", 2, turn)
+		tb := b.Thread("B")
+		tb.StoreL("B.flag", flagB, 1)
+		if fenced {
+			tb.Fence()
+		}
+		tb.StoreL("B.turn", turn, 1)
+		if fenced {
+			tb.Fence()
+		}
+		tb.LoadL("r3", 3, flagA).LoadL("r4", 4, turn)
+		return b.Build()
+	}
+	// Every outcome where both threads enter.
+	var bothEnter []Outcome
+	for _, r1 := range []program.Value{0, 1} {
+		for _, r2 := range []program.Value{1, 2} {
+			for _, r3 := range []program.Value{0, 1} {
+				for _, r4 := range []program.Value{1, 2} {
+					if (r1 == 0 || r2 != 2) && (r3 == 0 || r4 != 1) {
+						bothEnter = append(bothEnter, Outcome{"r1": r1, "r2": r2, "r3": r3, "r4": r4})
+					}
+				}
+			}
+		}
+	}
+	name := "Peterson"
+	var exp []Expectation
+	if fenced {
+		name = "Peterson+Fences"
+		for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+			exp = append(exp, Expectation{Model: m, Forbidden: bothEnter})
+		}
+	} else {
+		exp = append(exp, Expectation{Model: "SC", Forbidden: bothEnter})
+		// Unfenced, the relaxed table lets both threads' stores drift
+		// past their loads: both see the other's flag down.
+		exp = append(exp, Expectation{Model: "Relaxed", Allowed: []Outcome{
+			{"r1": 0, "r2": 2, "r3": 0, "r4": 1},
+		}})
+		// TSO's store→load reordering alone already breaks it.
+		exp = append(exp, Expectation{Model: "TSO", Allowed: []Outcome{
+			{"r1": 0, "r3": 0},
+		}})
+	}
+	return &Test{
+		Name:   name,
+		Doc:    "Bounded Peterson entry protocol: correct under SC, broken without fences on weak models.",
+		Build:  build,
+		Expect: exp,
+	}
+}

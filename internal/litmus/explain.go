@@ -1,0 +1,183 @@
+package litmus
+
+// Explain answers the question practitioners actually ask of a memory
+// model: *why* is this outcome impossible? It enumerates every full
+// (load → store) source assignment consistent with the requested values
+// and runs each through the Store Atomicity checker; a forbidden outcome
+// comes back with the derived-ordering contradiction for every way of
+// justifying it, an allowed outcome with a witnessing assignment.
+
+import (
+	"fmt"
+	"sort"
+
+	"storeatomicity/internal/program"
+	"storeatomicity/internal/verify"
+)
+
+// Explanation is the verdict for one full source assignment.
+type Explanation struct {
+	// Assignment maps each load label to the store label it would
+	// observe.
+	Assignment map[string]string
+	// Accepted is the checker verdict for the assignment.
+	Accepted bool
+	// Reason is the contradiction when rejected.
+	Reason string
+}
+
+// maxAssignments bounds the cartesian product of unconstrained loads.
+const maxAssignments = 4096
+
+// Explain checks every source assignment of t consistent with outcome o
+// under the model. It supports straight-line programs with constant
+// addresses, constant store values, and no atomics (the checker needs
+// statically known store values).
+func Explain(t *Test, m Model, o Outcome) ([]Explanation, error) {
+	p := t.Build()
+	type storeInfo struct {
+		label string
+		addr  program.Addr
+		val   program.Value
+	}
+	type loadInfo struct {
+		label string
+		addr  program.Addr
+	}
+	var stores []storeInfo
+	var loads []loadInfo
+	for a, v := range initMap(p) {
+		stores = append(stores, storeInfo{label: fmt.Sprintf("init:%d", a), addr: a, val: v})
+	}
+	for ti, th := range p.Threads {
+		for ii, in := range th.Instrs {
+			switch in.Kind {
+			case program.KindBranch, program.KindAtomic:
+				return nil, fmt.Errorf("litmus: Explain supports straight-line programs without atomics")
+			case program.KindStore:
+				if in.UseAddrReg || in.UseValReg {
+					return nil, fmt.Errorf("litmus: Explain needs constant store addresses and values")
+				}
+				stores = append(stores, storeInfo{label: in.Label, addr: in.AddrConst, val: in.ValConst})
+			case program.KindLoad:
+				if in.UseAddrReg {
+					return nil, fmt.Errorf("litmus: Explain needs constant load addresses")
+				}
+				if in.Label == "" {
+					return nil, fmt.Errorf("litmus: thread %d instruction %d needs a label", ti, ii)
+				}
+				loads = append(loads, loadInfo{label: in.Label, addr: in.AddrConst})
+			}
+		}
+	}
+	// Candidate sources per load, value-filtered by the outcome.
+	cands := make([][]storeInfo, len(loads))
+	for i, l := range loads {
+		want, constrained := o[l.label]
+		for _, s := range stores {
+			if s.addr != l.addr {
+				continue
+			}
+			if constrained && s.val != want {
+				continue
+			}
+			cands[i] = append(cands[i], s)
+		}
+		if len(cands[i]) == 0 {
+			return nil, fmt.Errorf("litmus: no store of address %d writes the requested value for %s", l.addr, l.label)
+		}
+	}
+	total := 1
+	for _, c := range cands {
+		total *= len(c)
+		if total > maxAssignments {
+			return nil, fmt.Errorf("litmus: more than %d source assignments; constrain more loads", maxAssignments)
+		}
+	}
+
+	var out []Explanation
+	pick := make([]int, len(loads))
+	for {
+		assignment := map[string]string{}
+		values := map[string]program.Value{}
+		for i, l := range loads {
+			s := cands[i][pick[i]]
+			assignment[l.label] = s.label
+			values[l.label] = s.val
+		}
+		rec := recordFor(p, assignment, values)
+		rep, err := verify.Check(rec, m.Policy, verify.RulesABC)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, Explanation{Assignment: assignment, Accepted: rep.Accepted, Reason: rep.Reason})
+		// Advance the cartesian counter.
+		i := 0
+		for ; i < len(pick); i++ {
+			pick[i]++
+			if pick[i] < len(cands[i]) {
+				break
+			}
+			pick[i] = 0
+		}
+		if i == len(pick) {
+			break
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return fmt.Sprint(out[i].Assignment) < fmt.Sprint(out[j].Assignment)
+	})
+	return out, nil
+}
+
+// initMap returns the complete initial-memory map of a program.
+func initMap(p *program.Program) map[program.Addr]program.Value {
+	m := map[program.Addr]program.Value{}
+	for _, a := range p.Addresses() {
+		m[a] = p.Init[a]
+	}
+	return m
+}
+
+// recordFor builds a checker record realizing the assignment.
+func recordFor(p *program.Program, assignment map[string]string, values map[string]program.Value) *verify.Record {
+	rec := &verify.Record{Init: initMap(p)}
+	for _, th := range p.Threads {
+		var ops []verify.Op
+		for ii, in := range th.Instrs {
+			switch in.Kind {
+			case program.KindStore:
+				ops = append(ops, verify.Op{Kind: in.Kind, Addr: in.AddrConst, Value: in.ValConst, Label: in.Label})
+			case program.KindLoad:
+				ops = append(ops, verify.Op{
+					Kind: in.Kind, Addr: in.AddrConst, Value: values[in.Label],
+					Label: in.Label, SourceLabel: assignment[in.Label],
+				})
+			case program.KindFence:
+				ops = append(ops, verify.Op{
+					Kind: in.Kind, Label: fmt.Sprintf("f.%s.%d", th.Name, ii), FenceMask: in.FenceMask,
+				})
+			}
+		}
+		rec.Threads = append(rec.Threads, ops)
+	}
+	return rec
+}
+
+// Forbidden summarizes an Explain result: true when no assignment is
+// accepted, along with the distinct rejection reasons.
+func Forbidden(ex []Explanation) (bool, []string) {
+	reasons := map[string]bool{}
+	for _, e := range ex {
+		if e.Accepted {
+			return false, nil
+		}
+		reasons[e.Reason] = true
+	}
+	var out []string
+	for r := range reasons {
+		out = append(out, r)
+	}
+	sort.Strings(out)
+	return true, out
+}

@@ -1,0 +1,99 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/program"
+)
+
+// TestExplainFigure3 answers the paper's own walkthrough as a query: why
+// can't L6 read 1 once L5 read 3?
+func TestExplainFigure3(t *testing.T) {
+	tc, _ := ByName("Figure3")
+	m, _ := ModelByName("Relaxed")
+	ex, err := Explain(tc, m, Outcome{"L5": 3, "L6": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 1 {
+		t.Fatalf("%d assignments, want 1 (unique stores per value)", len(ex))
+	}
+	forbidden, reasons := Forbidden(ex)
+	if !forbidden {
+		t.Fatal("Figure 3's forbidden outcome explained as allowed")
+	}
+	if len(reasons) == 0 || !strings.Contains(reasons[0], "cycle") {
+		t.Errorf("reasons: %v", reasons)
+	}
+	// The paper-allowed variant is accepted.
+	ex, err = Explain(tc, m, Outcome{"L5": 3, "L6": 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if forbidden, _ := Forbidden(ex); forbidden {
+		t.Error("Figure 3's allowed outcome explained as forbidden")
+	}
+}
+
+// TestExplainAgreesWithEnumeration: on SB, Explain's verdict per outcome
+// matches the enumerator's, for SC and TSO.
+func TestExplainAgreesWithEnumeration(t *testing.T) {
+	tc, _ := ByName("SB")
+	for _, mn := range []string{"SC", "TSO"} {
+		m, _ := ModelByName(mn)
+		res, err := Run(tc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ly := range []program.Value{0, 1} {
+			for _, lx := range []program.Value{0, 1} {
+				o := Outcome{"Ly": ly, "Lx": lx}
+				ex, err := Explain(tc, m, o)
+				if err != nil {
+					t.Fatal(err)
+				}
+				forbidden, _ := Forbidden(ex)
+				enumerated := res.HasOutcome(map[string]program.Value(o))
+				if forbidden == enumerated {
+					t.Errorf("%s %s: Explain forbidden=%v, enumeration allowed=%v",
+						mn, o, forbidden, enumerated)
+				}
+			}
+		}
+	}
+}
+
+// TestExplainPartialConstraint: unconstrained loads fan out over all
+// matching stores.
+func TestExplainPartialConstraint(t *testing.T) {
+	tc, _ := ByName("SB")
+	m, _ := ModelByName("TSO")
+	ex, err := Explain(tc, m, Outcome{"Ly": 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ex) != 2 { // Lx free over {init, Sx}
+		t.Errorf("%d assignments, want 2", len(ex))
+	}
+}
+
+// TestExplainErrors: unsupported shapes are diagnosed.
+func TestExplainErrors(t *testing.T) {
+	m, _ := ModelByName("SC")
+	// Atomics unsupported.
+	tc, _ := ByName("CAS-Lock")
+	if _, err := Explain(tc, m, Outcome{}); err == nil {
+		t.Error("Explain accepted atomics")
+	}
+	// Impossible value.
+	sb, _ := ByName("SB")
+	if _, err := Explain(sb, m, Outcome{"Ly": 99}); err == nil {
+		t.Error("Explain accepted an unwritable value")
+	}
+	// Branches unsupported.
+	ctrl, _ := ByName("MP+CtrlDep")
+	if _, err := Explain(ctrl, m, Outcome{}); err == nil {
+		t.Error("Explain accepted branches")
+	}
+}

@@ -1,0 +1,287 @@
+package litmus
+
+import (
+	"storeatomicity/internal/program"
+)
+
+// This file reproduces the paper's worked examples as executable litmus
+// tests. Instruction labels follow the paper's numbering (S1, L5, ...),
+// so expectations read exactly like the prose.
+
+// Figures returns the paper's examples in figure order.
+func Figures() []*Test {
+	return []*Test{
+		Figure3(), Figure4(), Figure5(), Figure7(), Figure8(), Figure10(),
+	}
+}
+
+// Figure3 — "When a Store to y is observed to have been overwritten, the
+// stores must be ordered" (Store Atomicity rule a).
+//
+//	Thread A: S1 x,1 ; Fence ; S2 y,2 ; L5 y
+//	Thread B: S3 y,3 ; Fence ; S4 x,4 ; L6 x
+//
+// When L5 observes S3, S2 must have been overwritten, so S2 @ S3; then
+// S1 @ S4 @ L6 and L6 cannot observe S1. When L5 instead observes S2, no
+// ordering exists between S2 and S3 and L6 may observe either S1 or S4.
+func Figure3() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").
+			StoreL("S1", program.X, 1).
+			Fence().
+			StoreL("S2", program.Y, 2).
+			LoadL("L5", 1, program.Y)
+		b.Thread("B").
+			StoreL("S3", program.Y, 3).
+			Fence().
+			StoreL("S4", program.X, 4).
+			LoadL("L6", 2, program.X)
+		return b.Build()
+	}
+	return &Test{
+		Name:  "Figure3",
+		Doc:   "Rule a: observing an overwrite of S2 orders S2 @ S3, which forbids L6 from seeing S1.",
+		Build: build,
+		Expect: []Expectation{{
+			Model: "Relaxed",
+			Allowed: []Outcome{
+				{"L5": 3, "L6": 4},
+				{"L5": 2, "L6": 1},
+				{"L5": 2, "L6": 4},
+			},
+			Forbidden: []Outcome{
+				{"L5": 3, "L6": 1},
+			},
+		}},
+	}
+}
+
+// Figure4 — "Observing a Store to y orders the Load before an overwriting
+// Store" (Store Atomicity rule b).
+//
+//	Thread A: S1 x,1 ; S2 x,2 ; Fence ; L4 y
+//	Thread B: S3 y,3 ; S5 y,5 ; Fence ; L6 x
+//
+// When L4 observes S3 it must precede the overwriting S5, so
+// S1 @ S2 @ L6 and L6 cannot observe S1. When L4 observes S5 instead, L6
+// may observe either S1 or S2.
+func Figure4() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").
+			StoreL("S1", program.X, 1).
+			StoreL("S2", program.X, 2).
+			Fence().
+			LoadL("L4", 1, program.Y)
+		b.Thread("B").
+			StoreL("S3", program.Y, 3).
+			StoreL("S5", program.Y, 5).
+			Fence().
+			LoadL("L6", 2, program.X)
+		return b.Build()
+	}
+	return &Test{
+		Name:  "Figure4",
+		Doc:   "Rule b: a load observing a later-overwritten store precedes the overwrite.",
+		Build: build,
+		Expect: []Expectation{{
+			Model: "Relaxed",
+			Allowed: []Outcome{
+				{"L4": 3, "L6": 2},
+				{"L4": 5, "L6": 1},
+				{"L4": 5, "L6": 2},
+			},
+			Forbidden: []Outcome{
+				{"L4": 3, "L6": 1},
+			},
+		}},
+	}
+}
+
+// Figure5 — "Unordered operations on y may order other operations"
+// (Store Atomicity rule c).
+//
+//	Thread A: S1 x,1 ; Fence ; L3 y ; L5 y
+//	Thread B: S2 y,2 ; Fence ; S6 z,6
+//	Thread C: S4 y,4 ; Fence ; L7 z ; Fence ; S8 x,8 ; L9 x
+//
+// With L3 = 2 (S2), L5 = 4 (S4) and L7 = 6 (S6): S1 is a mutual ancestor
+// of L3 and L5; L7 is a mutual successor of S2 and S4 (S2 @ S6 @ L7).
+// Rule c inserts S1 @ L7, hence S1 @ S8 @ L9: L9 cannot observe S1.
+func Figure5() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").
+			StoreL("S1", program.X, 1).
+			Fence().
+			LoadL("L3", 1, program.Y).
+			LoadL("L5", 2, program.Y)
+		b.Thread("B").
+			StoreL("S2", program.Y, 2).
+			Fence().
+			StoreL("S6", program.Z, 6)
+		b.Thread("C").
+			StoreL("S4", program.Y, 4).
+			Fence().
+			LoadL("L7", 3, program.Z).
+			Fence().
+			StoreL("S8", program.X, 8).
+			LoadL("L9", 4, program.X)
+		return b.Build()
+	}
+	return &Test{
+		Name:  "Figure5",
+		Doc:   "Rule c: store/load pairings to y cannot interleave, ordering S1 before L7.",
+		Build: build,
+		Expect: []Expectation{{
+			Model: "Relaxed",
+			Allowed: []Outcome{
+				{"L3": 2, "L5": 4, "L7": 6, "L9": 8},
+				// Swapped pairing orders the loads the other way
+				// but is equally consistent.
+				{"L3": 4, "L5": 2, "L7": 6, "L9": 8},
+			},
+			Forbidden: []Outcome{
+				{"L3": 2, "L5": 4, "L7": 6, "L9": 1},
+				{"L3": 4, "L5": 2, "L7": 6, "L9": 1},
+			},
+		}},
+	}
+}
+
+// Figure7 — "Store atomicity may need to be enforced on multiple locations
+// at one time": inserting one derived edge exposes the need for another.
+//
+//	Thread A: S1 x,1 ; Fence ; S3 y,3 ; L6 y
+//	Thread B: S4 y,4 ; Fence ; L5 x
+//	Thread C: S2 x,2
+//
+// With L5 = 2 (S2) and L6 = 4 (S4): rule a on L6 inserts S3 @ S4 (edge c),
+// which reveals S1 @ L5, and rule a on L5 then inserts S1 @ S2 (edge d).
+func Figure7() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").
+			StoreL("S1", program.X, 1).
+			Fence().
+			StoreL("S3", program.Y, 3).
+			LoadL("L6", 1, program.Y)
+		b.Thread("B").
+			StoreL("S4", program.Y, 4).
+			Fence().
+			LoadL("L5", 2, program.X)
+		b.Thread("C").
+			StoreL("S2", program.X, 2)
+		return b.Build()
+	}
+	return &Test{
+		Name:  "Figure7",
+		Doc:   "Iterated closure: edge c (S3 @ S4) exposes edge d (S1 @ S2).",
+		Build: build,
+		Expect: []Expectation{{
+			Model: "Relaxed",
+			Allowed: []Outcome{
+				{"L5": 2, "L6": 4},
+			},
+		}},
+	}
+}
+
+// Figure8 — the address-aliasing speculation case study of Section 5.
+//
+//	Thread A: S1 x,&w ; Fence ; S2 y,2 ; S4 y,4 ; Fence ; S5 x,&z
+//	Thread B: L3 y ; Fence ; r6 = L6 x ; S7 [r6],7 ; r8 = L8 y
+//
+// In executions where L3 observes S2 and L6 observes S5 (r6 = &z):
+// non-speculatively, alias checking makes L8 depend on L6 (the address
+// source of the potentially-aliasing S7), so S2 @ S4 @ L8 and L8 must
+// observe S4. Speculation drops that dependency and L8 may observe S2 —
+// a behavior impossible in the non-speculative model.
+func Figure8() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Init(program.W, 0)
+		b.Init(program.Z, 0)
+		b.Thread("A").
+			StoreL("S1", program.X, program.AddrValue(program.W)).
+			Fence().
+			StoreL("S2", program.Y, 2).
+			StoreL("S4", program.Y, 4).
+			Fence().
+			StoreL("S5", program.X, program.AddrValue(program.Z))
+		tb := b.Thread("B")
+		tb.LoadL("L3", 1, program.Y).
+			Fence().
+			LoadL("L6", 6, program.X).
+			StoreIndL("S7", 6, 7).
+			LoadL("L8", 8, program.Y)
+		return b.Build()
+	}
+	zv := program.AddrValue(program.Z)
+	return &Test{
+		Name:  "Figure8",
+		Doc:   "Aliasing speculation admits L8 = 2, impossible non-speculatively.",
+		Build: build,
+		Expect: []Expectation{
+			{
+				Model: "Relaxed",
+				Allowed: []Outcome{
+					{"L3": 2, "L6": zv, "L8": 4},
+				},
+				Forbidden: []Outcome{
+					{"L3": 2, "L6": zv, "L8": 2},
+				},
+			},
+			{
+				Model: "Relaxed+spec",
+				Allowed: []Outcome{
+					{"L3": 2, "L6": zv, "L8": 4},
+					{"L3": 2, "L6": zv, "L8": 2}, // the new behavior
+				},
+			},
+		},
+	}
+}
+
+// Figure10 — "An execution which obeys TSO but violates memory atomicity".
+//
+//	Thread A: S1 x,1 ; S2 x,2 ; S3 z,3 ; L4 z ; L6 y
+//	Thread B: S5 y,5 ; S7 y,7 ; S8 z,8 ; L9 z ; L10 x
+//
+// The outcome L4=3, L9=8 (both satisfied from the local store buffer),
+// L6=5, L10=1 is a legal TSO execution. Treating the local satisfaction
+// as an ordinary observation (NaiveTSO) makes it inconsistent: with
+// source(L6) = S5, rule b gives L6 @ S7 and then S1 @ S2 @ L10, so L10
+// cannot see the overwritten S1. The correct bypass treatment (grey
+// edges outside @) admits it, as does the aggressive relaxed model.
+func Figure10() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").
+			StoreL("S1", program.X, 1).
+			StoreL("S2", program.X, 2).
+			StoreL("S3", program.Z, 3).
+			LoadL("L4", 1, program.Z).
+			LoadL("L6", 2, program.Y)
+		b.Thread("B").
+			StoreL("S5", program.Y, 5).
+			StoreL("S7", program.Y, 7).
+			StoreL("S8", program.Z, 8).
+			LoadL("L9", 3, program.Z).
+			LoadL("L10", 4, program.X)
+		return b.Build()
+	}
+	theOutcome := Outcome{"L4": 3, "L6": 5, "L9": 8, "L10": 1}
+	return &Test{
+		Name:  "Figure10",
+		Doc:   "TSO-legal execution that violates memory atomicity without bypass edges.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "TSO", Allowed: []Outcome{theOutcome}},
+			{Model: "NaiveTSO", Forbidden: []Outcome{theOutcome}},
+			{Model: "Relaxed", Allowed: []Outcome{theOutcome}},
+			{Model: "SC", Forbidden: []Outcome{theOutcome}},
+		},
+	}
+}

@@ -1,0 +1,106 @@
+package litmus
+
+import (
+	"storeatomicity/internal/program"
+)
+
+// This file exercises partial fences (SPARC MEMBAR-style masks): a
+// correctly chosen mask restores exactly the ordering a test needs, a
+// wrong mask restores nothing, and — unlike a shared full-fence node — a
+// mask must not leak orderings between pairs it does not name.
+
+// Membars returns the partial-fence tests.
+func Membars() []*Test {
+	return []*Test{SBMembarSL(), SBMembarLL(), MPMembar(), MPMembarWriterOnly()}
+}
+
+// SBMembarSL is store buffering with MEMBAR #StoreLoad on both sides —
+// the canonical TSO mutual-exclusion fix. The relaxed outcome disappears
+// under every model.
+func SBMembarSL() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).Membar(program.BarrierSL).LoadL("Ly", 1, program.Y)
+		b.Thread("B").StoreL("Sy", program.Y, 1).Membar(program.BarrierSL).LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 0, "Lx": 0}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{
+		Name:   "SB+MembarSL",
+		Doc:    "MEMBAR #StoreLoad kills the store-buffering outcome everywhere.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// SBMembarLL is the control: a Load→Load barrier is useless against store
+// buffering, so the relaxed outcome survives wherever the table allows
+// store→load reordering.
+func SBMembarLL() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).Membar(program.BarrierLL).LoadL("Ly", 1, program.Y)
+		b.Thread("B").StoreL("Sy", program.Y, 1).Membar(program.BarrierLL).LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 0, "Lx": 0}
+	return &Test{
+		Name:  "SB+MembarLL",
+		Doc:   "A wrong-pair membar leaves store buffering observable — masks are precise.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "TSO", Allowed: []Outcome{bad}},
+			{Model: "Relaxed", Allowed: []Outcome{bad}},
+			{Model: "SC", Forbidden: []Outcome{bad}},
+		},
+	}
+}
+
+// MPMembar is message passing fixed with the cheap pair-specific
+// barriers: Store→Store on the producer, Load→Load on the consumer.
+func MPMembar() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).Membar(program.BarrierSS).StoreL("Sy", program.Y, 1)
+		b.Thread("B").LoadL("Ly", 1, program.Y).Membar(program.BarrierLL).LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 1, "Lx": 0}
+	var exp []Expectation
+	for _, m := range []string{"SC", "TSO", "PSO", "Relaxed", "Relaxed+spec"} {
+		exp = append(exp, Expectation{Model: m, Forbidden: []Outcome{bad}})
+	}
+	return &Test{
+		Name:   "MP+Membar",
+		Doc:    "SS barrier on the writer + LL barrier on the reader restore message passing.",
+		Build:  build,
+		Expect: exp,
+	}
+}
+
+// MPMembarWriterOnly fences only the producer: the consumer's loads still
+// reorder under the relaxed table, so the stale read survives there while
+// TSO (whose loads are ordered anyway) is fixed.
+func MPMembarWriterOnly() *Test {
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		b.Thread("A").StoreL("Sx", program.X, 1).Membar(program.BarrierSS).StoreL("Sy", program.Y, 1)
+		b.Thread("B").LoadL("Ly", 1, program.Y).LoadL("Lx", 2, program.X)
+		return b.Build()
+	}
+	bad := Outcome{"Ly": 1, "Lx": 0}
+	return &Test{
+		Name:  "MP+MembarSSonly",
+		Doc:   "Half-fenced message passing: fixed for PSO, still broken under Relaxed.",
+		Build: build,
+		Expect: []Expectation{
+			{Model: "PSO", Forbidden: []Outcome{bad}},
+			{Model: "TSO", Forbidden: []Outcome{bad}},
+			{Model: "Relaxed", Allowed: []Outcome{bad}},
+		},
+	}
+}

@@ -1,0 +1,474 @@
+package litmus
+
+// A small text format for litmus tests, so the command-line tools can run
+// files rather than only the built-in corpus:
+//
+//	name MyTest
+//	doc  optional one-line description
+//	init x=0 y=5
+//	thread A
+//	  S1: S x, 1
+//	  fence
+//	  L5: r1 = L y
+//	thread B
+//	  membar SL|SS
+//	  r2 = L [r1]
+//	  r3 = CAS z, 0, 1
+//	  r4 = add r3, 10
+//	  @skip:
+//	  br r4 @skip        # taken when r4 != 0
+//	  txbegin
+//	  S y, r4
+//	  txend
+//	expect SC forbid L5=3 r2=1
+//	expect Relaxed allow L5=2
+//
+// Lines are instructions, one each; "#" starts a comment. Addresses are
+// the letters x y z w u v or mN for numbered locations. Registers are
+// rN. "@label:" names the next instruction position as a branch target.
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"storeatomicity/internal/program"
+)
+
+// Parse reads the text format and returns a runnable Test.
+func Parse(src string) (*Test, error) {
+	p := &parser{}
+	if err := p.run(src); err != nil {
+		return nil, err
+	}
+	spec := *p // capture by value; Build re-plays the parsed spec
+	return &Test{
+		Name:   p.name,
+		Doc:    p.doc,
+		Build:  func() *program.Program { return spec.build() },
+		Expect: p.expect,
+	}, nil
+}
+
+// instrSpec is a parsed instruction before target resolution.
+type instrSpec struct {
+	in     program.Instr
+	target string // branch target label, resolved at build
+	tx     bool   // inside a transaction
+	line   int
+}
+
+type threadSpec struct {
+	name    string
+	instrs  []instrSpec
+	targets map[string]int // "@label" → instruction index
+}
+
+type parser struct {
+	name    string
+	doc     string
+	init    map[program.Addr]program.Value
+	threads []threadSpec
+	expect  []Expectation
+}
+
+func (p *parser) run(src string) error {
+	p.init = map[program.Addr]program.Value{}
+	var cur *threadSpec
+	inTx := false
+	for ln, raw := range strings.Split(src, "\n") {
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		fields := strings.Fields(line)
+		switch strings.ToLower(fields[0]) {
+		case "name":
+			p.name = strings.TrimSpace(line[len(fields[0]):])
+		case "doc":
+			p.doc = strings.TrimSpace(line[len(fields[0]):])
+		case "init":
+			for _, kv := range fields[1:] {
+				parts := strings.SplitN(kv, "=", 2)
+				if len(parts) != 2 {
+					return fmt.Errorf("line %d: bad init %q", lineNo, kv)
+				}
+				a, err := parseAddr(parts[0])
+				if err != nil {
+					return fmt.Errorf("line %d: %v", lineNo, err)
+				}
+				v, err := strconv.ParseInt(parts[1], 10, 64)
+				if err != nil {
+					return fmt.Errorf("line %d: bad init value %q", lineNo, parts[1])
+				}
+				p.init[a] = program.Value(v)
+			}
+		case "thread":
+			if len(fields) != 2 {
+				return fmt.Errorf("line %d: thread needs a name", lineNo)
+			}
+			p.threads = append(p.threads, threadSpec{name: fields[1], targets: map[string]int{}})
+			cur = &p.threads[len(p.threads)-1]
+			inTx = false
+		case "expect":
+			if err := p.parseExpect(fields[1:], lineNo); err != nil {
+				return err
+			}
+		case "txbegin":
+			if cur == nil {
+				return fmt.Errorf("line %d: txbegin outside a thread", lineNo)
+			}
+			inTx = true
+		case "txend":
+			inTx = false
+		default:
+			if cur == nil {
+				return fmt.Errorf("line %d: instruction outside a thread", lineNo)
+			}
+			// Position label "@name:".
+			if strings.HasPrefix(fields[0], "@") && strings.HasSuffix(fields[0], ":") && len(fields) == 1 {
+				cur.targets[strings.TrimSuffix(fields[0], ":")] = len(cur.instrs)
+				continue
+			}
+			in, target, err := parseInstr(line)
+			if err != nil {
+				return fmt.Errorf("line %d: %v", lineNo, err)
+			}
+			cur.instrs = append(cur.instrs, instrSpec{in: in, target: target, tx: inTx, line: lineNo})
+		}
+	}
+	if p.name == "" {
+		return fmt.Errorf("litmus: missing 'name' line")
+	}
+	if len(p.threads) == 0 {
+		return fmt.Errorf("litmus: no threads")
+	}
+	// Validate branch targets now so Build cannot fail later.
+	for _, t := range p.threads {
+		for _, is := range t.instrs {
+			if is.target != "" {
+				if _, ok := t.targets[is.target]; !ok {
+					return fmt.Errorf("line %d: unknown branch target %q", is.line, is.target)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (p *parser) parseExpect(fields []string, lineNo int) error {
+	if len(fields) < 3 {
+		return fmt.Errorf("line %d: expect MODEL allow|forbid k=v...", lineNo)
+	}
+	model := fields[0]
+	if _, ok := ModelByName(model); !ok {
+		return fmt.Errorf("line %d: unknown model %q", lineNo, model)
+	}
+	o := Outcome{}
+	for _, kv := range fields[2:] {
+		parts := strings.SplitN(kv, "=", 2)
+		if len(parts) != 2 {
+			return fmt.Errorf("line %d: bad constraint %q", lineNo, kv)
+		}
+		v, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			return fmt.Errorf("line %d: bad value %q", lineNo, parts[1])
+		}
+		o[parts[0]] = program.Value(v)
+	}
+	// Merge into an existing expectation for the model if present.
+	var ex *Expectation
+	for i := range p.expect {
+		if p.expect[i].Model == model {
+			ex = &p.expect[i]
+		}
+	}
+	if ex == nil {
+		p.expect = append(p.expect, Expectation{Model: model})
+		ex = &p.expect[len(p.expect)-1]
+	}
+	switch strings.ToLower(fields[1]) {
+	case "allow":
+		ex.Allowed = append(ex.Allowed, o)
+	case "forbid":
+		ex.Forbidden = append(ex.Forbidden, o)
+	default:
+		return fmt.Errorf("line %d: expect verb must be allow or forbid", lineNo)
+	}
+	return nil
+}
+
+// build replays the parsed spec into a Program.
+func (p parser) build() *program.Program {
+	b := program.NewBuilder()
+	for a, v := range p.init {
+		b.Init(a, v)
+	}
+	for _, t := range p.threads {
+		tb := b.Thread(t.name)
+		lastTx := false
+		for _, is := range t.instrs {
+			if is.tx && !lastTx {
+				tb.TxBegin()
+			}
+			if !is.tx && lastTx {
+				tb.TxEnd()
+			}
+			lastTx = is.tx
+			in := is.in
+			if is.target != "" {
+				in.Target = t.targets[is.target]
+			}
+			tb.Raw(in)
+		}
+		if lastTx {
+			tb.TxEnd()
+		}
+	}
+	return b.Build()
+}
+
+// parseInstr parses one instruction line, returning the instruction and,
+// for branches, the unresolved target label.
+func parseInstr(line string) (program.Instr, string, error) {
+	var label string
+	// Optional "label:" prefix (not starting with '@').
+	if i := strings.Index(line, ":"); i > 0 && !strings.HasPrefix(line, "@") &&
+		!strings.Contains(line[:i], " ") && !strings.Contains(line[:i], "=") {
+		label = strings.TrimSpace(line[:i])
+		line = strings.TrimSpace(line[i+1:])
+	}
+	norm := strings.ReplaceAll(line, ",", " ")
+	f := strings.Fields(norm)
+	if len(f) == 0 {
+		return program.Instr{}, "", fmt.Errorf("empty instruction")
+	}
+	fail := func(msg string) (program.Instr, string, error) {
+		return program.Instr{}, "", fmt.Errorf("%s in %q", msg, line)
+	}
+
+	switch strings.ToLower(f[0]) {
+	case "fence":
+		return program.Instr{Kind: program.KindFence, Label: label}, "", nil
+	case "membar":
+		if len(f) != 2 {
+			return fail("membar needs a mask like SL|SS")
+		}
+		mask, err := parseMask(f[1])
+		if err != nil {
+			return program.Instr{}, "", err
+		}
+		return program.Instr{Kind: program.KindFence, FenceMask: mask, Label: label}, "", nil
+	case "s":
+		// S addr, v | S addr, rK | S [rK], v
+		if len(f) != 3 {
+			return fail("store needs address and value")
+		}
+		in := program.Instr{Kind: program.KindStore, Label: label}
+		if err := fillAddr(&in, f[1]); err != nil {
+			return program.Instr{}, "", err
+		}
+		if err := fillVal(&in, f[2]); err != nil {
+			return program.Instr{}, "", err
+		}
+		return in, "", nil
+	case "br":
+		// br rK @label
+		if len(f) != 3 || !strings.HasPrefix(f[2], "@") {
+			return fail("branch is 'br rK @target'")
+		}
+		r, err := parseReg(f[1])
+		if err != nil {
+			return program.Instr{}, "", err
+		}
+		return program.Instr{Kind: program.KindBranch, CondReg: r, Label: label}, f[2], nil
+	}
+
+	// Assignment forms: rD = L addr | rD = L [rK] | rD = CAS addr exp new
+	// | rD = SWAP addr v | rD = ADD addr delta | rD = add rK const |
+	// rD = eqz rK
+	if len(f) >= 3 && f[1] == "=" {
+		dest, err := parseReg(f[0])
+		if err != nil {
+			return program.Instr{}, "", err
+		}
+		op := strings.ToLower(f[2])
+		rest := f[3:]
+		switch op {
+		case "l":
+			if len(rest) != 1 {
+				return fail("load needs one address")
+			}
+			in := program.Instr{Kind: program.KindLoad, Dest: dest, Label: label}
+			if err := fillAddr(&in, rest[0]); err != nil {
+				return program.Instr{}, "", err
+			}
+			return in, "", nil
+		case "cas":
+			if len(rest) != 3 {
+				return fail("CAS needs addr, expect, new")
+			}
+			in := program.Instr{Kind: program.KindAtomic, Atomic: program.AtomicCAS, Dest: dest, Label: label}
+			if err := fillAddr(&in, rest[0]); err != nil {
+				return program.Instr{}, "", err
+			}
+			exp, err := strconv.ParseInt(rest[1], 10, 64)
+			if err != nil {
+				return fail("bad CAS expect value")
+			}
+			in.Expect = program.Value(exp)
+			if err := fillVal(&in, rest[2]); err != nil {
+				return program.Instr{}, "", err
+			}
+			return in, "", nil
+		case "swap", "fadd":
+			if len(rest) != 2 {
+				return fail(op + " needs addr and operand")
+			}
+			kind := program.AtomicSwap
+			if op == "fadd" {
+				kind = program.AtomicAdd
+			}
+			in := program.Instr{Kind: program.KindAtomic, Atomic: kind, Dest: dest, Label: label}
+			if err := fillAddr(&in, rest[0]); err != nil {
+				return program.Instr{}, "", err
+			}
+			if err := fillVal(&in, rest[1]); err != nil {
+				return program.Instr{}, "", err
+			}
+			return in, "", nil
+		case "add":
+			if len(rest) != 2 {
+				return fail("add needs a register and a constant")
+			}
+			src, err := parseReg(rest[0])
+			if err != nil {
+				return program.Instr{}, "", err
+			}
+			c, err := strconv.ParseInt(rest[1], 10, 64)
+			if err != nil {
+				return fail("bad add constant")
+			}
+			cv := program.Value(c)
+			return program.Instr{
+				Kind: program.KindOp, Dest: dest, Args: []program.Reg{src}, Label: label,
+				Fn: func(a []program.Value) program.Value { return a[0] + cv },
+			}, "", nil
+		case "eqz":
+			if len(rest) != 1 {
+				return fail("eqz needs one register")
+			}
+			src, err := parseReg(rest[0])
+			if err != nil {
+				return program.Instr{}, "", err
+			}
+			return program.Instr{
+				Kind: program.KindOp, Dest: dest, Args: []program.Reg{src}, Label: label,
+				Fn: func(a []program.Value) program.Value {
+					if a[0] == 0 {
+						return 1
+					}
+					return 0
+				},
+			}, "", nil
+		}
+		return fail("unknown operation " + f[2])
+	}
+	return fail("unparseable instruction")
+}
+
+func fillAddr(in *program.Instr, tok string) error {
+	if strings.HasPrefix(tok, "[") && strings.HasSuffix(tok, "]") {
+		r, err := parseReg(tok[1 : len(tok)-1])
+		if err != nil {
+			return err
+		}
+		in.UseAddrReg, in.AddrReg = true, r
+		return nil
+	}
+	a, err := parseAddr(tok)
+	if err != nil {
+		return err
+	}
+	in.AddrConst = a
+	return nil
+}
+
+func fillVal(in *program.Instr, tok string) error {
+	if strings.HasPrefix(tok, "r") {
+		r, err := parseReg(tok)
+		if err != nil {
+			return err
+		}
+		in.UseValReg, in.ValReg = true, r
+		return nil
+	}
+	// Address-as-value: "&x" stores a pointer.
+	if strings.HasPrefix(tok, "&") {
+		a, err := parseAddr(tok[1:])
+		if err != nil {
+			return err
+		}
+		in.ValConst = program.AddrValue(a)
+		return nil
+	}
+	v, err := strconv.ParseInt(tok, 10, 64)
+	if err != nil {
+		return fmt.Errorf("bad value %q", tok)
+	}
+	in.ValConst = program.Value(v)
+	return nil
+}
+
+var letterAddrs = map[string]program.Addr{
+	"x": program.X, "y": program.Y, "z": program.Z,
+	"w": program.W, "u": program.U, "v": program.V,
+}
+
+func parseAddr(tok string) (program.Addr, error) {
+	if a, ok := letterAddrs[strings.ToLower(tok)]; ok {
+		return a, nil
+	}
+	if strings.HasPrefix(tok, "m") {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 {
+			return program.Addr(int32(n)), nil
+		}
+	}
+	return 0, fmt.Errorf("bad address %q", tok)
+}
+
+func parseReg(tok string) (program.Reg, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	n, err := strconv.Atoi(tok[1:])
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return program.Reg(int32(n)), nil
+}
+
+func parseMask(tok string) (uint8, error) {
+	var mask uint8
+	for _, part := range strings.Split(tok, "|") {
+		switch strings.ToUpper(strings.TrimSpace(part)) {
+		case "LL":
+			mask |= program.BarrierLL
+		case "LS":
+			mask |= program.BarrierLS
+		case "SL":
+			mask |= program.BarrierSL
+		case "SS":
+			mask |= program.BarrierSS
+		default:
+			return 0, fmt.Errorf("bad membar side %q", part)
+		}
+	}
+	return mask, nil
+}

@@ -1,0 +1,186 @@
+package litmus
+
+import (
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/program"
+)
+
+const sbSource = `
+# Store buffering in the text format.
+name SB-file
+doc store buffering from a file
+init x=0 y=0
+thread A
+  Sx: S x, 1
+  Ly: r1 = L y
+thread B
+  Sy: S y, 1
+  Lx: r2 = L x
+expect SC forbid Ly=0 Lx=0
+expect TSO allow Ly=0 Lx=0
+`
+
+func TestParseSB(t *testing.T) {
+	tc, err := Parse(sbSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tc.Name != "SB-file" || tc.Doc == "" {
+		t.Errorf("header: %q %q", tc.Name, tc.Doc)
+	}
+	for _, m := range []string{"SC", "TSO"} {
+		mc, _ := ModelByName(m)
+		res, err := Run(tc, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bad := range CheckResult(tc, m, res) {
+			t.Error(bad)
+		}
+	}
+}
+
+// TestParseFullSyntax exercises every instruction form the grammar
+// offers, then enumerates to prove the program is well formed.
+func TestParseFullSyntax(t *testing.T) {
+	src := `
+name kitchen-sink
+init x=0 y=0 z=0 m9=7
+thread A
+  S x, &y          # pointer store
+  r1 = L x
+  r2 = L [r1]      # indirect load
+  S [r1], 5        # indirect store
+  fence
+  membar SL|SS
+  r3 = CAS z, 0, 1
+  r4 = SWAP z, 2
+  r5 = FADD z, 10
+  r6 = add r5 1
+  r7 = eqz r6
+  @skip:
+  br r7 @skip
+thread B
+  txbegin
+  S y, r9          # unwritten register stores zero
+  L9: r8 = L m9
+  txend
+expect SC allow L9=7
+`
+	tc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tc.Build()
+	if p.MemOps() == 0 {
+		t.Fatal("no memory ops parsed")
+	}
+	// Transaction stamped on thread B's memory ops.
+	foundTx := false
+	for _, in := range p.Threads[1].Instrs {
+		if in.Tx != 0 {
+			foundTx = true
+		}
+	}
+	if !foundTx {
+		t.Error("txbegin/txend not applied")
+	}
+	mc, _ := ModelByName("SC")
+	res, err := Run(tc, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range CheckResult(tc, "SC", res) {
+		t.Error(bad)
+	}
+}
+
+// TestParseBranchTargets: forward and backward targets resolve to the
+// right instruction indexes.
+func TestParseBranchTargets(t *testing.T) {
+	src := `
+name branchy
+thread A
+  r1 = L x
+  br r1 @end
+  S y, 1
+  @end:
+  Lf: r2 = L y
+expect SC forbid Lf=1 r1=1
+`
+	tc, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := tc.Build()
+	br := p.Threads[0].Instrs[1]
+	if br.Kind != program.KindBranch || br.Target != 3 {
+		t.Fatalf("branch target = %d, want 3", br.Target)
+	}
+	mc, _ := ModelByName("SC")
+	res, err := Run(tc, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range CheckResult(tc, "SC", res) {
+		t.Error(bad)
+	}
+	if !res.HasOutcome(map[string]program.Value{"r1": 0, "Lf": 1}) {
+		t.Error("fallthrough path missing")
+	}
+}
+
+// TestParseErrors: each malformed input is diagnosed.
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"thread A\n S x, 1", "missing 'name'"},
+		{"name t", "no threads"},
+		{"name t\n S x, 1", "outside a thread"},
+		{"name t\nthread A\n S x", "store needs"},
+		{"name t\nthread A\n wat x", "unparseable"},
+		{"name t\nthread A\n r1 = L q9", "bad address"},
+		{"name t\nthread A\n br r1 @nope", "unknown branch target"},
+		{"name t\nthread A\n membar XX", "bad membar side"},
+		{"name t\nthread A\n S x, 1\nexpect Alpha allow a=1", "unknown model"},
+		{"name t\nthread A\n S x, 1\nexpect SC maybe a=1", "allow or forbid"},
+		{"name t\ninit x=abc\nthread A\n S x, 1", "bad init value"},
+		{"name t\nthread A\n r1 = CAS x, no, 1", "bad CAS expect"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) err = %v, want substring %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+// TestParsedBuildIsRepeatable: Build() can be called many times (the
+// enumerator relies on fresh programs).
+func TestParsedBuildIsRepeatable(t *testing.T) {
+	tc, err := Parse(sbSource)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tc.Build(), tc.Build()
+	if a.String() != b.String() {
+		t.Error("Build not repeatable")
+	}
+	// And both enumerate identically.
+	mc, _ := ModelByName("SC")
+	r1, err := core.Enumerate(a, mc.Policy, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := core.Enumerate(b, mc.Policy, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r1.Executions) != len(r2.Executions) {
+		t.Error("parsed program enumerates differently across builds")
+	}
+}

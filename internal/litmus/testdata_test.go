@@ -1,0 +1,56 @@
+package litmus
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestShippedLitmusFiles parses and fully checks every .litmus file under
+// the repository's testdata directory: all embedded expectations must
+// hold under their named models.
+func TestShippedLitmusFiles(t *testing.T) {
+	dir := filepath.Join("..", "..", "testdata")
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading %s: %v", dir, err)
+	}
+	found := 0
+	for _, ent := range entries {
+		if filepath.Ext(ent.Name()) != ".litmus" {
+			continue
+		}
+		found++
+		data, err := os.ReadFile(filepath.Join(dir, ent.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc, err := Parse(string(data))
+		if err != nil {
+			t.Fatalf("%s: %v", ent.Name(), err)
+		}
+		needed := map[string]bool{}
+		for _, ex := range tc.Expect {
+			needed[ex.Model] = true
+		}
+		if len(needed) == 0 {
+			t.Errorf("%s: no expectations — shipped files should assert something", ent.Name())
+		}
+		for m := range needed {
+			mc, ok := ModelByName(m)
+			if !ok {
+				t.Fatalf("%s: unknown model %s", ent.Name(), m)
+			}
+			res, err := Run(tc, mc)
+			if err != nil {
+				t.Fatalf("%s under %s: %v", ent.Name(), m, err)
+			}
+			for _, bad := range CheckResult(tc, m, res) {
+				t.Errorf("%s: %s", ent.Name(), bad)
+			}
+		}
+	}
+	if found < 2 {
+		t.Errorf("expected at least 2 shipped .litmus files, found %d", found)
+	}
+}

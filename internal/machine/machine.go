@@ -1,0 +1,379 @@
+// Package machine is an operational multiprocessor simulator: out-of-order
+// cores with a bounded issue window, executing over the MSI coherence
+// protocol of package coherence. It plays the role of "real hardware" in
+// the Section 4.2 cross-validation experiment: the machine enforces the
+// reordering axioms *conservatively* (it blocks instead of speculating, it
+// resolves coherence eagerly), so every execution it can produce must lie
+// within the behavior set enumerated by the model — but typically not the
+// other way around.
+//
+// Scheduling nondeterminism comes from a seeded PRNG choosing among
+// issuable instructions, so sweeping seeds samples the machine's behavior
+// space reproducibly.
+package machine
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"storeatomicity/internal/coherence"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// noDep marks an absent producer.
+const noDep = -1
+
+// Config tunes a simulation run.
+type Config struct {
+	// Policy is the reordering discipline the cores enforce. Bypass
+	// cells are treated as Always (a machine without a store buffer is
+	// strictly more ordered, hence still conservative).
+	Policy order.Policy
+	// WindowSize bounds un-issued instructions per core (default 8).
+	// Window 1 degenerates to an in-order core.
+	WindowSize int
+	// Seed drives the issue scheduler.
+	Seed int64
+	// MaxSteps bounds total issues (default 4096) to catch livelock in
+	// looping programs.
+	MaxSteps int
+	// ValuePredict enables *naive* value speculation: a load may return
+	// the value of any store to its address — chosen by the scheduler
+	// PRNG — without ever validating the guess. This deliberately
+	// broken mode reproduces the observation of Martin et al. (MICRO
+	// 2001), cited in Section 1 of the paper, that unchecked value
+	// prediction violates the memory model: traces escape even the SC
+	// behavior set and are rejected by the verify checker.
+	ValuePredict bool
+}
+
+func (c Config) withDefaults() Config {
+	if c.WindowSize == 0 {
+		c.WindowSize = 8
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 4096
+	}
+	return c
+}
+
+// Trace is the observable result of one run.
+type Trace struct {
+	// LoadSources maps load label → label of the store observed.
+	LoadSources map[string]string
+	// LoadValues maps load label → value observed.
+	LoadValues map[string]program.Value
+	// StoreValues maps store label → value written (atomics appear
+	// only when their store half fired).
+	StoreValues map[string]program.Value
+	// Steps counts instructions issued.
+	Steps int
+	// Coherence carries the protocol counters.
+	Coherence coherence.Stats
+}
+
+// SourceKey canonicalizes the (load → source) map in the same format as
+// core.Execution.SourceKey, enabling set membership checks against
+// enumerated behaviors.
+func (t *Trace) SourceKey() string {
+	labels := make([]string, 0, len(t.LoadSources))
+	for l := range t.LoadSources {
+		labels = append(labels, l)
+	}
+	sort.Strings(labels)
+	var b strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		fmt.Fprintf(&b, "%s<-%s", l, t.LoadSources[l])
+	}
+	return b.String()
+}
+
+// entry is a decoded, possibly un-issued instruction instance.
+type entry struct {
+	instr  program.Instr
+	label  string
+	issued bool
+	value  program.Value
+	// producer entry indexes within the same core.
+	addrDep, valDep, condDep int
+	argDeps                  []int
+}
+
+// coreState is one core's pipeline front end plus rename map.
+type coreState struct {
+	id      int
+	instrs  []program.Instr
+	pc      int
+	entries []entry
+	regs    map[program.Reg]int
+	blocked int // entry index of unresolved branch, noDep if none
+	pending int // un-issued entry count
+	dyn     int // dynamic instruction counter for label disambiguation
+}
+
+// Run simulates p to completion under cfg and returns the trace.
+func Run(p *program.Program, cfg Config) (*Trace, error) {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	sys := coherence.NewSystem(len(p.Threads), p.Init)
+	cores := make([]*coreState, len(p.Threads))
+	for i := range cores {
+		cores[i] = &coreState{
+			id: i, instrs: p.Threads[i].Instrs,
+			regs: map[program.Reg]int{}, blocked: noDep,
+		}
+	}
+	tr := &Trace{
+		LoadSources: map[string]string{},
+		LoadValues:  map[string]program.Value{},
+		StoreValues: map[string]program.Value{},
+	}
+
+	// Static prediction table for ValuePredict: every constant store the
+	// program text could perform, by address.
+	var predictions map[program.Addr][]prediction
+	if cfg.ValuePredict {
+		predictions = map[program.Addr][]prediction{}
+		for _, t := range p.Threads {
+			for _, in := range t.Instrs {
+				if in.Kind == program.KindStore && !in.UseAddrReg && !in.UseValReg {
+					predictions[in.AddrConst] = append(predictions[in.AddrConst],
+						prediction{label: in.Label, val: in.ValConst})
+				}
+			}
+		}
+	}
+
+	type choice struct{ core, idx int }
+	for {
+		for _, c := range cores {
+			c.fetch(cfg.WindowSize)
+		}
+		var ready []choice
+		done := true
+		for _, c := range cores {
+			if c.pending > 0 || c.blocked != noDep || c.pc < len(c.instrs) {
+				done = false
+			}
+			for idx := range c.entries {
+				if c.issuable(idx, cfg.Policy) {
+					ready = append(ready, choice{core: c.id, idx: idx})
+				}
+			}
+		}
+		if done {
+			break
+		}
+		if len(ready) == 0 {
+			return nil, errors.New("machine: no issuable instruction (deadlock)")
+		}
+		pick := ready[rng.Intn(len(ready))]
+		cores[pick.core].issue(pick.idx, sys, tr, rng, predictions)
+		tr.Steps++
+		if tr.Steps > cfg.MaxSteps {
+			return nil, fmt.Errorf("machine: step budget (%d) exhausted", cfg.MaxSteps)
+		}
+	}
+	sys.Flush()
+	tr.Coherence = sys.Stats()
+	return tr, nil
+}
+
+// fetch decodes instructions until the window is full, the program ends,
+// or an unresolved branch blocks the front end (no branch speculation:
+// conservative with respect to every policy in package order).
+func (c *coreState) fetch(window int) {
+	for c.pending < window && c.blocked == noDep && c.pc < len(c.instrs) {
+		in := c.instrs[c.pc]
+		c.pc++
+		e := entry{instr: in, label: in.Label, addrDep: noDep, valDep: noDep, condDep: noDep}
+		if e.label == "" {
+			e.label = fmt.Sprintf("T%d.%d", c.id, c.dyn)
+		}
+		c.dyn++
+		dep := func(r program.Reg) int {
+			if i, ok := c.regs[r]; ok {
+				return i
+			}
+			return noDep
+		}
+		switch in.Kind {
+		case program.KindLoad:
+			if in.UseAddrReg {
+				e.addrDep = dep(in.AddrReg)
+			}
+		case program.KindStore, program.KindAtomic:
+			if in.UseAddrReg {
+				e.addrDep = dep(in.AddrReg)
+			}
+			if in.UseValReg {
+				e.valDep = dep(in.ValReg)
+			}
+		case program.KindOp:
+			e.argDeps = make([]int, len(in.Args))
+			for i, r := range in.Args {
+				e.argDeps[i] = dep(r)
+			}
+		case program.KindBranch:
+			e.condDep = dep(in.CondReg)
+		}
+		idx := len(c.entries)
+		c.entries = append(c.entries, e)
+		c.pending++
+		if in.Kind == program.KindLoad || in.Kind == program.KindOp || in.Kind == program.KindAtomic {
+			c.regs[in.Dest] = idx
+		}
+		if in.Kind == program.KindBranch {
+			c.blocked = idx
+		}
+	}
+}
+
+// depReady reports whether a producer has issued (noDep reads zero).
+func (c *coreState) depReady(d int) bool { return d == noDep || c.entries[d].issued }
+
+// addrOf returns the entry's effective address, ok=false while unknown.
+func (c *coreState) addrOf(idx int) (program.Addr, bool) {
+	e := &c.entries[idx]
+	if !e.instr.UseAddrReg {
+		return e.instr.AddrConst, true
+	}
+	if !c.depReady(e.addrDep) {
+		return 0, false
+	}
+	if e.addrDep == noDep {
+		return program.ValueAddr(0), true
+	}
+	return program.ValueAddr(c.entries[e.addrDep].value), true
+}
+
+// issuable implements the scoreboard: data deps resolved, and no older
+// un-issued entry that the policy orders before this one. Address-
+// dependent cells block conservatively while either address is unknown —
+// the machine is non-speculative (Section 5.1's discipline).
+func (c *coreState) issuable(idx int, pol order.Policy) bool {
+	e := &c.entries[idx]
+	if e.issued {
+		return false
+	}
+	if !c.depReady(e.addrDep) || !c.depReady(e.valDep) || !c.depReady(e.condDep) {
+		return false
+	}
+	for _, d := range e.argDeps {
+		if !c.depReady(d) {
+			return false
+		}
+	}
+	for o := range c.entries[:idx] {
+		oe := &c.entries[o]
+		if oe.issued {
+			continue
+		}
+		switch pol.Require(oe.instr.Kind, e.instr.Kind) {
+		case order.Always, order.Bypass:
+			return false
+		case order.SameAddr:
+			oa, ook := c.addrOf(o)
+			ea, eok := c.addrOf(idx)
+			if !ook || !eok || oa == ea {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// prediction is one guessable (store label, value) pair.
+type prediction struct {
+	label string
+	val   program.Value
+}
+
+// issue executes the entry against the coherence system. When predictions
+// is non-nil, half the loads (scheduler PRNG) guess a value instead of
+// reading — naive value speculation, never validated.
+func (c *coreState) issue(idx int, sys *coherence.System, tr *Trace, rng *rand.Rand, predictions map[program.Addr][]prediction) {
+	e := &c.entries[idx]
+	e.issued = true
+	c.pending--
+	switch e.instr.Kind {
+	case program.KindOp:
+		vals := make([]program.Value, len(e.argDeps))
+		for i, d := range e.argDeps {
+			if d != noDep {
+				vals[i] = c.entries[d].value
+			}
+		}
+		if e.instr.Fn != nil {
+			e.value = e.instr.Fn(vals)
+		}
+	case program.KindBranch:
+		var cond program.Value
+		if e.condDep != noDep {
+			cond = c.entries[e.condDep].value
+		}
+		if c.blocked == idx {
+			c.blocked = noDep
+			if cond != 0 {
+				c.pc = e.instr.Target
+			}
+		}
+	case program.KindLoad:
+		a, _ := c.addrOf(idx)
+		if cands := predictions[a]; len(cands) > 0 && rng.Intn(2) == 0 {
+			p := cands[rng.Intn(len(cands))]
+			e.value = p.val
+			tr.LoadSources[e.label] = p.label
+			tr.LoadValues[e.label] = p.val
+			return
+		}
+		d := sys.Read(c.id, a)
+		e.value = d.Value
+		tr.LoadSources[e.label] = d.Store
+		tr.LoadValues[e.label] = d.Value
+	case program.KindStore:
+		a, _ := c.addrOf(idx)
+		v := e.instr.ValConst
+		if e.instr.UseValReg && e.valDep != noDep {
+			v = c.entries[e.valDep].value
+		}
+		sys.Write(c.id, a, v, e.label)
+		tr.StoreValues[e.label] = v
+	case program.KindAtomic:
+		// The simulator issues one instruction per step, so the
+		// read-modify-write below is indivisible; acquiring
+		// ownership through the Write path orders it in the
+		// protocol's per-location store order.
+		a, _ := c.addrOf(idx)
+		d := sys.Read(c.id, a)
+		e.value = d.Value
+		tr.LoadSources[e.label] = d.Store
+		tr.LoadValues[e.label] = d.Value
+		operand := e.instr.ValConst
+		if e.instr.UseValReg && e.valDep != noDep {
+			operand = c.entries[e.valDep].value
+		}
+		switch e.instr.Atomic {
+		case program.AtomicCAS:
+			if d.Value == e.instr.Expect {
+				sys.Write(c.id, a, operand, e.label)
+				tr.StoreValues[e.label] = operand
+			}
+		case program.AtomicSwap:
+			sys.Write(c.id, a, operand, e.label)
+			tr.StoreValues[e.label] = operand
+		case program.AtomicAdd:
+			sys.Write(c.id, a, d.Value+operand, e.label)
+			tr.StoreValues[e.label] = d.Value + operand
+		}
+	case program.KindFence:
+		// Ordering-only.
+	}
+}

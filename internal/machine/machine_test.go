@@ -1,0 +1,151 @@
+package machine
+
+import (
+	"testing"
+
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+func TestMachineDeterministicPerSeed(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	for seed := int64(0); seed < 5; seed++ {
+		a, err := Run(tc.Build(), Config{Policy: order.Relaxed(), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(tc.Build(), Config{Policy: order.Relaxed(), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SourceKey() != b.SourceKey() {
+			t.Errorf("seed %d: %q vs %q", seed, a.SourceKey(), b.SourceKey())
+		}
+	}
+}
+
+// TestMachineSubsetOfModel is experiment E10: sweep seeds over every
+// litmus test; each machine execution's (load → source) map must appear in
+// the behavior set the model enumerates. The machine is conservative, so
+// containment — not equality — is the contract.
+func TestMachineSubsetOfModel(t *testing.T) {
+	const seeds = 60
+	for _, tc := range litmus.Registry() {
+		for _, mname := range []string{"SC", "TSO", "Relaxed"} {
+			m, _ := litmus.ModelByName(mname)
+			res, err := litmus.Run(tc, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.Name, mname, err)
+			}
+			allowed := map[string]bool{}
+			for _, e := range res.Executions {
+				allowed[e.SourceKey()] = true
+			}
+			for seed := int64(0); seed < seeds; seed++ {
+				trc, err := Run(tc.Build(), Config{Policy: m.Policy, Seed: seed})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", tc.Name, mname, seed, err)
+				}
+				if !allowed[trc.SourceKey()] {
+					t.Errorf("%s/%s seed %d: machine produced %q, not in model's %d behaviors",
+						tc.Name, mname, seed, trc.SourceKey(), len(allowed))
+				}
+			}
+		}
+	}
+}
+
+// TestMachineSCForbidsSBOutcome: under the SC policy the machine must
+// never produce the store-buffering outcome, whatever the seed.
+func TestMachineSCForbidsSBOutcome(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	for seed := int64(0); seed < 200; seed++ {
+		trc, err := Run(tc.Build(), Config{Policy: order.SC(), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trc.LoadValues["Ly"] == 0 && trc.LoadValues["Lx"] == 0 {
+			t.Fatalf("seed %d: SC machine produced the forbidden SB outcome", seed)
+		}
+	}
+}
+
+// TestMachineRelaxedFindsSBOutcome: some seed should exhibit the relaxed
+// outcome, demonstrating the machine actually reorders.
+func TestMachineRelaxedFindsSBOutcome(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	for seed := int64(0); seed < 500; seed++ {
+		trc, err := Run(tc.Build(), Config{Policy: order.Relaxed(), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trc.LoadValues["Ly"] == 0 && trc.LoadValues["Lx"] == 0 {
+			return
+		}
+	}
+	t.Error("relaxed machine never produced the SB outcome in 500 seeds")
+}
+
+// TestWindowOneIsInOrder: with a single-entry window the core issues in
+// program order, so even the relaxed policy behaves like SC on SB.
+func TestWindowOneIsInOrder(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	for seed := int64(0); seed < 200; seed++ {
+		trc, err := Run(tc.Build(), Config{Policy: order.Relaxed(), WindowSize: 1, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if trc.LoadValues["Ly"] == 0 && trc.LoadValues["Lx"] == 0 {
+			t.Fatalf("seed %d: window-1 machine reordered", seed)
+		}
+	}
+}
+
+// TestMachineRunsBranches exercises the branch path: a loop that stores
+// three times, then a load observing the final value.
+func TestMachineRunsBranches(t *testing.T) {
+	b := program.NewBuilder()
+	tb := b.Thread("A")
+	// r1 counts down from 2: body stores r1 to x each iteration.
+	tb.Op(1, func([]program.Value) program.Value { return 2 })
+	body := tb.Len()
+	tb.StoreReg(program.X, 1)
+	tb.Op(1, func(a []program.Value) program.Value { return a[0] - 1 }, 1)
+	tb.Branch(1, body)
+	tb.LoadL("Lfinal", 2, program.X)
+	p := b.Build()
+	trc, err := Run(p, Config{Policy: order.SC(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := trc.LoadValues["Lfinal"]; got != 1 {
+		t.Errorf("final load = %d, want 1", got)
+	}
+}
+
+// TestMachineStepBudget: an infinite loop trips MaxSteps.
+func TestMachineStepBudget(t *testing.T) {
+	b := program.NewBuilder()
+	tb := b.Thread("A")
+	tb.Op(1, func([]program.Value) program.Value { return 1 })
+	tb.Branch(1, 0)
+	if _, err := Run(b.Build(), Config{Policy: order.SC(), Seed: 0, MaxSteps: 100}); err == nil {
+		t.Error("infinite loop did not trip the step budget")
+	}
+}
+
+// TestCoherenceStatsPopulated: the trace surfaces protocol counters.
+func TestCoherenceStatsPopulated(t *testing.T) {
+	tc, _ := litmus.ByName("MP")
+	trc, err := Run(tc.Build(), Config{Policy: order.SC(), Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trc.Coherence.BusOps == 0 {
+		t.Error("no bus operations recorded")
+	}
+	if trc.Steps == 0 {
+		t.Error("no steps recorded")
+	}
+}

@@ -1,0 +1,83 @@
+package machine
+
+// RecordOf converts a machine trace back into a checker record, enabling
+// the TSOtool methodology end to end: run random stimulus on (simulated)
+// hardware, then verify the observed execution against the memory model
+// with the Store Atomicity closure. It works for straight-line programs
+// with constant addresses (the litmus corpus); branching or
+// register-indirect programs are rejected because the dynamic instruction
+// stream cannot be reconstructed from the static text.
+
+import (
+	"fmt"
+
+	"storeatomicity/internal/program"
+	"storeatomicity/internal/verify"
+)
+
+// RecordOf rebuilds the observed execution from the program text and a
+// trace produced by Run or RunTSO on it.
+func RecordOf(p *program.Program, tr *Trace) (*verify.Record, error) {
+	rec := &verify.Record{Init: map[program.Addr]program.Value{}}
+	for a, v := range p.Init {
+		rec.Init[a] = v
+	}
+	for _, a := range p.Addresses() {
+		if _, ok := rec.Init[a]; !ok {
+			rec.Init[a] = 0
+		}
+	}
+	for ti, t := range p.Threads {
+		var ops []verify.Op
+		for ii, in := range t.Instrs {
+			if in.Label == "" && in.IsMemory() {
+				return nil, fmt.Errorf("machine: instruction %d of thread %d has no label", ii, ti)
+			}
+			switch in.Kind {
+			case program.KindOp:
+				// Register-only; invisible to the record.
+			case program.KindBranch:
+				return nil, fmt.Errorf("machine: RecordOf cannot reconstruct branching programs")
+			case program.KindFence:
+				ops = append(ops, verify.Op{Kind: in.Kind, Label: fmt.Sprintf("F%d.%d", ti, ii), FenceMask: in.FenceMask})
+			case program.KindLoad:
+				if in.UseAddrReg {
+					return nil, fmt.Errorf("machine: RecordOf cannot reconstruct register-indirect addresses")
+				}
+				src, ok := tr.LoadSources[in.Label]
+				if !ok {
+					return nil, fmt.Errorf("machine: trace has no observation for load %s", in.Label)
+				}
+				ops = append(ops, verify.Op{
+					Kind: in.Kind, Addr: in.AddrConst, Value: tr.LoadValues[in.Label],
+					Label: in.Label, SourceLabel: src,
+				})
+			case program.KindStore:
+				if in.UseAddrReg {
+					return nil, fmt.Errorf("machine: RecordOf cannot reconstruct register-indirect addresses")
+				}
+				v, ok := tr.StoreValues[in.Label]
+				if !ok {
+					v = in.ValConst
+				}
+				ops = append(ops, verify.Op{Kind: in.Kind, Addr: in.AddrConst, Value: v, Label: in.Label})
+			case program.KindAtomic:
+				if in.UseAddrReg {
+					return nil, fmt.Errorf("machine: RecordOf cannot reconstruct register-indirect addresses")
+				}
+				src, ok := tr.LoadSources[in.Label]
+				if !ok {
+					return nil, fmt.Errorf("machine: trace has no observation for atomic %s", in.Label)
+				}
+				sv, did := tr.StoreValues[in.Label]
+				ops = append(ops, verify.Op{
+					Kind: in.Kind, Addr: in.AddrConst, Value: tr.LoadValues[in.Label],
+					Label: in.Label, SourceLabel: src,
+					DidStore: did, StoreValue: sv,
+				})
+			}
+		}
+		rec.Threads = append(rec.Threads, ops)
+	}
+	return rec, nil
+}

@@ -1,0 +1,175 @@
+package machine
+
+import (
+	"testing"
+
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/program"
+)
+
+// TestStoreBufferSubsetOfTSO: every trace of the store-buffer machine is
+// a behavior of the TSO model (Section 6's bypass formulation) — the
+// operational/axiomatic correspondence, over the whole corpus.
+func TestStoreBufferSubsetOfTSO(t *testing.T) {
+	const seeds = 80
+	m, _ := litmus.ModelByName("TSO")
+	for _, tc := range litmus.Registry() {
+		res, err := litmus.Run(tc, m)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		allowed := map[string]bool{}
+		for _, e := range res.Executions {
+			allowed[e.SourceKey()] = true
+		}
+		for seed := int64(0); seed < seeds; seed++ {
+			tr, err := RunTSO(tc.Build(), Config{Seed: seed})
+			if err != nil {
+				t.Fatalf("%s seed %d: %v", tc.Name, seed, err)
+			}
+			if !allowed[tr.SourceKey()] {
+				t.Errorf("%s seed %d: store-buffer machine produced %q, not a TSO behavior",
+					tc.Name, seed, tr.SourceKey())
+			}
+		}
+	}
+}
+
+// figure10Outcome is the non-atomic execution of Figure 10.
+var figure10Outcome = map[string]program.Value{"L4": 3, "L6": 5, "L9": 8, "L10": 1}
+
+// findFigure10Seed sweeps seeds for the Figure 10 outcome on the
+// store-buffer machine.
+func findFigure10Seed(t *testing.T) (*Trace, bool) {
+	t.Helper()
+	tc, _ := litmus.ByName("Figure10")
+	for seed := int64(0); seed < 3000; seed++ {
+		tr, err := RunTSO(tc.Build(), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		match := true
+		for l, v := range figure10Outcome {
+			if tr.LoadValues[l] != v {
+				match = false
+				break
+			}
+		}
+		if match {
+			return tr, true
+		}
+	}
+	return nil, false
+}
+
+// TestStoreBufferReachesFigure10 is the flagship operational experiment:
+// real store-buffer hardware produces the paper's non-serializable
+// execution — and that trace is rejected as a behavior of the naive TSO
+// formulation, operationally confirming Figure 11's center graph is
+// wrong.
+func TestStoreBufferReachesFigure10(t *testing.T) {
+	tr, ok := findFigure10Seed(t)
+	if !ok {
+		t.Fatal("store-buffer machine never produced the Figure 10 outcome in 3000 seeds")
+	}
+	// Both loads must have been satisfied from the buffer (their source
+	// is the same-thread store).
+	if tr.LoadSources["L4"] != "S3" || tr.LoadSources["L9"] != "S8" {
+		t.Errorf("expected buffered sources, got L4<-%s L9<-%s", tr.LoadSources["L4"], tr.LoadSources["L9"])
+	}
+	tc, _ := litmus.ByName("Figure10")
+	naive, _ := litmus.ModelByName("NaiveTSO")
+	res, err := litmus.Run(tc, naive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Executions {
+		if e.SourceKey() == tr.SourceKey() {
+			t.Fatal("naive TSO admits the store-buffer trace; it should not")
+		}
+	}
+}
+
+// TestStoreBufferSBOutcome: plain SB exhibits the relaxed outcome on this
+// machine (stores parked in buffers while both loads read memory).
+func TestStoreBufferSBOutcome(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	for seed := int64(0); seed < 500; seed++ {
+		tr, err := RunTSO(tc.Build(), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.LoadValues["Ly"] == 0 && tr.LoadValues["Lx"] == 0 {
+			return
+		}
+	}
+	t.Error("store-buffer machine never exhibited store buffering in 500 seeds")
+}
+
+// TestStoreBufferFenceDiscipline: fenced SB never shows the relaxed
+// outcome — the fence drains the buffer.
+func TestStoreBufferFenceDiscipline(t *testing.T) {
+	tc, _ := litmus.ByName("SB+Fences")
+	for seed := int64(0); seed < 300; seed++ {
+		tr, err := RunTSO(tc.Build(), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.LoadValues["Ly"] == 0 && tr.LoadValues["Lx"] == 0 {
+			t.Fatalf("seed %d: fence failed to drain the store buffer", seed)
+		}
+	}
+}
+
+// TestStoreBufferAtomicsSerialize: the CAS race has exactly one winner on
+// this machine too (atomics drain the buffer and act on coherence).
+func TestStoreBufferAtomicsSerialize(t *testing.T) {
+	tc, _ := litmus.ByName("CAS-Lock")
+	for seed := int64(0); seed < 300; seed++ {
+		tr, err := RunTSO(tc.Build(), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.LoadValues["A.cas"] == 0 && tr.LoadValues["B.cas"] == 0 {
+			t.Fatalf("seed %d: both CAS operations won", seed)
+		}
+	}
+}
+
+// TestStoreBufferBranches: loops work on the in-order machine.
+func TestStoreBufferBranches(t *testing.T) {
+	b := program.NewBuilder()
+	tb := b.Thread("A")
+	tb.Op(1, func([]program.Value) program.Value { return 2 })
+	body := tb.Len()
+	tb.StoreReg(program.X, 1)
+	tb.Op(1, func(a []program.Value) program.Value { return a[0] - 1 }, 1)
+	tb.Branch(1, body)
+	tb.Fence()
+	tb.LoadL("Lfinal", 2, program.X)
+	tr, err := RunTSO(b.Build(), Config{Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.LoadValues["Lfinal"] != 1 {
+		t.Errorf("final load = %d, want 1", tr.LoadValues["Lfinal"])
+	}
+}
+
+// TestStoreBufferDeterministic: same seed, same trace.
+func TestStoreBufferDeterministic(t *testing.T) {
+	tc, _ := litmus.ByName("Figure10")
+	for seed := int64(0); seed < 5; seed++ {
+		a, err := RunTSO(tc.Build(), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunTSO(tc.Build(), Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SourceKey() != b.SourceKey() {
+			t.Errorf("seed %d: nondeterministic", seed)
+		}
+	}
+}

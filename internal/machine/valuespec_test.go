@@ -1,0 +1,156 @@
+package machine
+
+import (
+	"testing"
+
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/verify"
+)
+
+// TestNaiveValuePredictionViolatesSC reproduces the Martin et al.
+// observation cited in the paper's introduction: a machine that predicts
+// load values without validating them produces executions outside the
+// memory model — even outside SC — and the Store Atomicity checker
+// catches them.
+func TestNaiveValuePredictionViolatesSC(t *testing.T) {
+	// Message passing: predicting the flag's eventual value 1 while the
+	// data load still reads the initial 0 fabricates the outcome SC
+	// forbids.
+	tc, _ := litmus.ByName("MP")
+	m, _ := litmus.ModelByName("SC")
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, e := range res.Executions {
+		allowed[e.SourceKey()] = true
+	}
+	escaped := 0
+	rejected := 0
+	for seed := int64(0); seed < 400; seed++ {
+		prog := tc.Build()
+		tr, err := Run(prog, Config{Policy: order.SC(), Seed: seed, ValuePredict: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if allowed[tr.SourceKey()] {
+			continue
+		}
+		escaped++
+		rec, err := RecordOf(prog, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := verify.Check(rec, order.SC(), verify.RulesABC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Accepted {
+			rejected++
+		}
+	}
+	if escaped == 0 {
+		t.Fatal("naive value prediction never escaped the SC behavior set in 400 seeds")
+	}
+	if rejected == 0 {
+		t.Error("the checker accepted every escaped trace; it should reject SC violations")
+	}
+	t.Logf("value prediction escaped SC in %d/400 runs; checker rejected %d of those", escaped, rejected)
+}
+
+// TestValuePredictionOffStaysContained is the control: without prediction
+// the SC machine never leaves the SC behavior set.
+func TestValuePredictionOffStaysContained(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	m, _ := litmus.ModelByName("SC")
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allowed := map[string]bool{}
+	for _, e := range res.Executions {
+		allowed[e.SourceKey()] = true
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		tr, err := Run(tc.Build(), Config{Policy: order.SC(), Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !allowed[tr.SourceKey()] {
+			t.Fatalf("seed %d escaped without value prediction", seed)
+		}
+	}
+}
+
+// TestTSOtoolMethodology closes the loop the paper attributes to TSOtool:
+// random hardware runs, post-hoc graph checking. Every store-buffer trace
+// must pass the TSO checker; the SB traces that exploited the buffer must
+// fail the SC checker.
+func TestTSOtoolMethodology(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	sawSCViolation := false
+	for seed := int64(0); seed < 300; seed++ {
+		prog := tc.Build()
+		tr, err := RunTSO(prog, Config{Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec, err := RecordOf(prog, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := verify.Check(rec, order.TSO(), verify.RulesABC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Accepted {
+			t.Fatalf("seed %d: TSO checker rejected a store-buffer trace: %s", seed, rep.Reason)
+		}
+		scRep, err := verify.Check(rec, order.SC(), verify.RulesABC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !scRep.Accepted {
+			sawSCViolation = true
+		}
+	}
+	if !sawSCViolation {
+		t.Error("no store-buffer trace violated SC in 300 seeds")
+	}
+}
+
+// TestRecordOfRoundTrip: records built from traces check cleanly against
+// the machine's own policy across the corpus (branch-free tests only).
+func TestRecordOfRoundTrip(t *testing.T) {
+	for _, tc := range litmus.Registry() {
+		prog := tc.Build()
+		hasBranch := false
+		for _, th := range prog.Threads {
+			for _, in := range th.Instrs {
+				if in.Kind == 1 /* Branch */ || in.UseAddrReg {
+					hasBranch = true
+				}
+			}
+		}
+		if hasBranch {
+			continue
+		}
+		tr, err := Run(prog, Config{Policy: order.Relaxed(), Seed: 11})
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		rec, err := RecordOf(prog, tr)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		rep, err := verify.Check(rec, order.Relaxed(), verify.RulesABC)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		if !rep.Accepted {
+			t.Errorf("%s: checker rejected a legitimate machine trace: %s", tc.Name, rep.Reason)
+		}
+	}
+}

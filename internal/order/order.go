@@ -1,0 +1,247 @@
+// Package order defines thread-local instruction-reordering axioms — the
+// "Instruction Reordering" half of the paper's title.
+//
+// A Policy answers, for an ordered pair of instructions (first earlier in
+// program order), whether program order must be preserved between them.
+// Data dependencies are not the policy's business: the execution engine
+// inserts dataflow edges from value producers to consumers, which realizes
+// every "indep" entry of the paper's Figure 1.
+//
+// The package ships the paper's weak table (Figure 1) plus Sequential
+// Consistency, SPARC TSO (with the Section 6 store→load bypass), a
+// deliberately broken "naive TSO" used to reproduce Figure 11's center
+// graph, and PSO. New models are one table literal away, which is the
+// paper's point: "it is easy to experiment with a broad range of memory
+// models simply by changing the requirements for instruction reordering."
+package order
+
+import (
+	"fmt"
+	"strings"
+
+	"storeatomicity/internal/program"
+)
+
+// Requirement classifies one cell of a reordering table.
+type Requirement uint8
+
+const (
+	// Free: the pair may always be reordered (a blank table entry).
+	Free Requirement = iota
+	// Always: the pair may never be reordered; the engine inserts a ≺
+	// edge ("never" entries).
+	Always
+	// SameAddr: the pair must stay ordered only when both operations
+	// address the same location ("x ≠ y" entries). When either address
+	// is register-indirect the requirement is resolved at runtime,
+	// which is where Section 5's aliasing subtleties live.
+	SameAddr
+	// Bypass: TSO's special same-thread Store→Load relationship
+	// (Section 6). When the Load observes that Store the pair carries
+	// no @ ordering at all (the grey edge of Figure 11); otherwise,
+	// if they alias, Store ≺ Load.
+	Bypass
+)
+
+// String implements fmt.Stringer using the paper's table vocabulary.
+func (r Requirement) String() string {
+	switch r {
+	case Free:
+		return "-"
+	case Always:
+		return "never"
+	case SameAddr:
+		return "x=y"
+	case Bypass:
+		return "bypass"
+	default:
+		return fmt.Sprintf("Requirement(%d)", uint8(r))
+	}
+}
+
+// Policy is a set of thread-local reordering axioms.
+type Policy interface {
+	// Name identifies the model in output and test expectations.
+	Name() string
+	// Require returns the constraint between an earlier instruction of
+	// kind first and a later instruction of kind second in the same
+	// thread.
+	Require(first, second program.Kind) Requirement
+}
+
+// Table is a Policy backed by a kind×kind requirement matrix indexed by
+// program.Kind. It is comparable and printable, and doubles as the
+// reproduction of Figure 1.
+type Table struct {
+	ModelName string
+	R         [program.KindCount][program.KindCount]Requirement
+}
+
+// Name implements Policy.
+func (t *Table) Name() string { return t.ModelName }
+
+// Require implements Policy.
+func (t *Table) Require(first, second program.Kind) Requirement {
+	return t.R[first][second]
+}
+
+// kindsInTableOrder lists kinds as Figure 1 orders them, with atomics
+// (this reproduction's extension) appended.
+var kindsInTableOrder = []program.Kind{
+	program.KindOp, program.KindBranch, program.KindLoad, program.KindStore, program.KindFence,
+	program.KindAtomic,
+}
+
+// strength orders requirements for combining: a pair involving an atomic
+// must satisfy the constraints of both its Load half and its Store half,
+// so the stronger cell wins.
+func strength(r Requirement) int {
+	switch r {
+	case Always:
+		return 3
+	case SameAddr:
+		return 2
+	case Bypass:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func stronger(a, b Requirement) Requirement {
+	if strength(a) >= strength(b) {
+		return a
+	}
+	return b
+}
+
+// deriveAtomicCells fills the KindAtomic row and column of a table by
+// combining the Load and Store cells: an atomic behaves as the union of a
+// Load and a Store, and a Bypass cell hardens to Always (real TSO atomics
+// drain the store buffer; there is no buffered RMW to bypass from).
+func deriveAtomicCells(t *Table) {
+	at := program.KindAtomic
+	combine := func(a, b Requirement) Requirement {
+		r := stronger(a, b)
+		if r == Bypass {
+			r = Always
+		}
+		return r
+	}
+	for _, k := range []program.Kind{program.KindOp, program.KindBranch, program.KindLoad, program.KindStore, program.KindFence} {
+		t.R[at][k] = combine(t.R[program.KindLoad][k], t.R[program.KindStore][k])
+		t.R[k][at] = combine(t.R[k][program.KindLoad], t.R[k][program.KindStore])
+	}
+	t.R[at][at] = combine(
+		combine(t.R[program.KindLoad][program.KindLoad], t.R[program.KindLoad][program.KindStore]),
+		combine(t.R[program.KindStore][program.KindLoad], t.R[program.KindStore][program.KindStore]),
+	)
+}
+
+// String renders the matrix in the layout of the paper's Figure 1:
+// rows are the first (earlier) instruction, columns the second. Cells show
+// "never", "x=y", "bypass", or "-" for freely reorderable; "indep" (data
+// dependence) entries are realized by dataflow edges and render as "-".
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-8s", t.ModelName)
+	for _, k := range kindsInTableOrder {
+		fmt.Fprintf(&b, "%-8s", k.String())
+	}
+	b.WriteString("\n")
+	for _, r := range kindsInTableOrder {
+		fmt.Fprintf(&b, "%-8s", r.String())
+		for _, c := range kindsInTableOrder {
+			fmt.Fprintf(&b, "%-8s", t.R[r][c].String())
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Relaxed returns the paper's running-example model: the weak reordering
+// axioms of Figure 1 (similar in spirit to PowerPC / SPARC RMO).
+//
+//	Branch → Store            : never reorder (stores are not speculated)
+//	Load/Store ↔ Fence        : never reorder
+//	Load→Store, Store→Load,
+//	Store→Store (same address): never reorder ("x ≠ y" cells)
+//	everything else           : freely reorderable (data deps aside)
+func Relaxed() *Table {
+	t := &Table{ModelName: "Relaxed"}
+	t.R[program.KindBranch][program.KindStore] = Always
+	t.R[program.KindLoad][program.KindFence] = Always
+	t.R[program.KindStore][program.KindFence] = Always
+	t.R[program.KindFence][program.KindLoad] = Always
+	t.R[program.KindFence][program.KindStore] = Always
+	t.R[program.KindLoad][program.KindStore] = SameAddr
+	t.R[program.KindStore][program.KindLoad] = SameAddr
+	t.R[program.KindStore][program.KindStore] = SameAddr
+	deriveAtomicCells(t)
+	return t
+}
+
+// SC returns Sequential Consistency: program order among memory operations
+// (and branches, so no speculation is observable) is preserved wholesale.
+// Arithmetic still reorders freely — invisible on a uniprocessor.
+func SC() *Table {
+	t := &Table{ModelName: "SC"}
+	mem := []program.Kind{program.KindLoad, program.KindStore, program.KindFence, program.KindBranch}
+	for _, a := range mem {
+		for _, b := range mem {
+			t.R[a][b] = Always
+		}
+	}
+	deriveAtomicCells(t)
+	return t
+}
+
+// TSO returns SPARC Total Store Order with the correct store→load bypass of
+// Section 6: the only relaxation is that a later Load may bypass an earlier
+// Store; a Load satisfied by a program-order-earlier local Store to the
+// same address carries no @ ordering with it.
+func TSO() *Table {
+	t := &Table{ModelName: "TSO"}
+	t.R[program.KindLoad][program.KindLoad] = Always
+	t.R[program.KindLoad][program.KindStore] = Always
+	t.R[program.KindStore][program.KindStore] = Always
+	t.R[program.KindStore][program.KindLoad] = Bypass
+	t.R[program.KindBranch][program.KindStore] = Always
+	t.R[program.KindBranch][program.KindLoad] = Always
+	for _, k := range []program.Kind{program.KindLoad, program.KindStore} {
+		t.R[k][program.KindFence] = Always
+		t.R[program.KindFence][k] = Always
+	}
+	deriveAtomicCells(t)
+	return t
+}
+
+// NaiveTSO returns the deliberately wrong formulation from the center of
+// Figure 11: store→load reordering is simply permitted (kept only for the
+// same address, like the relaxed table) with no special bypass treatment,
+// so a Load observing its own thread's earlier Store contributes a full @
+// source edge. Under this table the execution of Figure 10 is inconsistent
+// — the reproduction of the paper's argument that "simple
+// globally-applicable reordering rules cannot precisely capture" TSO.
+func NaiveTSO() *Table {
+	t := TSO()
+	t.ModelName = "NaiveTSO"
+	t.R[program.KindStore][program.KindLoad] = SameAddr
+	deriveAtomicCells(t)
+	return t
+}
+
+// PSO returns SPARC Partial Store Order: TSO plus store→store reordering
+// to different addresses.
+func PSO() *Table {
+	t := TSO()
+	t.ModelName = "PSO"
+	t.R[program.KindStore][program.KindStore] = SameAddr
+	deriveAtomicCells(t)
+	return t
+}
+
+// All returns the stock models, strongest first.
+func All() []*Table {
+	return []*Table{SC(), TSO(), PSO(), Relaxed()}
+}

@@ -1,0 +1,173 @@
+package order
+
+import (
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/program"
+)
+
+// TestFigure1Table pins every cell of the paper's Figure 1 (the Relaxed
+// table) — experiment E1. "indep" cells are dataflow's job and appear as
+// Free at the policy level; the three "x ≠ y" cells and the "never" cells
+// are the policy's.
+func TestFigure1Table(t *testing.T) {
+	tbl := Relaxed()
+	kinds := []program.Kind{program.KindOp, program.KindBranch, program.KindLoad, program.KindStore, program.KindFence}
+	want := map[[2]program.Kind]Requirement{
+		{program.KindBranch, program.KindStore}: Always,
+		{program.KindLoad, program.KindStore}:   SameAddr,
+		{program.KindStore, program.KindLoad}:   SameAddr,
+		{program.KindStore, program.KindStore}:  SameAddr,
+		{program.KindLoad, program.KindFence}:   Always,
+		{program.KindStore, program.KindFence}:  Always,
+		{program.KindFence, program.KindLoad}:   Always,
+		{program.KindFence, program.KindStore}:  Always,
+	}
+	for _, a := range kinds {
+		for _, b := range kinds {
+			exp := want[[2]program.Kind{a, b}] // zero value = Free
+			if got := tbl.Require(a, b); got != exp {
+				t.Errorf("Relaxed[%s][%s] = %s, want %s", a, b, got, exp)
+			}
+		}
+	}
+	// The paper: exactly three same-address cells.
+	sameAddr := 0
+	for _, a := range kinds {
+		for _, b := range kinds {
+			if tbl.Require(a, b) == SameAddr {
+				sameAddr++
+			}
+		}
+	}
+	if sameAddr != 3 {
+		t.Errorf("Relaxed table has %d x≠y cells, the paper specifies 3", sameAddr)
+	}
+}
+
+func TestSCOrdersAllMemoryPairs(t *testing.T) {
+	tbl := SC()
+	mem := []program.Kind{program.KindLoad, program.KindStore, program.KindFence, program.KindBranch}
+	for _, a := range mem {
+		for _, b := range mem {
+			if tbl.Require(a, b) != Always {
+				t.Errorf("SC[%s][%s] = %s, want never-reorder", a, b, tbl.Require(a, b))
+			}
+		}
+	}
+	if tbl.Require(program.KindOp, program.KindOp) != Free {
+		t.Error("SC should leave arithmetic free")
+	}
+}
+
+func TestTSORelaxesOnlyStoreLoad(t *testing.T) {
+	tbl := TSO()
+	if tbl.Require(program.KindStore, program.KindLoad) != Bypass {
+		t.Error("TSO store→load must be the bypass cell")
+	}
+	for _, pair := range [][2]program.Kind{
+		{program.KindLoad, program.KindLoad},
+		{program.KindLoad, program.KindStore},
+		{program.KindStore, program.KindStore},
+	} {
+		if tbl.Require(pair[0], pair[1]) != Always {
+			t.Errorf("TSO[%s][%s] must be ordered", pair[0], pair[1])
+		}
+	}
+}
+
+func TestPSORelaxesStoreStore(t *testing.T) {
+	tbl := PSO()
+	if tbl.Require(program.KindStore, program.KindStore) != SameAddr {
+		t.Error("PSO store→store must be same-address only")
+	}
+	if tbl.Require(program.KindLoad, program.KindLoad) != Always {
+		t.Error("PSO load→load must stay ordered")
+	}
+}
+
+func TestNaiveTSODiffersOnlyInBypass(t *testing.T) {
+	n, c := NaiveTSO(), TSO()
+	kinds := []program.Kind{program.KindOp, program.KindBranch, program.KindLoad, program.KindStore, program.KindFence}
+	for _, a := range kinds {
+		for _, b := range kinds {
+			got, want := n.Require(a, b), c.Require(a, b)
+			if a == program.KindStore && b == program.KindLoad {
+				if got != SameAddr {
+					t.Errorf("NaiveTSO store→load = %s, want same-address", got)
+				}
+				continue
+			}
+			if got != want {
+				t.Errorf("NaiveTSO[%s][%s] = %s, diverges from TSO's %s", a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestTableStringRendersFigure1(t *testing.T) {
+	s := Relaxed().String()
+	for _, frag := range []string{"Relaxed", "Op", "Branch", "Load", "Store", "Fence", "never", "x=y"} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("rendered table missing %q:\n%s", frag, s)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(s, "\n"), "\n")
+	if len(lines) != 7 {
+		t.Errorf("table renders %d lines, want header + 6 rows (Figure 1 kinds plus Atomic)", len(lines))
+	}
+}
+
+func TestRequirementString(t *testing.T) {
+	want := map[Requirement]string{Free: "-", Always: "never", SameAddr: "x=y", Bypass: "bypass"}
+	for r, s := range want {
+		if r.String() != s {
+			t.Errorf("%d -> %q want %q", r, r.String(), s)
+		}
+	}
+}
+
+// TestAtomicCellsDerived: atomics combine their Load and Store halves —
+// strongest constraint wins, and TSO's Bypass hardens to Always (atomics
+// drain the store buffer).
+func TestAtomicCellsDerived(t *testing.T) {
+	at := program.KindAtomic
+	r := Relaxed()
+	if r.Require(at, program.KindLoad) != SameAddr {
+		t.Errorf("Relaxed[Atomic][Load] = %s", r.Require(at, program.KindLoad))
+	}
+	if r.Require(at, program.KindStore) != SameAddr || r.Require(at, at) != SameAddr {
+		t.Error("Relaxed atomic store/atomic cells should be same-address")
+	}
+	if r.Require(at, program.KindFence) != Always || r.Require(program.KindFence, at) != Always {
+		t.Error("atomics must not cross fences")
+	}
+	if r.Require(program.KindBranch, at) != Always {
+		t.Error("atomics (store half) must not pass branches")
+	}
+	ts := TSO()
+	if ts.Require(at, program.KindLoad) != Always {
+		t.Errorf("TSO[Atomic][Load] = %s, want never (bypass hardens)", ts.Require(at, program.KindLoad))
+	}
+	if ts.Require(program.KindStore, at) != Always {
+		t.Errorf("TSO[Store][Atomic] = %s, want never", ts.Require(program.KindStore, at))
+	}
+	sc := SC()
+	if sc.Require(at, at) != Always {
+		t.Error("SC atomics fully ordered")
+	}
+}
+
+func TestAllModelsDistinctNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range All() {
+		if seen[m.Name()] {
+			t.Errorf("duplicate model name %s", m.Name())
+		}
+		seen[m.Name()] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("All() returned %d models", len(seen))
+	}
+}

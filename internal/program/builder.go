@@ -1,0 +1,187 @@
+package program
+
+import "fmt"
+
+// Builder assembles a Program thread by thread. It exists so litmus tests
+// read close to the paper's notation:
+//
+//	b := program.NewBuilder()
+//	a := b.Thread("A")
+//	a.Store(program.X, 1).Fence().Store(program.Y, 2)
+//	bt := b.Thread("B")
+//	bt.Load(1, program.Y).Fence().Load(2, program.X)
+//	p := b.Build()
+type Builder struct {
+	prog Program
+	// txCounter hands out transaction IDs across all threads.
+	txCounter int
+}
+
+// NewBuilder returns an empty Builder.
+func NewBuilder() *Builder {
+	return &Builder{prog: Program{Init: map[Addr]Value{}}}
+}
+
+// Init sets an initial memory value, modeled as a Store that precedes all
+// threads.
+func (b *Builder) Init(a Addr, v Value) *Builder {
+	b.prog.Init[a] = v
+	return b
+}
+
+// Thread appends a new empty thread and returns its builder.
+func (b *Builder) Thread(name string) *ThreadBuilder {
+	b.prog.Threads = append(b.prog.Threads, Thread{Name: name})
+	return &ThreadBuilder{b: b, idx: len(b.prog.Threads) - 1}
+}
+
+// Build returns the assembled program. The Builder must not be reused after
+// Build; thread builders alias its storage.
+func (b *Builder) Build() *Program {
+	p := b.prog
+	return &p
+}
+
+// ThreadBuilder appends instructions to one thread. All methods return the
+// receiver for chaining.
+type ThreadBuilder struct {
+	b         *Builder
+	idx       int
+	currentTx int
+}
+
+func (t *ThreadBuilder) add(in Instr) *ThreadBuilder {
+	th := &t.b.prog.Threads[t.idx]
+	if in.Label == "" {
+		in.Label = fmt.Sprintf("%s%d", t.b.prog.Threads[t.idx].Name, len(th.Instrs))
+	}
+	in.Tx = t.currentTx
+	th.Instrs = append(th.Instrs, in)
+	return t
+}
+
+// TxBegin opens a transaction: subsequent instructions (until TxEnd) form
+// one atomic group. Transactions do not nest.
+func (t *ThreadBuilder) TxBegin() *ThreadBuilder {
+	t.b.txCounter++
+	t.currentTx = t.b.txCounter
+	return t
+}
+
+// TxEnd closes the open transaction.
+func (t *ThreadBuilder) TxEnd() *ThreadBuilder {
+	t.currentTx = 0
+	return t
+}
+
+// Len reports how many instructions the thread holds so far; useful for
+// computing branch targets.
+func (t *ThreadBuilder) Len() int { return len(t.b.prog.Threads[t.idx].Instrs) }
+
+// Raw appends a fully formed instruction (used by the litmus text
+// parser). The usual auto-labeling and transaction stamping still apply.
+func (t *ThreadBuilder) Raw(in Instr) *ThreadBuilder { return t.add(in) }
+
+// Load appends "dest = L addr".
+func (t *ThreadBuilder) Load(dest Reg, addr Addr) *ThreadBuilder {
+	return t.add(Instr{Kind: KindLoad, Dest: dest, AddrConst: addr})
+}
+
+// LoadL is Load with an explicit paper-style label.
+func (t *ThreadBuilder) LoadL(label string, dest Reg, addr Addr) *ThreadBuilder {
+	return t.add(Instr{Kind: KindLoad, Dest: dest, AddrConst: addr, Label: label})
+}
+
+// LoadInd appends a register-indirect load "dest = L [addrReg]".
+func (t *ThreadBuilder) LoadInd(dest Reg, addrReg Reg) *ThreadBuilder {
+	return t.add(Instr{Kind: KindLoad, Dest: dest, UseAddrReg: true, AddrReg: addrReg})
+}
+
+// LoadIndL is LoadInd with a label.
+func (t *ThreadBuilder) LoadIndL(label string, dest Reg, addrReg Reg) *ThreadBuilder {
+	return t.add(Instr{Kind: KindLoad, Dest: dest, UseAddrReg: true, AddrReg: addrReg, Label: label})
+}
+
+// Store appends "S addr, v".
+func (t *ThreadBuilder) Store(addr Addr, v Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindStore, AddrConst: addr, ValConst: v})
+}
+
+// StoreL is Store with a label.
+func (t *ThreadBuilder) StoreL(label string, addr Addr, v Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindStore, AddrConst: addr, ValConst: v, Label: label})
+}
+
+// StoreReg appends "S addr, rv" with the data taken from a register.
+func (t *ThreadBuilder) StoreReg(addr Addr, v Reg) *ThreadBuilder {
+	return t.add(Instr{Kind: KindStore, AddrConst: addr, UseValReg: true, ValReg: v})
+}
+
+// StoreInd appends "S [addrReg], v" — the address comes from a register,
+// the key ingredient of the Section 5 aliasing study.
+func (t *ThreadBuilder) StoreInd(addrReg Reg, v Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindStore, UseAddrReg: true, AddrReg: addrReg, ValConst: v})
+}
+
+// StoreIndL is StoreInd with a label.
+func (t *ThreadBuilder) StoreIndL(label string, addrReg Reg, v Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindStore, UseAddrReg: true, AddrReg: addrReg, ValConst: v, Label: label})
+}
+
+// Fence appends a full memory fence.
+func (t *ThreadBuilder) Fence() *ThreadBuilder {
+	return t.add(Instr{Kind: KindFence})
+}
+
+// Membar appends a partial fence ordering exactly the kind pairs selected
+// by mask (Barrier* bits), in the style of SPARC MEMBAR.
+func (t *ThreadBuilder) Membar(mask uint8) *ThreadBuilder {
+	return t.add(Instr{Kind: KindFence, FenceMask: mask})
+}
+
+// MembarL is Membar with a label.
+func (t *ThreadBuilder) MembarL(label string, mask uint8) *ThreadBuilder {
+	return t.add(Instr{Kind: KindFence, FenceMask: mask, Label: label})
+}
+
+// Op appends "dest = fn(args...)".
+func (t *ThreadBuilder) Op(dest Reg, fn OpFunc, args ...Reg) *ThreadBuilder {
+	return t.add(Instr{Kind: KindOp, Dest: dest, Fn: fn, Args: args})
+}
+
+// Branch appends a conditional branch to target (an instruction index in
+// this thread) taken when cond != 0.
+func (t *ThreadBuilder) Branch(cond Reg, target int) *ThreadBuilder {
+	return t.add(Instr{Kind: KindBranch, CondReg: cond, Target: target})
+}
+
+// CAS appends "dest = CAS addr, expect -> new": atomically load addr into
+// dest and, if the value equals expect, store new.
+func (t *ThreadBuilder) CAS(dest Reg, addr Addr, expect, newVal Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindAtomic, Atomic: AtomicCAS, Dest: dest, AddrConst: addr, Expect: expect, ValConst: newVal})
+}
+
+// CASL is CAS with a label.
+func (t *ThreadBuilder) CASL(label string, dest Reg, addr Addr, expect, newVal Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindAtomic, Atomic: AtomicCAS, Dest: dest, AddrConst: addr, Expect: expect, ValConst: newVal, Label: label})
+}
+
+// Swap appends "dest = Swap addr, v": atomically exchange.
+func (t *ThreadBuilder) Swap(dest Reg, addr Addr, v Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindAtomic, Atomic: AtomicSwap, Dest: dest, AddrConst: addr, ValConst: v})
+}
+
+// SwapL is Swap with a label.
+func (t *ThreadBuilder) SwapL(label string, dest Reg, addr Addr, v Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindAtomic, Atomic: AtomicSwap, Dest: dest, AddrConst: addr, ValConst: v, Label: label})
+}
+
+// FetchAdd appends "dest = FetchAdd addr, delta": atomically add.
+func (t *ThreadBuilder) FetchAdd(dest Reg, addr Addr, delta Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindAtomic, Atomic: AtomicAdd, Dest: dest, AddrConst: addr, ValConst: delta})
+}
+
+// FetchAddL is FetchAdd with a label.
+func (t *ThreadBuilder) FetchAddL(label string, dest Reg, addr Addr, delta Value) *ThreadBuilder {
+	return t.add(Instr{Kind: KindAtomic, Atomic: AtomicAdd, Dest: dest, AddrConst: addr, ValConst: delta, Label: label})
+}

@@ -1,0 +1,402 @@
+// Package program defines the instruction set, threads, and programs
+// interpreted by the memory-model framework.
+//
+// The instruction set follows Section 2 of Arvind & Maessen (ISCA 2006):
+// Loads, Stores, Fences, arithmetic operations ("+, etc."), and Branches.
+// Addresses and values flow through an unbounded register file; memory
+// addresses may be constants (the common litmus-test case) or come from
+// registers (needed for the address-aliasing study of Section 5).
+package program
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Addr names a memory location. Litmus tests conventionally use single
+// letters ("x", "y", "z"); the framework treats addresses as opaque values,
+// so an Addr is also a legal register Value (pointers live in memory).
+type Addr int32
+
+// Value is the data manipulated by instructions. Addresses are embedded in
+// the low half so that a Load can produce an address for a later
+// register-indirect access.
+type Value int64
+
+// AddrValue converts an address into a storable/loadable value, so programs
+// can traffic in pointers (Section 5's aliasing example stores the address
+// of y into x).
+func AddrValue(a Addr) Value { return Value(a) }
+
+// ValueAddr converts a loaded value back into an address for a
+// register-indirect Load or Store.
+func ValueAddr(v Value) Addr { return Addr(v) }
+
+// Reg names a virtual register. Register renaming is unbounded (the paper
+// ignores resource limits), so registers are write-once within a thread in
+// practice; re-assignment simply rebinds the name.
+type Reg int32
+
+// Kind discriminates instruction types. It mirrors the rows/columns of the
+// paper's Figure 1 reordering table.
+type Kind uint8
+
+const (
+	// KindOp is an arithmetic/logical operation ("+, etc." in Figure 1).
+	KindOp Kind = iota
+	// KindBranch is a conditional branch. Stores never move across
+	// branches (speculative stores are invisible until resolution).
+	KindBranch
+	// KindLoad reads memory.
+	KindLoad
+	// KindStore writes memory.
+	KindStore
+	// KindFence orders all earlier memory operations before all later
+	// ones.
+	KindFence
+	// KindAtomic is an atomic read-modify-write (Compare-and-Swap,
+	// Swap, or Fetch-and-Add): a Load and Store combined into one
+	// indivisible operation, as discussed in the paper's conclusions.
+	KindAtomic
+
+	// KindCount is the number of instruction kinds (for table sizing).
+	KindCount = int(KindAtomic) + 1
+)
+
+// AtomicKind selects the read-modify-write flavor of a KindAtomic
+// instruction.
+type AtomicKind uint8
+
+const (
+	// AtomicCAS compares the loaded value with Expect; on match it
+	// stores the operand, otherwise it stores nothing. Dest receives
+	// the loaded value either way.
+	AtomicCAS AtomicKind = iota
+	// AtomicSwap unconditionally stores the operand; Dest receives the
+	// previous value.
+	AtomicSwap
+	// AtomicAdd stores loaded+operand; Dest receives the previous
+	// value.
+	AtomicAdd
+)
+
+// String implements fmt.Stringer.
+func (a AtomicKind) String() string {
+	switch a {
+	case AtomicCAS:
+		return "CAS"
+	case AtomicSwap:
+		return "Swap"
+	case AtomicAdd:
+		return "FetchAdd"
+	default:
+		return fmt.Sprintf("AtomicKind(%d)", uint8(a))
+	}
+}
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindOp:
+		return "Op"
+	case KindBranch:
+		return "Branch"
+	case KindLoad:
+		return "Load"
+	case KindStore:
+		return "Store"
+	case KindFence:
+		return "Fence"
+	case KindAtomic:
+		return "Atomic"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// OpFunc computes an arithmetic instruction's result from its operands.
+type OpFunc func(args []Value) Value
+
+// Partial-fence mask bits (SPARC MEMBAR-style). Combine with |. An
+// Atomic counts as both a Load and a Store on either side of a fence.
+const (
+	// BarrierLL orders earlier Loads before later Loads.
+	BarrierLL uint8 = 1 << iota
+	// BarrierLS orders earlier Loads before later Stores.
+	BarrierLS
+	// BarrierSL orders earlier Stores before later Loads (the
+	// expensive one: it is what SB/Dekker needs).
+	BarrierSL
+	// BarrierSS orders earlier Stores before later Stores.
+	BarrierSS
+
+	// BarrierAll is every pair; semantically a full fence expressed
+	// pairwise.
+	BarrierAll = BarrierLL | BarrierLS | BarrierSL | BarrierSS
+)
+
+// MaskOrders reports whether a fence mask orders an earlier instruction
+// of kind first before a later instruction of kind second. Atomics match
+// both sides; non-memory kinds never match.
+func MaskOrders(mask uint8, first, second Kind) bool {
+	side := func(k Kind, loadBit, storeBit uint8) uint8 {
+		switch k {
+		case KindLoad:
+			return loadBit
+		case KindStore:
+			return storeBit
+		case KindAtomic:
+			return loadBit | storeBit
+		default:
+			return 0
+		}
+	}
+	// Build the set of pairs (first→second) selected by the operand
+	// kinds and intersect with the mask.
+	var pairs uint8
+	f := side(first, 1, 2)  // 1 = load side, 2 = store side
+	s := side(second, 1, 2) // same encoding
+	if f&1 != 0 && s&1 != 0 {
+		pairs |= BarrierLL
+	}
+	if f&1 != 0 && s&2 != 0 {
+		pairs |= BarrierLS
+	}
+	if f&2 != 0 && s&1 != 0 {
+		pairs |= BarrierSL
+	}
+	if f&2 != 0 && s&2 != 0 {
+		pairs |= BarrierSS
+	}
+	return mask&pairs != 0
+}
+
+// Instr is one instruction in a thread's program text. Which fields are
+// meaningful depends on Kind:
+//
+//	Load:   Dest, AddrConst or AddrReg
+//	Store:  AddrConst or AddrReg, ValConst or ValReg
+//	Op:     Dest, Args, Fn
+//	Branch: CondReg, Target (taken when condition value != 0)
+//	Fence:  nothing
+type Instr struct {
+	Kind Kind
+
+	// Dest receives a Load's or Op's result.
+	Dest Reg
+
+	// UseAddrReg selects register-indirect addressing for Load/Store.
+	UseAddrReg bool
+	AddrConst  Addr
+	AddrReg    Reg
+
+	// UseValReg selects the register source for a Store's data.
+	UseValReg bool
+	ValConst  Value
+	ValReg    Reg
+
+	// Args and Fn describe an Op.
+	Args []Reg
+	Fn   OpFunc
+
+	// CondReg and Target describe a Branch: if the condition register is
+	// non-zero the thread's PC becomes Target, otherwise it falls
+	// through. Target indexes into the thread's instruction slice.
+	CondReg Reg
+	Target  int
+
+	// Atomic and Expect describe a KindAtomic instruction: the flavor
+	// and (for CAS) the comparison value. The operand — the CAS
+	// replacement, Swap value, or Add delta — travels in
+	// ValConst/ValReg; Dest receives the loaded (old) value.
+	Atomic AtomicKind
+	Expect Value
+
+	// FenceMask selects which kind pairs a KindFence orders, in the
+	// style of the SPARC MEMBAR instruction. Zero means a full fence
+	// (all four pairs, plus fence-to-fence ordering). A nonzero mask
+	// orders exactly the selected pairs: an earlier operation matching
+	// a pair's first side precedes every later operation matching its
+	// second side.
+	FenceMask uint8
+
+	// Tx groups the instruction into a transaction (0 = none). All
+	// memory operations sharing a nonzero Tx must appear contiguously
+	// in a serialization for the execution to be transactionally
+	// atomic; see the txn package.
+	Tx int
+
+	// Label is an optional human-readable tag ("L5", "S3") used in
+	// diagnostics; the paper numbers operations this way.
+	Label string
+}
+
+// IsMemory reports whether the instruction reads or writes memory.
+func (i Instr) IsMemory() bool {
+	return i.Kind == KindLoad || i.Kind == KindStore || i.Kind == KindAtomic
+}
+
+// String renders the instruction roughly in the paper's notation.
+func (i Instr) String() string {
+	pre := ""
+	if i.Label != "" {
+		pre = i.Label + ": "
+	}
+	switch i.Kind {
+	case KindLoad:
+		if i.UseAddrReg {
+			return fmt.Sprintf("%sr%d = L [r%d]", pre, i.Dest, i.AddrReg)
+		}
+		return fmt.Sprintf("%sr%d = L %s", pre, i.Dest, addrName(i.AddrConst))
+	case KindStore:
+		a := addrName(i.AddrConst)
+		if i.UseAddrReg {
+			a = fmt.Sprintf("[r%d]", i.AddrReg)
+		}
+		if i.UseValReg {
+			return fmt.Sprintf("%sS %s, r%d", pre, a, i.ValReg)
+		}
+		return fmt.Sprintf("%sS %s, %d", pre, a, i.ValConst)
+	case KindFence:
+		if i.FenceMask != 0 {
+			sides := ""
+			for _, p := range []struct {
+				bit  uint8
+				name string
+			}{{BarrierLL, "LL"}, {BarrierLS, "LS"}, {BarrierSL, "SL"}, {BarrierSS, "SS"}} {
+				if i.FenceMask&p.bit != 0 {
+					if sides != "" {
+						sides += "|"
+					}
+					sides += p.name
+				}
+			}
+			return pre + "Membar(" + sides + ")"
+		}
+		return pre + "Fence"
+	case KindBranch:
+		return fmt.Sprintf("%sBr r%d -> %d", pre, i.CondReg, i.Target)
+	case KindAtomic:
+		a := addrName(i.AddrConst)
+		if i.UseAddrReg {
+			a = fmt.Sprintf("[r%d]", i.AddrReg)
+		}
+		op := fmt.Sprintf("%d", i.ValConst)
+		if i.UseValReg {
+			op = fmt.Sprintf("r%d", i.ValReg)
+		}
+		if i.Atomic == AtomicCAS {
+			return fmt.Sprintf("%sr%d = CAS %s, %d -> %s", pre, i.Dest, a, i.Expect, op)
+		}
+		return fmt.Sprintf("%sr%d = %s %s, %s", pre, i.Dest, i.Atomic, a, op)
+	case KindOp:
+		parts := make([]string, len(i.Args))
+		for k, r := range i.Args {
+			parts[k] = fmt.Sprintf("r%d", r)
+		}
+		return fmt.Sprintf("%sr%d = op(%s)", pre, i.Dest, strings.Join(parts, ","))
+	default:
+		return pre + "?"
+	}
+}
+
+// addrName prints small addresses as the conventional litmus letters.
+func addrName(a Addr) string {
+	names := [...]string{"x", "y", "z", "w", "u", "v"}
+	if int(a) >= 0 && int(a) < len(names) {
+		return names[a]
+	}
+	return fmt.Sprintf("m%d", a)
+}
+
+// Conventional litmus addresses.
+const (
+	X Addr = 0
+	Y Addr = 1
+	Z Addr = 2
+	W Addr = 3
+	U Addr = 4
+	V Addr = 5
+)
+
+// Thread is an ordered list of instructions. Program order matters only in
+// that it induces the ≺ relation via the reordering axioms.
+type Thread struct {
+	// Name identifies the thread in diagnostics ("A", "B", ...).
+	Name   string
+	Instrs []Instr
+}
+
+// Program is a set of threads plus the initial memory image. Memory is
+// initialized with Store operations before any thread starts (Section 4),
+// which guarantees candidates(L) is never empty; locations absent from Init
+// implicitly hold zero.
+type Program struct {
+	Threads []Thread
+
+	// Init lists locations with non-zero initial contents. Every address
+	// referenced by a constant-address instruction is initialized
+	// (implicitly to 0) by the engine.
+	Init map[Addr]Value
+}
+
+// Addresses returns every address referenced by a constant-address memory
+// instruction or by Init, in ascending order. Register-indirect addresses
+// are discovered at execution time and must resolve to one of these (or be
+// added through Init).
+func (p *Program) Addresses() []Addr {
+	seen := map[Addr]bool{}
+	for _, t := range p.Threads {
+		for _, in := range t.Instrs {
+			if in.IsMemory() && !in.UseAddrReg {
+				seen[in.AddrConst] = true
+			}
+		}
+	}
+	for a := range p.Init {
+		seen[a] = true
+	}
+	out := make([]Addr, 0, len(seen))
+	for a := range seen {
+		out = append(out, a)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// MemOps counts memory instructions across all threads; enumeration cost is
+// exponential in this number, so callers use it to sanity-check test sizes.
+func (p *Program) MemOps() int {
+	n := 0
+	for _, t := range p.Threads {
+		for _, in := range t.Instrs {
+			if in.IsMemory() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// String renders the program as side-by-side thread listings.
+func (p *Program) String() string {
+	var b strings.Builder
+	for ti, t := range p.Threads {
+		if ti > 0 {
+			b.WriteString("\n")
+		}
+		name := t.Name
+		if name == "" {
+			name = fmt.Sprintf("T%d", ti)
+		}
+		fmt.Fprintf(&b, "Thread %s:\n", name)
+		for _, in := range t.Instrs {
+			fmt.Fprintf(&b, "  %s\n", in.String())
+		}
+	}
+	return b.String()
+}

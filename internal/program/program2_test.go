@@ -1,0 +1,152 @@
+package program
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestAtomicInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Kind: KindAtomic, Atomic: AtomicCAS, Dest: 1, AddrConst: X, Expect: 0, ValConst: 5}, "r1 = CAS x, 0 -> 5"},
+		{Instr{Kind: KindAtomic, Atomic: AtomicSwap, Dest: 2, AddrConst: Y, ValConst: 3}, "r2 = Swap y, 3"},
+		{Instr{Kind: KindAtomic, Atomic: AtomicAdd, Dest: 3, AddrConst: Z, UseValReg: true, ValReg: 4}, "r3 = FetchAdd z, r4"},
+		{Instr{Kind: KindAtomic, Atomic: AtomicSwap, Dest: 2, UseAddrReg: true, AddrReg: 7, ValConst: 3}, "r2 = Swap [r7], 3"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestMembarInstrString(t *testing.T) {
+	in := Instr{Kind: KindFence, FenceMask: BarrierSL | BarrierSS}
+	if got := in.String(); got != "Membar(SL|SS)" {
+		t.Errorf("got %q", got)
+	}
+	all := Instr{Kind: KindFence, FenceMask: BarrierAll}
+	if got := all.String(); got != "Membar(LL|LS|SL|SS)" {
+		t.Errorf("got %q", got)
+	}
+}
+
+func TestAtomicKindString(t *testing.T) {
+	want := map[AtomicKind]string{AtomicCAS: "CAS", AtomicSwap: "Swap", AtomicAdd: "FetchAdd"}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d -> %q", k, k.String())
+		}
+	}
+	if !strings.Contains(AtomicKind(9).String(), "9") {
+		t.Error("unknown atomic kind should render its number")
+	}
+	if !strings.Contains(Kind(9).String(), "9") {
+		t.Error("unknown kind should render its number")
+	}
+	if KindAtomic.String() != "Atomic" {
+		t.Error("KindAtomic renders wrong")
+	}
+}
+
+func TestMaskOrdersTable(t *testing.T) {
+	cases := []struct {
+		mask          uint8
+		first, second Kind
+		want          bool
+	}{
+		{BarrierSL, KindStore, KindLoad, true},
+		{BarrierSL, KindLoad, KindStore, false},
+		{BarrierSL, KindStore, KindStore, false},
+		{BarrierLL, KindLoad, KindLoad, true},
+		{BarrierLL | BarrierSS, KindLoad, KindStore, false}, // the transitivity trap
+		{BarrierLL | BarrierSS, KindStore, KindStore, true},
+		{BarrierLS, KindLoad, KindStore, true},
+		{BarrierAll, KindStore, KindLoad, true},
+		{BarrierSL, KindAtomic, KindLoad, true}, // atomic's store side
+		{BarrierLL, KindAtomic, KindAtomic, true},
+		{BarrierSS, KindFence, KindStore, false}, // non-memory never matches
+		{BarrierSS, KindStore, KindOp, false},
+	}
+	for _, c := range cases {
+		if got := MaskOrders(c.mask, c.first, c.second); got != c.want {
+			t.Errorf("MaskOrders(%04b, %s, %s) = %v, want %v", c.mask, c.first, c.second, got, c.want)
+		}
+	}
+}
+
+// TestMaskOrdersSubsetMonotone: adding bits to a mask never removes an
+// ordering (property test).
+func TestMaskOrdersSubsetMonotone(t *testing.T) {
+	kinds := []Kind{KindLoad, KindStore, KindAtomic, KindFence, KindOp}
+	f := func(mask, extra uint8) bool {
+		mask &= BarrierAll
+		extra &= BarrierAll
+		for _, a := range kinds {
+			for _, b := range kinds {
+				if MaskOrders(mask, a, b) && !MaskOrders(mask|extra, a, b) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBuilderAtomicsAndMembar(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread("A")
+	tb.CAS(1, X, 0, 1).CASL("c", 2, Y, 5, 6).
+		Swap(3, Z, 7).SwapL("s", 4, Z, 8).
+		FetchAdd(5, W, 1).FetchAddL("f", 6, W, 2).
+		Membar(BarrierSL).MembarL("m", BarrierLL).
+		Raw(Instr{Kind: KindFence})
+	p := b.Build()
+	ins := p.Threads[0].Instrs
+	if len(ins) != 9 {
+		t.Fatalf("%d instrs", len(ins))
+	}
+	if ins[0].Atomic != AtomicCAS || ins[1].Label != "c" || ins[1].Expect != 5 {
+		t.Error("CAS wiring wrong")
+	}
+	if ins[2].Atomic != AtomicSwap || ins[4].Atomic != AtomicAdd {
+		t.Error("swap/add wiring wrong")
+	}
+	if ins[6].FenceMask != BarrierSL || ins[7].Label != "m" {
+		t.Error("membar wiring wrong")
+	}
+	if !ins[0].IsMemory() {
+		t.Error("atomics are memory ops")
+	}
+}
+
+func TestBuilderTransactions(t *testing.T) {
+	b := NewBuilder()
+	ta := b.Thread("A")
+	ta.Store(X, 1)
+	ta.TxBegin().Store(Y, 2).Load(1, Y).TxEnd()
+	ta.Store(Z, 3)
+	tb := b.Thread("B")
+	tb.TxBegin().Store(X, 9).TxEnd()
+	p := b.Build()
+	a := p.Threads[0].Instrs
+	if a[0].Tx != 0 || a[1].Tx == 0 || a[2].Tx != a[1].Tx || a[3].Tx != 0 {
+		t.Errorf("tx stamps: %d %d %d %d", a[0].Tx, a[1].Tx, a[2].Tx, a[3].Tx)
+	}
+	if p.Threads[1].Instrs[0].Tx == a[1].Tx {
+		t.Error("transactions in different threads share an ID")
+	}
+}
+
+func TestAddrNameFallback(t *testing.T) {
+	in := Instr{Kind: KindStore, AddrConst: Addr(42), ValConst: 1}
+	if !strings.Contains(in.String(), "m42") {
+		t.Errorf("numbered address renders %q", in.String())
+	}
+}

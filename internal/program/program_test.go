@@ -1,0 +1,160 @@
+package program
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuilderAssemblesThreads(t *testing.T) {
+	b := NewBuilder()
+	b.Init(Z, 7)
+	ta := b.Thread("A")
+	ta.Store(X, 1).Fence().Load(1, Y)
+	tb := b.Thread("B")
+	tb.Load(2, X).StoreReg(Y, 2)
+	p := b.Build()
+
+	if len(p.Threads) != 2 {
+		t.Fatalf("%d threads", len(p.Threads))
+	}
+	if got := len(p.Threads[0].Instrs); got != 3 {
+		t.Errorf("thread A has %d instrs", got)
+	}
+	if p.Init[Z] != 7 {
+		t.Error("init lost")
+	}
+	if p.Threads[0].Instrs[0].Kind != KindStore || p.Threads[0].Instrs[1].Kind != KindFence {
+		t.Error("instruction kinds wrong")
+	}
+	if !p.Threads[1].Instrs[1].UseValReg || p.Threads[1].Instrs[1].ValReg != 2 {
+		t.Error("StoreReg wiring wrong")
+	}
+}
+
+func TestBuilderAutoLabels(t *testing.T) {
+	b := NewBuilder()
+	b.Thread("A").Store(X, 1).Load(1, Y)
+	p := b.Build()
+	if p.Threads[0].Instrs[0].Label != "A0" || p.Threads[0].Instrs[1].Label != "A1" {
+		t.Errorf("labels %q %q", p.Threads[0].Instrs[0].Label, p.Threads[0].Instrs[1].Label)
+	}
+	b2 := NewBuilder()
+	b2.Thread("A").StoreL("mine", X, 1)
+	if b2.Build().Threads[0].Instrs[0].Label != "mine" {
+		t.Error("explicit label overridden")
+	}
+}
+
+func TestAddressesSortedAndComplete(t *testing.T) {
+	b := NewBuilder()
+	b.Init(W, 1)
+	b.Thread("A").Store(Z, 1).Load(1, X)
+	p := b.Build()
+	got := p.Addresses()
+	want := []Addr{X, Z, W}
+	if len(got) != len(want) {
+		t.Fatalf("addresses %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("addresses %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAddressesIgnoresIndirect(t *testing.T) {
+	b := NewBuilder()
+	b.Thread("A").Load(1, X).LoadInd(2, 1)
+	got := b.Build().Addresses()
+	if len(got) != 1 || got[0] != X {
+		t.Errorf("addresses %v, want [X] (indirect targets are dynamic)", got)
+	}
+}
+
+func TestMemOps(t *testing.T) {
+	b := NewBuilder()
+	b.Thread("A").Store(X, 1).Fence().Load(1, Y).Op(2, nil, 1)
+	b.Thread("B").Load(3, X)
+	if got := b.Build().MemOps(); got != 3 {
+		t.Errorf("MemOps = %d, want 3", got)
+	}
+}
+
+func TestInstrString(t *testing.T) {
+	cases := []struct {
+		in   Instr
+		want string
+	}{
+		{Instr{Kind: KindLoad, Dest: 1, AddrConst: X}, "r1 = L x"},
+		{Instr{Kind: KindLoad, Dest: 2, UseAddrReg: true, AddrReg: 3}, "r2 = L [r3]"},
+		{Instr{Kind: KindStore, AddrConst: Y, ValConst: 5}, "S y, 5"},
+		{Instr{Kind: KindStore, AddrConst: Y, UseValReg: true, ValReg: 4}, "S y, r4"},
+		{Instr{Kind: KindStore, UseAddrReg: true, AddrReg: 6, ValConst: 7}, "S [r6], 7"},
+		{Instr{Kind: KindFence}, "Fence"},
+		{Instr{Kind: KindBranch, CondReg: 1, Target: 3}, "Br r1 -> 3"},
+		{Instr{Kind: KindOp, Dest: 5, Args: []Reg{1, 2}}, "r5 = op(r1,r2)"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+	labeled := Instr{Kind: KindFence, Label: "F1"}
+	if got := labeled.String(); got != "F1: Fence" {
+		t.Errorf("labeled fence renders %q", got)
+	}
+}
+
+func TestProgramString(t *testing.T) {
+	b := NewBuilder()
+	b.Thread("A").Store(X, 1)
+	b.Thread("").Load(1, X)
+	s := b.Build().String()
+	if !strings.Contains(s, "Thread A:") || !strings.Contains(s, "Thread T1:") {
+		t.Errorf("program rendering:\n%s", s)
+	}
+}
+
+func TestAddrValueRoundTrip(t *testing.T) {
+	for _, a := range []Addr{X, Y, Z, W, U, V, Addr(123)} {
+		if ValueAddr(AddrValue(a)) != a {
+			t.Errorf("round trip failed for %d", a)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	want := map[Kind]string{
+		KindOp: "Op", KindBranch: "Branch", KindLoad: "Load", KindStore: "Store", KindFence: "Fence",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%v", k)
+		}
+	}
+}
+
+func TestIsMemory(t *testing.T) {
+	if !(Instr{Kind: KindLoad}).IsMemory() || !(Instr{Kind: KindStore}).IsMemory() {
+		t.Error("loads/stores are memory ops")
+	}
+	if (Instr{Kind: KindFence}).IsMemory() || (Instr{Kind: KindOp}).IsMemory() {
+		t.Error("fence/op are not memory ops")
+	}
+}
+
+func TestThreadBuilderLenAndBranch(t *testing.T) {
+	b := NewBuilder()
+	tb := b.Thread("A")
+	tb.Op(1, nil)
+	if tb.Len() != 1 {
+		t.Errorf("Len = %d", tb.Len())
+	}
+	target := tb.Len()
+	tb.Store(X, 1).Branch(1, target)
+	p := b.Build()
+	br := p.Threads[0].Instrs[2]
+	if br.Kind != KindBranch || br.Target != 1 || br.CondReg != 1 {
+		t.Errorf("branch wiring %+v", br)
+	}
+}

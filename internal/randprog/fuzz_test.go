@@ -1,0 +1,257 @@
+package randprog
+
+import (
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/machine"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/serial"
+	"storeatomicity/internal/verify"
+)
+
+const fuzzPrograms = 60
+
+// enumerate is a helper with a budget suited to fuzz-sized programs.
+func enumerate(t *testing.T, seed int64, pol order.Policy) *core.Result {
+	t.Helper()
+	p := Generate(Config{Seed: seed})
+	res, err := core.Enumerate(p, pol, core.Options{})
+	if err != nil {
+		t.Fatalf("seed %d under %s: %v", seed, pol.Name(), err)
+	}
+	return res
+}
+
+func keySet(res *core.Result) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range res.Executions {
+		out[e.SourceKey()] = true
+	}
+	return out
+}
+
+// TestFuzzSerializable: every behavior of every random program is
+// serializable under the relaxed table (no bypass there), and the witness
+// passes the three-condition check.
+func TestFuzzSerializable(t *testing.T) {
+	for seed := int64(0); seed < fuzzPrograms; seed++ {
+		res := enumerate(t, seed, order.Relaxed())
+		if res.Stats.Rollbacks != 0 {
+			t.Errorf("seed %d: non-speculative rollbacks", seed)
+		}
+		for _, e := range res.Executions {
+			w, err := serial.Witness(e)
+			if err != nil {
+				t.Fatalf("seed %d: execution %s not serializable", seed, e.SourceKey())
+			}
+			if cerr := serial.Check(e, w); cerr != nil {
+				t.Fatalf("seed %d: witness fails: %v", seed, cerr)
+			}
+		}
+	}
+}
+
+// TestFuzzInclusion: the model chain holds on random programs,
+// per-behavior.
+func TestFuzzInclusion(t *testing.T) {
+	chain := []order.Policy{order.SC(), order.TSO(), order.PSO(), order.Relaxed()}
+	for seed := int64(0); seed < fuzzPrograms; seed++ {
+		prev := keySet(enumerate(t, seed, chain[0]))
+		for _, pol := range chain[1:] {
+			cur := keySet(enumerate(t, seed, pol))
+			for k := range prev {
+				if !cur[k] {
+					t.Fatalf("seed %d: behavior %q lost moving to %s", seed, k, pol.Name())
+				}
+			}
+			prev = cur
+		}
+	}
+}
+
+// TestFuzzMachineContained: both machines stay within their models on
+// random programs.
+func TestFuzzMachineContained(t *testing.T) {
+	const machineSeeds = 12
+	for seed := int64(0); seed < fuzzPrograms/2; seed++ {
+		p := Generate(Config{Seed: seed})
+		for _, pol := range []order.Policy{order.SC(), order.Relaxed()} {
+			res, err := core.Enumerate(p, pol, core.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			allowed := keySet(res)
+			for ms := int64(0); ms < machineSeeds; ms++ {
+				tr, err := machine.Run(p, machine.Config{Policy: pol, Seed: ms})
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !allowed[tr.SourceKey()] {
+					t.Fatalf("seed %d/%s: machine escaped with %q", seed, pol.Name(), tr.SourceKey())
+				}
+			}
+		}
+		tsoRes, err := core.Enumerate(p, order.TSO(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		allowed := keySet(tsoRes)
+		for ms := int64(0); ms < machineSeeds; ms++ {
+			tr, err := machine.RunTSO(p, machine.Config{Seed: ms})
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if !allowed[tr.SourceKey()] {
+				t.Fatalf("seed %d: store-buffer machine escaped TSO with %q", seed, tr.SourceKey())
+			}
+		}
+	}
+}
+
+// TestFuzzCheckerAcceptsEnumerated: the post-hoc checker agrees with the
+// enumerator on random programs, for every model it understands.
+func TestFuzzCheckerAcceptsEnumerated(t *testing.T) {
+	for seed := int64(0); seed < fuzzPrograms/2; seed++ {
+		for _, pol := range []order.Policy{order.SC(), order.TSO(), order.Relaxed()} {
+			res := enumerate(t, seed, pol)
+			for _, e := range res.Executions {
+				rep, err := verify.Check(verify.RecordFromExecution(e), pol, verify.RulesABC)
+				if err != nil {
+					t.Fatalf("seed %d: %v", seed, err)
+				}
+				if !rep.Accepted {
+					t.Fatalf("seed %d/%s: checker rejects enumerated %s: %s",
+						seed, pol.Name(), e.SourceKey(), rep.Reason)
+				}
+			}
+		}
+	}
+}
+
+// TestFuzzCheckerRejectsMutations: corrupting one load's source in an
+// enumerated SC execution usually breaks the model; whenever the mutated
+// record claims a cross-thread impossible observation the checker must
+// reject it. (We only assert the checker never *crashes* and rejects at
+// least some mutations overall — a mutation can be legal.)
+func TestFuzzCheckerRejectsMutations(t *testing.T) {
+	rejected, total := 0, 0
+	for seed := int64(0); seed < fuzzPrograms/3; seed++ {
+		res := enumerate(t, seed, order.SC())
+		for _, e := range res.Executions[:min(2, len(res.Executions))] {
+			rec := verify.RecordFromExecution(e)
+			// Mutate: point every load at the initializing store.
+			mutated := false
+			for ti := range rec.Threads {
+				for oi := range rec.Threads[ti] {
+					op := &rec.Threads[ti][oi]
+					if op.SourceLabel != "" && op.Value != 0 {
+						op.SourceLabel = "init:" + itoa(int(op.Addr))
+						op.Value = 0
+						mutated = true
+					}
+				}
+			}
+			if !mutated {
+				continue
+			}
+			total++
+			rep, err := verify.Check(rec, order.SC(), verify.RulesABC)
+			if err != nil {
+				continue // mutation may be structurally invalid
+			}
+			if !rep.Accepted {
+				rejected++
+			}
+		}
+	}
+	if total > 0 && rejected == 0 {
+		t.Errorf("no mutated record was rejected (%d tried)", total)
+	}
+}
+
+// TestFuzzDedupInvariance: dedup never changes the behavior set.
+func TestFuzzDedupInvariance(t *testing.T) {
+	for seed := int64(0); seed < fuzzPrograms/3; seed++ {
+		p := Generate(Config{Seed: seed})
+		on, err := core.Enumerate(p, order.Relaxed(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := core.Enumerate(p, order.Relaxed(), core.Options{DisableDedup: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := keySet(on), keySet(off)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: dedup changed behavior count %d vs %d", seed, len(a), len(b))
+		}
+		for k := range a {
+			if !b[k] {
+				t.Fatalf("seed %d: behavior %q lost without dedup", seed, k)
+			}
+		}
+	}
+}
+
+// TestFuzzSpeculationEquivalence: with no register-indirect addressing,
+// speculation changes nothing.
+func TestFuzzSpeculationEquivalence(t *testing.T) {
+	for seed := int64(0); seed < fuzzPrograms/3; seed++ {
+		p := Generate(Config{Seed: seed})
+		plain, err := core.Enumerate(p, order.Relaxed(), core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		spec, err := core.Enumerate(p, order.Relaxed(), core.Options{Speculative: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, b := keySet(plain), keySet(spec)
+		if len(a) != len(b) {
+			t.Fatalf("seed %d: speculation changed the behavior set without aliasing", seed)
+		}
+	}
+}
+
+// TestGeneratorDeterministic: same seed, same program.
+func TestGeneratorDeterministic(t *testing.T) {
+	a := Generate(Config{Seed: 42})
+	b := Generate(Config{Seed: 42})
+	if a.String() != b.String() {
+		t.Error("generator nondeterministic")
+	}
+	c := Generate(Config{Seed: 43})
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func itoa(v int) string {
+	if v == 0 {
+		return "0"
+	}
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	if neg {
+		i--
+		buf[i] = '-'
+	}
+	return string(buf[i:])
+}

@@ -1,0 +1,392 @@
+package randprog
+
+// Brute-force oracles: exhaustive interleaving simulators whose semantics
+// are unambiguous, used to validate the graph-based engine by *exact*
+// behavior-set equality (not just containment).
+//
+//   - OracleSC explores every interleaving of atomic single instructions
+//     over a flat memory — the operational definition of Sequential
+//     Consistency.
+//   - OracleTSO explores every interleaving of {execute next instruction,
+//     drain oldest store-buffer entry} over per-thread FIFO store buffers
+//     with load bypass — the operational definition of TSO (Section 6's
+//     hardware).
+//
+// Both return the set of SourceKey-formatted behaviors (sorted load label
+// → source label), directly comparable with core.Execution.SourceKey.
+// Programs must be straight-line (no branches) with constant addresses.
+//
+// The search memoizes on machine state (PCs, memory, buffers, registers):
+// the set of *suffix* observations reachable from a state is a function
+// of that state alone, which collapses the exponential interleaving tree
+// into its state dag.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"storeatomicity/internal/program"
+)
+
+type datum struct {
+	val   program.Value
+	label string
+}
+
+type datumAt struct {
+	addr program.Addr
+	d    datum
+}
+
+// oracleState is the interleaving-simulation state.
+type oracleState struct {
+	prog *program.Program
+	pc   []int
+	regs []map[program.Reg]program.Value
+	mem  map[program.Addr]datum
+	// buf is per-thread store buffers (nil under SC).
+	buf  [][]datumAt
+	mode bufMode
+	memo map[string]suffixSet
+}
+
+// suffixSet is a set of completions; each completion is the sorted
+// ";"-joined list of "load<-source" pairs observed from a state to the
+// end of the program.
+type suffixSet map[string]bool
+
+func newOracle(p *program.Program, mode bufMode) *oracleState {
+	s := &oracleState{
+		prog: p,
+		pc:   make([]int, len(p.Threads)),
+		regs: make([]map[program.Reg]program.Value, len(p.Threads)),
+		mem:  map[program.Addr]datum{},
+		mode: mode,
+		memo: map[string]suffixSet{},
+	}
+	for i := range s.regs {
+		s.regs[i] = map[program.Reg]program.Value{}
+	}
+	if mode != bufNone {
+		s.buf = make([][]datumAt, len(p.Threads))
+	}
+	for _, a := range p.Addresses() {
+		s.mem[a] = datum{val: p.Init[a], label: fmt.Sprintf("init:%d", a)}
+	}
+	return s
+}
+
+// OracleSC returns the exact SC behavior set of a straight-line program.
+func OracleSC(p *program.Program) (map[string]bool, error) {
+	return runOracle(p, bufNone)
+}
+
+// OracleTSO returns the exact TSO behavior set of a straight-line program
+// via exhaustive store-buffer simulation.
+func OracleTSO(p *program.Program) (map[string]bool, error) {
+	return runOracle(p, bufFIFO)
+}
+
+// OraclePSO returns the exact PSO behavior set: the store buffer drains
+// FIFO per address but freely across addresses (SPARC Partial Store
+// Order). Programs with partial membars are rejected — only full fences
+// have a clean drain-gate semantics on this machine.
+func OraclePSO(p *program.Program) (map[string]bool, error) {
+	for _, th := range p.Threads {
+		for _, in := range th.Instrs {
+			if in.Kind == program.KindFence && in.FenceMask != 0 {
+				return nil, fmt.Errorf("randprog: PSO oracle supports full fences only")
+			}
+		}
+	}
+	return runOracle(p, bufPerAddr)
+}
+
+// bufMode selects the store-buffer drain discipline.
+type bufMode int
+
+const (
+	bufNone    bufMode = iota // SC: no buffer
+	bufFIFO                   // TSO: drain strictly oldest-first
+	bufPerAddr                // PSO: drain any entry oldest for its address
+)
+
+func runOracle(p *program.Program, mode bufMode) (map[string]bool, error) {
+	for _, th := range p.Threads {
+		for _, in := range th.Instrs {
+			if in.Kind == program.KindBranch || (in.IsMemory() && in.UseAddrReg) {
+				return nil, fmt.Errorf("randprog: oracle requires straight-line, direct-address programs")
+			}
+		}
+	}
+	s := newOracle(p, mode)
+	out := map[string]bool{}
+	for k := range s.explore() {
+		out[k] = true
+	}
+	return out, nil
+}
+
+// stateKey serializes the machine state for memoization.
+func (s *oracleState) stateKey() string {
+	var b strings.Builder
+	for ti, pc := range s.pc {
+		fmt.Fprintf(&b, "p%d=%d;", ti, pc)
+	}
+	addrs := make([]int, 0, len(s.mem))
+	for a := range s.mem {
+		addrs = append(addrs, int(a))
+	}
+	sort.Ints(addrs)
+	for _, a := range addrs {
+		d := s.mem[program.Addr(int32(a))]
+		fmt.Fprintf(&b, "m%d=%s;", a, d.label)
+	}
+	for ti, buf := range s.buf {
+		fmt.Fprintf(&b, "b%d=", ti)
+		for _, e := range buf {
+			fmt.Fprintf(&b, "%d:%s,", e.addr, e.d.label)
+		}
+		b.WriteByte(';')
+	}
+	for ti, regs := range s.regs {
+		ids := make([]int, 0, len(regs))
+		for r := range regs {
+			ids = append(ids, int(r))
+		}
+		sort.Ints(ids)
+		for _, r := range ids {
+			fmt.Fprintf(&b, "r%d.%d=%d;", ti, r, regs[program.Reg(int32(r))])
+		}
+	}
+	return b.String()
+}
+
+func (s *oracleState) read(a program.Addr) datum {
+	if d, ok := s.mem[a]; ok {
+		return d
+	}
+	return datum{val: 0, label: fmt.Sprintf("init:%d", a)}
+}
+
+// explore returns the suffix set of the current state, memoized.
+func (s *oracleState) explore() suffixSet {
+	key := s.stateKey()
+	if res, ok := s.memo[key]; ok {
+		return res
+	}
+	out := suffixSet{}
+	done := true
+	for ti := range s.prog.Threads {
+		if s.buf != nil && len(s.buf[ti]) > 0 {
+			done = false
+			// Action: drain a buffered store. TSO drains strictly
+			// oldest-first; PSO may drain any entry that is the
+			// oldest for its address.
+			for _, di := range s.drainable(ti) {
+				e := s.buf[ti][di]
+				savedBuf := append([]datumAt(nil), s.buf[ti]...)
+				savedMem, hadMem := s.mem[e.addr], hasMem(s.mem, e.addr)
+				s.buf[ti] = append(append([]datumAt(nil), s.buf[ti][:di]...), s.buf[ti][di+1:]...)
+				s.mem[e.addr] = e.d
+				for k := range s.explore() {
+					out[k] = true
+				}
+				s.buf[ti] = savedBuf
+				restoreMem(s.mem, e.addr, savedMem, hadMem)
+			}
+		}
+		if s.pc[ti] < len(s.prog.Threads[ti].Instrs) {
+			done = false
+			s.step(ti, out)
+		}
+	}
+	if done {
+		out[""] = true
+	}
+	s.memo[key] = out
+	return out
+}
+
+// step executes thread ti's next instruction if currently executable,
+// merging the resulting suffixes (with this step's own observation
+// prepended) into out, and undoes the state changes.
+func (s *oracleState) step(ti int, out suffixSet) {
+	in := s.prog.Threads[ti].Instrs[s.pc[ti]]
+	regs := s.regs[ti]
+	// Buffer-drain gates. Under TSO both fences and atomics wait for an
+	// empty buffer (a partial membar only matters when it orders
+	// store→load; everything else TSO already keeps in order). Under
+	// PSO a full fence drains everything, but an atomic only waits for
+	// buffered stores to its *own* address — SPARC PSO leaves an
+	// atomic unordered against earlier stores elsewhere, exactly the
+	// derived SameAddr cell of the engine's table.
+	if s.buf != nil {
+		switch in.Kind {
+		case program.KindFence:
+			gate := in.FenceMask == 0 || (s.mode == bufFIFO && in.FenceMask&program.BarrierSL != 0)
+			if gate && len(s.buf[ti]) > 0 {
+				return
+			}
+		case program.KindAtomic:
+			if s.mode == bufFIFO && len(s.buf[ti]) > 0 {
+				return
+			}
+			if s.mode == bufPerAddr {
+				for _, e := range s.buf[ti] {
+					if e.addr == in.AddrConst {
+						return
+					}
+				}
+			}
+		}
+	}
+	label := in.Label
+	if label == "" {
+		label = fmt.Sprintf("T%d.%d", ti, s.pc[ti])
+	}
+	operand := func() program.Value {
+		if in.UseValReg {
+			return regs[in.ValReg]
+		}
+		return in.ValConst
+	}
+
+	s.pc[ti]++
+	observed := "" // "label<-source" when this step reads
+	var undo func()
+	switch in.Kind {
+	case program.KindOp:
+		old, had := regs[in.Dest], hasReg(regs, in.Dest)
+		vals := make([]program.Value, len(in.Args))
+		for i, r := range in.Args {
+			vals[i] = regs[r]
+		}
+		var v program.Value
+		if in.Fn != nil {
+			v = in.Fn(vals)
+		}
+		regs[in.Dest] = v
+		undo = func() { restoreReg(regs, in.Dest, old, had) }
+	case program.KindFence:
+		undo = func() {}
+	case program.KindLoad:
+		old, had := regs[in.Dest], hasReg(regs, in.Dest)
+		d, bypassed := s.bufferRead(ti, in.AddrConst)
+		if !bypassed {
+			d = s.read(in.AddrConst)
+		}
+		regs[in.Dest] = d.val
+		observed = label + "<-" + d.label
+		undo = func() { restoreReg(regs, in.Dest, old, had) }
+	case program.KindStore:
+		d := datum{val: operand(), label: label}
+		if s.buf != nil {
+			s.buf[ti] = append(s.buf[ti], datumAt{addr: in.AddrConst, d: d})
+			undo = func() { s.buf[ti] = s.buf[ti][:len(s.buf[ti])-1] }
+		} else {
+			oldMem, hadMem := s.mem[in.AddrConst], hasMem(s.mem, in.AddrConst)
+			s.mem[in.AddrConst] = d
+			undo = func() { restoreMem(s.mem, in.AddrConst, oldMem, hadMem) }
+		}
+	case program.KindAtomic:
+		old, had := regs[in.Dest], hasReg(regs, in.Dest)
+		oldMem, hadMem := s.mem[in.AddrConst], hasMem(s.mem, in.AddrConst)
+		d := s.read(in.AddrConst)
+		regs[in.Dest] = d.val
+		observed = label + "<-" + d.label
+		stored := false
+		switch in.Atomic {
+		case program.AtomicCAS:
+			if d.val == in.Expect {
+				s.mem[in.AddrConst] = datum{val: operand(), label: label}
+				stored = true
+			}
+		case program.AtomicSwap:
+			s.mem[in.AddrConst] = datum{val: operand(), label: label}
+			stored = true
+		case program.AtomicAdd:
+			s.mem[in.AddrConst] = datum{val: d.val + operand(), label: label}
+			stored = true
+		}
+		undo = func() {
+			restoreReg(regs, in.Dest, old, had)
+			if stored {
+				restoreMem(s.mem, in.AddrConst, oldMem, hadMem)
+			}
+		}
+	default:
+		s.pc[ti]--
+		return
+	}
+
+	for k := range s.explore() {
+		out[mergePair(observed, k)] = true
+	}
+	undo()
+	s.pc[ti]--
+}
+
+// mergePair inserts one "label<-src" pair into a sorted ";"-joined suffix.
+func mergePair(pair, suffix string) string {
+	if pair == "" {
+		return suffix
+	}
+	if suffix == "" {
+		return pair
+	}
+	parts := strings.Split(suffix, ";")
+	parts = append(parts, pair)
+	sort.Strings(parts)
+	return strings.Join(parts, ";")
+}
+
+// drainable lists the buffer indexes eligible to drain next.
+func (s *oracleState) drainable(ti int) []int {
+	if s.mode == bufFIFO {
+		return []int{0}
+	}
+	var out []int
+	seen := map[program.Addr]bool{}
+	for i, e := range s.buf[ti] {
+		if !seen[e.addr] {
+			out = append(out, i)
+			seen[e.addr] = true
+		}
+	}
+	return out
+}
+
+// bufferRead checks the thread's own store buffer, newest first.
+func (s *oracleState) bufferRead(ti int, a program.Addr) (datum, bool) {
+	if s.buf == nil {
+		return datum{}, false
+	}
+	for i := len(s.buf[ti]) - 1; i >= 0; i-- {
+		if s.buf[ti][i].addr == a {
+			return s.buf[ti][i].d, true
+		}
+	}
+	return datum{}, false
+}
+
+func hasReg(m map[program.Reg]program.Value, r program.Reg) bool { _, ok := m[r]; return ok }
+
+func restoreReg(m map[program.Reg]program.Value, r program.Reg, v program.Value, had bool) {
+	if had {
+		m[r] = v
+	} else {
+		delete(m, r)
+	}
+}
+
+func hasMem(m map[program.Addr]datum, a program.Addr) bool { _, ok := m[a]; return ok }
+
+func restoreMem(m map[program.Addr]datum, a program.Addr, v datum, had bool) {
+	if had {
+		m[a] = v
+	} else {
+		delete(m, a)
+	}
+}

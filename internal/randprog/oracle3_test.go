@@ -1,0 +1,30 @@
+package randprog
+
+import (
+	"testing"
+
+	"storeatomicity/internal/order"
+)
+
+// TestEngineEqualsOraclesThreeThreads repeats the exact-equality oracle
+// comparison on three-thread programs, where rule c and cross-thread
+// interactions bite hardest.
+func TestEngineEqualsOraclesThreeThreads(t *testing.T) {
+	n := int64(8)
+	if !testing.Short() {
+		n = 20
+	}
+	for seed := int64(500); seed < 500+n; seed++ {
+		p := Generate(Config{Seed: seed, Threads: 3, Ops: 4})
+		oracleSC, err := OracleSC(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareSets(t, "SC", p, engineSet(t, p, order.SC()), oracleSC)
+		oracleTSO, err := OracleTSO(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		compareSets(t, "TSO", p, engineSet(t, p, order.TSO()), oracleTSO)
+	}
+}

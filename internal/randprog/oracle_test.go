@@ -1,0 +1,123 @@
+package randprog
+
+import (
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// compareSets asserts exact equality between an engine behavior set and
+// an oracle behavior set.
+func compareSets(t *testing.T, label string, p *program.Program, engine, oracle map[string]bool) {
+	t.Helper()
+	for k := range engine {
+		if !oracle[k] {
+			t.Errorf("%s: engine over-approximates: behavior %q impossible operationally\n%s", label, k, p)
+		}
+	}
+	for k := range oracle {
+		if !engine[k] {
+			t.Errorf("%s: engine under-approximates: operational behavior %q not enumerated\n%s", label, k, p)
+		}
+	}
+}
+
+func engineSet(t *testing.T, p *program.Program, pol order.Policy) map[string]bool {
+	t.Helper()
+	res, err := core.Enumerate(p, pol, core.Options{MaxBehaviors: 1 << 22})
+	if err != nil {
+		t.Fatalf("enumerate: %v\n%s", err, p)
+	}
+	out := map[string]bool{}
+	for _, e := range res.Executions {
+		out[e.SourceKey()] = true
+	}
+	return out
+}
+
+// TestEngineEqualsSCOracle: the graph engine's SC behavior set equals the
+// exhaustive-interleaving oracle's, exactly, on random programs. This is
+// the strongest validation in the suite: containment failures in either
+// direction are bugs.
+func TestEngineEqualsSCOracle(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		p := Generate(Config{Seed: seed})
+		oracle, err := OracleSC(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		compareSets(t, "SC", p, engineSet(t, p, order.SC()), oracle)
+	}
+}
+
+// TestEngineEqualsTSOOracle: the Section 6 bypass formulation equals the
+// exhaustive store-buffer machine, exactly, on random programs.
+func TestEngineEqualsTSOOracle(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		p := Generate(Config{Seed: seed})
+		oracle, err := OracleTSO(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		compareSets(t, "TSO", p, engineSet(t, p, order.TSO()), oracle)
+	}
+}
+
+// TestEngineEqualsPSOOracle: the PSO table equals the per-address-FIFO
+// store-buffer machine, exactly, on random full-fence programs.
+func TestEngineEqualsPSOOracle(t *testing.T) {
+	for seed := int64(0); seed < 80; seed++ {
+		p := Generate(Config{Seed: seed, FullFencesOnly: true})
+		oracle, err := OraclePSO(p)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		compareSets(t, "PSO", p, engineSet(t, p, order.PSO()), oracle)
+	}
+}
+
+// TestOraclesOnLitmusCorpus: exact equality also on the hand-written
+// corpus (branch-free, direct-address tests).
+func TestOraclesOnLitmusCorpus(t *testing.T) {
+	for _, tc := range litmus.Registry() {
+		p := tc.Build()
+		eligible := true
+		for _, th := range p.Threads {
+			for _, in := range th.Instrs {
+				if in.Kind == program.KindBranch || in.UseAddrReg {
+					eligible = false
+				}
+			}
+		}
+		if !eligible {
+			continue
+		}
+		oracleSC, err := OracleSC(tc.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		compareSets(t, tc.Name+"/SC", p, engineSet(t, tc.Build(), order.SC()), oracleSC)
+		oracleTSO, err := OracleTSO(tc.Build())
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name, err)
+		}
+		compareSets(t, tc.Name+"/TSO", p, engineSet(t, tc.Build(), order.TSO()), oracleTSO)
+		if oraclePSO, err := OraclePSO(tc.Build()); err == nil {
+			compareSets(t, tc.Name+"/PSO", p, engineSet(t, tc.Build(), order.PSO()), oraclePSO)
+		}
+	}
+}
+
+// TestOracleRejectsBranches: the oracle declines what it cannot model.
+func TestOracleRejectsBranches(t *testing.T) {
+	b := program.NewBuilder()
+	tb := b.Thread("A")
+	tb.Load(1, program.X)
+	tb.Branch(1, 0)
+	if _, err := OracleSC(b.Build()); err == nil {
+		t.Error("oracle accepted a branching program")
+	}
+}

@@ -1,0 +1,38 @@
+package randprog
+
+import (
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/serial"
+)
+
+// TestStressThreeThreads pushes the fuzzer to three threads with more
+// fences and atomics: enumeration must stay rollback-free and every
+// non-bypass behavior serializable. Skipped under -short (a few seconds).
+func TestStressThreeThreads(t *testing.T) {
+	if testing.Short() {
+		t.Skip("stress test skipped in -short mode")
+	}
+	for seed := int64(100); seed < 130; seed++ {
+		p := Generate(Config{Seed: seed, Threads: 3, Ops: 4, FencePercent: 20, AtomicPercent: 15})
+		for _, pol := range []order.Policy{order.TSO(), order.Relaxed()} {
+			res, err := core.Enumerate(p, pol, core.Options{MaxBehaviors: 1 << 22})
+			if err != nil {
+				t.Fatalf("seed %d %s: %v\n%s", seed, pol.Name(), err, p)
+			}
+			if res.Stats.Rollbacks != 0 {
+				t.Fatalf("seed %d %s: non-speculative rollbacks\n%s", seed, pol.Name(), p)
+			}
+			for _, e := range res.Executions {
+				if len(e.Bypasses) > 0 {
+					continue
+				}
+				if _, err := serial.Witness(e); err != nil {
+					t.Fatalf("seed %d %s: non-serializable %s\n%s", seed, pol.Name(), e.SourceKey(), p)
+				}
+			}
+		}
+	}
+}

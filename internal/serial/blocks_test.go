@@ -1,0 +1,95 @@
+package serial
+
+import (
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// blockFixture enumerates a two-transaction-shaped program under SC and
+// returns one execution with the torn interleaving (B's loads split
+// around A's stores).
+func blockFixture(t *testing.T) (*core.Execution, [][]int) {
+	t.Helper()
+	b := program.NewBuilder()
+	b.Thread("A").StoreL("S1", program.X, 1).StoreL("S2", program.Y, 1)
+	b.Thread("B").LoadL("L1", 1, program.X).LoadL("L2", 2, program.Y)
+	res, err := core.Enumerate(b.Build(), order.SC(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.FindOutcome(map[string]program.Value{"L1": 1, "L2": 0})
+	if e == nil {
+		t.Fatal("torn interleaving not enumerated")
+	}
+	blocks := [][]int{
+		{e.NodeByLabel("S1").ID, e.NodeByLabel("S2").ID},
+		{e.NodeByLabel("L1").ID, e.NodeByLabel("L2").ID},
+	}
+	return e, blocks
+}
+
+// TestWitnessBlocksRejectsTorn: the torn execution has ordinary
+// serializations but none with both blocks contiguous.
+func TestWitnessBlocksRejectsTorn(t *testing.T) {
+	e, blocks := blockFixture(t)
+	if _, err := Witness(e); err != nil {
+		t.Fatal("execution should be serializable without block constraints")
+	}
+	if _, err := WitnessBlocks(e, blocks); err != ErrNotSerializable {
+		t.Errorf("WitnessBlocks = %v, want ErrNotSerializable", err)
+	}
+}
+
+// TestWitnessBlocksAcceptsConsistent: the untorn execution passes with
+// the same blocks, and the witness keeps each block contiguous.
+func TestWitnessBlocksAcceptsConsistent(t *testing.T) {
+	b := program.NewBuilder()
+	b.Thread("A").StoreL("S1", program.X, 1).StoreL("S2", program.Y, 1)
+	b.Thread("B").LoadL("L1", 1, program.X).LoadL("L2", 2, program.Y)
+	res, err := core.Enumerate(b.Build(), order.SC(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.FindOutcome(map[string]program.Value{"L1": 1, "L2": 1})
+	if e == nil {
+		t.Fatal("consistent execution missing")
+	}
+	blocks := [][]int{
+		{e.NodeByLabel("S1").ID, e.NodeByLabel("S2").ID},
+		{e.NodeByLabel("L1").ID, e.NodeByLabel("L2").ID},
+	}
+	w, err := WitnessBlocks(e, blocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Check contiguity of each block in the witness.
+	pos := map[int]int{}
+	for i, v := range w {
+		pos[v] = i
+	}
+	for bi, blk := range blocks {
+		min, max := len(w), -1
+		for _, v := range blk {
+			if pos[v] < min {
+				min = pos[v]
+			}
+			if pos[v] > max {
+				max = pos[v]
+			}
+		}
+		if max-min+1 != len(blk) {
+			t.Errorf("block %d not contiguous in witness", bi)
+		}
+	}
+}
+
+// TestWitnessBlocksEmpty: no blocks means plain Witness semantics.
+func TestWitnessBlocksEmpty(t *testing.T) {
+	e, _ := blockFixture(t)
+	if _, err := WitnessBlocks(e, nil); err != nil {
+		t.Errorf("empty blocks should behave like Witness: %v", err)
+	}
+}

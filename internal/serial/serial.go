@@ -1,0 +1,277 @@
+// Package serial realizes Section 3.1 of the paper: serializations of an
+// execution, defined as total orders on memory operations that
+//
+//  1. respect the ordering relation,
+//  2. place every Load after the Store it observes, and
+//  3. admit no intervening same-address Store between a Load and its
+//     source.
+//
+// The package finds witness serializations (the constructive proof that a
+// store-atomic execution is serializable), enumerates or counts all
+// serializations (the paper's compactness claim: one graph stands for many
+// indistinguishable interleavings), and checks a given total order against
+// the three conditions.
+package serial
+
+import (
+	"errors"
+	"fmt"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/program"
+)
+
+// ErrNotSerializable is returned when no witness exists — expected exactly
+// for non-atomic (TSO bypass) executions like Figure 10.
+var ErrNotSerializable = errors.New("serial: execution has no serialization")
+
+// searcher holds the backtracking state shared by Witness, ForEach and
+// Count.
+type searcher struct {
+	e    *core.Execution
+	ids  []int // memory node IDs
+	idx  map[int]int
+	pend []int // number of un-emitted @-ancestors (within ids ∪ via closure)
+	last map[program.Addr]int
+
+	// Atomic-block constraint (transactions): blockOf maps a node to
+	// its block index or -1; once a block's first node is emitted only
+	// that block's nodes may follow until blockRem drains.
+	blockOf     []int
+	blockRem    []int
+	activeBlock int
+}
+
+func newSearcher(e *core.Execution) *searcher {
+	s := &searcher{e: e, ids: e.MemoryNodeIDs(), idx: map[int]int{}, last: map[program.Addr]int{}, activeBlock: -1}
+	for i, v := range s.ids {
+		s.idx[v] = i
+	}
+	s.pend = make([]int, len(s.ids))
+	s.blockOf = make([]int, len(s.ids))
+	for i, v := range s.ids {
+		s.blockOf[i] = -1
+		anc := e.Graph.Anc(v)
+		for _, u := range s.ids {
+			if u != v && anc.Has(u) {
+				s.pend[i]++
+			}
+		}
+	}
+	return s
+}
+
+// setBlocks installs atomic blocks: each element of blocks is a set of
+// node IDs that must be emitted contiguously.
+func (s *searcher) setBlocks(blocks [][]int) {
+	s.blockRem = make([]int, len(blocks))
+	for bi, blk := range blocks {
+		s.blockRem[bi] = len(blk)
+		for _, v := range blk {
+			if i, ok := s.idx[v]; ok {
+				s.blockOf[i] = bi
+			}
+		}
+	}
+}
+
+// ready reports whether node v can be emitted next: all in-set ancestors
+// emitted, and — for a Load — the most recent emitted Store to its address
+// is its source (condition 3; condition 2 follows because the source must
+// have been emitted).
+func (s *searcher) ready(i int) bool {
+	if s.pend[i] != 0 {
+		return false
+	}
+	if s.activeBlock != -1 && s.blockOf[i] != s.activeBlock {
+		return false
+	}
+	v := s.ids[i]
+	n := &s.e.Nodes[v]
+	if n.Reads() {
+		lastStore, ok := s.last[n.Addr]
+		return ok && lastStore == n.Source
+	}
+	return true
+}
+
+// run enumerates serializations, invoking fn for each complete order (the
+// slice is reused; copy to retain). Stops early when fn returns false.
+func (s *searcher) run(fn func(order []int) bool) {
+	order := make([]int, 0, len(s.ids))
+	prevLast := make([]int, 0, len(s.ids))
+	var rec func() bool
+	rec = func() bool {
+		if len(order) == len(s.ids) {
+			return fn(order)
+		}
+		for i := range s.ids {
+			if s.pend[i] < 0 || !s.ready(i) {
+				continue
+			}
+			v := s.ids[i]
+			n := &s.e.Nodes[v]
+			s.pend[i] = -1
+			order = append(order, v)
+			saved := -2
+			if n.StoreEffect() {
+				if old, ok := s.last[n.Addr]; ok {
+					saved = old
+				}
+				s.last[n.Addr] = v
+			}
+			prevLast = append(prevLast, saved)
+			savedBlock := s.activeBlock
+			if b := s.blockOf[i]; b >= 0 {
+				s.blockRem[b]--
+				if s.blockRem[b] > 0 {
+					s.activeBlock = b
+				} else {
+					s.activeBlock = -1
+				}
+			}
+			desc := s.e.Graph.Desc(v)
+			for j, u := range s.ids {
+				if u != v && desc.Has(u) && s.pend[j] >= 0 {
+					s.pend[j]--
+				}
+			}
+			cont := rec()
+			for j, u := range s.ids {
+				if u != v && desc.Has(u) && s.pend[j] >= 0 {
+					s.pend[j]++
+				}
+			}
+			prevLast = prevLast[:len(prevLast)-1]
+			if b := s.blockOf[i]; b >= 0 {
+				s.blockRem[b]++
+				s.activeBlock = savedBlock
+			}
+			if n.StoreEffect() {
+				if saved == -2 {
+					delete(s.last, n.Addr)
+				} else {
+					s.last[n.Addr] = saved
+				}
+			}
+			order = order[:len(order)-1]
+			s.pend[i] = 0
+			if !cont {
+				return false
+			}
+		}
+		return true
+	}
+	rec()
+}
+
+// Witness returns one serialization of the execution's memory operations,
+// or ErrNotSerializable. A store-atomic execution always has one; a TSO
+// execution that exploited the store-buffer bypass may not.
+func Witness(e *core.Execution) ([]int, error) {
+	var out []int
+	newSearcher(e).run(func(order []int) bool {
+		out = append([]int(nil), order...)
+		return false
+	})
+	if out == nil {
+		return nil, ErrNotSerializable
+	}
+	return out, nil
+}
+
+// WitnessBlocks is Witness with atomic-block constraints: each element of
+// blocks is a set of node IDs that must appear contiguously in the
+// serialization. It realizes the paper's future-work reading of a
+// transaction as "an atomic group of Load and Store operations".
+func WitnessBlocks(e *core.Execution, blocks [][]int) ([]int, error) {
+	s := newSearcher(e)
+	s.setBlocks(blocks)
+	var out []int
+	s.run(func(order []int) bool {
+		out = append([]int(nil), order...)
+		return false
+	})
+	if out == nil {
+		return nil, ErrNotSerializable
+	}
+	return out, nil
+}
+
+// ForEach invokes fn with every serialization (reused slice; copy to
+// retain); stops early if fn returns false.
+func ForEach(e *core.Execution, fn func(order []int) bool) {
+	newSearcher(e).run(fn)
+}
+
+// Count returns the number of serializations, stopping at limit when
+// limit > 0 (the count can be factorial in unordered operations).
+func Count(e *core.Execution, limit uint64) uint64 {
+	var n uint64
+	newSearcher(e).run(func([]int) bool {
+		n++
+		return limit == 0 || n < limit
+	})
+	return n
+}
+
+// LinearExtensions counts the topological orders of the @ relation over
+// memory operations, ignoring the load-value condition. Comparing it with
+// Count quantifies how much of the interleaving freedom is structural
+// (partial order) versus value-constrained.
+func LinearExtensions(e *core.Execution) uint64 {
+	return e.Graph.CountLinearExtensions(e.MemoryNodeIDs())
+}
+
+// Check verifies that order is a serialization of e: it must be a
+// permutation of the memory nodes satisfying the three conditions of
+// Section 3.1. A nil error means the order is a valid witness.
+func Check(e *core.Execution, order []int) error {
+	ids := e.MemoryNodeIDs()
+	if len(order) != len(ids) {
+		return fmt.Errorf("serial: order has %d nodes, execution has %d memory operations", len(order), len(ids))
+	}
+	pos := map[int]int{}
+	for i, v := range order {
+		if _, dup := pos[v]; dup {
+			return fmt.Errorf("serial: node %d appears twice", v)
+		}
+		pos[v] = i
+	}
+	for _, v := range ids {
+		if _, ok := pos[v]; !ok {
+			return fmt.Errorf("serial: memory node %d missing from order", v)
+		}
+	}
+	// Condition 1: A ≺ B ⇒ A < B. The graph mixes ≺ with derived
+	// @ edges; all of them must hold in any serialization, so check
+	// the full closure restricted to memory nodes.
+	for _, a := range ids {
+		desc := e.Graph.Desc(a)
+		for _, b := range ids {
+			if a != b && desc.Has(b) && pos[a] >= pos[b] {
+				return fmt.Errorf("serial: order violates %s @ %s", e.Nodes[a].Label, e.Nodes[b].Label)
+			}
+		}
+	}
+	// Conditions 2 and 3 per load.
+	for _, v := range ids {
+		n := &e.Nodes[v]
+		if !n.Reads() || !n.Resolved {
+			continue
+		}
+		src := n.Source
+		if pos[src] >= pos[v] {
+			return fmt.Errorf("serial: %s reads %s which is not before it", n.Label, e.Nodes[src].Label)
+		}
+		for _, s := range ids {
+			sn := &e.Nodes[s]
+			if sn.StoreEffect() && sn.Addr == n.Addr &&
+				pos[s] > pos[src] && pos[s] < pos[v] {
+				return fmt.Errorf("serial: %s intervenes between %s and its reader %s",
+					sn.Label, e.Nodes[src].Label, n.Label)
+			}
+		}
+	}
+	return nil
+}

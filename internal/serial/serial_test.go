@@ -1,0 +1,158 @@
+package serial
+
+import (
+	"testing"
+
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/program"
+)
+
+// TestEveryBehaviorSerializable is experiment E8: every execution
+// enumerated under a store-atomic model (no bypass observations) has a
+// witness serialization, and the witness passes Check.
+func TestEveryBehaviorSerializable(t *testing.T) {
+	for _, tc := range litmus.Registry() {
+		for _, m := range litmus.Models() {
+			if m.Name == "NaiveTSO" {
+				continue // deliberately broken model
+			}
+			res, err := litmus.Run(tc, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.Name, m.Name, err)
+			}
+			for _, e := range res.Executions {
+				if len(e.Bypasses) > 0 {
+					continue // non-atomic observation: serializability not promised
+				}
+				w, err := Witness(e)
+				if err != nil {
+					t.Errorf("%s/%s: execution %s not serializable", tc.Name, m.Name, e.SourceKey())
+					continue
+				}
+				if cerr := Check(e, w); cerr != nil {
+					t.Errorf("%s/%s: witness fails check: %v", tc.Name, m.Name, cerr)
+				}
+			}
+		}
+	}
+}
+
+// TestBypassExecutionNotSerializable pins Section 6: the Figure 10 outcome
+// that exploits the store buffer "obeys TSO but violates memory atomicity"
+// — it must have no serialization.
+func TestBypassExecutionNotSerializable(t *testing.T) {
+	tc, ok := litmus.ByName("Figure10")
+	if !ok {
+		t.Fatal("Figure10 not registered")
+	}
+	m, _ := litmus.ModelByName("TSO")
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.FindOutcome(map[string]program.Value{"L4": 3, "L6": 5, "L9": 8, "L10": 1})
+	if e == nil {
+		t.Fatal("TSO did not produce the Figure 10 execution")
+	}
+	if len(e.Bypasses) == 0 {
+		t.Fatal("expected bypass observations in the Figure 10 execution")
+	}
+	if _, err := Witness(e); err == nil {
+		t.Error("Figure 10 TSO execution should not be serializable")
+	}
+}
+
+// TestCheckRejectsBadOrders feeds Check orders violating each condition.
+func TestCheckRejectsBadOrders(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	m, _ := litmus.ModelByName("SC")
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Executions[0]
+	w, err := Witness(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Permutation violating condition 1 or 3: reverse the witness.
+	rev := make([]int, len(w))
+	for i, v := range w {
+		rev[len(w)-1-i] = v
+	}
+	if err := Check(e, rev); err == nil {
+		t.Error("reversed witness accepted")
+	}
+	// Truncated order.
+	if err := Check(e, w[:len(w)-1]); err == nil {
+		t.Error("truncated order accepted")
+	}
+	// Duplicate entry.
+	dup := append(append([]int(nil), w[:len(w)-1]...), w[0])
+	if err := Check(e, dup); err == nil {
+		t.Error("order with duplicate accepted")
+	}
+}
+
+// TestCountsConsistent: the number of valid serializations is positive and
+// never exceeds the raw linear-extension count of the @ order.
+func TestCountsConsistent(t *testing.T) {
+	for _, name := range []string{"SB", "MP", "Figure3", "Figure5"} {
+		tc, ok := litmus.ByName(name)
+		if !ok {
+			t.Fatalf("%s not registered", name)
+		}
+		m, _ := litmus.ModelByName("Relaxed")
+		res, err := litmus.Run(tc, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range res.Executions {
+			c := Count(e, 0)
+			le := LinearExtensions(e)
+			if c == 0 {
+				t.Errorf("%s: execution %s has zero serializations", name, e.SourceKey())
+			}
+			if c > le {
+				t.Errorf("%s: serializations %d exceed linear extensions %d", name, c, le)
+			}
+		}
+	}
+}
+
+// TestForEachAgreesWithCount cross-checks the two enumeration paths.
+func TestForEachAgreesWithCount(t *testing.T) {
+	tc, _ := litmus.ByName("MP")
+	m, _ := litmus.ModelByName("SC")
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Executions {
+		var n uint64
+		ForEach(e, func(order []int) bool {
+			if cerr := Check(e, order); cerr != nil {
+				t.Fatalf("enumerated serialization fails check: %v", cerr)
+			}
+			n++
+			return true
+		})
+		if c := Count(e, 0); c != n {
+			t.Errorf("Count=%d, ForEach saw %d", c, n)
+		}
+	}
+}
+
+// TestCountLimit verifies early stopping.
+func TestCountLimit(t *testing.T) {
+	tc, _ := litmus.ByName("SB")
+	m, _ := litmus.ModelByName("Relaxed")
+	res, err := litmus.Run(tc, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Executions[0]
+	if got := Count(e, 1); got != 1 {
+		t.Errorf("Count with limit 1 returned %d", got)
+	}
+}

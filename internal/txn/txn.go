@@ -1,0 +1,79 @@
+// Package txn explores the paper's closing suggestion: "One may view a
+// transaction as an atomic group of Load and Store operations ... It is
+// worth exploring if the big-step, 'all or nothing' semantics ... can be
+// explained in terms of small-step semantics using the framework provided
+// in this paper."
+//
+// The small-step reading implemented here: enumerate executions exactly
+// as the base framework does (each transactional Load and Store is an
+// ordinary graph node), then keep an execution iff some serialization
+// places every transaction's operations contiguously. Transactional
+// atomicity is thus a *filter over serializations*, not new machinery —
+// Store Atomicity already supplies the candidate interleavings.
+//
+// Aborted/retried transactions are out of scope (they would need the
+// rollback machinery of Section 5); transactions here always commit, so
+// the filter answers "which committed interleavings are transactionally
+// atomic".
+package txn
+
+import (
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+	"storeatomicity/internal/serial"
+)
+
+// Blocks groups an execution's memory node IDs by transaction ID.
+func Blocks(e *core.Execution) [][]int {
+	byTx := map[int][]int{}
+	var txIDs []int
+	for _, id := range e.MemoryNodeIDs() {
+		tx := e.Nodes[id].Tx()
+		if tx == 0 {
+			continue
+		}
+		if _, seen := byTx[tx]; !seen {
+			txIDs = append(txIDs, tx)
+		}
+		byTx[tx] = append(byTx[tx], id)
+	}
+	out := make([][]int, 0, len(txIDs))
+	for _, tx := range txIDs {
+		out = append(out, byTx[tx])
+	}
+	return out
+}
+
+// Atomic reports whether the execution admits a serialization in which
+// every transaction is contiguous.
+func Atomic(e *core.Execution) bool {
+	blocks := Blocks(e)
+	if len(blocks) == 0 {
+		_, err := serial.Witness(e)
+		return err == nil
+	}
+	_, err := serial.WitnessBlocks(e, blocks)
+	return err == nil
+}
+
+// Enumerate runs the base enumeration and keeps only transactionally
+// atomic executions. The returned Result shares the base Stats, with the
+// filtered-out count reported separately.
+func Enumerate(p *program.Program, pol order.Policy, opts core.Options) (*core.Result, int, error) {
+	res, err := core.Enumerate(p, pol, opts)
+	if err != nil {
+		return nil, 0, err
+	}
+	kept := res.Executions[:0]
+	dropped := 0
+	for _, e := range res.Executions {
+		if Atomic(e) {
+			kept = append(kept, e)
+		} else {
+			dropped++
+		}
+	}
+	res.Executions = kept
+	return res, dropped, nil
+}

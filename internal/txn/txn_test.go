@@ -1,0 +1,153 @@
+package txn
+
+import (
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// transferProgram is the bank-transfer snapshot test: thread A atomically
+// moves 10 from x to y; thread B atomically snapshots both. Initial state
+// x=100, y=0; the invariant is r3 + r4 == 100.
+func transferProgram() *program.Program {
+	plus := func(d program.Value) program.OpFunc {
+		return func(a []program.Value) program.Value { return a[0] + d }
+	}
+	b := program.NewBuilder()
+	b.Init(program.X, 100)
+	ta := b.Thread("A")
+	ta.TxBegin()
+	ta.LoadL("A.rx", 1, program.X)
+	ta.Op(2, plus(-10), 1)
+	ta.StoreReg(program.X, 2)
+	ta.LoadL("A.ry", 3, program.Y)
+	ta.Op(4, plus(10), 3)
+	ta.StoreReg(program.Y, 4)
+	ta.TxEnd()
+	tb := b.Thread("B")
+	tb.TxBegin()
+	tb.LoadL("B.rx", 5, program.X)
+	tb.LoadL("B.ry", 6, program.Y)
+	tb.TxEnd()
+	return b.Build()
+}
+
+func sumInvariant(e *core.Execution) bool {
+	v := e.LoadValues()
+	return v["B.rx"]+v["B.ry"] == 100
+}
+
+// TestTransactionalFilterRestoresInvariant: without the atomicity filter
+// even SC admits torn snapshots; with it, every surviving execution
+// satisfies the invariant, under SC and under the relaxed table.
+func TestTransactionalFilterRestoresInvariant(t *testing.T) {
+	for _, pol := range []order.Policy{order.SC(), order.Relaxed()} {
+		base, err := core.Enumerate(transferProgram(), pol, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		torn := 0
+		for _, e := range base.Executions {
+			if !sumInvariant(e) {
+				torn++
+			}
+		}
+		if torn == 0 {
+			t.Fatalf("%s: base enumeration shows no torn snapshot — test too weak", pol.Name())
+		}
+		res, dropped, err := Enumerate(transferProgram(), pol, core.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if dropped == 0 {
+			t.Errorf("%s: filter dropped nothing", pol.Name())
+		}
+		if len(res.Executions) == 0 {
+			t.Fatalf("%s: filter dropped everything", pol.Name())
+		}
+		for _, e := range res.Executions {
+			if !sumInvariant(e) {
+				t.Errorf("%s: transactional execution tears the snapshot: %s", pol.Name(), e.Key())
+			}
+		}
+	}
+}
+
+// TestAtomicHandlesNonTransactional: executions without transactions pass
+// through on plain serializability.
+func TestAtomicHandlesNonTransactional(t *testing.T) {
+	b := program.NewBuilder()
+	b.Thread("A").StoreL("S", program.X, 1).LoadL("L", 1, program.X)
+	res, err := core.Enumerate(b.Build(), order.SC(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Executions {
+		if !Atomic(e) {
+			t.Error("plain serializable execution reported non-atomic")
+		}
+		if len(Blocks(e)) != 0 {
+			t.Error("unexpected transaction blocks")
+		}
+	}
+}
+
+// TestBlocksGrouping: block extraction groups by transaction across the
+// right nodes.
+func TestBlocksGrouping(t *testing.T) {
+	res, err := core.Enumerate(transferProgram(), order.SC(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := res.Executions[0]
+	blocks := Blocks(e)
+	if len(blocks) != 2 {
+		t.Fatalf("%d blocks, want 2", len(blocks))
+	}
+	sizes := map[int]bool{len(blocks[0]): true, len(blocks[1]): true}
+	// A's transaction has 4 memory ops, B's has 2.
+	if !sizes[4] || !sizes[2] {
+		t.Errorf("block sizes %d and %d, want 4 and 2", len(blocks[0]), len(blocks[1]))
+	}
+}
+
+// TestConflictingWritersSerialize: two transactions that both
+// read-modify-write the same two locations must appear in one order or
+// the other — the filter removes interleavings mixing their halves, so
+// the surviving final sums are exactly the serial ones.
+func TestConflictingWritersSerialize(t *testing.T) {
+	addTo := func(d program.Value) program.OpFunc {
+		return func(a []program.Value) program.Value { return a[0] + d }
+	}
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		ta := b.Thread("A")
+		ta.TxBegin()
+		ta.LoadL("A.rx", 1, program.X)
+		ta.Op(2, addTo(1), 1)
+		ta.StoreReg(program.X, 2)
+		ta.TxEnd()
+		tb := b.Thread("B")
+		tb.TxBegin()
+		tb.LoadL("B.rx", 3, program.X)
+		tb.Op(4, addTo(1), 3)
+		tb.StoreReg(program.X, 4)
+		tb.TxEnd()
+		return b.Build()
+	}
+	res, dropped, err := Enumerate(build(), order.SC(), core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped == 0 {
+		t.Error("the lost-update interleaving should have been filtered")
+	}
+	for _, e := range res.Executions {
+		v := e.LoadValues()
+		if !(v["A.rx"] == 0 && v["B.rx"] == 1) && !(v["A.rx"] == 1 && v["B.rx"] == 0) {
+			t.Errorf("non-serial transactional outcome: %s", e.Key())
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package verify
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"storeatomicity/internal/program"
+)
+
+// This file gives Record a stable JSON form so recorded executions can be
+// checked from the command line (cmd/mmverify) or exchanged with other
+// tools.
+//
+//	{
+//	  "init": {"0": 0, "1": 0},
+//	  "threads": [
+//	    [ {"op":"store","addr":0,"value":1,"label":"Sx"},
+//	      {"op":"fence","label":"F"},
+//	      {"op":"load","addr":1,"value":0,"label":"Ly","source":"init:1"} ]
+//	  ]
+//	}
+
+type opJSON struct {
+	Op         string `json:"op"`
+	Addr       int32  `json:"addr,omitempty"`
+	Value      int64  `json:"value,omitempty"`
+	Label      string `json:"label,omitempty"`
+	Source     string `json:"source,omitempty"`
+	DidStore   bool   `json:"didStore,omitempty"`
+	StoreValue int64  `json:"storeValue,omitempty"`
+}
+
+type recordJSON struct {
+	Init    map[string]int64 `json:"init,omitempty"`
+	Threads [][]opJSON       `json:"threads"`
+}
+
+// EncodeRecord renders a record as indented JSON.
+func EncodeRecord(r *Record) ([]byte, error) {
+	out := recordJSON{Threads: make([][]opJSON, len(r.Threads))}
+	if len(r.Init) > 0 {
+		out.Init = map[string]int64{}
+		for a, v := range r.Init {
+			out.Init[fmt.Sprint(int32(a))] = int64(v)
+		}
+	}
+	for i, t := range r.Threads {
+		for _, op := range t {
+			j := opJSON{Addr: int32(op.Addr), Value: int64(op.Value), Label: op.Label, Source: op.SourceLabel,
+				DidStore: op.DidStore, StoreValue: int64(op.StoreValue)}
+			switch op.Kind {
+			case program.KindLoad:
+				j.Op = "load"
+			case program.KindStore:
+				j.Op = "store"
+			case program.KindFence:
+				j.Op = "fence"
+			case program.KindAtomic:
+				j.Op = "atomic"
+			default:
+				return nil, fmt.Errorf("verify: cannot encode op kind %v", op.Kind)
+			}
+			out.Threads[i] = append(out.Threads[i], j)
+		}
+	}
+	return json.MarshalIndent(out, "", "  ")
+}
+
+// ParseRecord parses the JSON form produced by EncodeRecord.
+func ParseRecord(data []byte) (*Record, error) {
+	var in recordJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("verify: bad record JSON: %v", err)
+	}
+	r := &Record{Init: map[program.Addr]program.Value{}}
+	for a, v := range in.Init {
+		var ai int32
+		if _, err := fmt.Sscanf(a, "%d", &ai); err != nil {
+			return nil, fmt.Errorf("verify: bad init address %q", a)
+		}
+		r.Init[program.Addr(ai)] = program.Value(v)
+	}
+	for ti, t := range in.Threads {
+		var ops []Op
+		for oi, j := range t {
+			op := Op{Addr: program.Addr(j.Addr), Value: program.Value(j.Value), Label: j.Label, SourceLabel: j.Source,
+				DidStore: j.DidStore, StoreValue: program.Value(j.StoreValue)}
+			switch j.Op {
+			case "load":
+				op.Kind = program.KindLoad
+				if j.Source == "" {
+					return nil, fmt.Errorf("verify: thread %d op %d: load without source", ti, oi)
+				}
+			case "store":
+				op.Kind = program.KindStore
+			case "fence":
+				op.Kind = program.KindFence
+			case "atomic":
+				op.Kind = program.KindAtomic
+				if j.Source == "" {
+					return nil, fmt.Errorf("verify: thread %d op %d: atomic without source", ti, oi)
+				}
+			default:
+				return nil, fmt.Errorf("verify: thread %d op %d: unknown op %q", ti, oi, j.Op)
+			}
+			ops = append(ops, op)
+		}
+		r.Threads = append(r.Threads, ops)
+	}
+	return r, nil
+}

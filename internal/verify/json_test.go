@@ -1,0 +1,73 @@
+package verify_test
+
+import (
+	"testing"
+
+	"storeatomicity/internal/verify"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+func TestRecordJSONRoundTrip(t *testing.T) {
+	rec := figure5Record()
+	data, err := verify.EncodeRecord(rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := verify.ParseRecord(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Threads) != len(rec.Threads) {
+		t.Fatalf("thread count %d vs %d", len(back.Threads), len(rec.Threads))
+	}
+	for ti := range rec.Threads {
+		if len(back.Threads[ti]) != len(rec.Threads[ti]) {
+			t.Fatalf("thread %d length mismatch", ti)
+		}
+		for oi := range rec.Threads[ti] {
+			if back.Threads[ti][oi] != rec.Threads[ti][oi] {
+				t.Errorf("op %d/%d: %+v vs %+v", ti, oi, back.Threads[ti][oi], rec.Threads[ti][oi])
+			}
+		}
+	}
+	for a, v := range rec.Init {
+		if back.Init[a] != v {
+			t.Errorf("init %d: %d vs %d", a, back.Init[a], v)
+		}
+	}
+	// The round-tripped record checks identically.
+	r1, err := verify.Check(rec, order.Relaxed(), verify.RulesABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := verify.Check(back, order.Relaxed(), verify.RulesABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Accepted != r2.Accepted {
+		t.Error("round trip changed the verdict")
+	}
+}
+
+func TestParseRecordErrors(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"threads":[[{"op":"wat","label":"x"}]]}`,
+		`{"threads":[[{"op":"load","addr":1,"label":"L"}]]}`, // load without source
+		`{"init":{"abc":1},"threads":[]}`,
+	}
+	for _, c := range cases {
+		if _, err := verify.ParseRecord([]byte(c)); err == nil {
+			t.Errorf("parse accepted %q", c)
+		}
+	}
+}
+
+func TestEncodeRecordRejectsUnsupportedKind(t *testing.T) {
+	rec := &verify.Record{Threads: [][]verify.Op{{{Kind: program.KindBranch, Label: "B"}}}}
+	if _, err := verify.EncodeRecord(rec); err == nil {
+		t.Error("encoded a branch op")
+	}
+}

@@ -1,0 +1,418 @@
+// Package verify is a post-hoc execution checker in the style of TSOtool
+// (Hangal et al., ISCA 2004), reconstructed on top of the paper's Store
+// Atomicity formulation: given a recorded execution — per-thread memory
+// operations with the store each load observed — build the ordering graph
+// for a reordering policy, close it under a configurable subset of the
+// Store Atomicity rules, and reject when a required ordering contradicts
+// the graph (a cycle).
+//
+// The rule subset is configurable because the paper's Section 7 observes
+// that TSOtool implements only properties a and b and therefore accepts
+// executions like Figure 5 that property c rejects. RulesAB reproduces
+// that gap; RulesABC is the complete checker.
+package verify
+
+import (
+	"fmt"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/graph"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// Rules selects which Store Atomicity properties the checker enforces.
+type Rules uint8
+
+const (
+	// RuleA : predecessor stores of a load precede its source.
+	RuleA Rules = 1 << iota
+	// RuleB : successor stores of an observed store follow its readers.
+	RuleB
+	// RuleC : mutual ancestors of loads precede mutual successors of the
+	// distinct stores they observe.
+	RuleC
+
+	// RulesAB is the TSOtool-equivalent subset.
+	RulesAB = RuleA | RuleB
+	// RulesABC is the complete Store Atomicity closure.
+	RulesABC = RuleA | RuleB | RuleC
+)
+
+// Op is one recorded memory operation (or fence) in program order.
+type Op struct {
+	Kind  program.Kind
+	Addr  program.Addr
+	Value program.Value
+	// Label names the op; labels must be unique across the record.
+	Label string
+	// SourceLabel names the store a Load or Atomic observed;
+	// "init:<addr>" refers to the initializing store of that address.
+	SourceLabel string
+	// DidStore and StoreValue describe an Atomic's store half.
+	DidStore   bool
+	StoreValue program.Value
+	// FenceMask marks a partial fence (0 = full fence); see
+	// program.Barrier*.
+	FenceMask uint8
+}
+
+// Record is a complete observed execution.
+type Record struct {
+	Threads [][]Op
+	Init    map[program.Addr]program.Value
+}
+
+// Report is the checker's verdict.
+type Report struct {
+	// Accepted is true when the closure completed acyclically.
+	Accepted bool
+	// Reason explains a rejection.
+	Reason string
+	// DerivedEdges counts orderings the closure inserted.
+	DerivedEdges int
+}
+
+// RecordFromExecution converts an enumerated execution into a checker
+// record — used to cross-validate the enumerator against the checker.
+func RecordFromExecution(e *core.Execution) *Record {
+	r := &Record{Init: map[program.Addr]program.Value{}}
+	maxThread := -1
+	for i := range e.Nodes {
+		if e.Nodes[i].Thread > maxThread {
+			maxThread = e.Nodes[i].Thread
+		}
+	}
+	r.Threads = make([][]Op, maxThread+1)
+	for i := range e.Nodes {
+		n := &e.Nodes[i]
+		if n.Thread < 0 {
+			if n.Kind == program.KindStore {
+				r.Init[n.Addr] = n.Val
+			}
+			continue
+		}
+		switch n.Kind {
+		case program.KindLoad:
+			r.Threads[n.Thread] = append(r.Threads[n.Thread], Op{
+				Kind: n.Kind, Addr: n.Addr, Value: n.Val, Label: n.Label,
+				SourceLabel: e.Nodes[n.Source].Label,
+			})
+		case program.KindAtomic:
+			r.Threads[n.Thread] = append(r.Threads[n.Thread], Op{
+				Kind: n.Kind, Addr: n.Addr, Value: n.Val, Label: n.Label,
+				SourceLabel: e.Nodes[n.Source].Label,
+				DidStore:    n.DidStore, StoreValue: n.StoreVal,
+			})
+		case program.KindStore:
+			r.Threads[n.Thread] = append(r.Threads[n.Thread], Op{
+				Kind: n.Kind, Addr: n.Addr, Value: n.Val, Label: n.Label,
+			})
+		case program.KindFence:
+			r.Threads[n.Thread] = append(r.Threads[n.Thread], Op{
+				Kind: n.Kind, Label: n.Label, FenceMask: n.FenceMask(),
+			})
+		}
+	}
+	return r
+}
+
+// checker carries graph-building state.
+type checker struct {
+	g        *graph.Graph
+	kinds    []program.Kind
+	addrs    []program.Addr
+	vals     []program.Value
+	labels   []string
+	source   []int
+	thread   []int
+	seq      []int
+	didStore []bool
+	masks    []uint8
+}
+
+// reads reports whether node id observes a store.
+func (c *checker) reads(id int) bool {
+	return c.kinds[id] == program.KindLoad || c.kinds[id] == program.KindAtomic
+}
+
+// storeEffect reports whether node id wrote memory.
+func (c *checker) storeEffect(id int) bool {
+	return c.kinds[id] == program.KindStore ||
+		(c.kinds[id] == program.KindAtomic && c.didStore[id])
+}
+
+// Check builds the ordering graph of the record under the policy and
+// closes it under the selected rules. It returns an error only for
+// malformed records (duplicate or unknown labels, a load whose source
+// addresses a different location); model violations are reported via
+// Report.Accepted = false.
+func Check(r *Record, pol order.Policy, rules Rules) (*Report, error) {
+	c := &checker{}
+	nodeCount := 0
+	for _, t := range r.Threads {
+		nodeCount += len(t)
+	}
+	addrSet := map[program.Addr]bool{}
+	for a := range r.Init {
+		addrSet[a] = true
+	}
+	for _, t := range r.Threads {
+		for _, op := range t {
+			if op.Kind == program.KindLoad || op.Kind == program.KindStore || op.Kind == program.KindAtomic {
+				addrSet[op.Addr] = true
+			}
+		}
+	}
+	c.g = graph.New(0, nodeCount+len(addrSet)+1)
+	byLabel := map[string]int{}
+
+	add := func(k program.Kind, a program.Addr, v program.Value, label string, th, seq int) (int, error) {
+		if _, dup := byLabel[label]; dup {
+			return 0, fmt.Errorf("verify: duplicate label %q", label)
+		}
+		id := c.g.AddNodes(1)
+		c.kinds = append(c.kinds, k)
+		c.addrs = append(c.addrs, a)
+		c.vals = append(c.vals, v)
+		c.labels = append(c.labels, label)
+		c.source = append(c.source, core.NoNode)
+		c.thread = append(c.thread, th)
+		c.seq = append(c.seq, seq)
+		c.didStore = append(c.didStore, k == program.KindStore)
+		c.masks = append(c.masks, 0)
+		byLabel[label] = id
+		return id, nil
+	}
+
+	// Initializing stores, then a start barrier ordered before all ops.
+	for a := range addrSet {
+		if _, err := add(program.KindStore, a, r.Init[a], fmt.Sprintf("init:%d", a), -1, 0); err != nil {
+			return nil, err
+		}
+	}
+	start, err := add(program.KindFence, 0, 0, "start", -1, 0)
+	if err != nil {
+		return nil, err
+	}
+	for id := 0; id < start; id++ {
+		if err := c.g.AddEdge(id, start, graph.EdgeLocal); err != nil {
+			return nil, fmt.Errorf("verify: init edge: %v", err)
+		}
+	}
+
+	// Thread ops with policy edges. Bypass cells defer to the source
+	// resolution pass below.
+	type pending struct{ store, load int }
+	var bypassPairs []pending
+	srcLabels := map[int]string{}
+	for ti, t := range r.Threads {
+		var prior []int
+		for si, op := range t {
+			label := op.Label
+			if label == "" {
+				label = fmt.Sprintf("T%d.%d", ti, si)
+			}
+			id, err := add(op.Kind, op.Addr, op.Value, label, ti, si)
+			if err != nil {
+				return nil, err
+			}
+			if op.Kind == program.KindLoad || op.Kind == program.KindAtomic {
+				srcLabels[id] = op.SourceLabel
+			}
+			if op.Kind == program.KindAtomic {
+				c.didStore[id] = op.DidStore
+			}
+			if op.Kind == program.KindFence {
+				c.masks[id] = op.FenceMask
+			}
+			if err := c.g.AddEdge(start, id, graph.EdgeLocal); err != nil {
+				return nil, fmt.Errorf("verify: start edge: %v", err)
+			}
+			for _, p := range prior {
+				req := pol.Require(c.kinds[p], op.Kind)
+				// Partial fences order pairwise (below), not via
+				// the table's fence cells.
+				if (c.kinds[p] == program.KindFence && c.masks[p] != 0) ||
+					(op.Kind == program.KindFence && op.FenceMask != 0) {
+					req = order.Free
+				}
+				switch req {
+				case order.Always:
+					if err := c.g.AddEdge(p, id, graph.EdgeLocal); err != nil {
+						return nil, fmt.Errorf("verify: local edge: %v", err)
+					}
+				case order.SameAddr:
+					if c.addrs[p] == op.Addr {
+						if err := c.g.AddEdge(p, id, graph.EdgeLocal); err != nil {
+							return nil, fmt.Errorf("verify: local edge: %v", err)
+						}
+					}
+				case order.Bypass:
+					if c.addrs[p] == op.Addr {
+						bypassPairs = append(bypassPairs, pending{store: p, load: id})
+					}
+				}
+			}
+			if op.Kind == program.KindLoad || op.Kind == program.KindStore || op.Kind == program.KindAtomic {
+				for _, f := range prior {
+					if c.kinds[f] != program.KindFence || c.masks[f] == 0 {
+						continue
+					}
+					for _, p := range prior {
+						if c.seq[p] >= c.seq[f] {
+							continue
+						}
+						if program.MaskOrders(c.masks[f], c.kinds[p], op.Kind) {
+							if err := c.g.AddEdge(p, id, graph.EdgeLocal); err != nil {
+								return nil, fmt.Errorf("verify: membar edge: %v", err)
+							}
+						}
+					}
+				}
+			}
+			prior = append(prior, id)
+		}
+	}
+
+	// Source resolution.
+	rep := &Report{Accepted: true}
+	for id := range c.kinds {
+		if !c.reads(id) || c.thread[id] < 0 {
+			continue
+		}
+		lbl := c.labels[id]
+		srcLabel := srcLabels[id]
+		src, ok := byLabel[srcLabel]
+		if !ok {
+			return nil, fmt.Errorf("verify: load %s observes unknown store %q", lbl, srcLabel)
+		}
+		if !c.storeEffect(src) || c.addrs[src] != c.addrs[id] {
+			return nil, fmt.Errorf("verify: load %s observes %s which is not a store to the same address", lbl, srcLabel)
+		}
+		c.source[id] = src
+		bypass := false
+		for _, bp := range bypassPairs {
+			if bp.load == id && bp.store == src {
+				bypass = true
+			}
+		}
+		if !bypass {
+			if err := c.g.AddEdge(src, id, graph.EdgeSource); err != nil {
+				rep.Accepted = false
+				rep.Reason = fmt.Sprintf("observation %s -> %s contradicts ordering", srcLabel, lbl)
+				return rep, nil
+			}
+		}
+	}
+	// Non-source halves of bypass pairs become plain orderings
+	// ("S ≺ L otherwise", Section 6).
+	for _, bp := range bypassPairs {
+		if c.source[bp.load] == bp.store {
+			continue
+		}
+		if err := c.g.AddEdge(bp.store, bp.load, graph.EdgeLocal); err != nil {
+			rep.Accepted = false
+			rep.Reason = fmt.Sprintf("bypass ordering %s -> %s contradicts graph", c.labels[bp.store], c.labels[bp.load])
+			return rep, nil
+		}
+	}
+
+	if reason := c.close(rules, rep); reason != "" {
+		rep.Accepted = false
+		rep.Reason = reason
+	}
+	return rep, nil
+}
+
+// close iterates the selected rules to fixpoint; a cycle yields a
+// non-empty rejection reason.
+func (c *checker) close(rules Rules, rep *Report) string {
+	addOrder := func(a, b int, changed *bool) string {
+		if c.g.Before(a, b) {
+			return ""
+		}
+		if err := c.g.AddOrder(a, b, graph.EdgeAtomicity); err != nil {
+			return fmt.Sprintf("required ordering %s @ %s creates a cycle", c.labels[a], c.labels[b])
+		}
+		rep.DerivedEdges++
+		*changed = true
+		return ""
+	}
+	// Read-modify-write atomicity: two store-effect atomics cannot share
+	// a source.
+	for a1 := range c.kinds {
+		if c.kinds[a1] != program.KindAtomic || !c.didStore[a1] || c.source[a1] == core.NoNode {
+			continue
+		}
+		for a2 := a1 + 1; a2 < len(c.kinds); a2++ {
+			if c.kinds[a2] == program.KindAtomic && c.didStore[a2] &&
+				c.addrs[a1] == c.addrs[a2] && c.source[a1] == c.source[a2] {
+				return fmt.Sprintf("atomics %s and %s both stored over the same source %s",
+					c.labels[a1], c.labels[a2], c.labels[c.source[a1]])
+			}
+		}
+	}
+	for {
+		changed := false
+		for l := range c.kinds {
+			if !c.reads(l) || c.source[l] == core.NoNode {
+				continue
+			}
+			src := c.source[l]
+			for s := range c.kinds {
+				if !c.storeEffect(s) || c.addrs[s] != c.addrs[l] || s == src || s == l {
+					continue
+				}
+				if rules&RuleA != 0 && c.g.Before(s, l) {
+					if r := addOrder(s, src, &changed); r != "" {
+						return r
+					}
+				}
+				if rules&RuleB != 0 && c.g.Before(src, s) {
+					if r := addOrder(l, s, &changed); r != "" {
+						return r
+					}
+				}
+			}
+		}
+		if rules&RuleC != 0 {
+			for l1 := range c.kinds {
+				if !c.reads(l1) || c.source[l1] == core.NoNode {
+					continue
+				}
+				for l2 := l1 + 1; l2 < len(c.kinds); l2++ {
+					if !c.reads(l2) || c.source[l2] == core.NoNode ||
+						c.addrs[l1] != c.addrs[l2] || c.source[l1] == c.source[l2] {
+						continue
+					}
+					commonAnc := c.g.Anc(l1).Clone()
+					commonAnc.And(c.g.Anc(l2))
+					commonDesc := c.g.Desc(c.source[l1]).Clone()
+					commonDesc.And(c.g.Desc(c.source[l2]))
+					var reason string
+					commonAnc.ForEach(func(a int) bool {
+						commonDesc.ForEach(func(b int) bool {
+							if a == b {
+								reason = fmt.Sprintf("node %s must precede itself (rule c)", c.labels[a])
+								return false
+							}
+							if r := addOrder(a, b, &changed); r != "" {
+								reason = r
+								return false
+							}
+							return true
+						})
+						return reason == ""
+					})
+					if reason != "" {
+						return reason
+					}
+				}
+			}
+		}
+		if !changed {
+			return ""
+		}
+	}
+}

@@ -1,0 +1,365 @@
+package verify_test
+
+import (
+	"testing"
+
+	"storeatomicity/internal/verify"
+
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// figure5Record hand-writes the contradictory execution of Figure 5: the
+// pairing L3←S2, L5←S4, L7←S6 plus the violating observation L9←S1.
+func figure5Record() *verify.Record {
+	return &verify.Record{
+		Init: map[program.Addr]program.Value{program.X: 0, program.Y: 0, program.Z: 0},
+		Threads: [][]verify.Op{
+			{
+				{Kind: program.KindStore, Addr: program.X, Value: 1, Label: "S1"},
+				{Kind: program.KindFence, Label: "FA"},
+				{Kind: program.KindLoad, Addr: program.Y, Value: 2, Label: "L3", SourceLabel: "S2"},
+				{Kind: program.KindLoad, Addr: program.Y, Value: 4, Label: "L5", SourceLabel: "S4"},
+			},
+			{
+				{Kind: program.KindStore, Addr: program.Y, Value: 2, Label: "S2"},
+				{Kind: program.KindFence, Label: "FB"},
+				{Kind: program.KindStore, Addr: program.Z, Value: 6, Label: "S6"},
+			},
+			{
+				{Kind: program.KindStore, Addr: program.Y, Value: 4, Label: "S4"},
+				{Kind: program.KindFence, Label: "FC1"},
+				{Kind: program.KindLoad, Addr: program.Z, Value: 6, Label: "L7", SourceLabel: "S6"},
+				{Kind: program.KindFence, Label: "FC2"},
+				{Kind: program.KindStore, Addr: program.X, Value: 8, Label: "S8"},
+				{Kind: program.KindLoad, Addr: program.X, Value: 1, Label: "L9", SourceLabel: "S1"},
+			},
+		},
+	}
+}
+
+// TestCheckerRejectsFigure5BothWays documents a finding of this
+// reproduction: for the *completed* Figure 5 execution, rules a and b
+// alone already detect the violation — the observation chain
+// S6 @ L7 ≺ S8 @ S1 (rule a on L9) feeds back into thread A, after which
+// rule a on L3/L5 derives the S2/S4 cycle. Property c is needed during
+// enumeration (to rule out future behaviors) and for executions whose
+// contradiction lives entirely in interlocking load pairs; see
+// TestCheckerABAcceptsInterlocked for the genuine TSOtool gap.
+func TestCheckerRejectsFigure5BothWays(t *testing.T) {
+	for _, rules := range []verify.Rules{verify.RulesAB, verify.RulesABC} {
+		rep, err := verify.Check(figure5Record(), order.Relaxed(), rules)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Accepted {
+			t.Errorf("rules %b should reject the completed Figure 5 execution", rules)
+		}
+	}
+}
+
+// interlockedRecord builds two interlocked Figure-5 patterns: each
+// pattern's rule-c edge is the only path that closes the other's
+// contradiction, so rules a and b never fire, yet the execution is not
+// serializable. This is the reproduction of the TSOtool gap (experiment
+// E11): a graph checker without property c accepts it.
+//
+//	A: L_u u      ; F ; L3  y  ; L5  y      (L_u sees S_u, L3←S2, L5←S4)
+//	B: S2 y,2     ; F ; S6 z,6
+//	C: S4 y,4     ; F ; L7 z    ; F ; L3' y2 ; L5' y2   (L7←S6, L3'←S2', L5'←S4')
+//	D: S2' y2,12  ; F ; S6' z2,16
+//	E: S4' y2,14  ; F ; L7' z2  ; F ; S_u u,9           (L7'←S6')
+//
+// Rule c on (L3, L5) inserts L_u @ L7; rule c on (L3', L5') inserts
+// L7 @ S_u; with the observation S_u @ L_u that is a cycle.
+func interlockedRecord() *verify.Record {
+	const (
+		u  = program.U
+		y  = program.Y
+		z  = program.Z
+		y2 = program.W
+		z2 = program.V
+	)
+	return &verify.Record{
+		Init: map[program.Addr]program.Value{u: 0, y: 0, z: 0, y2: 0, z2: 0},
+		Threads: [][]verify.Op{
+			{
+				{Kind: program.KindLoad, Addr: u, Value: 9, Label: "Lu", SourceLabel: "Su"},
+				{Kind: program.KindFence, Label: "FA"},
+				{Kind: program.KindLoad, Addr: y, Value: 2, Label: "L3", SourceLabel: "S2"},
+				{Kind: program.KindLoad, Addr: y, Value: 4, Label: "L5", SourceLabel: "S4"},
+			},
+			{
+				{Kind: program.KindStore, Addr: y, Value: 2, Label: "S2"},
+				{Kind: program.KindFence, Label: "FB"},
+				{Kind: program.KindStore, Addr: z, Value: 6, Label: "S6"},
+			},
+			{
+				{Kind: program.KindStore, Addr: y, Value: 4, Label: "S4"},
+				{Kind: program.KindFence, Label: "FC1"},
+				{Kind: program.KindLoad, Addr: z, Value: 6, Label: "L7", SourceLabel: "S6"},
+				{Kind: program.KindFence, Label: "FC2"},
+				{Kind: program.KindLoad, Addr: y2, Value: 12, Label: "L3p", SourceLabel: "S2p"},
+				{Kind: program.KindLoad, Addr: y2, Value: 14, Label: "L5p", SourceLabel: "S4p"},
+			},
+			{
+				{Kind: program.KindStore, Addr: y2, Value: 12, Label: "S2p"},
+				{Kind: program.KindFence, Label: "FD"},
+				{Kind: program.KindStore, Addr: z2, Value: 16, Label: "S6p"},
+			},
+			{
+				{Kind: program.KindStore, Addr: y2, Value: 14, Label: "S4p"},
+				{Kind: program.KindFence, Label: "FE1"},
+				{Kind: program.KindLoad, Addr: z2, Value: 16, Label: "L7p", SourceLabel: "S6p"},
+				{Kind: program.KindFence, Label: "FE2"},
+				{Kind: program.KindStore, Addr: u, Value: 9, Label: "Su"},
+			},
+		},
+	}
+}
+
+// TestCheckerABAcceptsInterlocked is the TSOtool gap under the relaxed
+// table: rules a+b accept the interlocked execution.
+func TestCheckerABAcceptsInterlocked(t *testing.T) {
+	rep, err := verify.Check(interlockedRecord(), order.Relaxed(), verify.RulesAB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Errorf("rules a+b should accept the interlocked execution; rejected: %s", rep.Reason)
+	}
+}
+
+// TestCheckerABCRejectsInterlocked shows property c catches it.
+func TestCheckerABCRejectsInterlocked(t *testing.T) {
+	rep, err := verify.Check(interlockedRecord(), order.Relaxed(), verify.RulesABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Error("rules a+b+c should reject the interlocked execution")
+	}
+}
+
+// splitInterlockedRecord is the TSO version of the gap. Under TSO,
+// same-thread loads are ordered, which lets rules a+b re-derive the
+// contradiction of interlockedRecord; here each pattern's two loads live
+// in different threads, their common ancestor being a store both threads
+// observe. Every link of the contradiction cycle except the two rule-c
+// edges is a plain program-order or observation path:
+//
+//	P: Lr r (←Sr) ; F ; Lya y (←S2)     R: S2 y,2 ; F ; S6 z,6
+//	Q: Lr2 r (←Sr); F ; Lyb y (←S4)     S: S4 y,4 ; F ; L7 z (←S6) ; F ; Sp p,1
+//	T: Lp p (←Sp) ; F ; Lwa w (←S2p)    V: S2p w,22 ; F ; S6p q,26
+//	U: Lp2 p (←Sp); F ; Lwb w (←S4p)    W: S4p w,24 ; F ; L7p q (←S6p) ; F ; Sr r,1
+//
+// Rule c on (Lya, Lyb) inserts Sr @ L7; rule c on (Lwa, Lwb) inserts
+// Sp @ L7p; with L7 ≺ Sp and L7p ≺ Sr that is a cycle.
+func splitInterlockedRecord() *verify.Record {
+	const (
+		y = program.Y
+		z = program.Z
+		w = program.W
+		q = program.V
+		p = program.X
+		r = program.U
+	)
+	return &verify.Record{
+		Init: map[program.Addr]program.Value{y: 0, z: 0, w: 0, q: 0, p: 0, r: 0},
+		Threads: [][]verify.Op{
+			{
+				{Kind: program.KindLoad, Addr: r, Value: 1, Label: "Lr", SourceLabel: "Sr"},
+				{Kind: program.KindFence, Label: "FP"},
+				{Kind: program.KindLoad, Addr: y, Value: 2, Label: "Lya", SourceLabel: "S2"},
+			},
+			{
+				{Kind: program.KindLoad, Addr: r, Value: 1, Label: "Lr2", SourceLabel: "Sr"},
+				{Kind: program.KindFence, Label: "FQ"},
+				{Kind: program.KindLoad, Addr: y, Value: 4, Label: "Lyb", SourceLabel: "S4"},
+			},
+			{
+				{Kind: program.KindStore, Addr: y, Value: 2, Label: "S2"},
+				{Kind: program.KindFence, Label: "FR"},
+				{Kind: program.KindStore, Addr: z, Value: 6, Label: "S6"},
+			},
+			{
+				{Kind: program.KindStore, Addr: y, Value: 4, Label: "S4"},
+				{Kind: program.KindFence, Label: "FS1"},
+				{Kind: program.KindLoad, Addr: z, Value: 6, Label: "L7", SourceLabel: "S6"},
+				{Kind: program.KindFence, Label: "FS2"},
+				{Kind: program.KindStore, Addr: p, Value: 1, Label: "Sp"},
+			},
+			{
+				{Kind: program.KindLoad, Addr: p, Value: 1, Label: "Lp", SourceLabel: "Sp"},
+				{Kind: program.KindFence, Label: "FT"},
+				{Kind: program.KindLoad, Addr: w, Value: 22, Label: "Lwa", SourceLabel: "S2p"},
+			},
+			{
+				{Kind: program.KindLoad, Addr: p, Value: 1, Label: "Lp2", SourceLabel: "Sp"},
+				{Kind: program.KindFence, Label: "FU"},
+				{Kind: program.KindLoad, Addr: w, Value: 24, Label: "Lwb", SourceLabel: "S4p"},
+			},
+			{
+				{Kind: program.KindStore, Addr: w, Value: 22, Label: "S2p"},
+				{Kind: program.KindFence, Label: "FV"},
+				{Kind: program.KindStore, Addr: q, Value: 26, Label: "S6p"},
+			},
+			{
+				{Kind: program.KindStore, Addr: w, Value: 24, Label: "S4p"},
+				{Kind: program.KindFence, Label: "FW1"},
+				{Kind: program.KindLoad, Addr: q, Value: 26, Label: "L7p", SourceLabel: "S6p"},
+				{Kind: program.KindFence, Label: "FW2"},
+				{Kind: program.KindStore, Addr: r, Value: 1, Label: "Sr"},
+			},
+		},
+	}
+}
+
+// TestCheckerGapUnderTSO is the faithful TSOtool reproduction: under the
+// TSO policy, rules a+b accept the split-interlocked execution and rule c
+// rejects it. The same holds under the relaxed table.
+func TestCheckerGapUnderTSO(t *testing.T) {
+	for _, pol := range []order.Policy{order.TSO(), order.Relaxed()} {
+		rec := splitInterlockedRecord()
+		rep, err := verify.Check(rec, pol, verify.RulesAB)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Accepted {
+			t.Errorf("%s: rules a+b should accept; rejected: %s", pol.Name(), rep.Reason)
+		}
+		rep, err = verify.Check(rec, pol, verify.RulesABC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rep.Accepted {
+			t.Errorf("%s: rule c should reject", pol.Name())
+		}
+	}
+}
+
+// TestCheckerAcceptsEnumeratedExecutions cross-validates the enumerator
+// against the checker: every enumerated execution must pass the complete
+// checker under its own model.
+func TestCheckerAcceptsEnumeratedExecutions(t *testing.T) {
+	for _, tc := range litmus.Registry() {
+		for _, m := range litmus.Models() {
+			if m.Speculative {
+				continue // speculative graphs include behaviors the record-level checker models differently
+			}
+			res, err := litmus.Run(tc, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.Name, m.Name, err)
+			}
+			for _, e := range res.Executions {
+				rec := verify.RecordFromExecution(e)
+				rep, err := verify.Check(rec, m.Policy, verify.RulesABC)
+				if err != nil {
+					t.Fatalf("%s/%s: %v", tc.Name, m.Name, err)
+				}
+				if !rep.Accepted {
+					t.Errorf("%s/%s: checker rejects enumerated execution %s: %s",
+						tc.Name, m.Name, e.SourceKey(), rep.Reason)
+				}
+			}
+		}
+	}
+}
+
+// TestCheckerRejectsSCViolationUnderSC feeds the SB relaxed outcome to the
+// SC checker; it must reject, while the TSO checker accepts.
+func TestCheckerRejectsSCViolationUnderSC(t *testing.T) {
+	rec := &verify.Record{
+		Init: map[program.Addr]program.Value{program.X: 0, program.Y: 0},
+		Threads: [][]verify.Op{
+			{
+				{Kind: program.KindStore, Addr: program.X, Value: 1, Label: "Sx"},
+				{Kind: program.KindLoad, Addr: program.Y, Value: 0, Label: "Ly", SourceLabel: "init:1"},
+			},
+			{
+				{Kind: program.KindStore, Addr: program.Y, Value: 1, Label: "Sy"},
+				{Kind: program.KindLoad, Addr: program.X, Value: 0, Label: "Lx", SourceLabel: "init:0"},
+			},
+		},
+	}
+	rep, err := verify.Check(rec, order.SC(), verify.RulesABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Error("SC checker accepted the store-buffering outcome")
+	}
+	rep, err = verify.Check(rec, order.TSO(), verify.RulesABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Errorf("TSO checker rejected the store-buffering outcome: %s", rep.Reason)
+	}
+}
+
+// TestCheckerBypass pins the Figure 10 record: accepted under TSO (bypass),
+// rejected under NaiveTSO.
+func TestCheckerBypass(t *testing.T) {
+	rec := &verify.Record{
+		Init: map[program.Addr]program.Value{program.X: 0, program.Y: 0, program.Z: 0},
+		Threads: [][]verify.Op{
+			{
+				{Kind: program.KindStore, Addr: program.X, Value: 1, Label: "S1"},
+				{Kind: program.KindStore, Addr: program.X, Value: 2, Label: "S2"},
+				{Kind: program.KindStore, Addr: program.Z, Value: 3, Label: "S3"},
+				{Kind: program.KindLoad, Addr: program.Z, Value: 3, Label: "L4", SourceLabel: "S3"},
+				{Kind: program.KindLoad, Addr: program.Y, Value: 5, Label: "L6", SourceLabel: "S5"},
+			},
+			{
+				{Kind: program.KindStore, Addr: program.Y, Value: 5, Label: "S5"},
+				{Kind: program.KindStore, Addr: program.Y, Value: 7, Label: "S7"},
+				{Kind: program.KindStore, Addr: program.Z, Value: 8, Label: "S8"},
+				{Kind: program.KindLoad, Addr: program.Z, Value: 8, Label: "L9", SourceLabel: "S8"},
+				{Kind: program.KindLoad, Addr: program.X, Value: 1, Label: "L10", SourceLabel: "S1"},
+			},
+		},
+	}
+	rep, err := verify.Check(rec, order.TSO(), verify.RulesABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Accepted {
+		t.Errorf("TSO with bypass must accept Figure 10: %s", rep.Reason)
+	}
+	rep, err = verify.Check(rec, order.NaiveTSO(), verify.RulesABC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Accepted {
+		t.Error("NaiveTSO must reject Figure 10")
+	}
+}
+
+// TestMalformedRecords exercises the error paths.
+func TestMalformedRecords(t *testing.T) {
+	// Unknown source label.
+	rec := &verify.Record{Threads: [][]verify.Op{{
+		{Kind: program.KindLoad, Addr: program.X, Label: "L", SourceLabel: "nope"},
+	}}}
+	if _, err := verify.Check(rec, order.SC(), verify.RulesABC); err == nil {
+		t.Error("unknown source label accepted")
+	}
+	// Source addresses a different location.
+	rec = &verify.Record{Threads: [][]verify.Op{
+		{{Kind: program.KindStore, Addr: program.Y, Value: 1, Label: "Sy"}},
+		{{Kind: program.KindLoad, Addr: program.X, Label: "L", SourceLabel: "Sy"}},
+	}}
+	if _, err := verify.Check(rec, order.SC(), verify.RulesABC); err == nil {
+		t.Error("cross-address source accepted")
+	}
+	// Duplicate labels.
+	rec = &verify.Record{Threads: [][]verify.Op{{
+		{Kind: program.KindStore, Addr: program.X, Value: 1, Label: "S"},
+		{Kind: program.KindStore, Addr: program.X, Value: 2, Label: "S"},
+	}}}
+	if _, err := verify.Check(rec, order.SC(), verify.RulesABC); err == nil {
+		t.Error("duplicate label accepted")
+	}
+}

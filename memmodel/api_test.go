@@ -1,0 +1,131 @@
+package memmodel_test
+
+import (
+	"testing"
+
+	"storeatomicity/memmodel"
+)
+
+// TestCustomModelFromReadme compiles and validates the README's
+// "define your own model" snippet: a coherence-only model (per-location
+// ordering, everything else free) sits strictly between nothing and the
+// relaxed table.
+func TestCustomModelFromReadme(t *testing.T) {
+	coherent := &memmodel.Table{ModelName: "CoherenceOnly"}
+	coherent.R[memmodel.KindLoad][memmodel.KindStore] = memmodel.SameAddr
+	coherent.R[memmodel.KindStore][memmodel.KindLoad] = memmodel.SameAddr
+	coherent.R[memmodel.KindStore][memmodel.KindStore] = memmodel.SameAddr
+
+	// Same-address guarantees hold: a thread cannot read its own
+	// future store.
+	b := memmodel.NewProgram()
+	b.Thread("A").LoadL("L1", 1, memmodel.X).StoreL("S1", memmodel.X, 1)
+	res, err := memmodel.Enumerate(b.Build(), coherent, memmodel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasOutcome(map[string]memmodel.Value{"L1": 1}) {
+		t.Error("coherence-only model let a load observe its own future store")
+	}
+
+	// But cross-location order is gone: even a fully fenced SB program
+	// exhibits the relaxed outcome, because this table has no fence
+	// cells at all.
+	b2 := memmodel.NewProgram()
+	b2.Thread("A").StoreL("Sx", memmodel.X, 1).Fence().LoadL("r1", 1, memmodel.Y)
+	b2.Thread("B").StoreL("Sy", memmodel.Y, 1).Fence().LoadL("r2", 2, memmodel.X)
+	res, err = memmodel.Enumerate(b2.Build(), coherent, memmodel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasOutcome(map[string]memmodel.Value{"r1": 0, "r2": 0}) {
+		t.Error("coherence-only model should ignore fences")
+	}
+}
+
+// TestFacadeModelNames sanity-checks the re-exported constructors.
+func TestFacadeModelNames(t *testing.T) {
+	want := map[string]memmodel.Policy{
+		"SC": memmodel.SC(), "TSO": memmodel.TSO(), "NaiveTSO": memmodel.NaiveTSO(),
+		"PSO": memmodel.PSO(), "Relaxed": memmodel.Relaxed(),
+	}
+	for name, pol := range want {
+		if pol.Name() != name {
+			t.Errorf("%s constructor names itself %q", name, pol.Name())
+		}
+	}
+}
+
+// TestAddrValueRoundTripFacade covers the pointer helpers.
+func TestAddrValueRoundTripFacade(t *testing.T) {
+	if memmodel.ValueAddr(memmodel.AddrValue(memmodel.W)) != memmodel.W {
+		t.Error("round trip failed")
+	}
+}
+
+// TestEnumerateParallelFacade: parallel facade returns the same outcome
+// set as sequential.
+func TestEnumerateParallelFacade(t *testing.T) {
+	b := memmodel.NewProgram()
+	b.Thread("A").StoreL("Sx", memmodel.X, 1).LoadL("r1", 1, memmodel.Y)
+	b.Thread("B").StoreL("Sy", memmodel.Y, 1).LoadL("r2", 2, memmodel.X)
+	p := b.Build()
+	seq, err := memmodel.Enumerate(p, memmodel.Relaxed(), memmodel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := memmodel.EnumerateParallel(p, memmodel.Relaxed(), memmodel.Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq.OutcomeSet()) != len(par.OutcomeSet()) {
+		t.Errorf("outcome sets differ: %v vs %v", seq.OutcomeSet(), par.OutcomeSet())
+	}
+}
+
+// TestRecordRoundTripFacade exercises the checker path through the
+// facade: enumerate, convert, check.
+func TestRecordRoundTripFacade(t *testing.T) {
+	b := memmodel.NewProgram()
+	b.Thread("A").StoreL("S", memmodel.X, 1).LoadL("L", 1, memmodel.X)
+	res, err := memmodel.Enumerate(b.Build(), memmodel.TSO(), memmodel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range res.Executions {
+		rep, err := memmodel.CheckRecord(memmodel.RecordFromExecution(e), memmodel.TSO(), memmodel.RulesABC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rep.Accepted {
+			t.Errorf("checker rejected %s: %s", e.SourceKey(), rep.Reason)
+		}
+	}
+}
+
+// TestMembarFacade: the re-exported barrier bits drive Membar correctly.
+func TestMembarFacade(t *testing.T) {
+	b := memmodel.NewProgram()
+	b.Thread("A").StoreL("Sx", memmodel.X, 1).Membar(memmodel.BarrierSL).LoadL("r1", 1, memmodel.Y)
+	b.Thread("B").StoreL("Sy", memmodel.Y, 1).Membar(memmodel.BarrierSL).LoadL("r2", 2, memmodel.X)
+	res, err := memmodel.Enumerate(b.Build(), memmodel.Relaxed(), memmodel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasOutcome(map[string]memmodel.Value{"r1": 0, "r2": 0}) {
+		t.Error("MEMBAR #StoreLoad did not forbid the SB outcome")
+	}
+}
+
+// TestAtomicFacade: CAS through the facade.
+func TestAtomicFacade(t *testing.T) {
+	b := memmodel.NewProgram()
+	b.Thread("A").CASL("cas", 1, memmodel.X, 0, 5).LoadL("after", 2, memmodel.X)
+	res, err := memmodel.Enumerate(b.Build(), memmodel.SC(), memmodel.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.HasOutcome(map[string]memmodel.Value{"cas": 0, "after": 5}) {
+		t.Errorf("CAS outcomes: %v", res.OutcomeSet())
+	}
+}

@@ -1,0 +1,262 @@
+// Package memmodel is the public API of the storeatomicity library, a
+// reproduction of Arvind and Jan-Willem Maessen, "Memory Model =
+// Instruction Reordering + Store Atomicity" (ISCA 2006).
+//
+// The paper's thesis is that a shared-memory consistency model factors
+// into two independent parts:
+//
+//   - thread-local instruction-reordering axioms (a small table saying
+//     which pairs of instruction kinds must stay in program order), and
+//   - Store Atomicity, a property of inter-thread communication over
+//     partially ordered execution graphs that makes every execution
+//     serializable.
+//
+// This package exposes:
+//
+//   - a program builder (NewProgram) for small multithreaded programs of
+//     Loads, Stores, Fences, register ops, and branches;
+//   - stock reordering policies (SC, TSO, PSO, Relaxed, NaiveTSO) and the
+//     Table type for defining new models "simply by changing the
+//     requirements for instruction reordering";
+//   - Enumerate, the paper's Section 4 procedure producing every behavior
+//     of a program under a model, optionally with address-aliasing
+//     speculation (Section 5);
+//   - serialization utilities (Witness, CheckSerialization,
+//     CountSerializations) realizing the Section 3.1 definitions;
+//   - a post-hoc execution checker (CheckRecord) in the style of TSOtool
+//     with a configurable Store Atomicity rule subset; and
+//   - an operational multiprocessor simulator (Simulate): out-of-order
+//     cores over an MSI coherence protocol, the "conservative
+//     approximation" of Section 4.2.
+//
+// A minimal session:
+//
+//	b := memmodel.NewProgram()
+//	b.Thread("A").Store(memmodel.X, 1).Load(1, memmodel.Y)
+//	b.Thread("B").Store(memmodel.Y, 1).Load(2, memmodel.X)
+//	res, err := memmodel.Enumerate(b.Build(), memmodel.TSO(), memmodel.Options{})
+//	// res.OutcomeSet() now includes the store-buffering outcome
+//	// forbidden under memmodel.SC().
+package memmodel
+
+import (
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/discipline"
+	"storeatomicity/internal/machine"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+	"storeatomicity/internal/serial"
+	"storeatomicity/internal/txn"
+	"storeatomicity/internal/verify"
+)
+
+// Re-exported program-construction types.
+type (
+	// Program is a multithreaded program plus initial memory.
+	Program = program.Program
+	// Builder assembles a Program fluently; see NewProgram.
+	Builder = program.Builder
+	// ThreadBuilder appends instructions to one thread.
+	ThreadBuilder = program.ThreadBuilder
+	// Instr is a single instruction.
+	Instr = program.Instr
+	// Addr names a memory location.
+	Addr = program.Addr
+	// Value is program data; addresses convert via AddrValue/ValueAddr.
+	Value = program.Value
+	// Reg names a virtual register.
+	Reg = program.Reg
+	// Kind discriminates instruction types.
+	Kind = program.Kind
+)
+
+// Conventional litmus addresses.
+const (
+	X = program.X
+	Y = program.Y
+	Z = program.Z
+	W = program.W
+	U = program.U
+	V = program.V
+)
+
+// Instruction kinds, re-exported for table construction and records.
+const (
+	KindOp     = program.KindOp
+	KindBranch = program.KindBranch
+	KindLoad   = program.KindLoad
+	KindStore  = program.KindStore
+	KindFence  = program.KindFence
+	KindAtomic = program.KindAtomic
+)
+
+// Partial-fence mask bits for ThreadBuilder.Membar (SPARC MEMBAR style).
+const (
+	BarrierLL  = program.BarrierLL
+	BarrierLS  = program.BarrierLS
+	BarrierSL  = program.BarrierSL
+	BarrierSS  = program.BarrierSS
+	BarrierAll = program.BarrierAll
+)
+
+// NewProgram returns an empty program builder.
+func NewProgram() *Builder { return program.NewBuilder() }
+
+// AddrValue converts an address into a storable value (for pointers in
+// memory, as in the paper's aliasing study).
+func AddrValue(a Addr) Value { return program.AddrValue(a) }
+
+// ValueAddr converts a loaded value back into an address.
+func ValueAddr(v Value) Addr { return program.ValueAddr(v) }
+
+// Re-exported model types.
+type (
+	// Policy is a set of thread-local reordering axioms.
+	Policy = order.Policy
+	// Table is a Policy backed by a kind×kind requirement matrix —
+	// the executable form of the paper's Figure 1.
+	Table = order.Table
+	// Requirement classifies one table cell.
+	Requirement = order.Requirement
+)
+
+// Requirement values for building custom tables.
+const (
+	// Free: the pair always reorders.
+	Free = order.Free
+	// Always: the pair never reorders.
+	Always = order.Always
+	// SameAddr: ordered only when the addresses match.
+	SameAddr = order.SameAddr
+	// Bypass: TSO's same-thread store→load special case (Section 6).
+	Bypass = order.Bypass
+)
+
+// SC returns Sequential Consistency.
+func SC() *Table { return order.SC() }
+
+// TSO returns SPARC Total Store Order with the correct store→load bypass.
+func TSO() *Table { return order.TSO() }
+
+// NaiveTSO returns the deliberately broken TSO of Figure 11's center.
+func NaiveTSO() *Table { return order.NaiveTSO() }
+
+// PSO returns SPARC Partial Store Order.
+func PSO() *Table { return order.PSO() }
+
+// Relaxed returns the paper's weak running-example model (Figure 1).
+func Relaxed() *Table { return order.Relaxed() }
+
+// Re-exported enumeration types.
+type (
+	// Options tunes Enumerate (speculation, budgets, dedup ablation).
+	Options = core.Options
+	// Result is the set of distinct executions plus work statistics.
+	Result = core.Result
+	// Execution is one completed behavior graph.
+	Execution = core.Execution
+	// Node is one instruction instance in an execution graph.
+	Node = core.Node
+	// EnumStats counts enumeration work.
+	EnumStats = core.Stats
+)
+
+// Enumerate computes every behavior of p under the policy, per the
+// operational procedure of Section 4.
+func Enumerate(p *Program, pol Policy, opts Options) (*Result, error) {
+	return core.Enumerate(p, pol, opts)
+}
+
+// EnumerateParallel is Enumerate distributed over a worker pool
+// (runtime.NumCPU() workers when workers <= 0). The behavior set is
+// identical to Enumerate's; executions are returned in canonical
+// (SourceKey) order.
+func EnumerateParallel(p *Program, pol Policy, opts Options, workers int) (*Result, error) {
+	return core.EnumerateParallel(p, pol, opts, workers)
+}
+
+// Witness returns one serialization of an execution's memory operations,
+// or serial.ErrNotSerializable for non-atomic (TSO bypass) executions.
+func Witness(e *Execution) ([]int, error) { return serial.Witness(e) }
+
+// CheckSerialization verifies a total order against the three conditions
+// of Section 3.1.
+func CheckSerialization(e *Execution, order []int) error { return serial.Check(e, order) }
+
+// CountSerializations counts the serializations of one execution,
+// stopping at limit when limit > 0.
+func CountSerializations(e *Execution, limit uint64) uint64 { return serial.Count(e, limit) }
+
+// Re-exported checker types.
+type (
+	// Record is an observed execution for post-hoc checking.
+	Record = verify.Record
+	// RecordOp is one recorded operation.
+	RecordOp = verify.Op
+	// Report is the checker verdict.
+	Report = verify.Report
+	// Rules selects which Store Atomicity properties to enforce.
+	Rules = verify.Rules
+)
+
+// Rule subsets for CheckRecord.
+const (
+	// RulesAB is the TSOtool-equivalent subset (properties a and b).
+	RulesAB = verify.RulesAB
+	// RulesABC is the complete Store Atomicity closure.
+	RulesABC = verify.RulesABC
+)
+
+// CheckRecord checks an observed execution against a policy under the
+// selected Store Atomicity rules.
+func CheckRecord(r *Record, pol Policy, rules Rules) (*Report, error) {
+	return verify.Check(r, pol, rules)
+}
+
+// RecordFromExecution converts an enumerated execution into a checker
+// record.
+func RecordFromExecution(e *Execution) *Record { return verify.RecordFromExecution(e) }
+
+// Re-exported simulator types.
+type (
+	// SimConfig tunes the operational simulator.
+	SimConfig = machine.Config
+	// Trace is one simulated run's observables.
+	Trace = machine.Trace
+)
+
+// Simulate runs p once on the out-of-order-cores-over-MSI machine.
+func Simulate(p *Program, cfg SimConfig) (*Trace, error) { return machine.Run(p, cfg) }
+
+// SimulateTSO runs p once on the in-order-cores-with-store-buffers
+// machine — the hardware mechanism behind Section 6's non-atomic TSO.
+// cfg.Policy and cfg.WindowSize are ignored (the machine is TSO by
+// construction).
+func SimulateTSO(p *Program, cfg SimConfig) (*Trace, error) { return machine.RunTSO(p, cfg) }
+
+// TransactionallyAtomic reports whether an execution admits a
+// serialization placing every transaction's operations contiguously (see
+// ThreadBuilder.TxBegin/TxEnd).
+func TransactionallyAtomic(e *Execution) bool { return txn.Atomic(e) }
+
+// EnumerateTransactional enumerates p and keeps only transactionally
+// atomic executions, also returning how many were filtered out.
+func EnumerateTransactional(p *Program, pol Policy, opts Options) (*Result, int, error) {
+	return txn.Enumerate(p, pol, opts)
+}
+
+// Re-exported discipline types.
+type (
+	// DisciplineReport is the well-synchronization verdict.
+	DisciplineReport = discipline.Report
+	// DisciplineViolation is one racy load.
+	DisciplineViolation = discipline.Violation
+)
+
+// CheckDiscipline applies the paper's well-synchronization criterion:
+// every load of a non-synchronization address must have exactly one
+// eligible store at every Load Resolution point. syncAddrs lists the
+// synchronization variables (flags, locks).
+func CheckDiscipline(p *Program, pol Policy, syncAddrs map[Addr]bool, opts Options) (*DisciplineReport, error) {
+	return discipline.Check(p, pol, syncAddrs, opts)
+}
