@@ -403,13 +403,43 @@ func BenchmarkOracleVsEngineSC(b *testing.B) {
 	})
 }
 
+// --- The enumeration hot path across every experiment (E1–E12) ---
+
+// enumSuite names the (experiment, test, model) triples whose cost is
+// dominated by core.Enumerate. `go test -bench Enum -benchmem` runs
+// exactly this family plus the parallel scaling benchmarks below;
+// cmd/mmbench snapshots the same set into BENCH_enum.json.
+var enumSuite = []struct {
+	exp, test, model string
+}{
+	{"E2", "Figure3", "Relaxed"},
+	{"E3", "Figure4", "Relaxed"},
+	{"E4", "Figure5", "Relaxed"},
+	{"E5", "Figure7", "Relaxed"},
+	{"E6", "Figure8", "Relaxed+spec"},
+	{"E7", "Figure10", "TSO"},
+	{"E8", "Figure10", "Relaxed"},
+	{"E9", "IRIW", "Relaxed"},
+	{"E10", "MP", "Relaxed"},
+	{"E11", "SB", "TSO"},
+	{"E12", "LB", "Relaxed"},
+}
+
+func BenchmarkEnum(b *testing.B) {
+	for _, s := range enumSuite {
+		b.Run(s.exp+"_"+s.test+"_"+s.model, func(b *testing.B) {
+			enumBench(b, s.test, s.model, core.Options{})
+		})
+	}
+}
+
 // --- Parallel enumeration scaling ---
 
 func BenchmarkEnumerateWorkers(b *testing.B) {
 	tc, _ := litmus.ByName("Figure10")
 	pol := order.Relaxed()
-	for _, w := range []int{1, 2, 4} {
-		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4"}[w], func(b *testing.B) {
+	for _, w := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.EnumerateParallel(tc.Build(), pol, core.Options{}, w); err != nil {
 					b.Fatal(err)

@@ -1,0 +1,165 @@
+// Command mmbench runs the enumeration benchmark suite (the E1–E12
+// experiments' hot path plus the parallel worker sweep) through
+// testing.Benchmark and emits a machine-readable snapshot. CI and the
+// DESIGN.md before/after tables are fed from this file, so regressions
+// show up as a diff, not as an anecdote.
+//
+// Usage:
+//
+//	mmbench [-out BENCH_enum.json] [-workers 1,2,4,8]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/litmus"
+)
+
+// result is one benchmark row of the snapshot.
+type result struct {
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Behaviors   int     `json:"behaviors,omitempty"`
+	Workers     int     `json:"workers,omitempty"`
+}
+
+// snapshot is the whole BENCH_enum.json document.
+type snapshot struct {
+	GoVersion string   `json:"go_version"`
+	NumCPU    int      `json:"num_cpu"`
+	Note      string   `json:"note,omitempty"`
+	Enum      []result `json:"enum"`
+	Parallel  []result `json:"parallel"`
+}
+
+// enumSuite mirrors BenchmarkEnum in bench_test.go: the (experiment,
+// test, model) triples whose cost is dominated by core.Enumerate.
+var enumSuite = []struct {
+	exp, test, model string
+}{
+	{"E2", "Figure3", "Relaxed"},
+	{"E3", "Figure4", "Relaxed"},
+	{"E4", "Figure5", "Relaxed"},
+	{"E5", "Figure7", "Relaxed"},
+	{"E6", "Figure8", "Relaxed+spec"},
+	{"E7", "Figure10", "TSO"},
+	{"E8", "Figure10", "Relaxed"},
+	{"E9", "IRIW", "Relaxed"},
+	{"E10", "MP", "Relaxed"},
+	{"E11", "SB", "TSO"},
+	{"E12", "LB", "Relaxed"},
+}
+
+func main() {
+	var (
+		out     = flag.String("out", "BENCH_enum.json", "output file (\"-\" for stdout)")
+		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
+	)
+	flag.Parse()
+
+	// Validate the sweep before spending seconds on benchmarks.
+	var sweep []int
+	for _, ws := range strings.Split(*workers, ",") {
+		w, err := strconv.Atoi(strings.TrimSpace(ws))
+		if err != nil || w < 1 {
+			fatalf("bad -workers element %q", ws)
+		}
+		sweep = append(sweep, w)
+	}
+
+	snap := snapshot{
+		GoVersion: runtime.Version(),
+		NumCPU:    runtime.NumCPU(),
+	}
+	if runtime.NumCPU() < 4 {
+		snap.Note = fmt.Sprintf(
+			"host has %d CPU(s); the parallel sweep measures scheduler overhead, not speedup",
+			runtime.NumCPU())
+	}
+
+	for _, s := range enumSuite {
+		tc, ok := litmus.ByName(s.test)
+		if !ok {
+			fatalf("unknown test %s", s.test)
+		}
+		m, ok := litmus.ModelByName(s.model)
+		if !ok {
+			fatalf("unknown model %s", s.model)
+		}
+		var behaviors int
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := core.Enumerate(tc.Build(), m.Policy, core.Options{Speculative: m.Speculative})
+				if err != nil {
+					b.Fatal(err)
+				}
+				behaviors = len(res.Executions)
+			}
+		})
+		snap.Enum = append(snap.Enum, result{
+			Name:        s.exp + "_" + s.test + "_" + s.model,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Behaviors:   behaviors,
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op\n",
+			snap.Enum[len(snap.Enum)-1].Name,
+			snap.Enum[len(snap.Enum)-1].NsPerOp, r.AllocsPerOp())
+	}
+
+	tc, _ := litmus.ByName("Figure10")
+	m, _ := litmus.ModelByName("Relaxed")
+	for _, w := range sweep {
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.EnumerateParallel(tc.Build(), m.Policy, core.Options{}, w); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		snap.Parallel = append(snap.Parallel, result{
+			Name:        fmt.Sprintf("Figure10_Relaxed_w%d", w),
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Workers:     w,
+		})
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op\n",
+			snap.Parallel[len(snap.Parallel)-1].Name,
+			snap.Parallel[len(snap.Parallel)-1].NsPerOp, r.AllocsPerOp())
+	}
+
+	data, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		fatalf("%v", err)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mmbench: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	mmenum -list
-//	mmenum [-model NAME] [-sources] [-graph] [-serialize] TEST
+//	mmenum [-model NAME] [-workers N] [-sources] [-graph] [-serialize] TEST
 //
 // Examples:
 //
@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"strings"
 
+	"storeatomicity/internal/core"
 	"storeatomicity/internal/litmus"
 	"storeatomicity/internal/program"
 	"storeatomicity/internal/serial"
@@ -37,6 +38,7 @@ func main() {
 		file      = flag.String("file", "", "load the test from a .litmus file instead of the registry")
 		serialize = flag.Bool("serialize", false, "print a witness serialization per execution (or report non-serializability)")
 		why       = flag.String("why", "", "explain an outcome (\"L5=3,L6=1\"): check every justifying source assignment")
+		workers   = flag.Int("workers", 1, "enumerate with N parallel workers (0 = one per CPU)")
 	)
 	flag.Parse()
 
@@ -116,7 +118,13 @@ func main() {
 		return
 	}
 
-	res, err := litmus.Run(tc, m)
+	run := func() (*core.Result, error) {
+		if *workers != 1 {
+			return litmus.RunParallel(tc, m, *workers)
+		}
+		return litmus.Run(tc, m)
+	}
+	res, err := run()
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
 		os.Exit(1)

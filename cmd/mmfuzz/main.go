@@ -31,6 +31,7 @@ func main() {
 		threads = flag.Int("threads", 2, "threads per program")
 		ops     = flag.Int("ops", 4, "instructions per thread")
 		seed0   = flag.Int64("seed", 0, "starting seed")
+		workers = flag.Int("workers", 0, "also cross-check EnumerateParallel with N workers (0 = skip)")
 		verbose = flag.Bool("v", false, "print per-program statistics")
 	)
 	flag.Parse()
@@ -45,6 +46,25 @@ func main() {
 			res, err := core.Enumerate(p, pol, core.Options{MaxBehaviors: 1 << 22})
 			if err != nil {
 				fail(p, seed, "%s: %v", pol.Name(), err)
+			}
+			if *workers > 1 {
+				par, err := core.EnumerateParallel(p, pol, core.Options{MaxBehaviors: 1 << 22}, *workers)
+				if err != nil {
+					fail(p, seed, "%s parallel: %v", pol.Name(), err)
+				}
+				if len(par.Executions) != len(res.Executions) {
+					fail(p, seed, "%s: parallel found %d behaviors, sequential %d",
+						pol.Name(), len(par.Executions), len(res.Executions))
+				}
+				seq := map[string]bool{}
+				for _, e := range res.Executions {
+					seq[e.SourceKey()] = true
+				}
+				for _, e := range par.Executions {
+					if !seq[e.SourceKey()] {
+						fail(p, seed, "%s: parallel behavior %q not in sequential set", pol.Name(), e.SourceKey())
+					}
+				}
 			}
 			cur := map[string]bool{}
 			for _, e := range res.Executions {

@@ -19,36 +19,17 @@ import (
 
 // closure applies Store Atomicity rules a, b, c to fixpoint. It returns
 // errInconsistent if a required ordering would create a cycle.
+//
+// The per-address store/load index is maintained incrementally on the
+// state (see addrSet) as nodes are generated, gain addresses, and
+// resolve, so each closure call starts from the live index instead of
+// rescanning every node and rebuilding a map.
 func (s *state) closure() error {
-	// Collect memory nodes by address once per call; node set is stable
-	// during closure.
-	type memSet struct {
-		stores []int // store-effect nodes (a DidStore atomic is both)
-		loads  []int // resolved reading nodes
-	}
-	byAddr := map[program.Addr]*memSet{}
-	for id := range s.nodes {
-		n := &s.nodes[id]
-		if !n.IsMemory() || !n.AddrKnown {
-			continue
-		}
-		ms := byAddr[n.Addr]
-		if ms == nil {
-			ms = &memSet{}
-			byAddr[n.Addr] = ms
-		}
-		if n.StoreEffect() {
-			ms.stores = append(ms.stores, id)
-		}
-		if n.Reads() && n.Resolved {
-			ms.loads = append(ms.loads, id)
-		}
-	}
-
 	// Read-modify-write atomicity: two atomics that both stored cannot
 	// observe the same source — each one's write must directly follow
 	// its read in every serialization.
-	for _, ms := range byAddr {
+	for ai := range s.addrs {
+		ms := &s.addrs[ai]
 		for i := 0; i < len(ms.loads); i++ {
 			a1 := &s.nodes[ms.loads[i]]
 			if a1.Kind != program.KindAtomic || !a1.DidStore {
@@ -65,11 +46,14 @@ func (s *state) closure() error {
 
 	for {
 		changed := false
-		for _, ms := range byAddr {
+		for ai := range s.addrs {
+			ms := &s.addrs[ai]
 			// Rules a and b, per resolved load.
-			for _, lid := range ms.loads {
+			for _, lid32 := range ms.loads {
+				lid := int(lid32)
 				src := s.nodes[lid].Source
-				for _, sid := range ms.stores {
+				for _, sid32 := range ms.stores {
+					sid := int(sid32)
 					if sid == src || sid == lid {
 						continue
 					}
@@ -94,7 +78,7 @@ func (s *state) closure() error {
 			// stores.
 			for i := 0; i < len(ms.loads); i++ {
 				for j := i + 1; j < len(ms.loads); j++ {
-					l1, l2 := ms.loads[i], ms.loads[j]
+					l1, l2 := int(ms.loads[i]), int(ms.loads[j])
 					s1, s2 := s.nodes[l1].Source, s.nodes[l2].Source
 					if s1 == s2 {
 						continue
@@ -124,14 +108,18 @@ func (s *state) addOrder(a, b int, changed *bool) error {
 }
 
 // ruleC inserts A @ B for every mutual strict ancestor A of loads l1, l2
-// and mutual strict descendant B of their (distinct) sources.
+// and mutual strict descendant B of their (distinct) sources. The
+// intersection bitsets are computed into per-state scratch buffers —
+// this runs inside the closure fixpoint, once per load pair per pass.
 func (s *state) ruleC(l1, l2, s1, s2 int, changed *bool) error {
-	commonAnc := s.g.Anc(l1).Clone()
+	commonAnc := graph.CopyInto(s.ancScratch, s.g.Anc(l1))
+	s.ancScratch = commonAnc
 	commonAnc.And(s.g.Anc(l2))
 	if commonAnc.Empty() {
 		return nil
 	}
-	commonDesc := s.g.Desc(s1).Clone()
+	commonDesc := graph.CopyInto(s.descScratch, s.g.Desc(s1))
+	s.descScratch = commonDesc
 	commonDesc.And(s.g.Desc(s2))
 	if commonDesc.Empty() {
 		return nil
@@ -242,10 +230,20 @@ func (s *state) candidates(lid int) []int {
 	if locals := s.localPriorStores(lid, true); len(locals) > 0 {
 		lastLocal = locals[len(locals)-1]
 	}
-	var out []int
-	for sid := range s.nodes {
+	// The result is built in per-state scratch (candidates are consumed
+	// before the next call on this state). The per-address index lists
+	// exactly the store-effect nodes with the load's address, so only
+	// value resolution remains to check.
+	out := s.candScratch[:0]
+	defer func() { s.candScratch = out[:0] }()
+	ai := s.addrIdx(l.Addr)
+	if ai < 0 {
+		return nil
+	}
+	for _, sid32 := range s.addrs[ai].stores {
+		sid := int(sid32)
 		sn := &s.nodes[sid]
-		if sid == lid || !sn.StoreEffect() || !sn.Resolved || !sn.AddrKnown || sn.Addr != l.Addr {
+		if sid == lid || !sn.Resolved {
 			continue
 		}
 		if s.g.Before(lid, sid) {
@@ -283,11 +281,17 @@ func (s *state) wouldStore(lid int, read program.Value) bool {
 }
 
 // sourceTakenByRMW reports whether a resolved store-effect atomic other
-// than lid already observes sid.
+// than lid already observes sid. Such an atomic reads sid's address, so
+// it appears in that address's resolved-load index.
 func (s *state) sourceTakenByRMW(sid, lid int) bool {
-	for aid := range s.nodes {
+	ai := s.addrIdx(s.nodes[sid].Addr)
+	if ai < 0 {
+		return false
+	}
+	for _, aid32 := range s.addrs[ai].loads {
+		aid := int(aid32)
 		a := &s.nodes[aid]
-		if aid != lid && a.Kind == program.KindAtomic && a.Resolved && a.DidStore && a.Source == sid {
+		if aid != lid && a.Kind == program.KindAtomic && a.DidStore && a.Source == sid {
 			return true
 		}
 	}
@@ -335,6 +339,7 @@ func (s *state) resolveLoad(lid, sid int) error {
 	l.Resolved = true
 	l.Val = s.nodes[sid].StoredValue()
 	l.Source = sid
+	s.noteLoad(lid, l.Addr)
 	if l.Kind == program.KindAtomic {
 		operand := l.instr.ValConst
 		if l.valDep != NoNode {
@@ -349,6 +354,11 @@ func (s *state) resolveLoad(lid, sid int) error {
 			l.DidStore, l.StoreVal = true, operand
 		case program.AtomicAdd:
 			l.DidStore, l.StoreVal = true, l.Val+operand
+		}
+		if l.DidStore {
+			// The atomic's store half took effect: it now counts as a
+			// store-effect node in the per-address index.
+			s.noteStore(lid, l.Addr)
 		}
 	}
 	locals := s.localPriorStores(lid, true)

@@ -1,0 +1,100 @@
+package core
+
+// Load–Store-graph dedup keys (Section 4.1). The enumeration engine keys
+// behaviors by a 64-bit FNV-1a fingerprint of the canonical Load–Store
+// graph encoding — node count plus the resolved (load, source) pairs in
+// ascending node order — instead of a formatted string. A fingerprint
+// collision would silently merge two distinct behaviors; the encoded key
+// space is tiny (node IDs and sources are small dense ints) so collisions
+// are vanishingly unlikely, and `go test -tags dedupcheck` re-runs the
+// suite with a cross-check that panics if a collision ever occurs. The
+// string signature also remains available as a baseline for the dedup
+// property tests (Options.dedupString).
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvMix folds one 64-bit word into an FNV-1a hash, byte by byte.
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+// fingerprintNodes hashes the Load–Store-graph key of a node slice: the
+// node count, then each resolved reading node's (id, source) pair. It is
+// shared by state.fingerprint and Execution.Fingerprint — for a completed
+// behavior the two coincide.
+func fingerprintNodes(nodes []Node) uint64 {
+	h := fnvMix(fnvOffset64, uint64(len(nodes)))
+	for id := range nodes {
+		n := &nodes[id]
+		if n.Reads() && n.Resolved {
+			h = fnvMix(h, uint64(uint32(id))<<32|uint64(uint32(n.Source)))
+		}
+	}
+	return h
+}
+
+// keySet is the sequential engine's dedup set. In the default
+// configuration it holds fingerprints; with Options.dedupString it holds
+// the string signatures (the property-test baseline); under the
+// dedupcheck build tag it holds both and panics on a collision.
+type keySet struct {
+	useString bool
+	hashes    map[uint64]struct{}
+	strs      map[string]struct{}
+	guard     map[uint64]string
+}
+
+func newKeySet(opts Options) *keySet {
+	k := &keySet{useString: opts.dedupString}
+	if k.useString {
+		k.strs = map[string]struct{}{}
+	} else {
+		k.hashes = map[uint64]struct{}{}
+		if dedupCollisionCheck {
+			k.guard = map[uint64]string{}
+		}
+	}
+	return k
+}
+
+// insert adds the state's Load–Store-graph key, reporting whether it was
+// new.
+func (k *keySet) insert(s *state) bool {
+	if k.useString {
+		sig := s.signature()
+		if _, dup := k.strs[sig]; dup {
+			return false
+		}
+		k.strs[sig] = struct{}{}
+		return true
+	}
+	h := s.fingerprint()
+	if k.guard != nil {
+		checkCollision(k.guard, h, s.signature())
+	}
+	if _, dup := k.hashes[h]; dup {
+		return false
+	}
+	k.hashes[h] = struct{}{}
+	return true
+}
+
+// checkCollision panics if two distinct signatures share a fingerprint
+// (dedupcheck builds only).
+func checkCollision(guard map[uint64]string, h uint64, sig string) {
+	if prev, ok := guard[h]; ok {
+		if prev != sig {
+			panic("core: Load–Store-graph fingerprint collision: " + prev + " vs " + sig)
+		}
+		return
+	}
+	guard[h] = sig
+}

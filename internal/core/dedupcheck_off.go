@@ -1,0 +1,9 @@
+//go:build !dedupcheck
+
+package core
+
+// dedupCollisionCheck gates the fingerprint-vs-signature cross-check.
+// Enable with `go test -tags dedupcheck ./internal/core/...` to make the
+// engines verify that no two distinct Load–Store-graph signatures ever
+// hash to the same 64-bit fingerprint (they panic if one does).
+const dedupCollisionCheck = false

@@ -1,0 +1,7 @@
+//go:build dedupcheck
+
+package core
+
+// dedupCollisionCheck is enabled by the dedupcheck build tag; see
+// dedupcheck_off.go.
+const dedupCollisionCheck = true

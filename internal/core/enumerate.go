@@ -28,8 +28,15 @@ type Options struct {
 	// point: the resolving load's label and address, and the labels of
 	// its candidate stores. The discipline package uses it to check
 	// the paper's well-synchronization criterion ("exactly one
-	// eligible store").
+	// eligible store"). With EnumerateParallel it must be safe for
+	// concurrent use.
 	CandidateHook func(loadLabel string, addr program.Addr, candidates []string)
+
+	// dedupString keys the dedup sets by the full string signature
+	// instead of the 64-bit fingerprint. It is the property-test
+	// baseline for the hashed dedup path and is intentionally
+	// unexported: the fingerprint is the production key.
+	dedupString bool
 }
 
 func (o Options) withDefaults() Options {
@@ -54,6 +61,9 @@ type Stats struct {
 	// Rollbacks counts behaviors discarded as inconsistent — nonzero
 	// only under speculation.
 	Rollbacks int
+	// Steals counts work items taken from another worker's deque —
+	// nonzero only for EnumerateParallel with two or more workers.
+	Steals int
 }
 
 // Result is the full set of distinct final executions of a program under a
@@ -108,12 +118,14 @@ func (r *Result) FindOutcome(want map[string]program.Value) *Execution {
 func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{Model: pol.Name()}
-	seen := map[string]bool{}
-	finals := map[string]bool{}
+	seen := newKeySet(opts)
+	finals := newKeySet(opts)
+	var pool statePool
 
 	work := []*state{newState(p, pol, opts)}
 	for len(work) > 0 {
 		s := work[len(work)-1]
+		work[len(work)-1] = nil
 		work = work[:len(work)-1]
 		res.Stats.StatesExplored++
 		if res.Stats.StatesExplored > opts.MaxBehaviors {
@@ -125,16 +137,19 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 		if err := s.runToQuiescence(); err != nil {
 			if err == errInconsistent {
 				res.Stats.Rollbacks++
+				pool.put(s)
 				continue
 			}
 			return res, err
 		}
 
 		if s.done() {
-			key := s.signature()
-			if !finals[key] {
-				finals[key] = true
+			if finals.insert(s) {
+				// finish hands the state's buffers to the Execution,
+				// so this state is not pooled.
 				res.Executions = append(res.Executions, s.finish())
+			} else {
+				pool.put(s)
 			}
 			continue
 		}
@@ -145,12 +160,11 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 		// check runs post-quiescence so that generation unlocked by
 		// branch outcomes has settled.
 		if !opts.DisableDedup {
-			key := s.signature()
-			if seen[key] {
+			if !seen.insert(s) {
 				res.Stats.DuplicatesDiscarded++
+				pool.put(s)
 				continue
 			}
-			seen[key] = true
 		}
 
 		// Phase 3: Load Resolution.
@@ -169,13 +183,15 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 			}
 			for _, sid := range cands {
 				res.Stats.Forks++
-				ns := s.clone()
+				ns := s.fork(&pool)
 				if err := ns.resolveLoad(lid, sid); err != nil {
 					res.Stats.Rollbacks++
+					pool.put(ns)
 					continue
 				}
 				if err := ns.closure(); err != nil {
 					res.Stats.Rollbacks++
+					pool.put(ns)
 					continue
 				}
 				progressed = true
@@ -189,10 +205,14 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 			// else is an engine invariant violation.
 			if s.hasEligibleLoad() {
 				res.Stats.Rollbacks++
+				pool.put(s)
 				continue
 			}
 			return res, fmt.Errorf("core: enumeration stalled with unresolved loads (model %s)", pol.Name())
 		}
+		// The children forked above are deep copies; the parent's
+		// buffers are free to recycle.
+		pool.put(s)
 	}
 	return res, nil
 }

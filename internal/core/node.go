@@ -193,6 +193,13 @@ func (e *Execution) Key() string {
 	return b.String()
 }
 
+// Fingerprint returns the 64-bit FNV-1a hash of the execution's canonical
+// Load–Store-graph encoding (node count plus resolved (load, source)
+// pairs) — the same key the enumeration engines dedup on. Two executions
+// of one program under one model are equivalent iff their fingerprints
+// match (up to hash collision; see the dedupcheck build tag).
+func (e *Execution) Fingerprint() uint64 { return fingerprintNodes(e.Nodes) }
+
 // SourceKey returns a canonical key over (load label → source label) pairs;
 // it identifies the execution up to equivalence, since every edge is a
 // deterministic function of the program, the model, and the source map.

@@ -2,21 +2,87 @@ package core
 
 // Parallel enumeration: the behavior set B of Section 4.1 is an
 // unordered work pool — behaviors are independent once forked, so the
-// engine parallelizes naturally. Workers pop behaviors, run them to
-// quiescence, fork at Load Resolution, and push the children back;
-// dedup and result maps are shared under a mutex. The behavior set is
-// identical to sequential enumeration (tests enforce it); only discovery
-// order differs, so results are canonically sorted before returning.
+// engine parallelizes naturally. This implementation is a work-stealing
+// scheduler: every worker owns a LIFO deque of behaviors (depth-first,
+// like the sequential engine, which keeps the live frontier small) and
+// steals FIFO from a random victim when its own deque drains — stealing
+// the oldest entries hands over the largest subtrees. The Load–Store-
+// graph dedup set and the final-execution set are sharded 64 ways by
+// fingerprint so workers rarely contend on a lock, and each worker keeps
+// private Stats and a private state pool, merged/retired at the end.
+//
+// The behavior set is identical to sequential enumeration (tests enforce
+// it); only discovery order differs, so results are canonically sorted
+// before returning.
 
 import (
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
 )
+
+// dedupShards is the shard count for the shared dedup/final sets; 64
+// keeps lock contention negligible at any realistic worker count.
+const dedupShards = 64
+
+// seenShard is one shard of the Load–Store-graph dedup set.
+type seenShard struct {
+	mu    sync.Mutex
+	seen  map[uint64]struct{}
+	guard map[uint64]string // fingerprint collision cross-check (dedupcheck builds)
+}
+
+// finalShard is one shard of the completed-execution set.
+type finalShard struct {
+	mu    sync.Mutex
+	seen  map[uint64]struct{}
+	guard map[uint64]string
+	execs []*Execution
+}
+
+// wsEngine is the shared scheduler core.
+type wsEngine struct {
+	opts Options
+
+	workers []*wsWorker
+
+	// pending counts behaviors that are queued or being processed. A
+	// parent is decremented only after its children are pushed, so
+	// pending reaching zero means the enumeration is complete.
+	pending  atomic.Int64
+	explored atomic.Int64
+
+	stop     atomic.Bool
+	errMu    sync.Mutex
+	firstErr error
+
+	// Idle workers park on idleCond; idlers mirrors the count so
+	// pushers can skip the lock when nobody is parked.
+	idleMu   sync.Mutex
+	idleCond *sync.Cond
+	idlers   atomic.Int32
+
+	seen   [dedupShards]seenShard
+	finals [dedupShards]finalShard
+}
+
+// wsWorker is one scheduler worker: a lock-guarded deque (LIFO for the
+// owner, FIFO for thieves), a private state pool, private stats, and an
+// xorshift RNG for victim selection.
+type wsWorker struct {
+	eng   *wsEngine
+	mu    sync.Mutex
+	head  int
+	deque []*state
+	pool  statePool
+	stats Stats
+	rng   uint64
+}
 
 // EnumerateParallel is Enumerate distributed over workers goroutines
 // (runtime.NumCPU() when workers <= 0). Options.CandidateHook, if set,
@@ -30,91 +96,39 @@ func EnumerateParallel(p *program.Program, pol order.Policy, opts Options, worke
 		return Enumerate(p, pol, opts)
 	}
 
-	res := &Result{Model: pol.Name()}
-	var (
-		mu          sync.Mutex
-		cond        = sync.NewCond(&mu)
-		work        []*state
-		outstanding int // states popped but not yet fully processed
-		seen        = map[string]bool{}
-		finals      = map[string]bool{}
-		firstErr    error
-	)
-	work = append(work, newState(p, pol, opts))
-
-	worker := func() {
-		for {
-			mu.Lock()
-			for len(work) == 0 && outstanding > 0 && firstErr == nil {
-				cond.Wait()
-			}
-			if firstErr != nil || (len(work) == 0 && outstanding == 0) {
-				mu.Unlock()
-				return
-			}
-			s := work[len(work)-1]
-			work = work[:len(work)-1]
-			outstanding++
-			res.Stats.StatesExplored++
-			if res.Stats.StatesExplored > opts.MaxBehaviors {
-				firstErr = fmt.Errorf("core: behavior budget (%d) exhausted", opts.MaxBehaviors)
-				cond.Broadcast()
-				mu.Unlock()
-				return
-			}
-			mu.Unlock()
-
-			children, exec, stats, err := step(s, opts)
-
-			mu.Lock()
-			outstanding--
-			res.Stats.Forks += stats.Forks
-			res.Stats.Rollbacks += stats.Rollbacks
-			if err != nil {
-				if firstErr == nil {
-					firstErr = err
-				}
-			} else if exec != nil {
-				key := exec.keyState.signature()
-				if !finals[key] {
-					finals[key] = true
-					res.Executions = append(res.Executions, exec.exec)
-				}
-			} else {
-				for _, c := range children {
-					if !opts.DisableDedup {
-						// Fork-time keys are checked at pop in the
-						// sequential engine; here children are
-						// keyed post-quiescence by the worker that
-						// pops them. To avoid re-queuing converged
-						// states we also pre-filter on the fork
-						// signature.
-						k := c.signature()
-						if seen[k] {
-							res.Stats.DuplicatesDiscarded++
-							continue
-						}
-						seen[k] = true
-					}
-					work = append(work, c)
-				}
-			}
-			cond.Broadcast()
-			mu.Unlock()
-		}
+	e := &wsEngine{opts: opts}
+	e.idleCond = sync.NewCond(&e.idleMu)
+	e.workers = make([]*wsWorker, workers)
+	for i := range e.workers {
+		e.workers[i] = &wsWorker{eng: e, rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
 	}
+
+	e.pending.Store(1)
+	e.workers[0].push(newState(p, pol, opts))
 
 	var wg sync.WaitGroup
-	for i := 0; i < workers; i++ {
+	for _, w := range e.workers {
 		wg.Add(1)
-		go func() {
+		go func(w *wsWorker) {
 			defer wg.Done()
-			worker()
-		}()
+			w.run()
+		}(w)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return res, firstErr
+
+	res := &Result{Model: pol.Name()}
+	res.Stats.StatesExplored = int(e.explored.Load())
+	for _, w := range e.workers {
+		res.Stats.Forks += w.stats.Forks
+		res.Stats.Rollbacks += w.stats.Rollbacks
+		res.Stats.DuplicatesDiscarded += w.stats.DuplicatesDiscarded
+		res.Stats.Steals += w.stats.Steals
+	}
+	if e.firstErr != nil {
+		return res, e.firstErr
+	}
+	for i := range e.finals {
+		res.Executions = append(res.Executions, e.finals[i].execs...)
 	}
 	sort.Slice(res.Executions, func(i, j int) bool {
 		return res.Executions[i].SourceKey() < res.Executions[j].SourceKey()
@@ -122,60 +136,285 @@ func EnumerateParallel(p *program.Program, pol order.Policy, opts Options, worke
 	return res, nil
 }
 
-// stepOutcome wraps a completed behavior with the state that produced it
-// (for final dedup keying).
-type stepOutcome struct {
-	exec     *Execution
-	keyState *state
+// push appends a behavior to the worker's own deque and wakes a parked
+// worker if any. The caller must have accounted for the behavior in
+// e.pending before pushing.
+func (w *wsWorker) push(s *state) {
+	w.mu.Lock()
+	w.deque = append(w.deque, s)
+	w.mu.Unlock()
+	w.eng.wake()
 }
 
-// step processes one behavior outside the lock: quiescence, then either a
-// finished execution or the forked children.
-func step(s *state, opts Options) (children []*state, done *stepOutcome, stats Stats, err error) {
-	if qerr := s.runToQuiescence(); qerr != nil {
-		if qerr == errInconsistent {
-			stats.Rollbacks++
-			return nil, nil, stats, nil
+// pop takes the newest behavior (LIFO), or nil.
+func (w *wsWorker) pop() *state {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.head >= len(w.deque) {
+		return nil
+	}
+	n := len(w.deque) - 1
+	s := w.deque[n]
+	w.deque[n] = nil
+	w.deque = w.deque[:n]
+	if w.head == len(w.deque) {
+		w.head = 0
+		w.deque = w.deque[:0]
+	}
+	return s
+}
+
+// stealFrom takes the oldest behavior (FIFO), or nil.
+func (w *wsWorker) stealFrom() *state {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.head >= len(w.deque) {
+		return nil
+	}
+	s := w.deque[w.head]
+	w.deque[w.head] = nil
+	w.head++
+	if w.head == len(w.deque) {
+		w.head = 0
+		w.deque = w.deque[:0]
+	}
+	return s
+}
+
+// nextRand is a xorshift64 step for victim selection.
+func (w *wsWorker) nextRand() uint64 {
+	x := w.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	w.rng = x
+	return x
+}
+
+// steal scans victims starting at a random offset.
+func (e *wsEngine) steal(w *wsWorker) *state {
+	n := len(e.workers)
+	off := int(w.nextRand() % uint64(n))
+	for i := 0; i < n; i++ {
+		v := e.workers[(off+i)%n]
+		if v == w {
+			continue
 		}
-		return nil, nil, stats, qerr
+		if s := v.stealFrom(); s != nil {
+			w.stats.Steals++
+			return s
+		}
 	}
+	return nil
+}
+
+// wake signals one parked worker, if any. The fast path is a single
+// atomic load.
+func (e *wsEngine) wake() {
+	if e.idlers.Load() == 0 {
+		return
+	}
+	e.idleMu.Lock()
+	e.idleCond.Signal()
+	e.idleMu.Unlock()
+}
+
+// wakeAll unparks every worker — used at termination and on error so no
+// goroutine is left waiting (the error path must broadcast, not signal:
+// every parked worker has to observe stop/pending and exit).
+func (e *wsEngine) wakeAll() {
+	e.idleMu.Lock()
+	e.idleCond.Broadcast()
+	e.idleMu.Unlock()
+}
+
+// setErr records the first error, stops the scheduler, and wakes every
+// parked worker.
+func (e *wsEngine) setErr(err error) {
+	e.errMu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.errMu.Unlock()
+	e.stop.Store(true)
+	e.wakeAll()
+}
+
+// hasQueuedWork reports whether any deque is non-empty.
+func (e *wsEngine) hasQueuedWork() bool {
+	for _, v := range e.workers {
+		v.mu.Lock()
+		n := len(v.deque) - v.head
+		v.mu.Unlock()
+		if n > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// park blocks the worker until new work may exist. It rechecks the
+// deques under idleMu so a push that raced with the failed pop/steal
+// cannot be missed: wake() takes idleMu before signalling, and Wait
+// releases idleMu atomically.
+func (e *wsEngine) park() {
+	e.idleMu.Lock()
+	if e.stop.Load() || e.pending.Load() == 0 || e.hasQueuedWork() {
+		e.idleMu.Unlock()
+		return
+	}
+	e.idlers.Add(1)
+	e.idleCond.Wait()
+	e.idlers.Add(-1)
+	e.idleMu.Unlock()
+}
+
+// run is the worker loop: pop own work, steal, or park; exit when the
+// scheduler stops or the global pending count hits zero.
+func (w *wsWorker) run() {
+	e := w.eng
+	for {
+		if e.stop.Load() {
+			return
+		}
+		s := w.pop()
+		if s == nil {
+			s = e.steal(w)
+		}
+		if s == nil {
+			if e.pending.Load() == 0 {
+				e.wakeAll()
+				return
+			}
+			e.park()
+			continue
+		}
+		w.process(s)
+	}
+}
+
+// process runs one behavior to quiescence and either records it as a
+// final execution or forks its children, mirroring the sequential
+// engine. e.pending is decremented for the parent only after the
+// children are pushed, so pending never dips to zero mid-expansion.
+func (w *wsWorker) process(s *state) {
+	e := w.eng
+	defer e.pending.Add(-1)
+
+	if int(e.explored.Add(1)) > e.opts.MaxBehaviors {
+		e.setErr(fmt.Errorf("core: behavior budget (%d) exhausted", e.opts.MaxBehaviors))
+		return
+	}
+
+	if err := s.runToQuiescence(); err != nil {
+		if err == errInconsistent {
+			w.stats.Rollbacks++
+			w.pool.put(s)
+			return
+		}
+		e.setErr(err)
+		return
+	}
+
 	if s.done() {
-		return nil, &stepOutcome{exec: s.finish(), keyState: s}, stats, nil
+		if !e.addFinal(s) {
+			w.pool.put(s)
+		}
+		return
 	}
+
+	if !e.opts.DisableDedup && !e.addSeen(s) {
+		w.stats.DuplicatesDiscarded++
+		w.pool.put(s)
+		return
+	}
+
 	progressed := false
 	for lid := range s.nodes {
 		if !s.eligible(lid) {
 			continue
 		}
 		cands := s.candidates(lid)
-		if opts.CandidateHook != nil {
+		if e.opts.CandidateHook != nil {
 			labels := make([]string, len(cands))
 			for i, sid := range cands {
 				labels[i] = s.nodes[sid].Label
 			}
-			opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
+			e.opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
 		}
 		for _, sid := range cands {
-			stats.Forks++
-			ns := s.clone()
-			if rerr := ns.resolveLoad(lid, sid); rerr != nil {
-				stats.Rollbacks++
+			w.stats.Forks++
+			ns := s.fork(&w.pool)
+			if err := ns.resolveLoad(lid, sid); err != nil {
+				w.stats.Rollbacks++
+				w.pool.put(ns)
 				continue
 			}
-			if cerr := ns.closure(); cerr != nil {
-				stats.Rollbacks++
+			if err := ns.closure(); err != nil {
+				w.stats.Rollbacks++
+				w.pool.put(ns)
 				continue
 			}
 			progressed = true
-			children = append(children, ns)
+			e.pending.Add(1)
+			w.push(ns)
 		}
 	}
 	if !progressed {
 		if s.hasEligibleLoad() {
-			stats.Rollbacks++
-			return nil, nil, stats, nil
+			w.stats.Rollbacks++
+			w.pool.put(s)
+			return
 		}
-		return nil, nil, stats, fmt.Errorf("core: enumeration stalled with unresolved loads")
+		e.setErr(fmt.Errorf("core: enumeration stalled with unresolved loads"))
+		return
 	}
-	return children, nil, stats, nil
+	w.pool.put(s)
+}
+
+// addSeen inserts the behavior's Load–Store-graph fingerprint into the
+// sharded dedup set, reporting whether it was new.
+func (e *wsEngine) addSeen(s *state) bool {
+	h := s.fingerprint()
+	sh := &e.seen[h&(dedupShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if sh.seen == nil {
+		sh.seen = map[uint64]struct{}{}
+	}
+	if dedupCollisionCheck {
+		if sh.guard == nil {
+			sh.guard = map[uint64]string{}
+		}
+		checkCollision(sh.guard, h, s.signature())
+	}
+	if _, dup := sh.seen[h]; dup {
+		return false
+	}
+	sh.seen[h] = struct{}{}
+	return true
+}
+
+// addFinal records a completed behavior, deduplicating by fingerprint.
+// On success the state's buffers escape into the Execution (do not pool).
+func (e *wsEngine) addFinal(s *state) bool {
+	h := s.fingerprint()
+	f := &e.finals[h&(dedupShards-1)]
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen == nil {
+		f.seen = map[uint64]struct{}{}
+	}
+	if dedupCollisionCheck {
+		if f.guard == nil {
+			f.guard = map[uint64]string{}
+		}
+		checkCollision(f.guard, h, s.signature())
+	}
+	if _, dup := f.seen[h]; dup {
+		return false
+	}
+	f.seen[h] = struct{}{}
+	f.execs = append(f.execs, s.finish())
+	return true
 }

@@ -1,8 +1,10 @@
 package core
 
 import (
+	"runtime"
 	"strings"
 	"testing"
+	"time"
 
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
@@ -94,6 +96,53 @@ func TestParallelBudget(t *testing.T) {
 	_, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{MaxBehaviors: 3}, 4)
 	if err == nil || !strings.Contains(err.Error(), "behavior budget") {
 		t.Errorf("err = %v", err)
+	}
+}
+
+// TestParallelBudgetNoLeak: exhausting MaxBehaviors with many workers
+// must wake every parked worker and return — a worker left waiting on
+// the idle condition would deadlock this test (and leak under -race).
+// Run repeatedly to give the error path a chance to race with parking.
+func TestParallelBudgetNoLeak(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 50; i++ {
+		for _, budget := range []int{1, 2, 5, 20} {
+			_, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{MaxBehaviors: budget}, 8)
+			if err == nil || !strings.Contains(err.Error(), "behavior budget") {
+				t.Fatalf("budget=%d: err = %v", budget, err)
+			}
+		}
+	}
+	// All workers joined before EnumerateParallel returns (wg.Wait), so
+	// any sustained goroutine growth means a leaked waiter.
+	for i := 0; i < 100; i++ {
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+	t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+}
+
+// TestParallelStats: fork/dup/steal counters are merged across workers
+// and agree with the sequential engine where determinism allows.
+func TestParallelStats(t *testing.T) {
+	seq, err := Enumerate(figure10Prog(), order.Relaxed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Dedup outcomes are schedule-dependent in the parallel engine (two
+	// workers can both explore a state the other would have deduped),
+	// but every explored state is accounted for.
+	if par.Stats.StatesExplored < len(par.Executions) {
+		t.Errorf("explored %d < %d executions", par.Stats.StatesExplored, len(par.Executions))
+	}
+	if len(par.Executions) != len(seq.Executions) {
+		t.Errorf("parallel %d executions, sequential %d", len(par.Executions), len(seq.Executions))
 	}
 }
 

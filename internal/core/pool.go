@@ -1,0 +1,35 @@
+package core
+
+// statePool is an explicit free list of retired behavior states. Each
+// engine worker owns one, so there is no cross-goroutine synchronization:
+// duplicates, rollbacks, and fully forked parents are returned to the
+// pool and their buffers (closure bitsets, node slices, register files,
+// per-address indexes) are recycled by the next fork. States whose
+// buffers escaped into an Execution (via finish) must never be returned.
+type statePool struct {
+	free []*state
+}
+
+// poolMax bounds retained states so a deep enumeration cannot pin
+// arbitrary memory after its working set shrinks.
+const poolMax = 256
+
+// get returns a retired state to recycle, or nil when the pool is empty.
+func (p *statePool) get() *state {
+	n := len(p.free)
+	if n == 0 {
+		return nil
+	}
+	s := p.free[n-1]
+	p.free[n-1] = nil
+	p.free = p.free[:n-1]
+	return s
+}
+
+// put retires a state for reuse.
+func (p *statePool) put(s *state) {
+	if s == nil || len(p.free) >= poolMax {
+		return
+	}
+	p.free = append(p.free, s)
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"storeatomicity/internal/order"
+)
+
+// benchState builds a mid-exploration state for Figure 10 under the
+// relaxed model: generated to quiescence, so the graph, node slice,
+// per-thread lists, and address index are all populated — the shape a
+// state has when the engine forks it.
+func benchState(b *testing.B) *state {
+	s := newState(figure10Prog(), order.Relaxed(), Options{}.withDefaults())
+	if err := s.runToQuiescence(); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkFork measures the pooled fork: after warm-up every child is
+// carved out of a recycled state, so the steady-state cost is the copy
+// of the graph bitsets and flat slices, with no map work and near-zero
+// fresh allocation.
+func BenchmarkFork(b *testing.B) {
+	s := benchState(b)
+	var pool statePool
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := s.fork(&pool)
+		pool.put(c)
+	}
+}
+
+// BenchmarkForkCold measures the same copy without recycling — what
+// every fork cost before the pool existed (each child allocates its
+// graph, bitsets, node slice, and per-thread lists from scratch).
+func BenchmarkForkCold(b *testing.B) {
+	s := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.clone()
+	}
+}
+
+// BenchmarkFingerprint measures the 64-bit dedup key the engine uses.
+func BenchmarkFingerprint(b *testing.B) {
+	s := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var h uint64
+	for i := 0; i < b.N; i++ {
+		h = s.fingerprint()
+	}
+	_ = h
+}
+
+// BenchmarkSignatureString measures the string dedup key the engine used
+// before hashing (retained as the property-test baseline) — one string
+// allocation per probe plus string-keyed map hashing at the call site.
+func BenchmarkSignatureString(b *testing.B) {
+	s := benchState(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	var sig string
+	for i := 0; i < b.N; i++ {
+		sig = s.signature()
+	}
+	_ = sig
+}

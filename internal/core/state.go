@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"strconv"
 
 	"storeatomicity/internal/graph"
 	"storeatomicity/internal/order"
@@ -14,24 +15,20 @@ import (
 // enumeration it is the rollback trigger of Section 5.2.
 var errInconsistent = errors.New("core: execution violates store atomicity")
 
-// threadState carries the per-thread program counter and register map
+// threadState carries the per-thread program counter and register file
 // ("the PC and register state of each of its threads", Section 4).
-// Registers map to the node that produces their current value.
+// Registers are a flat slice indexed by register ID — programs use small
+// dense register numbers — mapping each register to the node that produces
+// its current value (noNode32 = unwritten, reads as zero). The flat layout
+// makes a fork a single copy() instead of a map rebuild.
 type threadState struct {
 	pc      int
-	regs    map[program.Reg]int
+	regs    []int32
 	blocked int // node ID of the unresolved branch blocking generation, or NoNode
 	genSeq  int // dynamic instruction count, for Node.Seq
 }
 
-func (t *threadState) clone() threadState {
-	c := *t
-	c.regs = make(map[program.Reg]int, len(t.regs))
-	for k, v := range t.regs {
-		c.regs[k] = v
-	}
-	return c
-}
+const noNode32 = int32(NoNode)
 
 // aliasPair records two same-thread memory nodes whose reordering
 // requirement is address-dependent and not yet decidable (at least one
@@ -41,8 +38,22 @@ type aliasPair struct {
 	done           bool
 }
 
+// addrSet is the per-address memory-node index, maintained incrementally
+// as nodes are generated and resolved so the Store Atomicity closure and
+// candidates(L) never rebuild it. stores holds store-effect nodes with
+// this (known) address, including the initializing store; loads holds
+// resolved reading nodes.
+type addrSet struct {
+	addr   program.Addr
+	init   int // initializing store node ID
+	stores []int32
+	loads  []int32
+}
+
 // state is one in-flight behavior: program graph, thread states, and
-// bookkeeping. It forks (clone) at Load Resolution.
+// bookkeeping. It forks at Load Resolution; forks go through a statePool
+// so retired behaviors donate their buffers (graph bitsets, node slices,
+// register files) instead of being garbage.
 type state struct {
 	prog *program.Program
 	pol  order.Policy
@@ -52,19 +63,64 @@ type state struct {
 	nodes []Node
 
 	threads []threadState
+	// nregs is the register-file size shared by every thread
+	// (max register ID referenced by the program, plus one).
+	nregs int
 
 	// start is the barrier node ordered after initializing stores and
 	// before every thread node.
 	start int
-	// initByAddr maps an address to its initializing store node.
-	initByAddr map[program.Addr]int
 
-	// memByThread lists memory/fence/branch node IDs per thread in
+	// addrs is the address directory: initializing store plus the
+	// incrementally maintained store/load index per known address.
+	// Address counts are tiny, so lookup is a linear scan.
+	addrs []addrSet
+
+	// byThread lists memory/fence/branch node IDs per thread in
 	// program (generation) order, for reordering-axiom edge insertion.
 	byThread [][]int
 
 	aliases  []aliasPair
 	bypasses [][2]int
+
+	// opScratch is reused by execute() when evaluating Op arguments;
+	// candScratch by candidates(); ancScratch/descScratch by ruleC's
+	// common-ancestor/descendant intersections. None survive a call.
+	opScratch   []program.Value
+	candScratch []int
+	ancScratch  graph.Bits
+	descScratch graph.Bits
+}
+
+// maxReg returns the register-file size needed by p.
+func maxReg(p *program.Program) int {
+	max := int32(-1)
+	note := func(r program.Reg) {
+		if int32(r) > max {
+			max = int32(r)
+		}
+	}
+	for _, t := range p.Threads {
+		for _, in := range t.Instrs {
+			switch in.Kind {
+			case program.KindLoad, program.KindOp, program.KindAtomic:
+				note(in.Dest)
+			}
+			if in.UseAddrReg {
+				note(in.AddrReg)
+			}
+			if in.UseValReg {
+				note(in.ValReg)
+			}
+			if in.Kind == program.KindBranch {
+				note(in.CondReg)
+			}
+			for _, r := range in.Args {
+				note(r)
+			}
+		}
+	}
+	return int(max) + 1
 }
 
 // newState builds the initial behavior: start barrier, initializing
@@ -76,13 +132,14 @@ func newState(p *program.Program, pol order.Policy, opts Options) *state {
 		capHint += len(t.Instrs) + 1
 	}
 	s := &state{
-		prog:       p,
-		pol:        pol,
-		opts:       opts,
-		g:          graph.New(0, capHint*2),
-		initByAddr: map[program.Addr]int{},
-		threads:    make([]threadState, len(p.Threads)),
-		byThread:   make([][]int, len(p.Threads)),
+		prog:     p,
+		pol:      pol,
+		opts:     opts,
+		g:        graph.New(0, capHint*2),
+		nregs:    maxReg(p),
+		threads:  make([]threadState, len(p.Threads)),
+		byThread: make([][]int, len(p.Threads)),
+		addrs:    make([]addrSet, 0, len(addrs)+2),
 	}
 	// Initializing stores precede everything (Section 4: "Memory is
 	// initialized with Store operations before any thread is started").
@@ -94,13 +151,41 @@ func newState(p *program.Program, pol order.Policy, opts Options) *state {
 		ID: s.start, Thread: -1, Kind: program.KindFence, Label: "start",
 		Resolved: true, Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
 	})
-	for a := range s.initByAddr {
-		mustEdge(s.g.AddEdge(s.initByAddr[a], s.start, graph.EdgeLocal))
+	for i := range s.addrs {
+		mustEdge(s.g.AddEdge(s.addrs[i].init, s.start, graph.EdgeLocal))
 	}
 	for i := range s.threads {
-		s.threads[i] = threadState{regs: map[program.Reg]int{}, blocked: NoNode}
+		regs := make([]int32, s.nregs)
+		for r := range regs {
+			regs[r] = noNode32
+		}
+		s.threads[i] = threadState{regs: regs, blocked: NoNode}
 	}
 	return s
+}
+
+// addrIdx returns the directory index for address a, or -1.
+func (s *state) addrIdx(a program.Addr) int {
+	for i := range s.addrs {
+		if s.addrs[i].addr == a {
+			return i
+		}
+	}
+	return -1
+}
+
+// noteStore registers a store-effect node with a known address in the
+// per-address index. The directory entry exists because every known
+// address has an initializing store created first.
+func (s *state) noteStore(id int, a program.Addr) {
+	i := s.addrIdx(a)
+	s.addrs[i].stores = append(s.addrs[i].stores, int32(id))
+}
+
+// noteLoad registers a resolved reading node in the per-address index.
+func (s *state) noteLoad(id int, a program.Addr) {
+	i := s.addrIdx(a)
+	s.addrs[i].loads = append(s.addrs[i].loads, int32(id))
 }
 
 // addInitStore creates the initializing store node for address a. When
@@ -112,11 +197,11 @@ func (s *state) addInitStore(a program.Addr, v program.Value, late bool) int {
 	id := s.g.AddNodes(1)
 	s.nodes = append(s.nodes, Node{
 		ID: id, Thread: -1, Kind: program.KindStore,
-		Label:     fmt.Sprintf("init:%d", a),
+		Label:     "init:" + strconv.Itoa(int(a)),
 		AddrKnown: true, Addr: a, Resolved: true, Val: v,
 		Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
 	})
-	s.initByAddr[a] = id
+	s.addrs = append(s.addrs, addrSet{addr: a, init: id, stores: []int32{int32(id)}})
 	if late {
 		mustEdge(s.g.AddEdge(id, s.start, graph.EdgeLocal))
 	}
@@ -129,38 +214,70 @@ func mustEdge(err error) {
 	}
 }
 
-// clone forks the behavior.
-func (s *state) clone() *state {
-	c := &state{
-		prog: s.prog, pol: s.pol, opts: s.opts,
-		g:          s.g.Clone(),
-		nodes:      append([]Node(nil), s.nodes...),
-		threads:    make([]threadState, len(s.threads)),
-		start:      s.start,
-		initByAddr: make(map[program.Addr]int, len(s.initByAddr)),
-		byThread:   make([][]int, len(s.byThread)),
-		aliases:    append([]aliasPair(nil), s.aliases...),
-		bypasses:   append([][2]int(nil), s.bypasses...),
+// fork clones the behavior into a (possibly recycled) state from the
+// pool. The program, policy, and options are shared; every mutable
+// buffer is copied into the destination's existing storage where capacity
+// allows, so a warm pool turns forking into a handful of copy()s.
+func (s *state) fork(p *statePool) *state {
+	c := p.get()
+	if c == nil {
+		c = &state{}
 	}
+	c.prog, c.pol, c.opts = s.prog, s.pol, s.opts
+	c.start, c.nregs = s.start, s.nregs
+	c.g = s.g.CloneInto(c.g)
+	c.nodes = append(c.nodes[:0], s.nodes...)
+
+	if cap(c.threads) < len(s.threads) {
+		c.threads = make([]threadState, len(s.threads))
+	}
+	c.threads = c.threads[:len(s.threads)]
 	for i := range s.threads {
-		c.threads[i] = s.threads[i].clone()
+		t, ct := &s.threads[i], &c.threads[i]
+		ct.pc, ct.blocked, ct.genSeq = t.pc, t.blocked, t.genSeq
+		ct.regs = append(ct.regs[:0], t.regs...)
 	}
-	for k, v := range s.initByAddr {
-		c.initByAddr[k] = v
+
+	if cap(c.byThread) < len(s.byThread) {
+		c.byThread = make([][]int, len(s.byThread))
 	}
-	for i, l := range s.byThread {
-		c.byThread[i] = append([]int(nil), l...)
+	c.byThread = c.byThread[:len(s.byThread)]
+	for i := range s.byThread {
+		c.byThread[i] = append(c.byThread[i][:0], s.byThread[i]...)
 	}
+
+	if cap(c.addrs) < len(s.addrs) {
+		grown := make([]addrSet, len(s.addrs))
+		copy(grown, c.addrs[:cap(c.addrs)])
+		c.addrs = grown
+	}
+	c.addrs = c.addrs[:len(s.addrs)]
+	for i := range s.addrs {
+		sa, ca := &s.addrs[i], &c.addrs[i]
+		ca.addr, ca.init = sa.addr, sa.init
+		ca.stores = append(ca.stores[:0], sa.stores...)
+		ca.loads = append(ca.loads[:0], sa.loads...)
+	}
+
+	c.aliases = append(c.aliases[:0], s.aliases...)
+	c.bypasses = append(c.bypasses[:0], s.bypasses...)
 	return c
+}
+
+// clone forks the behavior without pooling (kept for tests and one-shot
+// callers).
+func (s *state) clone() *state {
+	var p statePool
+	return s.fork(&p)
 }
 
 // regNode returns the node currently bound to a register, or NoNode (an
 // unwritten register reads as zero).
 func (s *state) regNode(t int, r program.Reg) int {
-	if id, ok := s.threads[t].regs[r]; ok {
-		return id
+	if int(r) < 0 || int(r) >= len(s.threads[t].regs) {
+		return NoNode
 	}
-	return NoNode
+	return int(s.threads[t].regs[r])
 }
 
 // generate runs Section 4.1 step 1 for every thread: create unresolved
@@ -185,6 +302,18 @@ func (s *state) generate() (bool, error) {
 	return progress, nil
 }
 
+// threadLabel builds the fallback node label "T<ti>.<seq>" without fmt —
+// this runs for every generated node of unlabeled programs (the randprog
+// corpus), so it stays off the fmt/reflection path.
+func threadLabel(ti, seq int) string {
+	var buf [16]byte
+	b := append(buf[:0], 'T')
+	b = strconv.AppendInt(b, int64(ti), 10)
+	b = append(b, '.')
+	b = strconv.AppendInt(b, int64(seq), 10)
+	return string(b)
+}
+
 // genOne generates the next instruction of thread ti.
 func (s *state) genOne(ti int) error {
 	th := &s.threads[ti]
@@ -197,7 +326,7 @@ func (s *state) genOne(ti int) error {
 		instr: in,
 	}
 	if n.Label == "" {
-		n.Label = fmt.Sprintf("T%d.%d", ti, th.genSeq)
+		n.Label = threadLabel(ti, th.genSeq)
 	}
 	th.genSeq++
 	th.pc++
@@ -225,15 +354,18 @@ func (s *state) genOne(ti int) error {
 
 	s.nodes = append(s.nodes, n)
 	nn := &s.nodes[id]
+	if nn.Kind == program.KindStore && nn.AddrKnown {
+		s.noteStore(id, nn.Addr)
+	}
 
 	// Register rebinding for value producers.
 	if in.Kind == program.KindLoad || in.Kind == program.KindOp || in.Kind == program.KindAtomic {
-		th.regs[in.Dest] = id
+		th.regs[in.Dest] = int32(id)
 	}
 
 	// Structural edges: start barrier and dataflow.
 	mustEdge(s.g.AddEdge(s.start, id, graph.EdgeLocal))
-	for _, d := range []int{nn.addrDep, nn.valDep, nn.condDep} {
+	for _, d := range [...]int{nn.addrDep, nn.valDep, nn.condDep} {
 		if d != NoNode {
 			mustEdge(s.g.AddEdge(d, id, graph.EdgeLocal))
 		}
@@ -353,8 +485,12 @@ func (s *state) execute() (bool, error) {
 			if n.IsMemory() && !n.AddrKnown && n.addrDep != NoNode && s.nodes[n.addrDep].Resolved {
 				n.AddrKnown = true
 				n.Addr = program.ValueAddr(s.nodes[n.addrDep].Val)
-				if _, ok := s.initByAddr[n.Addr]; !ok {
+				if s.addrIdx(n.Addr) < 0 {
 					s.addInitStore(n.Addr, s.prog.Init[n.Addr], true)
+					n = &s.nodes[id] // addInitStore may have grown s.nodes
+				}
+				if n.Kind == program.KindStore {
+					s.noteStore(id, n.Addr)
 				}
 				changed = true
 			}
@@ -368,19 +504,22 @@ func (s *state) execute() (bool, error) {
 				n.Resolved = true
 				changed = true
 			case program.KindOp:
-				vals := make([]program.Value, len(n.argDeps))
+				// The argument buffer is scratch reused across Op
+				// evaluations; OpFuncs must not retain it.
+				vals := s.opScratch[:0]
 				ok := true
-				for i, d := range n.argDeps {
+				for _, d := range n.argDeps {
 					if d == NoNode {
-						vals[i] = 0
+						vals = append(vals, 0)
 						continue
 					}
 					if !s.nodes[d].Resolved {
 						ok = false
 						break
 					}
-					vals[i] = s.nodes[d].Val
+					vals = append(vals, s.nodes[d].Val)
 				}
+				s.opScratch = vals
 				if ok {
 					if n.instr.Fn != nil {
 						n.Val = n.instr.Fn(vals)
@@ -451,24 +590,43 @@ func (s *state) done() bool {
 	return true
 }
 
-// signature is the dedup key of Section 4.1 ("It is sufficient to compare
-// the Load-Store graph of each execution"): the derived edge set is a
-// deterministic function of the program, the model, and the partial
-// source assignment, so the resolved (load → source) map plus the node
-// count canonically identifies the Load-Store graph.
+// signature is the string form of the dedup key of Section 4.1 ("It is
+// sufficient to compare the Load-Store graph of each execution"): the
+// derived edge set is a deterministic function of the program, the model,
+// and the partial source assignment, so the resolved (load → source) map
+// plus the node count canonically identifies the Load-Store graph.
+//
+// The engine dedups on the 64-bit fingerprint below; the string form is
+// the collision-free baseline, kept for the dedup property tests and the
+// `dedupcheck` build-tag cross-check.
 func (s *state) signature() string {
 	b := make([]byte, 0, 8*len(s.nodes))
-	b = append(b, fmt.Sprintf("n%d|", len(s.nodes))...)
+	b = append(b, 'n')
+	b = strconv.AppendInt(b, int64(len(s.nodes)), 10)
+	b = append(b, '|')
 	for id := range s.nodes {
 		n := &s.nodes[id]
 		if n.Reads() && n.Resolved {
-			b = append(b, fmt.Sprintf("%d<%d;", id, n.Source)...)
+			b = strconv.AppendInt(b, int64(id), 10)
+			b = append(b, '<')
+			b = strconv.AppendInt(b, int64(n.Source), 10)
+			b = append(b, ';')
 		}
 	}
 	return string(b)
 }
 
-// finish freezes the state into an Execution.
+// fingerprint hashes the Load–Store graph key — node count plus the
+// (load, source) pairs in ascending node order — with FNV-1a into 64
+// bits. It is the hot dedup key: no per-node formatting, no string
+// allocation, map lookups on a uint64.
+func (s *state) fingerprint() uint64 {
+	return fingerprintNodes(s.nodes)
+}
+
+// finish freezes the state into an Execution. The graph, node slice, and
+// bypass list escape into the Execution, so a finished state must not be
+// returned to a pool.
 func (s *state) finish() *Execution {
 	return &Execution{
 		Graph:    s.g,

@@ -50,6 +50,26 @@ func (b Bits) And(o Bits) {
 // CopyFrom overwrites b with o.
 func (b Bits) CopyFrom(o Bits) { copy(b, o) }
 
+// Reset clears every bit, keeping the capacity.
+func (b Bits) Reset() {
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+// CopyInto copies src into dst, reusing dst's backing array when it is
+// large enough and reallocating otherwise. It returns the destination —
+// the enumeration engine's state pool uses it to recycle closure bitsets
+// across forks instead of allocating a fresh Bits per clone.
+func CopyInto(dst, src Bits) Bits {
+	if cap(dst) < len(src) {
+		dst = make(Bits, len(src))
+	}
+	dst = dst[:len(src)]
+	copy(dst, src)
+	return dst
+}
+
 // Clone returns an independent copy.
 func (b Bits) Clone() Bits {
 	c := make(Bits, len(b))

@@ -214,6 +214,36 @@ func cloneBitsSlice(in []Bits) []Bits {
 	return out
 }
 
+// CloneInto copies g into dst, reusing dst's edge list and bitset buffers
+// where capacities allow. dst may be nil or a retired graph of any shape;
+// the result shares no storage with g. Forking a behavior through a state
+// pool turns the dominant clone cost from alloc+copy into plain copy.
+func (g *Graph) CloneInto(dst *Graph) *Graph {
+	if dst == nil {
+		dst = &Graph{}
+	}
+	dst.n, dst.cap = g.n, g.cap
+	dst.edges = append(dst.edges[:0], g.edges...)
+	dst.succ = copyBitsSliceInto(dst.succ, g.succ)
+	dst.pred = copyBitsSliceInto(dst.pred, g.pred)
+	dst.desc = copyBitsSliceInto(dst.desc, g.desc)
+	dst.anc = copyBitsSliceInto(dst.anc, g.anc)
+	return dst
+}
+
+func copyBitsSliceInto(dst, src []Bits) []Bits {
+	if cap(dst) < len(src) {
+		grown := make([]Bits, len(src))
+		copy(grown, dst[:cap(dst)])
+		dst = grown
+	}
+	dst = dst[:len(src)]
+	for i, b := range src {
+		dst[i] = CopyInto(dst[i], b)
+	}
+	return dst
+}
+
 // Unordered reports whether neither a @ b nor b @ a (and a != b): the pair
 // may execute in either order.
 func (g *Graph) Unordered(a, b int) bool {

@@ -98,6 +98,12 @@ func Run(t *Test, m Model) (*core.Result, error) {
 	return core.Enumerate(t.Build(), m.Policy, core.Options{Speculative: m.Speculative})
 }
 
+// RunParallel enumerates with the work-stealing engine. The behavior set
+// is identical to Run's; workers <= 0 uses one worker per CPU.
+func RunParallel(t *Test, m Model, workers int) (*core.Result, error) {
+	return core.EnumerateParallel(t.Build(), m.Policy, core.Options{Speculative: m.Speculative}, workers)
+}
+
 // CheckResult verifies a result against the test's expectations for the
 // model, returning a list of human-readable violations (empty = pass).
 func CheckResult(t *Test, modelName string, res *core.Result) []string {

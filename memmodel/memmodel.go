@@ -163,14 +163,22 @@ type (
 
 // Enumerate computes every behavior of p under the policy, per the
 // operational procedure of Section 4.
+//
+// The engine forks states through a free-list pool (steady-state forks
+// allocate nothing) and dedups Load–Store graphs by 64-bit FNV-1a
+// fingerprint (Execution.Fingerprint exposes the same key; build with
+// `-tags dedupcheck` to cross-check fingerprints against the full
+// string signatures and panic on a collision).
 func Enumerate(p *Program, pol Policy, opts Options) (*Result, error) {
 	return core.Enumerate(p, pol, opts)
 }
 
-// EnumerateParallel is Enumerate distributed over a worker pool
-// (runtime.NumCPU() workers when workers <= 0). The behavior set is
-// identical to Enumerate's; executions are returned in canonical
-// (SourceKey) order.
+// EnumerateParallel is Enumerate distributed over work-stealing workers
+// (runtime.NumCPU() workers when workers <= 0): each worker explores its
+// own LIFO deque and steals from a random victim when empty, with the
+// dedup sets sharded across 64 locks. The behavior set is identical to
+// Enumerate's; executions are returned in canonical (SourceKey) order,
+// and Result.Stats.Steals counts successful steals.
 func EnumerateParallel(p *Program, pol Policy, opts Options, workers int) (*Result, error) {
 	return core.EnumerateParallel(p, pol, opts, workers)
 }
