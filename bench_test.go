@@ -13,6 +13,8 @@ package storeatomicity
 //	states/op           enumeration states explored (dedup ablation)
 
 import (
+	"context"
+
 	"fmt"
 	"math/rand"
 	"testing"
@@ -44,7 +46,7 @@ func enumBench(b *testing.B, test, model string, opts core.Options) {
 	var behaviors int
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		res, err := core.Enumerate(tc.Build(), m.Policy, opts)
+		res, err := core.Enumerate(context.Background(), tc.Build(), m.Policy, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -265,7 +267,7 @@ func benchDedup(b *testing.B, opts core.Options) {
 	pol := order.Relaxed()
 	var states int
 	for i := 0; i < b.N; i++ {
-		res, err := core.Enumerate(tc.Build(), pol, opts)
+		res, err := core.Enumerate(context.Background(), tc.Build(), pol, opts)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -344,7 +346,7 @@ func BenchmarkTransactions(b *testing.B) {
 	}
 	var kept, dropped int
 	for i := 0; i < b.N; i++ {
-		res, d, err := txn.Enumerate(build(), order.SC(), core.Options{})
+		res, d, err := txn.Enumerate(context.Background(), build(), order.SC(), core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -361,7 +363,7 @@ func BenchmarkDiscipline(b *testing.B) {
 	syncY := map[program.Addr]bool{program.Y: true}
 	var violations int
 	for i := 0; i < b.N; i++ {
-		rep, err := discipline.Check(tc.Build(), order.Relaxed(), syncY, core.Options{})
+		rep, err := discipline.Check(context.Background(), tc.Build(), order.Relaxed(), syncY, core.Options{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -396,7 +398,7 @@ func BenchmarkOracleVsEngineSC(b *testing.B) {
 	})
 	b.Run("engine", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := core.Enumerate(tc.Build(), order.SC(), core.Options{}); err != nil {
+			if _, err := core.Enumerate(context.Background(), tc.Build(), order.SC(), core.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -441,7 +443,7 @@ func BenchmarkEnumerateWorkers(b *testing.B) {
 	for _, w := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("w%d", w), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := core.EnumerateParallel(tc.Build(), pol, core.Options{}, w); err != nil {
+				if _, err := core.EnumerateParallel(context.Background(), tc.Build(), pol, core.Options{}, w); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -470,7 +472,7 @@ func BenchmarkChainScaling(b *testing.B) {
 		b.Run(fmt.Sprintf("threads%d", n), func(b *testing.B) {
 			var behaviors int
 			for i := 0; i < b.N; i++ {
-				res, err := core.Enumerate(chainProgram(n), order.Relaxed(), core.Options{})
+				res, err := core.Enumerate(context.Background(), chainProgram(n), order.Relaxed(), core.Options{})
 				if err != nil {
 					b.Fatal(err)
 				}

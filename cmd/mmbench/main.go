@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	mmbench [-out BENCH_enum.json] [-workers 1,2,4,8]
+//	mmbench [-out BENCH_enum.json] [-workers 1,2,4,8] [-timeout 10m]
 package main
 
 import (
@@ -19,6 +19,7 @@ import (
 	"strings"
 	"testing"
 
+	"storeatomicity/internal/cli"
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/litmus"
 )
@@ -65,8 +66,11 @@ func main() {
 	var (
 		out     = flag.String("out", "BENCH_enum.json", "output file (\"-\" for stdout)")
 		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
 	)
 	flag.Parse()
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 
 	// Validate the sweep before spending seconds on benchmarks.
 	var sweep []int
@@ -89,6 +93,9 @@ func main() {
 	}
 
 	for _, s := range enumSuite {
+		if ctx.Err() != nil {
+			fatalf("interrupted: %v (benchmarks must run to completion for a valid snapshot)", ctx.Err())
+		}
 		tc, ok := litmus.ByName(s.test)
 		if !ok {
 			fatalf("unknown test %s", s.test)
@@ -101,7 +108,7 @@ func main() {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Enumerate(tc.Build(), m.Policy, core.Options{Speculative: m.Speculative})
+				res, err := core.Enumerate(ctx, tc.Build(), m.Policy, core.Options{Speculative: m.Speculative})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -127,7 +134,7 @@ func main() {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.EnumerateParallel(tc.Build(), m.Policy, core.Options{}, w); err != nil {
+				if _, err := core.EnumerateParallel(ctx, tc.Build(), m.Policy, core.Options{}, w); err != nil {
 					b.Fatal(err)
 				}
 			}

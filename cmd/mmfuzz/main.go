@@ -5,17 +5,25 @@
 //
 // Usage:
 //
-//	mmfuzz [-n 100] [-threads 2] [-ops 4] [-seed 0] [-v]
+//	mmfuzz [-n 100] [-threads 2] [-ops 4] [-seed 0] [-timeout 60s] [-faults SPEC] [-v]
 //
 // Exit status 1 on the first discrepancy (with the offending program
-// printed for reproduction).
+// printed for reproduction). A checker panic is recovered and reported
+// the same way — program and seed printed — instead of crashing the
+// fuzzer and losing the repro. Ctrl-C or -timeout stops early with a
+// partial summary and exit status 0: a truncated fuzz run that found no
+// discrepancy is a pass.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"runtime/debug"
 
+	"storeatomicity/internal/cli"
+	"storeatomicity/internal/coherence"
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/machine"
 	"storeatomicity/internal/order"
@@ -27,89 +35,132 @@ import (
 
 func main() {
 	var (
-		n       = flag.Int("n", 100, "number of random programs")
-		threads = flag.Int("threads", 2, "threads per program")
-		ops     = flag.Int("ops", 4, "instructions per thread")
-		seed0   = flag.Int64("seed", 0, "starting seed")
-		workers = flag.Int("workers", 0, "also cross-check EnumerateParallel with N workers (0 = skip)")
-		verbose = flag.Bool("v", false, "print per-program statistics")
+		n        = flag.Int("n", 100, "number of random programs")
+		threads  = flag.Int("threads", 2, "threads per program")
+		ops      = flag.Int("ops", 4, "instructions per thread")
+		seed0    = flag.Int64("seed", 0, "starting seed")
+		workers  = flag.Int("workers", 0, "also cross-check EnumerateParallel with N workers (0 = skip)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget; stop early with a partial summary")
+		faultsFl = flag.String("faults", "", "inject coherence bus faults into the machine runs (\"on\" or delay=P,reorder=P,retry=P,...)")
+		verbose  = flag.Bool("v", false, "print per-program statistics")
 	)
 	flag.Parse()
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	faultsBase, err := cli.ParseFaults(*faultsFl, 0)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
+		os.Exit(2)
+	}
+
 	chain := []order.Policy{order.SC(), order.TSO(), order.PSO(), order.Relaxed()}
 	totalBehaviors := 0
+	done := 0
 	for i := 0; i < *n; i++ {
 		seed := *seed0 + int64(i)
 		p := randprog.Generate(randprog.Config{Seed: seed, Threads: *threads, Ops: *ops})
-		var prev map[string]bool
-		for _, pol := range chain {
-			res, err := core.Enumerate(p, pol, core.Options{MaxBehaviors: 1 << 22})
-			if err != nil {
-				fail(p, seed, "%s: %v", pol.Name(), err)
-			}
-			if *workers > 1 {
-				par, err := core.EnumerateParallel(p, pol, core.Options{MaxBehaviors: 1 << 22}, *workers)
-				if err != nil {
-					fail(p, seed, "%s parallel: %v", pol.Name(), err)
-				}
-				if len(par.Executions) != len(res.Executions) {
-					fail(p, seed, "%s: parallel found %d behaviors, sequential %d",
-						pol.Name(), len(par.Executions), len(res.Executions))
-				}
-				seq := map[string]bool{}
-				for _, e := range res.Executions {
-					seq[e.SourceKey()] = true
-				}
-				for _, e := range par.Executions {
-					if !seq[e.SourceKey()] {
-						fail(p, seed, "%s: parallel behavior %q not in sequential set", pol.Name(), e.SourceKey())
-					}
-				}
-			}
-			cur := map[string]bool{}
-			for _, e := range res.Executions {
-				cur[e.SourceKey()] = true
-				if len(e.Bypasses) == 0 {
-					if w, err := serial.Witness(e); err != nil {
-						fail(p, seed, "%s: execution %s not serializable", pol.Name(), e.SourceKey())
-					} else if cerr := serial.Check(e, w); cerr != nil {
-						fail(p, seed, "%s: witness check: %v", pol.Name(), cerr)
-					}
-				}
-				rep, err := verify.Check(verify.RecordFromExecution(e), pol, verify.RulesABC)
-				if err != nil {
-					fail(p, seed, "checker error: %v", err)
-				}
-				if !rep.Accepted {
-					fail(p, seed, "%s: checker rejects enumerated %s: %s", pol.Name(), e.SourceKey(), rep.Reason)
-				}
-			}
-			for k := range prev {
-				if !cur[k] {
-					fail(p, seed, "behavior %q lost strengthening to %s", k, pol.Name())
-				}
-			}
-			prev = cur
-			totalBehaviors += len(cur)
-			if *verbose {
-				fmt.Printf("seed %4d %-8s %3d behaviors (%d states, %d dup)\n",
-					seed, pol.Name(), len(cur), res.Stats.StatesExplored, res.Stats.DuplicatesDiscarded)
-			}
+		if !fuzzOne(ctx, p, seed, chain, *workers, faultsBase, *verbose, &totalBehaviors) {
+			fmt.Printf("mmfuzz: stopped early (%v) after %d of %d programs; no discrepancy in %d behaviors\n",
+				ctx.Err(), done, *n, totalBehaviors)
+			return
 		}
-		// Machines contained in their models.
-		relaxed := prev
-		for ms := int64(0); ms < 10; ms++ {
-			tr, err := machine.Run(p, machine.Config{Policy: order.Relaxed(), Seed: ms})
-			if err != nil {
-				fail(p, seed, "machine: %v", err)
-			}
-			if !relaxed[tr.SourceKey()] {
-				fail(p, seed, "machine escaped Relaxed with %q", tr.SourceKey())
-			}
-		}
+		done++
 	}
 	fmt.Printf("mmfuzz: %d programs × %d models OK (%d total behaviors cross-checked)\n",
 		*n, len(chain), totalBehaviors)
+}
+
+// fuzzOne cross-checks one program and reports whether fuzzing should
+// continue (false = the context expired; discrepancies never return). A
+// panic anywhere in the checking pipeline is recovered into a bug report
+// carrying the program and seed.
+func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.Policy,
+	workers int, faultsBase *coherence.FaultConfig, verbose bool, totalBehaviors *int) bool {
+	defer func() {
+		if r := recover(); r != nil {
+			fail(p, seed, "checker panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	var prev map[string]bool
+	for _, pol := range chain {
+		res, err := core.Enumerate(ctx, p, pol, core.Options{MaxBehaviors: 1 << 22})
+		if err != nil {
+			if ctx.Err() != nil {
+				return false
+			}
+			fail(p, seed, "%s: %v", pol.Name(), err)
+		}
+		if workers > 1 {
+			par, err := core.EnumerateParallel(ctx, p, pol, core.Options{MaxBehaviors: 1 << 22}, workers)
+			if err != nil {
+				if ctx.Err() != nil {
+					return false
+				}
+				fail(p, seed, "%s parallel: %v", pol.Name(), err)
+			}
+			if len(par.Executions) != len(res.Executions) {
+				fail(p, seed, "%s: parallel found %d behaviors, sequential %d",
+					pol.Name(), len(par.Executions), len(res.Executions))
+			}
+			seq := map[string]bool{}
+			for _, e := range res.Executions {
+				seq[e.SourceKey()] = true
+			}
+			for _, e := range par.Executions {
+				if !seq[e.SourceKey()] {
+					fail(p, seed, "%s: parallel behavior %q not in sequential set", pol.Name(), e.SourceKey())
+				}
+			}
+		}
+		cur := map[string]bool{}
+		for _, e := range res.Executions {
+			cur[e.SourceKey()] = true
+			if len(e.Bypasses) == 0 {
+				if w, err := serial.Witness(e); err != nil {
+					fail(p, seed, "%s: execution %s not serializable", pol.Name(), e.SourceKey())
+				} else if cerr := serial.Check(e, w); cerr != nil {
+					fail(p, seed, "%s: witness check: %v", pol.Name(), cerr)
+				}
+			}
+			rep, err := verify.Check(verify.RecordFromExecution(e), pol, verify.RulesABC)
+			if err != nil {
+				fail(p, seed, "checker error: %v", err)
+			}
+			if !rep.Accepted {
+				fail(p, seed, "%s: checker rejects enumerated %s: %s", pol.Name(), e.SourceKey(), rep.Reason)
+			}
+		}
+		for k := range prev {
+			if !cur[k] {
+				fail(p, seed, "behavior %q lost strengthening to %s", k, pol.Name())
+			}
+		}
+		prev = cur
+		*totalBehaviors += len(cur)
+		if verbose {
+			fmt.Printf("seed %4d %-8s %3d behaviors (%d states, %d dup)\n",
+				seed, pol.Name(), len(cur), res.Stats.StatesExplored, res.Stats.DuplicatesDiscarded)
+		}
+	}
+	// Machines contained in their models, with optional fault injection.
+	relaxed := prev
+	for ms := int64(0); ms < 10; ms++ {
+		cfg := machine.Config{Policy: order.Relaxed(), Seed: ms}
+		if faultsBase != nil {
+			fc := *faultsBase
+			fc.Seed = seed*16 + ms
+			cfg.Faults = &fc
+		}
+		tr, err := machine.Run(p, cfg)
+		if err != nil {
+			fail(p, seed, "machine: %v", err)
+		}
+		if !relaxed[tr.SourceKey()] {
+			fail(p, seed, "machine escaped Relaxed with %q", tr.SourceKey())
+		}
+	}
+	return ctx.Err() == nil
 }
 
 func fail(p *program.Program, seed int64, format string, args ...interface{}) {

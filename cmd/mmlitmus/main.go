@@ -5,6 +5,7 @@
 // Usage:
 //
 //	mmlitmus            run corpus, print behavior counts and expectation results
+//	mmlitmus -timeout D stop mid-matrix when the budget expires (partial rows kept)
 //	mmlitmus -table     print the reordering tables (Figure 1 and friends)
 //	mmlitmus -outcomes  additionally list distinct value outcomes per cell
 package main
@@ -15,6 +16,8 @@ import (
 	"os"
 	"sort"
 
+	"storeatomicity/internal/cli"
+	"storeatomicity/internal/core"
 	"storeatomicity/internal/litmus"
 	"storeatomicity/internal/order"
 )
@@ -23,6 +26,7 @@ func main() {
 	var (
 		table    = flag.Bool("table", false, "print the reordering axiom tables and exit")
 		outcomes = flag.Bool("outcomes", false, "list distinct outcomes per test/model")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole matrix")
 	)
 	flag.Parse()
 
@@ -37,6 +41,8 @@ func main() {
 		return
 	}
 
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
 	models := litmus.Models()
 	fmt.Printf("%-14s", "test")
 	for _, m := range models {
@@ -50,8 +56,12 @@ func main() {
 		var bad []string
 		var cells []string
 		for _, m := range models {
-			res, err := litmus.Run(tc, m)
+			res, err := litmus.RunContext(ctx, tc, m, core.Options{}, 1)
 			if err != nil {
+				if cli.ReportIncomplete(os.Stderr, "mmlitmus", err) {
+					fmt.Fprintf(os.Stderr, "mmlitmus: matrix incomplete at %s/%s\n", tc.Name, m.Name)
+					os.Exit(1)
+				}
 				fmt.Fprintf(os.Stderr, "\nmmlitmus: %s under %s: %v\n", tc.Name, m.Name, err)
 				os.Exit(1)
 			}

@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mmrace [-model NAME] [-sync a,b,...] TEST
+//	mmrace [-model NAME] [-sync a,b,...] [-timeout 30s] TEST
 //
 // -sync lists synchronization addresses by their conventional letters
 // (x y z w u v); loads of those addresses are exempt from the check.
@@ -16,6 +16,7 @@ import (
 	"os"
 	"strings"
 
+	"storeatomicity/internal/cli"
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/discipline"
 	"storeatomicity/internal/litmus"
@@ -29,8 +30,9 @@ var addrByName = map[string]program.Addr{
 
 func main() {
 	var (
-		model = flag.String("model", "Relaxed", "model configuration")
-		syncL = flag.String("sync", "", "comma-separated synchronization addresses (x,y,...)")
+		model   = flag.String("model", "Relaxed", "model configuration")
+		syncL   = flag.String("sync", "", "comma-separated synchronization addresses (x,y,...)")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the enumeration")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -59,9 +61,17 @@ func main() {
 		}
 	}
 
-	rep, err := discipline.Check(tc.Build(), m.Policy, syncAddrs, core.Options{Speculative: m.Speculative})
+	ctx, stop := cli.Context(*timeout)
+	defer stop()
+	rep, err := discipline.Check(ctx, tc.Build(), m.Policy, syncAddrs, core.Options{Speculative: m.Speculative})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "mmrace: %v\n", err)
+		if cli.ReportIncomplete(os.Stderr, "mmrace", err) {
+			// The discipline verdict needs the full behavior set; a
+			// partial enumeration proves nothing either way.
+			fmt.Fprintln(os.Stderr, "mmrace: no verdict on a partial behavior set")
+		} else {
+			fmt.Fprintf(os.Stderr, "mmrace: %v\n", err)
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("%s under %s (%d behaviors):\n", tc.Name, m.Name, len(rep.Result.Executions))

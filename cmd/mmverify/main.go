@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	mmverify [-model NAME] [-rules ab|abc] FILE.json...
+//	mmverify [-model NAME] [-rules ab|abc] [-timeout 30s] FILE.json...
 //	mmverify -demo
 //	mmverify -example          print an example record and exit
 //
@@ -12,10 +12,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
+	"storeatomicity/internal/cli"
+	"storeatomicity/internal/core"
 	"storeatomicity/internal/litmus"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
@@ -44,6 +48,7 @@ func main() {
 		rules   = flag.String("rules", "abc", "Store Atomicity rule subset: ab (TSOtool-equivalent) or abc (complete)")
 		demo    = flag.Bool("demo", false, "check built-in demonstration records")
 		example = flag.Bool("example", false, "print an example record JSON and exit")
+		timeout = flag.Duration("timeout", 0, "wall-clock budget for the -demo enumeration")
 	)
 	flag.Parse()
 
@@ -75,7 +80,7 @@ func main() {
 	}
 
 	if *demo {
-		runDemo(pol, rs)
+		runDemo(pol, rs, *timeout)
 		return
 	}
 
@@ -133,7 +138,7 @@ func sbRecord() *verify.Record {
 // runDemo checks characteristic records under every model with both rule
 // subsets, exercising enumerated executions from the corpus as accepted
 // inputs and the store-buffering record as the SC rejection.
-func runDemo(pol order.Policy, rs verify.Rules) {
+func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration) {
 	fmt.Printf("demo: checking under %s with rules %v\n\n", pol.Name(), rs)
 
 	rec := sbRecord()
@@ -148,8 +153,14 @@ func runDemo(pol order.Policy, rs verify.Rules) {
 	// round-trip through the checker.
 	tc, _ := litmus.ByName("Figure10")
 	m, _ := litmus.ModelByName("TSO")
-	res, err := litmus.Run(tc, m)
+	var ctx context.Context
+	ctx, stop := cli.Context(timeout)
+	defer stop()
+	res, err := litmus.RunContext(ctx, tc, m, core.Options{}, 1)
 	if err != nil {
+		if cli.ReportIncomplete(os.Stderr, "mmverify", err) {
+			os.Exit(1)
+		}
 		fmt.Fprintln(os.Stderr, "mmverify:", err)
 		os.Exit(1)
 	}

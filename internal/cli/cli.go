@@ -1,0 +1,120 @@
+// Package cli holds the graceful-degradation plumbing shared by the
+// seven command-line tools: signal-aware contexts with optional
+// deadlines, rendering of partial-result reports, and the -faults flag
+// grammar. It keeps every tool's behavior uniform — Ctrl-C or a blown
+// -timeout prints what was found so far instead of discarding it.
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"storeatomicity/internal/coherence"
+	"storeatomicity/internal/core"
+)
+
+// Context returns a context canceled by SIGINT/SIGTERM and, when timeout
+// is positive, by a deadline. The returned stop function releases the
+// signal handler (defer it); a second signal kills the process via the
+// default handler, so a wedged run can still be interrupted.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() { cancel(); stop() }
+}
+
+// ReportIncomplete recognizes a graceful-stop error and renders its
+// report to w, returning true if the caller holds partial results worth
+// printing. Any other error (including nil) returns false untouched.
+func ReportIncomplete(w io.Writer, tool string, err error) bool {
+	var ie *core.IncompleteError
+	if !errors.As(err, &ie) {
+		return false
+	}
+	rep := ie.Report
+	fmt.Fprintf(w, "%s: enumeration incomplete (%s): %v\n", tool, rep.Reason, rep.Cause)
+	fmt.Fprintf(w, "%s: partial results below — %d states explored, %d pending on the frontier\n",
+		tool, rep.StatesExplored, rep.StatesPending)
+	var pe *core.PanicError
+	if errors.As(err, &pe) {
+		fmt.Fprintf(w, "%s: worker panic repro — replay path %v\nprogram:\n%s\n",
+			tool, pe.Path, pe.Program)
+	}
+	return true
+}
+
+// ParseFaults parses the -faults flag grammar into a coherence fault
+// config. The spec is comma-separated key=value pairs:
+//
+//	delay=P    probability a bus transaction stalls (0..1)
+//	reorder=P  probability a transaction defers behind another one
+//	retry=P    probability an ownership transfer is NACKed
+//	stall=N    max stall cycles per delay (default 3)
+//	retries=N  max NACKs per transfer (default 4)
+//	seed=N     injector PRNG seed (defaults to the seed argument)
+//
+// The bare word "on" (or "default") enables a moderate preset. An empty
+// spec returns (nil, nil): fault injection disabled.
+func ParseFaults(spec string, seed int64) (*coherence.FaultConfig, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	cfg := &coherence.FaultConfig{Seed: seed}
+	if spec == "on" || spec == "default" {
+		cfg.DelayProb, cfg.ReorderProb, cfg.RetryProb = 0.2, 0.1, 0.2
+		return cfg, nil
+	}
+	for _, kv := range strings.Split(spec, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -faults element %q (want key=value)", kv)
+		}
+		key, val := parts[0], parts[1]
+		switch key {
+		case "delay", "reorder", "retry":
+			p, err := strconv.ParseFloat(val, 64)
+			if err != nil || p < 0 || p > 1 {
+				return nil, fmt.Errorf("bad -faults probability %q (want 0..1)", kv)
+			}
+			switch key {
+			case "delay":
+				cfg.DelayProb = p
+			case "reorder":
+				cfg.ReorderProb = p
+			case "retry":
+				cfg.RetryProb = p
+			}
+		case "stall", "retries", "seed":
+			n, err := strconv.ParseInt(val, 10, 64)
+			if err != nil || n < 0 {
+				return nil, fmt.Errorf("bad -faults count %q", kv)
+			}
+			switch key {
+			case "stall":
+				cfg.MaxStall = int(n)
+			case "retries":
+				cfg.MaxRetries = int(n)
+			case "seed":
+				cfg.Seed = n
+			}
+		default:
+			return nil, fmt.Errorf("unknown -faults key %q", key)
+		}
+	}
+	if !cfg.Active() {
+		return nil, fmt.Errorf("-faults %q enables no fault class (set delay, reorder, or retry)", spec)
+	}
+	return cfg, nil
+}

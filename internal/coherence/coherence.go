@@ -63,6 +63,9 @@ type Stats struct {
 	Invalidations int // copies killed by remote writes
 	Writebacks    int // M copies flushed to memory on remote reads
 	BusOps        int
+	// Faults counts injected bus faults; all-zero unless EnableFaults
+	// was called (see faults.go).
+	Faults FaultStats
 }
 
 // line is one cached address.
@@ -93,6 +96,7 @@ type System struct {
 	caches []*cache
 	mem    map[program.Addr]Datum
 	stats  Stats
+	faults *injector // nil unless EnableFaults was called
 }
 
 // NewSystem builds a system with n caches. Initial memory contents are
@@ -117,7 +121,13 @@ func InitLabel(a program.Addr) string { return fmt.Sprintf("init:%d", a) }
 func (s *System) Cores() int { return len(s.caches) }
 
 // Stats returns a copy of the protocol counters.
-func (s *System) Stats() Stats { return s.stats }
+func (s *System) Stats() Stats {
+	st := s.stats
+	if s.faults != nil {
+		st.Faults = s.faults.stats
+	}
+	return st
+}
 
 // memDatum reads memory, synthesizing a zero-value datum for untouched
 // addresses.

@@ -1,0 +1,252 @@
+// Fault injection: seeded perturbation of bus transactions. The injector
+// stalls, reorders, and NACKs the protocol's bus operations without ever
+// changing what a transaction does once it is admitted — a fault only
+// moves the transaction to a later scheduler step. Since the machine's
+// conservatism argument (Section 4.2) holds for *every* schedule, a
+// faulty run is equivalent to a clean run under a different scheduler
+// and therefore still falls inside the enumerated behavior set; the
+// extended cross-validation experiment in package machine checks exactly
+// that. Cache hits never consult the injector: a hit raises no bus
+// transaction, so there is nothing to perturb.
+package coherence
+
+import (
+	"math/rand"
+
+	"storeatomicity/internal/program"
+)
+
+// FaultConfig tunes the injector. Zero probabilities disable the
+// corresponding fault class; a nil config (see machine.Config.Faults)
+// disables injection entirely and leaves the protocol byte-identical to
+// the fault-free build.
+type FaultConfig struct {
+	// Seed drives the injector's private PRNG, independent of the
+	// machine's scheduler seed so fault placement is reproducible.
+	Seed int64
+	// DelayProb is the probability a fresh bus transaction is delayed
+	// by a randomized stall of 1..MaxStall cycles.
+	DelayProb float64
+	// MaxStall bounds delay stalls and caps how long a reordered
+	// transaction may wait (default 3).
+	MaxStall int
+	// ReorderProb is the probability a fresh bus transaction is
+	// deferred until some other bus transaction completes first (with
+	// a MaxStall-cycle escape so an isolated transaction still makes
+	// progress).
+	ReorderProb float64
+	// RetryProb is the probability an ownership transfer (a write
+	// upgrade or miss) is NACKed; each NACK backs off exponentially
+	// (1, 2, 4, ... cycles) up to MaxRetries attempts.
+	RetryProb float64
+	// MaxRetries caps NACKs per ownership transfer (default 4).
+	MaxRetries int
+}
+
+func (c FaultConfig) withDefaults() FaultConfig {
+	if c.MaxStall <= 0 {
+		c.MaxStall = 3
+	}
+	if c.MaxRetries <= 0 {
+		c.MaxRetries = 4
+	}
+	return c
+}
+
+// Active reports whether any fault class can fire.
+func (c FaultConfig) Active() bool {
+	return c.DelayProb > 0 || c.ReorderProb > 0 || c.RetryProb > 0
+}
+
+// FaultStats counts injected faults; carried inside Stats.
+type FaultStats struct {
+	// Delays counts transactions hit by a randomized stall.
+	Delays int
+	// Reorders counts transactions deferred behind another bus op.
+	Reorders int
+	// Retries counts NACKed ownership transfers (each backoff round
+	// counts once).
+	Retries int
+	// StallCycles counts scheduler steps burned by stalled
+	// transactions, across all fault classes.
+	StallCycles int
+}
+
+// txnKey identifies an in-flight bus transaction: the requesting core,
+// the address, and whether exclusive ownership is being acquired.
+type txnKey struct {
+	core      int
+	addr      program.Addr
+	exclusive bool
+}
+
+// pendingTxn is the injector's state for one stalled transaction.
+type pendingTxn struct {
+	// stall is the remaining stall cycles before the transaction may
+	// be (re)considered.
+	stall int
+	// reordered defers the transaction until the injector sees some
+	// other transaction complete (waitBus snapshots the completion
+	// counter at deferral time); stall is the escape hatch.
+	reordered bool
+	waitBus   int
+	// attempts counts NACKs so far for exclusive transfers.
+	attempts int
+}
+
+// injector decides, per bus transaction, whether it proceeds this cycle.
+type injector struct {
+	cfg       FaultConfig
+	rng       *rand.Rand
+	pending   map[txnKey]*pendingTxn
+	completed int // bus transactions admitted so far
+	stats     FaultStats
+}
+
+func newInjector(cfg FaultConfig) *injector {
+	cfg = cfg.withDefaults()
+	return &injector{
+		cfg:     cfg,
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+		pending: map[txnKey]*pendingTxn{},
+	}
+}
+
+// admit reports whether the transaction identified by k may perform its
+// bus operation now. A false return burns one stall cycle; the caller
+// must retry on a later step with the same key.
+func (in *injector) admit(k txnKey) bool {
+	t := in.pending[k]
+	if t == nil {
+		// Fresh transaction: roll the fault classes in a fixed order
+		// so a given seed places faults deterministically.
+		switch {
+		case in.rng.Float64() < in.cfg.ReorderProb:
+			in.stats.Reorders++
+			in.pending[k] = &pendingTxn{reordered: true, waitBus: in.completed, stall: in.cfg.MaxStall}
+		case in.rng.Float64() < in.cfg.DelayProb:
+			in.stats.Delays++
+			in.pending[k] = &pendingTxn{stall: 1 + in.rng.Intn(in.cfg.MaxStall)}
+		case k.exclusive && in.rng.Float64() < in.cfg.RetryProb:
+			in.stats.Retries++
+			in.pending[k] = &pendingTxn{attempts: 1, stall: 1}
+		default:
+			in.completed++
+			return true
+		}
+		in.stats.StallCycles++
+		return false
+	}
+	if t.reordered {
+		// Released once another transaction has completed, or when
+		// the escape stall drains (sole-transaction case).
+		if in.completed == t.waitBus && t.stall > 0 {
+			t.stall--
+			in.stats.StallCycles++
+			return false
+		}
+	} else if t.stall > 0 {
+		t.stall--
+		in.stats.StallCycles++
+		return false
+	} else if k.exclusive && t.attempts > 0 && t.attempts < in.cfg.MaxRetries &&
+		in.rng.Float64() < in.cfg.RetryProb {
+		// NACK again with capped exponential backoff.
+		in.stats.Retries++
+		t.stall = 1 << t.attempts
+		t.attempts++
+		in.stats.StallCycles++
+		return false
+	}
+	delete(in.pending, k)
+	in.completed++
+	return true
+}
+
+// EnableFaults attaches a seeded fault injector to the system. Call once,
+// before the first access.
+func (s *System) EnableFaults(cfg FaultConfig) { s.faults = newInjector(cfg) }
+
+// FaultyRead is Read under fault injection: hits are served immediately,
+// and a miss's bus transaction must be admitted by the injector.
+// ok=false means the transaction stalled this cycle — nothing happened,
+// retry on a later step. Without EnableFaults it is exactly Read.
+func (s *System) FaultyRead(core int, a program.Addr) (Datum, bool) {
+	if s.faults != nil {
+		l := s.caches[core].line(a)
+		if l.state == Invalid && !s.faults.admit(txnKey{core: core, addr: a, exclusive: false}) {
+			return Datum{}, false
+		}
+	}
+	return s.Read(core, a), true
+}
+
+// FaultyWrite is Write under fault injection: a core already holding M
+// proceeds immediately, and any ownership transfer must be admitted by
+// the injector (this is the transaction class RetryProb NACKs). ok=false
+// means the store did not happen this cycle. Without EnableFaults it is
+// exactly Write.
+func (s *System) FaultyWrite(core int, a program.Addr, v program.Value, storeLabel string) bool {
+	if s.faults != nil {
+		l := s.caches[core].line(a)
+		if l.state != Modified && !s.faults.admit(txnKey{core: core, addr: a, exclusive: true}) {
+			return false
+		}
+	}
+	s.Write(core, a, v, storeLabel)
+	return true
+}
+
+// FaultyOwn gates an atomic's read-modify-write. Under fault injection
+// it acquires exclusive ownership up front (a read-for-ownership that
+// preserves the line's datum), so the Read and Write that follow are
+// local hits and the RMW stays indivisible within one scheduler step
+// even when the injector is stalling bus traffic. Without EnableFaults
+// it does nothing and returns true, leaving the fault-free atomic path
+// untouched.
+func (s *System) FaultyOwn(core int, a program.Addr) bool {
+	if s.faults == nil {
+		return true
+	}
+	l := s.caches[core].line(a)
+	if l.state != Modified && !s.faults.admit(txnKey{core: core, addr: a, exclusive: true}) {
+		return false
+	}
+	s.own(core, a)
+	return true
+}
+
+// own acquires the Modified state for core at a while preserving the
+// currently visible datum: remote copies are flushed and invalidated
+// (the same snoop as Write), then the line holds the pre-transfer value.
+func (s *System) own(core int, a program.Addr) {
+	l := s.caches[core].line(a)
+	if l.state == Modified {
+		return
+	}
+	s.stats.BusOps++
+	if l.state == Shared {
+		s.stats.WriteUpgrades++
+	} else {
+		s.stats.WriteMisses++
+	}
+	for i, c := range s.caches {
+		if i == core {
+			continue
+		}
+		rl := c.lines[a]
+		if rl == nil || rl.state == Invalid {
+			continue
+		}
+		if rl.state == Modified {
+			s.mem[a] = rl.data
+			s.stats.Writebacks++
+		}
+		rl.state = Invalid
+		s.stats.Invalidations++
+	}
+	if l.state == Invalid {
+		l.data = s.memDatum(a)
+	}
+	l.state = Modified
+}

@@ -335,6 +335,10 @@ func (s *state) overwrittenFor(sid, lid int) bool {
 // program-order-earlier local store to the same address ("S ̸@ L when
 // S = source(L) and S ≺ L otherwise"). The caller runs the closure.
 func (s *state) resolveLoad(lid, sid int) error {
+	s.path = append(s.path, PathStep{
+		Load: lid, Store: sid,
+		LoadLabel: s.nodes[lid].Label, StoreLabel: s.nodes[sid].Label,
+	})
 	l := &s.nodes[lid]
 	l.Resolved = true
 	l.Val = s.nodes[sid].StoredValue()

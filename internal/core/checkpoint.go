@@ -1,0 +1,192 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// PathStep is one Load Resolution choice: load node Load observed store
+// node Store. Node IDs are deterministic (generation order is a function
+// of the resolution sequence), so a sequence of steps replayed from the
+// root state reproduces a behavior exactly; the labels are carried as a
+// staleness cross-check and for human-readable repro reports.
+type PathStep struct {
+	Load       int    `json:"l"`
+	Store      int    `json:"s"`
+	LoadLabel  string `json:"ll,omitempty"`
+	StoreLabel string `json:"sl,omitempty"`
+}
+
+// String renders "Label<-Label" for repro reports.
+func (p PathStep) String() string { return p.LoadLabel + "<-" + p.StoreLabel }
+
+// Checkpoint is the on-disk form of an interrupted enumeration: the
+// resolution paths of every completed behavior and of every behavior
+// still on the work frontier. Paths — not raw states — are serialized, so
+// the format is independent of the engine's internal buffers and of
+// program representation details like Op closures.
+type Checkpoint struct {
+	// Model names the reordering policy; Resume refuses a mismatch.
+	Model string `json:"model"`
+	// ProgramHash fingerprints the program listing; Resume refuses a
+	// checkpoint taken from a different program.
+	ProgramHash uint64 `json:"program_hash"`
+	// Speculative records Options.Speculative at checkpoint time.
+	Speculative bool `json:"speculative,omitempty"`
+	// StatesExplored carries the work counter forward so budgets are
+	// cumulative across resumes.
+	StatesExplored int `json:"states_explored"`
+	// Completed holds the path of every distinct final execution found.
+	Completed [][]PathStep `json:"completed"`
+	// Frontier holds the path of every unexplored behavior.
+	Frontier [][]PathStep `json:"frontier"`
+}
+
+// CheckpointConfig asks an engine to serialize its frontier to Path every
+// Every, so a killed long run restarts where it left off.
+type CheckpointConfig struct {
+	// Path is the checkpoint file; writes are atomic (temp + rename).
+	Path string
+	// Every is the write interval. Zero disables timed writes.
+	Every time.Duration
+	// OnError, when non-nil, observes periodic write failures (timed
+	// checkpointing is best-effort and never aborts the enumeration).
+	OnError func(error)
+}
+
+// ProgramHash fingerprints a program listing with FNV-1a, for checkpoint
+// validation.
+func ProgramHash(p *program.Program) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range []byte(p.String()) {
+		h = fnvMix(h, uint64(b))
+	}
+	return h
+}
+
+// Save writes the checkpoint atomically: temp file in the same directory,
+// then rename, so a crash mid-write never corrupts a previous good
+// checkpoint.
+func (c *Checkpoint) Save(path string) error {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return fmt.Errorf("core: marshal checkpoint: %w", err)
+	}
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
+	if err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("core: write checkpoint: %w", err)
+	}
+	return nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save.
+func LoadCheckpoint(path string) (*Checkpoint, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("core: read checkpoint: %w", err)
+	}
+	c := &Checkpoint{}
+	if err := json.Unmarshal(data, c); err != nil {
+		return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	return c, nil
+}
+
+// Checkpoint builds the resumable snapshot of a (typically partial)
+// result: completed paths come from the executions, frontier paths from
+// the Incomplete report (empty for a finished run — the checkpoint then
+// just memoizes the final set).
+func (r *Result) Checkpoint(p *program.Program, opts Options) *Checkpoint {
+	c := &Checkpoint{
+		Model:          r.Model,
+		ProgramHash:    ProgramHash(p),
+		Speculative:    opts.Speculative,
+		StatesExplored: r.Stats.StatesExplored,
+	}
+	for _, e := range r.Executions {
+		c.Completed = append(c.Completed, e.Path)
+	}
+	if r.Incomplete != nil {
+		c.Frontier = r.Incomplete.Frontier
+	}
+	return c
+}
+
+// replayPath rebuilds the state a path leads to, exactly as the engine
+// would have pushed it onto the work frontier: quiescence is reached
+// before each resolution, and the final quiescence pass is left to the
+// consumer (the engine for frontier states, replayCompleted for finals).
+func replayPath(p *program.Program, pol order.Policy, opts Options, steps []PathStep) (*state, error) {
+	s := newState(p, pol, opts)
+	for i, st := range steps {
+		if err := s.runToQuiescence(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint replay step %d: %w", i, err)
+		}
+		if st.Load < 0 || st.Load >= len(s.nodes) || st.Store < 0 || st.Store >= len(s.nodes) {
+			return nil, fmt.Errorf("core: checkpoint replay step %d: node out of range (stale checkpoint?)", i)
+		}
+		if st.LoadLabel != "" && s.nodes[st.Load].Label != st.LoadLabel {
+			return nil, fmt.Errorf("core: checkpoint replay step %d: load %d is %q, checkpoint says %q (stale checkpoint?)",
+				i, st.Load, s.nodes[st.Load].Label, st.LoadLabel)
+		}
+		if st.StoreLabel != "" && s.nodes[st.Store].Label != st.StoreLabel {
+			return nil, fmt.Errorf("core: checkpoint replay step %d: store %d is %q, checkpoint says %q (stale checkpoint?)",
+				i, st.Store, s.nodes[st.Store].Label, st.StoreLabel)
+		}
+		if err := s.resolveLoad(st.Load, st.Store); err != nil {
+			return nil, fmt.Errorf("core: checkpoint replay step %d: %w", i, err)
+		}
+		if err := s.closure(); err != nil {
+			return nil, fmt.Errorf("core: checkpoint replay step %d: %w", i, err)
+		}
+	}
+	return s, nil
+}
+
+// replayCompleted rebuilds a recorded final execution's state and runs it
+// to completion.
+func replayCompleted(p *program.Program, pol order.Policy, opts Options, steps []PathStep) (*state, error) {
+	s, err := replayPath(p, pol, opts, steps)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.runToQuiescence(); err != nil {
+		return nil, fmt.Errorf("core: checkpoint replay: completed path did not converge: %w", err)
+	}
+	if !s.done() {
+		return nil, fmt.Errorf("core: checkpoint replay: completed path left unresolved nodes (stale checkpoint?)")
+	}
+	return s, nil
+}
+
+// validate checks a checkpoint against the run it is about to seed.
+func (c *Checkpoint) validate(p *program.Program, pol order.Policy, opts Options) error {
+	if c.Model != pol.Name() {
+		return fmt.Errorf("core: checkpoint is for model %s, resuming under %s", c.Model, pol.Name())
+	}
+	if h := ProgramHash(p); c.ProgramHash != h {
+		return fmt.Errorf("core: checkpoint program hash %#x does not match program %#x", c.ProgramHash, h)
+	}
+	if c.Speculative != opts.Speculative {
+		return fmt.Errorf("core: checkpoint speculation mode (%v) does not match options (%v)", c.Speculative, opts.Speculative)
+	}
+	return nil
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -30,7 +32,7 @@ func figure7() *program.Program {
 // paper's edge c) and then S1 @ S2 (edge d) — the second edge is exposed
 // only by the first.
 func TestFigure7ClosureDerivesEdgeD(t *testing.T) {
-	res, err := Enumerate(figure7(), order.Relaxed(), Options{})
+	res, err := Enumerate(context.Background(), figure7(), order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +68,7 @@ func TestFigure5RuleCEdge(t *testing.T) {
 		StoreL("S4", program.Y, 4).Fence().
 		LoadL("L7", 3, program.Z).Fence().
 		StoreL("S8", program.X, 8).LoadL("L9", 4, program.X)
-	res, err := Enumerate(b.Build(), order.Relaxed(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,7 +94,7 @@ func TestBranchControlsStores(t *testing.T) {
 	// index 3: join
 	ta.LoadL("Lafter", 2, program.Y)
 	b.Thread("B").StoreL("Sx", program.X, 1)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +124,7 @@ func TestBoundedLoop(t *testing.T) {
 	tb.Branch(1, body)
 	tb.StoreReg(program.X, 1)
 	tb.LoadL("Lx", 2, program.X)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -141,7 +143,7 @@ func TestInfiniteLoopHitsNodeBudget(t *testing.T) {
 	tb := b.Thread("A")
 	tb.Op(1, func([]program.Value) program.Value { return 1 })
 	tb.Branch(1, 0)
-	_, err := Enumerate(b.Build(), order.SC(), Options{MaxNodes: 64})
+	_, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{MaxNodes: 64})
 	if err == nil || !strings.Contains(err.Error(), "node budget") {
 		t.Errorf("err = %v, want node-budget failure", err)
 	}
@@ -155,7 +157,7 @@ func TestUninitializedRegisterReadsZero(t *testing.T) {
 	tb.Branch(9, 2) // r9 never written → not taken
 	tb.StoreL("S", program.X, 5)
 	tb.LoadL("L", 1, program.X)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +176,7 @@ func TestOpDataflow(t *testing.T) {
 	tb.LoadL("Lb", 3, program.Y)
 	p := b.Build()
 	p.Init[program.X] = 4
-	res, err := Enumerate(p, order.SC(), Options{})
+	res, err := Enumerate(context.Background(), p, order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +193,7 @@ func TestLateInitStore(t *testing.T) {
 	tb := b.Thread("A")
 	tb.LoadL("Lp", 1, program.X)
 	tb.LoadIndL("Ld", 2, 1)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,7 +212,7 @@ func TestIndirectStoreThenLoad(t *testing.T) {
 	tb.StoreInd(1, 55)
 	tb.LoadIndL("Ld", 2, 1)
 	for _, spec := range []bool{false, true} {
-		res, err := Enumerate(b.Build(), order.Relaxed(), Options{Speculative: spec})
+		res, err := Enumerate(context.Background(), b.Build(), order.Relaxed(), Options{Speculative: spec})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -230,11 +232,11 @@ func TestIndirectStoreThenLoad(t *testing.T) {
 // the behavior set, only the work (experiment: DESIGN.md ablation).
 func TestDedupAblation(t *testing.T) {
 	p := figure7()
-	on, err := Enumerate(p, order.Relaxed(), Options{})
+	on, err := Enumerate(context.Background(), p, order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	off, err := Enumerate(p, order.Relaxed(), Options{DisableDedup: true})
+	off, err := Enumerate(context.Background(), p, order.Relaxed(), Options{DisableDedup: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +268,7 @@ func TestDedupAblation(t *testing.T) {
 // TestMaxBehaviorsBudget errors out instead of running away.
 func TestMaxBehaviorsBudget(t *testing.T) {
 	p := figure7()
-	_, err := Enumerate(p, order.Relaxed(), Options{MaxBehaviors: 2})
+	_, err := Enumerate(context.Background(), p, order.Relaxed(), Options{MaxBehaviors: 2})
 	if err == nil || !strings.Contains(err.Error(), "behavior budget") {
 		t.Errorf("err = %v", err)
 	}
@@ -276,7 +278,7 @@ func TestMaxBehaviorsBudget(t *testing.T) {
 func TestExecutionAccessors(t *testing.T) {
 	b := program.NewBuilder()
 	b.Thread("A").StoreL("S", program.X, 3).LoadL("L", 1, program.X)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -315,7 +317,7 @@ func TestExecutionAccessors(t *testing.T) {
 // TestResultHelpers covers OutcomeSet / HasOutcome / FindOutcome edge
 // cases.
 func TestResultHelpers(t *testing.T) {
-	res, err := Enumerate(sbProgram(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), sbProgram(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -333,11 +335,11 @@ func TestResultHelpers(t *testing.T) {
 // TestEnumerationIsDeterministic: same inputs, same behavior set and
 // stats.
 func TestEnumerationIsDeterministic(t *testing.T) {
-	a, err := Enumerate(figure7(), order.Relaxed(), Options{})
+	a, err := Enumerate(context.Background(), figure7(), order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Enumerate(figure7(), order.Relaxed(), Options{})
+	b, err := Enumerate(context.Background(), figure7(), order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"fmt"
 	"testing"
 
@@ -28,15 +30,15 @@ func TestHashedDedupMatchesStringBaseline(t *testing.T) {
 	for seed := int64(0); seed < 40; seed++ {
 		p := randprog.Generate(randprog.Config{Seed: seed, Threads: 2, Ops: 4})
 		for _, pol := range models {
-			hashed, err := Enumerate(p, pol, Options{})
+			hashed, err := Enumerate(context.Background(), p, pol, Options{})
 			if err != nil {
 				t.Fatalf("seed %d %s hashed: %v", seed, pol.Name(), err)
 			}
-			baseline, err := Enumerate(p, pol, Options{dedupString: true})
+			baseline, err := Enumerate(context.Background(), p, pol, Options{dedupString: true})
 			if err != nil {
 				t.Fatalf("seed %d %s string: %v", seed, pol.Name(), err)
 			}
-			ablated, err := Enumerate(p, pol, Options{DisableDedup: true})
+			ablated, err := Enumerate(context.Background(), p, pol, Options{DisableDedup: true})
 			if err != nil {
 				t.Fatalf("seed %d %s nodedup: %v", seed, pol.Name(), err)
 			}
@@ -84,7 +86,7 @@ func TestFingerprintMatchesSignatureEquality(t *testing.T) {
 	byHash := map[uint64]string{}
 	for seed := int64(0); seed < 20; seed++ {
 		p := randprog.Generate(randprog.Config{Seed: seed, Threads: 2, Ops: 4})
-		res, err := Enumerate(p, order.Relaxed(), Options{})
+		res, err := Enumerate(context.Background(), p, order.Relaxed(), Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -113,11 +115,11 @@ func TestExecutionFingerprintDistinguishes(t *testing.T) {
 	b.Thread("A").StoreL("S1", program.X, 1).LoadL("L1", 1, program.Y)
 	b.Thread("B").StoreL("S2", program.Y, 1).LoadL("L2", 2, program.X)
 	p := b.Build()
-	res1, err := Enumerate(p, order.TSO(), Options{})
+	res1, err := Enumerate(context.Background(), p, order.TSO(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res2, err := Enumerate(p, order.TSO(), Options{})
+	res2, err := Enumerate(context.Background(), p, order.TSO(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -9,7 +11,7 @@ import (
 )
 
 func TestDOTRendersLegend(t *testing.T) {
-	res, err := Enumerate(figure10Prog(), order.TSO(), Options{})
+	res, err := Enumerate(context.Background(), figure10Prog(), order.TSO(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func TestDOTRendersLegend(t *testing.T) {
 func TestDOTAtomicCaption(t *testing.T) {
 	b := program.NewBuilder()
 	b.Thread("A").CASL("cas", 1, program.X, 0, 9)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"runtime/debug"
+	"time"
 
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
@@ -16,10 +20,12 @@ type Options struct {
 	// early resolution are rolled back (discarded).
 	Speculative bool
 	// MaxNodes bounds graph growth; programs with unbounded loops
-	// exceed it and enumeration errors out (the paper notes its
-	// procedure "is not a normalizing strategy"). Default 192.
+	// exceed it and enumeration stops with ReasonMaxNodes (the paper
+	// notes its procedure "is not a normalizing strategy"). Default 192.
 	MaxNodes int
-	// MaxBehaviors bounds total states explored. Default 1 << 20.
+	// MaxBehaviors bounds total states explored; hitting it stops the
+	// run with ReasonMaxBehaviors and the behaviors found so far.
+	// Default 1 << 20.
 	MaxBehaviors int
 	// DisableDedup turns off the Load–Store-graph duplicate discard of
 	// Section 4.1 — the ablation for DESIGN.md (duplicate-work blowup).
@@ -31,6 +37,12 @@ type Options struct {
 	// eligible store"). With EnumerateParallel it must be safe for
 	// concurrent use.
 	CandidateHook func(loadLabel string, addr program.Addr, candidates []string)
+	// Checkpoint, when non-nil with a Path and a positive Every,
+	// serializes the work frontier to disk periodically so a killed
+	// long run can restart where it left off (see Resume). Timed writes
+	// are best-effort: failures go to Checkpoint.OnError and never
+	// abort the enumeration.
+	Checkpoint *CheckpointConfig
 
 	// dedupString keys the dedup sets by the full string signature
 	// instead of the 64-bit fingerprint. It is the property-test
@@ -46,12 +58,16 @@ func (o Options) withDefaults() Options {
 	if o.MaxBehaviors == 0 {
 		o.MaxBehaviors = 1 << 20
 	}
+	if o.Checkpoint != nil && (o.Checkpoint.Path == "" || o.Checkpoint.Every <= 0) {
+		o.Checkpoint = nil
+	}
 	return o
 }
 
 // Stats counts enumeration work.
 type Stats struct {
-	// StatesExplored counts behaviors removed from the work set.
+	// StatesExplored counts behaviors removed from the work set. Both
+	// engines stop a budgeted run after exactly MaxBehaviors states.
 	StatesExplored int
 	// Forks counts (load, candidate) resolutions attempted.
 	Forks int
@@ -66,12 +82,17 @@ type Stats struct {
 	Steals int
 }
 
-// Result is the full set of distinct final executions of a program under a
-// model, plus work statistics.
+// Result is the set of distinct final executions of a program under a
+// model, plus work statistics. A gracefully stopped run (cancellation,
+// deadline, budget, worker panic) sets Incomplete and still carries every
+// execution found before the stop.
 type Result struct {
 	Model      string
 	Executions []*Execution
 	Stats      Stats
+	// Incomplete is nil for an exhaustive enumeration; otherwise it
+	// reports why the run stopped early and the replayable frontier.
+	Incomplete *Incomplete
 }
 
 // OutcomeSet returns the distinct load-value outcome keys, deduplicated
@@ -110,40 +131,197 @@ func (r *Result) FindOutcome(want map[string]program.Value) *Execution {
 	return nil
 }
 
+// resumeSeed carries replayed checkpoint state into an engine: behaviors
+// to finish (work), completed behaviors to re-record (finals), and the
+// carried-forward exploration counter.
+type resumeSeed struct {
+	work     []*state
+	finals   []*state
+	explored int
+}
+
 // Enumerate computes every behavior of p under the reordering policy pol
 // with Store Atomicity, per the procedure of Section 4.1: repeat graph
 // generation and dataflow execution to fixpoint, then fork one behavior
 // per (eligible load, candidate store) choice, deduplicating by Load–Store
 // graph; completed behaviors are collected.
-func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, error) {
+//
+// Cancellation and deadlines on ctx stop the run cleanly; like every
+// other stopping condition (MaxBehaviors, MaxNodes, a panic inside the
+// engine or a hook) they return the behaviors found so far with
+// Result.Incomplete set and an *IncompleteError.
+func Enumerate(ctx context.Context, p *program.Program, pol order.Policy, opts Options) (*Result, error) {
+	return enumerateFrom(ctx, p, pol, opts, nil)
+}
+
+// Resume continues an enumeration from a checkpoint: completed paths are
+// replayed into the final set, frontier paths back onto the work list,
+// and the engine (sequential for workers == 1, work-stealing otherwise)
+// picks up where the checkpointed run stopped. The final behavior set of
+// an interrupted-then-resumed run is identical to an uninterrupted run's.
+func Resume(ctx context.Context, p *program.Program, pol order.Policy, opts Options, c *Checkpoint, workers int) (*Result, error) {
 	opts = opts.withDefaults()
-	res := &Result{Model: pol.Name()}
+	if err := c.validate(p, pol, opts); err != nil {
+		return nil, err
+	}
+	seed := &resumeSeed{explored: c.StatesExplored}
+	for _, steps := range c.Completed {
+		s, err := replayCompleted(p, pol, opts, steps)
+		if err != nil {
+			return nil, err
+		}
+		seed.finals = append(seed.finals, s)
+	}
+	for _, steps := range c.Frontier {
+		s, err := replayPath(p, pol, opts, steps)
+		if err != nil {
+			return nil, err
+		}
+		seed.work = append(seed.work, s)
+	}
+	if workers == 1 {
+		return enumerateFrom(ctx, p, pol, opts, seed)
+	}
+	return enumerateParallelFrom(ctx, p, pol, opts, workers, seed)
+}
+
+// classifyCtxErr maps a context error to its stop reason.
+func classifyCtxErr(err error) IncompleteReason {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return ReasonDeadline
+	}
+	return ReasonCanceled
+}
+
+// copyPath snapshots a state's resolution path for a report or
+// checkpoint (the state's own slice may be recycled by the pool).
+func copyPath(path []PathStep) []PathStep {
+	return append([]PathStep(nil), path...)
+}
+
+// checkpointNow assembles a checkpoint from in-flight engine state.
+func checkpointNow(model string, progHash uint64, opts Options, explored int, completed, frontier [][]PathStep) *Checkpoint {
+	return &Checkpoint{
+		Model:          model,
+		ProgramHash:    progHash,
+		Speculative:    opts.Speculative,
+		StatesExplored: explored,
+		Completed:      completed,
+		Frontier:       frontier,
+	}
+}
+
+// saveTimed writes a periodic checkpoint, routing failures to OnError.
+func saveTimed(cfg *CheckpointConfig, c *Checkpoint) {
+	if err := c.Save(cfg.Path); err != nil && cfg.OnError != nil {
+		cfg.OnError(err)
+	}
+}
+
+// enumerateFrom is the sequential engine, optionally seeded from a
+// checkpoint.
+func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, opts Options, seed *resumeSeed) (res *Result, err error) {
+	opts = opts.withDefaults()
+	res = &Result{Model: pol.Name()}
 	seen := newKeySet(opts)
 	finals := newKeySet(opts)
 	var pool statePool
 
-	work := []*state{newState(p, pol, opts)}
+	var work []*state
+	if seed != nil {
+		work = seed.work
+		res.Stats.StatesExplored = seed.explored
+		for _, s := range seed.finals {
+			if finals.insert(s) {
+				res.Executions = append(res.Executions, s.finish())
+			}
+		}
+	} else {
+		work = []*state{newState(p, pol, opts)}
+	}
+
+	// cur is the behavior being processed; on any graceful stop it
+	// rejoins the frontier so nothing explored is lost.
+	var cur *state
+	halt := func(reason IncompleteReason, cause error) (*Result, error) {
+		rep := &Incomplete{Reason: reason, Cause: cause, StatesExplored: res.Stats.StatesExplored}
+		if cur != nil {
+			work = append(work, cur)
+			cur = nil
+		}
+		for _, s := range work {
+			rep.Frontier = append(rep.Frontier, copyPath(s.path))
+		}
+		rep.StatesPending = len(rep.Frontier)
+		res.Incomplete = rep
+		return res, &IncompleteError{Report: rep}
+	}
+
+	// Panic isolation: a crash in the engine (or a CandidateHook)
+	// becomes an error carrying the offending program and the
+	// enumeration path for deterministic reproduction.
+	defer func() {
+		if r := recover(); r != nil {
+			pe := &PanicError{Recovered: r, Stack: debug.Stack(), Program: p.String()}
+			if cur != nil {
+				pe.Path = copyPath(cur.path)
+			}
+			res, err = halt(ReasonPanic, pe)
+		}
+	}()
+
+	ckpt := opts.Checkpoint
+	var progHash uint64
+	var lastCkpt time.Time
+	if ckpt != nil {
+		progHash = ProgramHash(p)
+		lastCkpt = time.Now()
+	}
+
 	for len(work) > 0 {
+		if cerr := ctx.Err(); cerr != nil {
+			return halt(classifyCtxErr(cerr), cerr)
+		}
+		if ckpt != nil && time.Since(lastCkpt) >= ckpt.Every {
+			lastCkpt = time.Now()
+			var frontier [][]PathStep
+			for _, s := range work {
+				frontier = append(frontier, copyPath(s.path))
+			}
+			var completed [][]PathStep
+			for _, e := range res.Executions {
+				completed = append(completed, e.Path)
+			}
+			saveTimed(ckpt, checkpointNow(res.Model, progHash, opts, res.Stats.StatesExplored, completed, frontier))
+		}
+
 		s := work[len(work)-1]
 		work[len(work)-1] = nil
 		work = work[:len(work)-1]
-		res.Stats.StatesExplored++
-		if res.Stats.StatesExplored > opts.MaxBehaviors {
-			return res, fmt.Errorf("core: behavior budget (%d) exhausted", opts.MaxBehaviors)
+		if res.Stats.StatesExplored >= opts.MaxBehaviors {
+			cur = s
+			return halt(ReasonMaxBehaviors, budgetError(opts.MaxBehaviors))
 		}
+		res.Stats.StatesExplored++
+		cur = s
 
 		// Phase 1+2 to fixpoint (generation unblocks after branch
 		// resolution, so the two interleave).
-		if err := s.runToQuiescence(); err != nil {
-			if err == errInconsistent {
+		if qerr := s.runToQuiescence(); qerr != nil {
+			if qerr == errInconsistent {
 				res.Stats.Rollbacks++
+				cur = nil
 				pool.put(s)
 				continue
 			}
-			return res, err
+			if errors.Is(qerr, errNodeBudget) {
+				return halt(ReasonMaxNodes, qerr)
+			}
+			return res, qerr
 		}
 
 		if s.done() {
+			cur = nil
 			if finals.insert(s) {
 				// finish hands the state's buffers to the Execution,
 				// so this state is not pooled.
@@ -162,6 +340,7 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 		if !opts.DisableDedup {
 			if !seen.insert(s) {
 				res.Stats.DuplicatesDiscarded++
+				cur = nil
 				pool.put(s)
 				continue
 			}
@@ -184,12 +363,12 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 			for _, sid := range cands {
 				res.Stats.Forks++
 				ns := s.fork(&pool)
-				if err := ns.resolveLoad(lid, sid); err != nil {
+				if rerr := ns.resolveLoad(lid, sid); rerr != nil {
 					res.Stats.Rollbacks++
 					pool.put(ns)
 					continue
 				}
-				if err := ns.closure(); err != nil {
+				if cerr := ns.closure(); cerr != nil {
 					res.Stats.Rollbacks++
 					pool.put(ns)
 					continue
@@ -205,6 +384,7 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 			// else is an engine invariant violation.
 			if s.hasEligibleLoad() {
 				res.Stats.Rollbacks++
+				cur = nil
 				pool.put(s)
 				continue
 			}
@@ -212,6 +392,7 @@ func Enumerate(p *program.Program, pol order.Policy, opts Options) (*Result, err
 		}
 		// The children forked above are deep copies; the parent's
 		// buffers are free to recycle.
+		cur = nil
 		pool.put(s)
 	}
 	return res, nil

@@ -1,0 +1,374 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"storeatomicity/internal/leakcheck"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// corePkg is the "created by" prefix the leak checker watches.
+const corePkg = "storeatomicity/internal/core."
+
+// sourceSet collects the canonical behavior keys of a result.
+func sourceSet(res *Result) map[string]bool {
+	out := map[string]bool{}
+	for _, e := range res.Executions {
+		out[e.SourceKey()] = true
+	}
+	return out
+}
+
+// fullRun enumerates figure10Prog exhaustively for baseline comparisons.
+func fullRun(t *testing.T) *Result {
+	t.Helper()
+	res, err := Enumerate(context.Background(), figure10Prog(), order.Relaxed(), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// cancelCalls is the hook-invocation count after which the cancellation
+// tests pull the plug: figure10Prog sees ~160 resolution points over 353
+// states, so 40 lands solidly mid-run — some behaviors found, many more
+// still on the frontier — for both engines.
+const cancelCalls = 40
+
+// cancelAfter builds Options whose CandidateHook cancels ctx after n
+// resolution points — a deterministic-enough way to interrupt an
+// enumeration mid-run from inside the engine.
+func cancelAfter(n int64, cancel context.CancelFunc) Options {
+	var calls atomic.Int64
+	return Options{CandidateHook: func(string, program.Addr, []string) {
+		if calls.Add(1) == n {
+			cancel()
+		}
+	}}
+}
+
+// TestCancelSequentialReturnsPartial: cancellation mid-run hands back the
+// behaviors found so far plus a structured Incomplete report, instead of
+// an empty result.
+func TestCancelSequentialReturnsPartial(t *testing.T) {
+	full := fullRun(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := cancelAfter(cancelCalls, cancel)
+
+	res, err := Enumerate(ctx, figure10Prog(), order.Relaxed(), opts)
+	assertCanceledPartial(t, res, err, full)
+}
+
+// TestCancelParallelReturnsPartial is the acceptance criterion for the
+// parallel engine: cancelling EnumerateParallel mid-run returns a
+// non-empty partial behavior set with an Incomplete report and leaks no
+// goroutines.
+func TestCancelParallelReturnsPartial(t *testing.T) {
+	full := fullRun(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := cancelAfter(cancelCalls, cancel)
+
+	res, err := EnumerateParallel(ctx, figure10Prog(), order.Relaxed(), opts, 4)
+	assertCanceledPartial(t, res, err, full)
+	leakcheck.Check(t, corePkg)
+}
+
+func assertCanceledPartial(t *testing.T, res *Result, err error, full *Result) {
+	t.Helper()
+	var ie *IncompleteError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *IncompleteError", err)
+	}
+	if !errors.Is(err, ErrIncomplete) || !errors.Is(err, context.Canceled) {
+		t.Errorf("err %v does not unwrap to ErrIncomplete and context.Canceled", err)
+	}
+	if res.Incomplete == nil || res.Incomplete.Reason != ReasonCanceled {
+		t.Fatalf("Incomplete = %+v, want reason %q", res.Incomplete, ReasonCanceled)
+	}
+	if len(res.Executions) == 0 {
+		t.Error("canceled run returned no partial executions")
+	}
+	if len(res.Executions) >= len(full.Executions) {
+		t.Errorf("canceled run found all %d executions; cancellation did not interrupt", len(full.Executions))
+	}
+	if res.Incomplete.StatesPending != len(res.Incomplete.Frontier) {
+		t.Errorf("StatesPending %d != %d frontier paths", res.Incomplete.StatesPending, len(res.Incomplete.Frontier))
+	}
+	if len(res.Incomplete.Frontier) == 0 {
+		t.Error("canceled run reported an empty frontier; nothing would be resumable")
+	}
+	want := sourceSet(full)
+	for k := range sourceSet(res) {
+		if !want[k] {
+			t.Errorf("partial behavior %q not in the full set", k)
+		}
+	}
+}
+
+// TestDeadlineReason: a context deadline classifies as ReasonDeadline and
+// unwraps to context.DeadlineExceeded.
+func TestDeadlineReason(t *testing.T) {
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	res, err := Enumerate(ctx, figure10Prog(), order.Relaxed(), Options{})
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want DeadlineExceeded in chain", err)
+	}
+	if res.Incomplete == nil || res.Incomplete.Reason != ReasonDeadline {
+		t.Errorf("Incomplete = %+v, want reason %q", res.Incomplete, ReasonDeadline)
+	}
+}
+
+// TestBudgetParity: both engines stop after exactly MaxBehaviors states
+// and report it identically — the historical off-by-one between them is
+// pinned closed.
+func TestBudgetParity(t *testing.T) {
+	for _, budget := range []int{1, 5, 20} {
+		seq, serr := Enumerate(context.Background(), figure10Prog(), order.Relaxed(), Options{MaxBehaviors: budget})
+		par, perr := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(), Options{MaxBehaviors: budget}, 4)
+		for which, got := range map[string]struct {
+			res *Result
+			err error
+		}{"sequential": {seq, serr}, "parallel": {par, perr}} {
+			if got.err == nil || !strings.Contains(got.err.Error(), "behavior budget") {
+				t.Fatalf("%s budget=%d: err = %v", which, budget, got.err)
+			}
+			if got.res.Stats.StatesExplored != budget {
+				t.Errorf("%s budget=%d: explored %d states, want exactly %d",
+					which, budget, got.res.Stats.StatesExplored, budget)
+			}
+			if got.res.Incomplete == nil || got.res.Incomplete.Reason != ReasonMaxBehaviors {
+				t.Errorf("%s budget=%d: Incomplete = %+v", which, budget, got.res.Incomplete)
+			}
+		}
+	}
+	leakcheck.Check(t, corePkg)
+}
+
+// TestPanicIsolationSequential: a panicking hook becomes a *PanicError
+// carrying the program and the replay path, with partial results intact.
+func TestPanicIsolationSequential(t *testing.T) {
+	var calls atomic.Int64
+	opts := Options{CandidateHook: func(string, program.Addr, []string) {
+		if calls.Add(1) == 10 {
+			panic("hook bomb")
+		}
+	}}
+	res, err := Enumerate(context.Background(), figure10Prog(), order.Relaxed(), opts)
+	assertPanicIsolated(t, res, err)
+}
+
+// TestPanicIsolationParallel: a worker panic cancels its peers, surfaces
+// the repro, and leaks nothing under -race.
+func TestPanicIsolationParallel(t *testing.T) {
+	var calls atomic.Int64
+	opts := Options{CandidateHook: func(string, program.Addr, []string) {
+		if calls.Add(1) == 10 {
+			panic("hook bomb")
+		}
+	}}
+	res, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(), opts, 4)
+	assertPanicIsolated(t, res, err)
+	leakcheck.Check(t, corePkg)
+}
+
+func assertPanicIsolated(t *testing.T, res *Result, err error) {
+	t.Helper()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PanicError in chain", err)
+	}
+	if pe.Recovered != "hook bomb" {
+		t.Errorf("Recovered = %v, want the panic value", pe.Recovered)
+	}
+	if pe.Program == "" || len(pe.Stack) == 0 {
+		t.Error("PanicError is missing the program listing or stack")
+	}
+	if res.Incomplete == nil || res.Incomplete.Reason != ReasonPanic {
+		t.Errorf("Incomplete = %+v, want reason %q", res.Incomplete, ReasonPanic)
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted is the acceptance criterion
+// for checkpoint/resume: interrupt a run (behavior budget), write the
+// checkpoint to disk, reload it, resume — the final behavior set must be
+// identical to an uninterrupted run's, for both engines.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	full := fullRun(t)
+	want := sourceSet(full)
+	for _, workers := range []int{1, 4} {
+		budget := full.Stats.StatesExplored / 4
+		partial, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(),
+			Options{MaxBehaviors: budget}, workers)
+		if !errors.Is(err, ErrIncomplete) {
+			t.Fatalf("workers=%d: err = %v, want incomplete", workers, err)
+		}
+		path := filepath.Join(t.TempDir(), "run.ckpt")
+		if err := partial.Checkpoint(figure10Prog(), Options{}).Save(path); err != nil {
+			t.Fatal(err)
+		}
+		ckpt, err := LoadCheckpoint(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Resume(context.Background(), figure10Prog(), order.Relaxed(), Options{}, ckpt, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: resume: %v", workers, err)
+		}
+		got := sourceSet(res)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: resumed run found %d behaviors, uninterrupted %d",
+				workers, len(got), len(want))
+		}
+		for k := range want {
+			if !got[k] {
+				t.Errorf("workers=%d: resumed run is missing behavior %q", workers, k)
+			}
+		}
+	}
+	leakcheck.Check(t, corePkg)
+}
+
+// TestCancelCheckpointResume closes the loop on the cancellation path:
+// the frontier of a canceled run, checkpointed and resumed, completes to
+// the exact uninterrupted set.
+func TestCancelCheckpointResume(t *testing.T) {
+	full := fullRun(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := cancelAfter(cancelCalls, cancel)
+	partial, err := EnumerateParallel(ctx, figure10Prog(), order.Relaxed(), opts, 4)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want canceled", err)
+	}
+	ckpt := partial.Checkpoint(figure10Prog(), Options{})
+	res, err := Resume(context.Background(), figure10Prog(), order.Relaxed(), Options{}, ckpt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := sourceSet(res), sourceSet(full)
+	if len(got) != len(want) {
+		t.Fatalf("resumed canceled run found %d behaviors, uninterrupted %d", len(got), len(want))
+	}
+	for k := range want {
+		if !got[k] {
+			t.Errorf("missing behavior %q", k)
+		}
+	}
+}
+
+// TestCheckpointTimedWrites: with a tiny interval the engine writes a
+// loadable checkpoint during the run, and resuming from the final state
+// memoizes the full set.
+func TestCheckpointTimedWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "timed.ckpt")
+	opts := Options{Checkpoint: &CheckpointConfig{Path: path, Every: time.Nanosecond}}
+	full, err := Enumerate(context.Background(), figure10Prog(), order.Relaxed(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ckpt, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("no timed checkpoint was written: %v", err)
+	}
+	res, err := Resume(context.Background(), figure10Prog(), order.Relaxed(), Options{}, ckpt, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := sourceSet(res), sourceSet(full)
+	for k := range got {
+		if !want[k] {
+			t.Errorf("checkpointed behavior %q not in the live set", k)
+		}
+	}
+	if len(got) > len(want) {
+		t.Errorf("checkpoint resumed to %d behaviors, live run found %d", len(got), len(want))
+	}
+}
+
+// TestResumeValidation: checkpoints from another model or another
+// program are refused instead of silently producing garbage.
+func TestResumeValidation(t *testing.T) {
+	partial, err := Enumerate(context.Background(), figure10Prog(), order.Relaxed(), Options{MaxBehaviors: 5})
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("err = %v", err)
+	}
+	ckpt := partial.Checkpoint(figure10Prog(), Options{})
+	if _, err := Resume(context.Background(), figure10Prog(), order.SC(), Options{}, ckpt, 1); err == nil {
+		t.Error("resume under a different model was not refused")
+	}
+	if _, err := Resume(context.Background(), sbProgram(), order.Relaxed(), Options{}, ckpt, 1); err == nil {
+		t.Error("resume with a different program was not refused")
+	}
+	if _, err := Resume(context.Background(), figure10Prog(), order.Relaxed(), Options{Speculative: true}, ckpt, 1); err == nil {
+		t.Error("resume with mismatched speculation mode was not refused")
+	}
+}
+
+// TestExecutionPathReplays: every enumerated execution carries its
+// resolution path, and replaying that path reproduces the execution.
+func TestExecutionPathReplays(t *testing.T) {
+	full := fullRun(t)
+	for _, e := range full.Executions[:3] {
+		if len(e.Path) == 0 {
+			t.Fatalf("execution %s has no path", e.SourceKey())
+		}
+		s, err := replayCompleted(figure10Prog(), order.Relaxed(), Options{}.withDefaults(), e.Path)
+		if err != nil {
+			t.Fatalf("replay of %s: %v", e.SourceKey(), err)
+		}
+		if got := s.finish().SourceKey(); got != e.SourceKey() {
+			t.Errorf("replayed path produced %q, want %q", got, e.SourceKey())
+		}
+	}
+}
+
+// TestCandidateHookParallel: the hook contract under EnumerateParallel —
+// concurrent invocation with externally synchronized state — observes
+// the same set of resolution points as the sequential engine. Run with
+// -race to verify the engine does not publish hook calls unsafely.
+func TestCandidateHookParallel(t *testing.T) {
+	record := func(mu *sync.Mutex, seen map[string]bool) func(string, program.Addr, []string) {
+		return func(load string, addr program.Addr, cands []string) {
+			mu.Lock()
+			defer mu.Unlock()
+			seen[load+"@"+strings.Join(cands, ",")] = true
+		}
+	}
+	var seqMu sync.Mutex
+	seqSeen := map[string]bool{}
+	if _, err := Enumerate(context.Background(), figure10Prog(), order.Relaxed(),
+		Options{CandidateHook: record(&seqMu, seqSeen)}); err != nil {
+		t.Fatal(err)
+	}
+	var parMu sync.Mutex
+	parSeen := map[string]bool{}
+	if _, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(),
+		Options{CandidateHook: record(&parMu, parSeen)}, 8); err != nil {
+		t.Fatal(err)
+	}
+	if len(parSeen) == 0 {
+		t.Fatal("hook never fired under the parallel engine")
+	}
+	for k := range seqSeen {
+		if !parSeen[k] {
+			t.Errorf("parallel engine never observed resolution point %q", k)
+		}
+	}
+	for k := range parSeen {
+		if !seqSeen[k] {
+			t.Errorf("parallel engine observed unknown resolution point %q", k)
+		}
+	}
+	leakcheck.Check(t, corePkg)
+}

@@ -1,0 +1,101 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+)
+
+// IncompleteReason classifies why an enumeration stopped before
+// exhausting the behavior set.
+type IncompleteReason string
+
+const (
+	// ReasonCanceled: the context was canceled (SIGINT, caller cancel).
+	ReasonCanceled IncompleteReason = "canceled"
+	// ReasonDeadline: the context deadline expired.
+	ReasonDeadline IncompleteReason = "deadline"
+	// ReasonMaxBehaviors: the MaxBehaviors state budget was reached.
+	ReasonMaxBehaviors IncompleteReason = "max-behaviors"
+	// ReasonMaxNodes: a behavior's graph hit the MaxNodes budget
+	// (unbounded loop under the paper's non-normalizing procedure).
+	ReasonMaxNodes IncompleteReason = "max-nodes"
+	// ReasonPanic: a worker panicked; the offending behavior is carried
+	// by the PanicError for reproduction.
+	ReasonPanic IncompleteReason = "worker-panic"
+)
+
+// Incomplete reports a gracefully degraded enumeration: the paper's
+// procedure "is not a normalizing strategy", so state explosion, budgets,
+// deadlines, and crashes are expected operating conditions, and every
+// stopping condition hands back the behaviors found so far plus this
+// report. Callers decide whether partial is acceptable.
+type Incomplete struct {
+	// Reason classifies the stopping condition.
+	Reason IncompleteReason
+	// Cause is the underlying error (ctx.Err(), budget error, or a
+	// *PanicError).
+	Cause error
+	// StatesExplored counts behaviors processed before the stop.
+	StatesExplored int
+	// StatesPending counts behaviors left unexplored on the frontier.
+	StatesPending int
+	// Frontier is the replayable resolution path of every pending
+	// behavior; feed it to Resume (via a Checkpoint) to continue the
+	// run where it left off.
+	Frontier [][]PathStep
+}
+
+// ErrIncomplete is the sentinel wrapped by every graceful-stop error, so
+// callers can `errors.Is(err, core.ErrIncomplete)` and then inspect
+// Result.Incomplete.
+var ErrIncomplete = errors.New("core: enumeration incomplete")
+
+// IncompleteError is the error returned alongside a partial Result. It
+// unwraps to both ErrIncomplete and the underlying cause, so
+// errors.Is(err, context.DeadlineExceeded) and errors.As(err,
+// **PanicError) both work.
+type IncompleteError struct {
+	Report *Incomplete
+}
+
+// Error implements error. The budget message keeps the historical
+// "behavior budget" phrasing that callers grep for.
+func (e *IncompleteError) Error() string {
+	return fmt.Sprintf("core: enumeration incomplete (%s): %v", e.Report.Reason, e.Report.Cause)
+}
+
+// Unwrap exposes the underlying cause and the ErrIncomplete sentinel.
+func (e *IncompleteError) Unwrap() []error { return []error{ErrIncomplete, e.Report.Cause} }
+
+// PanicError isolates a worker crash: instead of taking the process down
+// (and losing the repro), the panic is converted into this error carrying
+// the offending program and the enumeration path that reached the
+// crashing behavior.
+type PanicError struct {
+	// Recovered is the value passed to panic().
+	Recovered any
+	// Stack is the crashing goroutine's stack trace.
+	Stack []byte
+	// Program is the listing of the program being enumerated.
+	Program string
+	// Path is the (load, store) resolution sequence that produced the
+	// crashing behavior; replaying it reproduces the crash
+	// deterministically.
+	Path []PathStep
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: worker panic: %v (replay path %v)\nprogram:\n%s\n%s",
+		e.Recovered, e.Path, e.Program, e.Stack)
+}
+
+// errNodeBudget tags the per-state node-budget error so the engines can
+// classify it as a graceful stop (ReasonMaxNodes) rather than an engine
+// fault.
+var errNodeBudget = errors.New("node budget exhausted")
+
+// budgetError builds the MaxBehaviors error with the historical phrasing.
+func budgetError(max int) error {
+	return fmt.Errorf("core: behavior budget (%d) exhausted", max)
+}

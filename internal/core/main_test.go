@@ -1,0 +1,15 @@
+package core
+
+import (
+	"os"
+	"testing"
+
+	"storeatomicity/internal/leakcheck"
+)
+
+// TestMain gates the whole package on goroutine hygiene: every engine
+// goroutine (workers, context watchers, checkpoint tickers) must be gone
+// once the tests finish, whatever stopping condition each test exercised.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m.Run(), "storeatomicity/internal/core."))
+}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/order"
@@ -20,7 +22,7 @@ func TestMembarNoTransitiveLeak(t *testing.T) {
 		Membar(program.BarrierLL|program.BarrierSS).
 		LoadL("L2", 2, program.Z).
 		StoreL("S2", program.W, 2)
-	res, err := Enumerate(b.Build(), order.Relaxed(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +53,7 @@ func TestMembarOrdersAcrossOnly(t *testing.T) {
 		Membar(program.BarrierSS).
 		StoreL("S2", program.Y, 2).
 		StoreL("S3", program.Z, 3)
-	res, err := Enumerate(b.Build(), order.Relaxed(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +76,7 @@ func TestTSOAtomicHardensBypass(t *testing.T) {
 	b := program.NewBuilder()
 	b.Thread("A").StoreL("Sx", program.X, 1).LoadL("Ly", 1, program.Y)
 	b.Thread("B").StoreL("Sy", program.Y, 1).LoadL("Lx", 2, program.X)
-	res, err := Enumerate(b.Build(), order.TSO(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.TSO(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +87,7 @@ func TestTSOAtomicHardensBypass(t *testing.T) {
 	b2 := program.NewBuilder()
 	b2.Thread("A").SwapL("Sx", 3, program.X, 1).LoadL("Ly", 1, program.Y)
 	b2.Thread("B").SwapL("Sy", 4, program.Y, 1).LoadL("Lx", 2, program.X)
-	res, err = Enumerate(b2.Build(), order.TSO(), Options{})
+	res, err = Enumerate(context.Background(), b2.Build(), order.TSO(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +107,7 @@ func TestAtomicRegisterOperand(t *testing.T) {
 		Dest: 2, AddrConst: program.X, UseValReg: true, ValReg: 1, Label: "fadd",
 	})
 	tb.LoadL("after", 3, program.X)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -120,7 +122,7 @@ func TestCASFailureIsLoadOnly(t *testing.T) {
 	b := program.NewBuilder()
 	b.Init(program.X, 9)
 	b.Thread("A").CASL("cas", 1, program.X, 0, 1).LoadL("after", 2, program.X)
-	res, err := Enumerate(b.Build(), order.SC(), Options{})
+	res, err := Enumerate(context.Background(), b.Build(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -145,6 +145,10 @@ type Execution struct {
 	Bypasses [][2]int
 	// Model names the policy that produced the execution.
 	Model string
+	// Path is the Load Resolution sequence that produced the execution;
+	// replaying it from the root state (see Checkpoint) rebuilds the
+	// execution deterministically.
+	Path []PathStep
 }
 
 // LoadValues maps each reading node's label (Loads and Atomics) to the

@@ -14,13 +14,32 @@ package core
 // The behavior set is identical to sequential enumeration (tests enforce
 // it); only discovery order differs, so results are canonically sorted
 // before returning.
+//
+// Failure semantics degrade gracefully: context cancellation, deadline
+// expiry, the MaxBehaviors/MaxNodes budgets, and worker panics all stop
+// the scheduler cleanly (no leaked goroutines), return every execution
+// found so far, and report the unexplored frontier as replayable paths
+// (Result.Incomplete) so a Resume can finish the run. A panicking worker
+// is isolated: the crash becomes a *PanicError carrying the offending
+// program and enumeration path, and the peers are cancelled.
+//
+// Frontier snapshots (stop-time and timed checkpoints) need every live
+// behavior to be reachable under a lock: each worker advertises the
+// behavior it is processing in w.current (guarded by w.mu), a steal moves
+// a behavior between deques with both locks held in index order, and the
+// snapshot takes every worker lock in that same order — so no behavior is
+// ever in transit outside all locks, and lock ordering is acyclic.
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
@@ -48,6 +67,8 @@ type finalShard struct {
 // wsEngine is the shared scheduler core.
 type wsEngine struct {
 	opts Options
+	prog *program.Program
+	ctx  context.Context
 
 	workers []*wsWorker
 
@@ -57,9 +78,20 @@ type wsEngine struct {
 	pending  atomic.Int64
 	explored atomic.Int64
 
-	stop     atomic.Bool
+	stop atomic.Bool
+
+	// errMu guards the stop classification: reason/cause for graceful
+	// stops, firstErr for engine-invariant failures. First writer wins.
 	errMu    sync.Mutex
+	reason   IncompleteReason
+	cause    error
 	firstErr error
+
+	// leftover collects behaviors that reached a worker but were not
+	// processed because the scheduler was stopping; they rejoin the
+	// frontier in the Incomplete report.
+	leftMu   sync.Mutex
+	leftover []*state
 
 	// Idle workers park on idleCond; idlers mirrors the count so
 	// pushers can skip the lock when nobody is parked.
@@ -72,13 +104,18 @@ type wsEngine struct {
 }
 
 // wsWorker is one scheduler worker: a lock-guarded deque (LIFO for the
-// owner, FIFO for thieves), a private state pool, private stats, and an
-// xorshift RNG for victim selection.
+// owner, FIFO for thieves), the behavior currently being processed, a
+// private state pool, private stats, and an xorshift RNG for victim
+// selection.
 type wsWorker struct {
-	eng   *wsEngine
-	mu    sync.Mutex
-	head  int
-	deque []*state
+	eng *wsEngine
+	idx int
+
+	mu      sync.Mutex
+	head    int
+	deque   []*state
+	current *state
+
 	pool  statePool
 	stats Stats
 	rng   uint64
@@ -86,25 +123,80 @@ type wsWorker struct {
 
 // EnumerateParallel is Enumerate distributed over workers goroutines
 // (runtime.NumCPU() when workers <= 0). Options.CandidateHook, if set,
-// must be safe for concurrent use.
-func EnumerateParallel(p *program.Program, pol order.Policy, opts Options, workers int) (*Result, error) {
+// must be safe for concurrent use. Cancellation, deadlines, budgets, and
+// worker panics stop the run gracefully — see Enumerate.
+func EnumerateParallel(ctx context.Context, p *program.Program, pol order.Policy, opts Options, workers int) (*Result, error) {
+	return enumerateParallelFrom(ctx, p, pol, opts, workers, nil)
+}
+
+// enumerateParallelFrom is the work-stealing engine, optionally seeded
+// from a checkpoint.
+func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Policy, opts Options, workers int, seed *resumeSeed) (*Result, error) {
 	opts = opts.withDefaults()
 	if workers <= 0 {
 		workers = runtime.NumCPU()
 	}
 	if workers == 1 {
-		return Enumerate(p, pol, opts)
+		return enumerateFrom(ctx, p, pol, opts, seed)
 	}
 
-	e := &wsEngine{opts: opts}
+	e := &wsEngine{opts: opts, prog: p, ctx: ctx}
 	e.idleCond = sync.NewCond(&e.idleMu)
 	e.workers = make([]*wsWorker, workers)
 	for i := range e.workers {
-		e.workers[i] = &wsWorker{eng: e, rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+		e.workers[i] = &wsWorker{eng: e, idx: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
 	}
 
-	e.pending.Store(1)
-	e.workers[0].push(newState(p, pol, opts))
+	if seed != nil {
+		e.explored.Store(int64(seed.explored))
+		for _, s := range seed.finals {
+			// Duplicate recorded behaviors in the checkpoint are
+			// dropped by the fingerprint dedup.
+			e.addFinal(s)
+		}
+		e.pending.Store(int64(len(seed.work)))
+		for i, s := range seed.work {
+			e.workers[i%workers].push(s)
+		}
+	} else {
+		e.pending.Store(1)
+		e.workers[0].push(newState(p, pol, opts))
+	}
+
+	// The context watcher and checkpoint ticker are torn down before
+	// returning, so EnumerateParallel never leaks a goroutine whatever
+	// the stopping condition.
+	finCh := make(chan struct{})
+	var aux sync.WaitGroup
+	if done := ctx.Done(); done != nil {
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			select {
+			case <-done:
+				e.halt(classifyCtxErr(ctx.Err()), ctx.Err())
+			case <-finCh:
+			}
+		}()
+	}
+	if ckpt := opts.Checkpoint; ckpt != nil {
+		progHash := ProgramHash(p)
+		aux.Add(1)
+		go func() {
+			defer aux.Done()
+			t := time.NewTicker(ckpt.Every)
+			defer t.Stop()
+			for {
+				select {
+				case <-finCh:
+					return
+				case <-t.C:
+					saveTimed(ckpt, checkpointNow(pol.Name(), progHash, opts,
+						int(e.explored.Load()), e.completedPaths(), e.frontierPaths()))
+				}
+			}
+		}()
+	}
 
 	var wg sync.WaitGroup
 	for _, w := range e.workers {
@@ -115,6 +207,8 @@ func EnumerateParallel(p *program.Program, pol order.Policy, opts Options, worke
 		}(w)
 	}
 	wg.Wait()
+	close(finCh)
+	aux.Wait()
 
 	res := &Result{Model: pol.Name()}
 	res.Stats.StatesExplored = int(e.explored.Load())
@@ -124,15 +218,32 @@ func EnumerateParallel(p *program.Program, pol order.Policy, opts Options, worke
 		res.Stats.DuplicatesDiscarded += w.stats.DuplicatesDiscarded
 		res.Stats.Steals += w.stats.Steals
 	}
-	if e.firstErr != nil {
-		return res, e.firstErr
-	}
+	// Partial results are first-class: executions are collected on
+	// every path, including stops and errors.
 	for i := range e.finals {
 		res.Executions = append(res.Executions, e.finals[i].execs...)
 	}
 	sort.Slice(res.Executions, func(i, j int) bool {
 		return res.Executions[i].SourceKey() < res.Executions[j].SourceKey()
 	})
+
+	e.errMu.Lock()
+	reason, cause, ferr := e.reason, e.cause, e.firstErr
+	e.errMu.Unlock()
+	if reason != "" {
+		rep := &Incomplete{
+			Reason:         reason,
+			Cause:          cause,
+			StatesExplored: res.Stats.StatesExplored,
+			Frontier:       e.frontierPaths(),
+		}
+		rep.StatesPending = len(rep.Frontier)
+		res.Incomplete = rep
+		return res, &IncompleteError{Report: rep}
+	}
+	if ferr != nil {
+		return res, ferr
+	}
 	return res, nil
 }
 
@@ -146,7 +257,8 @@ func (w *wsWorker) push(s *state) {
 	w.eng.wake()
 }
 
-// pop takes the newest behavior (LIFO), or nil.
+// pop takes the newest behavior (LIFO) and advertises it as w.current
+// under the same lock acquisition, or returns nil.
 func (w *wsWorker) pop() *state {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -161,13 +273,13 @@ func (w *wsWorker) pop() *state {
 		w.head = 0
 		w.deque = w.deque[:0]
 	}
+	w.current = s
 	return s
 }
 
-// stealFrom takes the oldest behavior (FIFO), or nil.
-func (w *wsWorker) stealFrom() *state {
-	w.mu.Lock()
-	defer w.mu.Unlock()
+// takeOldestLocked removes the oldest behavior (FIFO), or nil. Caller
+// holds w.mu.
+func (w *wsWorker) takeOldestLocked() *state {
 	if w.head >= len(w.deque) {
 		return nil
 	}
@@ -181,6 +293,13 @@ func (w *wsWorker) stealFrom() *state {
 	return s
 }
 
+// clearCurrent retires the advertised in-flight behavior.
+func (w *wsWorker) clearCurrent() {
+	w.mu.Lock()
+	w.current = nil
+	w.mu.Unlock()
+}
+
 // nextRand is a xorshift64 step for victim selection.
 func (w *wsWorker) nextRand() uint64 {
 	x := w.rng
@@ -191,7 +310,10 @@ func (w *wsWorker) nextRand() uint64 {
 	return x
 }
 
-// steal scans victims starting at a random offset.
+// steal scans victims starting at a random offset. The victim's deque
+// slot and the thief's current pointer are updated under both locks
+// (taken in worker-index order), so a frontier snapshot can never observe
+// the stolen behavior in neither place.
 func (e *wsEngine) steal(w *wsWorker) *state {
 	n := len(e.workers)
 	off := int(w.nextRand() % uint64(n))
@@ -200,7 +322,19 @@ func (e *wsEngine) steal(w *wsWorker) *state {
 		if v == w {
 			continue
 		}
-		if s := v.stealFrom(); s != nil {
+		lo, hi := w, v
+		if v.idx < w.idx {
+			lo, hi = v, w
+		}
+		lo.mu.Lock()
+		hi.mu.Lock()
+		s := v.takeOldestLocked()
+		if s != nil {
+			w.current = s
+		}
+		hi.mu.Unlock()
+		lo.mu.Unlock()
+		if s != nil {
 			w.stats.Steals++
 			return s
 		}
@@ -228,16 +362,84 @@ func (e *wsEngine) wakeAll() {
 	e.idleMu.Unlock()
 }
 
-// setErr records the first error, stops the scheduler, and wakes every
-// parked worker.
+// halt records a graceful stop (first classification wins), stops the
+// scheduler, and wakes every parked worker.
+func (e *wsEngine) halt(reason IncompleteReason, cause error) {
+	e.errMu.Lock()
+	if e.reason == "" && e.firstErr == nil {
+		e.reason, e.cause = reason, cause
+	}
+	e.errMu.Unlock()
+	e.stop.Store(true)
+	e.wakeAll()
+}
+
+// setErr records the first engine-invariant error, stops the scheduler,
+// and wakes every parked worker.
 func (e *wsEngine) setErr(err error) {
 	e.errMu.Lock()
-	if e.firstErr == nil {
+	if e.reason == "" && e.firstErr == nil {
 		e.firstErr = err
 	}
 	e.errMu.Unlock()
 	e.stop.Store(true)
 	e.wakeAll()
+}
+
+// addLeftover returns an unprocessed behavior to the frontier during a
+// stop.
+func (e *wsEngine) addLeftover(s *state) {
+	e.leftMu.Lock()
+	e.leftover = append(e.leftover, s)
+	e.leftMu.Unlock()
+}
+
+// frontierPaths snapshots the replayable path of every live behavior:
+// all deques and in-flight behaviors (all worker locks held, in index
+// order, so nothing is in transit), plus the leftovers parked by a stop.
+// A behavior that completes while the snapshot runs may appear in both
+// the frontier and the completed set; replaying it is idempotent (the
+// final-set fingerprint dedup discards the duplicate), so double capture
+// is safe where a missed behavior would not be.
+func (e *wsEngine) frontierPaths() [][]PathStep {
+	var paths [][]PathStep
+	for _, w := range e.workers {
+		w.mu.Lock()
+	}
+	for _, w := range e.workers {
+		for i := w.head; i < len(w.deque); i++ {
+			paths = append(paths, copyPath(w.deque[i].path))
+		}
+		if w.current != nil {
+			paths = append(paths, copyPath(w.current.path))
+		}
+	}
+	for i := len(e.workers) - 1; i >= 0; i-- {
+		e.workers[i].mu.Unlock()
+	}
+	e.leftMu.Lock()
+	for _, s := range e.leftover {
+		paths = append(paths, copyPath(s.path))
+	}
+	e.leftMu.Unlock()
+	return paths
+}
+
+// completedPaths snapshots the paths of every recorded final execution.
+// Call after frontierPaths when building a checkpoint: a behavior
+// completing between the two scans then shows up in both sets (harmless)
+// rather than in neither (unsound).
+func (e *wsEngine) completedPaths() [][]PathStep {
+	var paths [][]PathStep
+	for i := range e.finals {
+		f := &e.finals[i]
+		f.mu.Lock()
+		for _, x := range f.execs {
+			paths = append(paths, x.Path)
+		}
+		f.mu.Unlock()
+	}
+	return paths
 }
 
 // hasQueuedWork reports whether any deque is non-empty.
@@ -290,6 +492,7 @@ func (w *wsWorker) run() {
 			continue
 		}
 		w.process(s)
+		w.clearCurrent()
 	}
 }
 
@@ -297,19 +500,64 @@ func (w *wsWorker) run() {
 // final execution or forks its children, mirroring the sequential
 // engine. e.pending is decremented for the parent only after the
 // children are pushed, so pending never dips to zero mid-expansion.
+//
+// A stop observed before the behavior is charged to the budget parks it
+// in the leftover set, so the frontier report loses nothing; a panic
+// anywhere below is recovered into a *PanicError carrying the behavior's
+// replay path, and cancels the peers.
 func (w *wsWorker) process(s *state) {
 	e := w.eng
 	defer e.pending.Add(-1)
 
-	if int(e.explored.Add(1)) > e.opts.MaxBehaviors {
-		e.setErr(fmt.Errorf("core: behavior budget (%d) exhausted", e.opts.MaxBehaviors))
+	if e.stop.Load() {
+		e.addLeftover(s)
 		return
 	}
+	// Synchronous cancellation check, matching the sequential engine's
+	// per-iteration ctx poll: the context-watcher goroutine alone is not
+	// prompt enough — a fast enumeration can drain the whole frontier
+	// before the watcher is even scheduled.
+	if cerr := e.ctx.Err(); cerr != nil {
+		e.halt(classifyCtxErr(cerr), cerr)
+		e.addLeftover(s)
+		return
+	}
+	// Budget check, unified with the sequential engine: exactly
+	// MaxBehaviors states are processed, the state that would exceed
+	// the budget stays on the frontier, and explored never overshoots
+	// (compare-and-swap, since workers race to claim the last slots).
+	for {
+		cur := e.explored.Load()
+		if cur >= int64(e.opts.MaxBehaviors) {
+			e.halt(ReasonMaxBehaviors, budgetError(e.opts.MaxBehaviors))
+			e.addLeftover(s)
+			return
+		}
+		if e.explored.CompareAndSwap(cur, cur+1) {
+			break
+		}
+	}
+
+	defer func() {
+		if r := recover(); r != nil {
+			e.halt(ReasonPanic, &PanicError{
+				Recovered: r,
+				Stack:     debug.Stack(),
+				Program:   e.prog.String(),
+				Path:      copyPath(s.path),
+			})
+		}
+	}()
 
 	if err := s.runToQuiescence(); err != nil {
 		if err == errInconsistent {
 			w.stats.Rollbacks++
 			w.pool.put(s)
+			return
+		}
+		if errors.Is(err, errNodeBudget) {
+			e.halt(ReasonMaxNodes, err)
+			e.addLeftover(s)
 			return
 		}
 		e.setErr(err)

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"runtime"
 	"strings"
 	"testing"
@@ -26,7 +28,7 @@ func figure10Prog() *program.Program {
 // program, across models and worker counts.
 func TestParallelMatchesSequential(t *testing.T) {
 	for _, pol := range []order.Policy{order.SC(), order.TSO(), order.Relaxed()} {
-		seq, err := Enumerate(figure10Prog(), pol, Options{})
+		seq, err := Enumerate(context.Background(), figure10Prog(), pol, Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -35,7 +37,7 @@ func TestParallelMatchesSequential(t *testing.T) {
 			want[e.SourceKey()] = true
 		}
 		for _, workers := range []int{2, 4, 0} {
-			par, err := EnumerateParallel(figure10Prog(), pol, Options{}, workers)
+			par, err := EnumerateParallel(context.Background(), figure10Prog(), pol, Options{}, workers)
 			if err != nil {
 				t.Fatalf("%s workers=%d: %v", pol.Name(), workers, err)
 			}
@@ -58,11 +60,11 @@ func TestParallelMatchesSequential(t *testing.T) {
 // TestParallelDeterministicOrder: results are canonically sorted, so two
 // parallel runs agree element-wise.
 func TestParallelDeterministicOrder(t *testing.T) {
-	a, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{}, 4)
+	a, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(), Options{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{}, 4)
+	b, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(), Options{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +80,11 @@ func TestParallelDeterministicOrder(t *testing.T) {
 
 // TestParallelSingleWorkerDelegates: workers=1 is exactly Enumerate.
 func TestParallelSingleWorkerDelegates(t *testing.T) {
-	seq, err := Enumerate(sbProgram(), order.SC(), Options{})
+	seq, err := Enumerate(context.Background(), sbProgram(), order.SC(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := EnumerateParallel(sbProgram(), order.SC(), Options{}, 1)
+	par, err := EnumerateParallel(context.Background(), sbProgram(), order.SC(), Options{}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -93,7 +95,7 @@ func TestParallelSingleWorkerDelegates(t *testing.T) {
 
 // TestParallelBudget: the behavior budget still trips.
 func TestParallelBudget(t *testing.T) {
-	_, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{MaxBehaviors: 3}, 4)
+	_, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(), Options{MaxBehaviors: 3}, 4)
 	if err == nil || !strings.Contains(err.Error(), "behavior budget") {
 		t.Errorf("err = %v", err)
 	}
@@ -107,7 +109,7 @@ func TestParallelBudgetNoLeak(t *testing.T) {
 	before := runtime.NumGoroutine()
 	for i := 0; i < 50; i++ {
 		for _, budget := range []int{1, 2, 5, 20} {
-			_, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{MaxBehaviors: budget}, 8)
+			_, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(), Options{MaxBehaviors: budget}, 8)
 			if err == nil || !strings.Contains(err.Error(), "behavior budget") {
 				t.Fatalf("budget=%d: err = %v", budget, err)
 			}
@@ -127,11 +129,11 @@ func TestParallelBudgetNoLeak(t *testing.T) {
 // TestParallelStats: fork/dup/steal counters are merged across workers
 // and agree with the sequential engine where determinism allows.
 func TestParallelStats(t *testing.T) {
-	seq, err := Enumerate(figure10Prog(), order.Relaxed(), Options{})
+	seq, err := Enumerate(context.Background(), figure10Prog(), order.Relaxed(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := EnumerateParallel(figure10Prog(), order.Relaxed(), Options{}, 4)
+	par, err := EnumerateParallel(context.Background(), figure10Prog(), order.Relaxed(), Options{}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,11 +163,11 @@ func TestParallelSpeculation(t *testing.T) {
 		LoadL("L6", 6, program.X).StoreIndL("S7", 6, 7).LoadL("L8", 8, program.Y)
 	p := b.Build()
 
-	seq, err := Enumerate(p, order.Relaxed(), Options{Speculative: true})
+	seq, err := Enumerate(context.Background(), p, order.Relaxed(), Options{Speculative: true})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := EnumerateParallel(p, order.Relaxed(), Options{Speculative: true}, 4)
+	par, err := EnumerateParallel(context.Background(), p, order.Relaxed(), Options{Speculative: true}, 4)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/order"
@@ -30,7 +32,7 @@ func TestSmokeSB(t *testing.T) {
 		{order.TSO(), true, 4},
 		{order.Relaxed(), true, 4},
 	} {
-		res, err := Enumerate(sbProgram(), tc.pol, Options{})
+		res, err := Enumerate(context.Background(), sbProgram(), tc.pol, Options{})
 		if err != nil {
 			t.Fatalf("%s: %v", tc.pol.Name(), err)
 		}

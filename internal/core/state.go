@@ -83,6 +83,12 @@ type state struct {
 	aliases  []aliasPair
 	bypasses [][2]int
 
+	// path is the Load Resolution sequence that produced this behavior
+	// from the root state. It is the behavior's replayable identity:
+	// checkpoints serialize frontier paths, and panic reports carry the
+	// crashing behavior's path for deterministic reproduction.
+	path []PathStep
+
 	// opScratch is reused by execute() when evaluating Op arguments;
 	// candScratch by candidates(); ancScratch/descScratch by ruleC's
 	// common-ancestor/descendant intersections. None survive a call.
@@ -261,6 +267,7 @@ func (s *state) fork(p *statePool) *state {
 
 	c.aliases = append(c.aliases[:0], s.aliases...)
 	c.bypasses = append(c.bypasses[:0], s.bypasses...)
+	c.path = append(c.path[:0], s.path...)
 	return c
 }
 
@@ -291,7 +298,7 @@ func (s *state) generate() (bool, error) {
 		th := &s.threads[ti]
 		for th.blocked == NoNode && th.pc < len(s.prog.Threads[ti].Instrs) {
 			if len(s.nodes) >= s.opts.MaxNodes {
-				return progress, fmt.Errorf("core: node budget (%d) exhausted; unbounded loop?", s.opts.MaxNodes)
+				return progress, fmt.Errorf("core: %w (%d); unbounded loop?", errNodeBudget, s.opts.MaxNodes)
 			}
 			if err := s.genOne(ti); err != nil {
 				return progress, err
@@ -633,5 +640,6 @@ func (s *state) finish() *Execution {
 		Nodes:    s.nodes,
 		Bypasses: s.bypasses,
 		Model:    s.pol.Name(),
+		Path:     s.path,
 	}
 }

@@ -14,6 +14,8 @@
 package discipline
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -54,7 +56,7 @@ type Report struct {
 // criterion. syncAddrs lists the synchronization variables; all other
 // addresses are data. The enumeration options' CandidateHook is
 // overwritten.
-func Check(p *program.Program, pol order.Policy, syncAddrs map[program.Addr]bool, opts core.Options) (*Report, error) {
+func Check(ctx context.Context, p *program.Program, pol order.Policy, syncAddrs map[program.Addr]bool, opts core.Options) (*Report, error) {
 	worst := map[string]Violation{}
 	opts.CandidateHook = func(load string, addr program.Addr, candidates []string) {
 		if syncAddrs[addr] || len(candidates) <= 1 {
@@ -64,7 +66,7 @@ func Check(p *program.Program, pol order.Policy, syncAddrs map[program.Addr]bool
 			worst[load] = Violation{Load: load, Addr: addr, Candidates: candidates}
 		}
 	}
-	res, err := core.Enumerate(p, pol, opts)
+	res, err := core.Enumerate(ctx, p, pol, opts)
 	if err != nil {
 		return nil, err
 	}

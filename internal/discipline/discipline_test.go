@@ -1,6 +1,8 @@
 package discipline
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/core"
@@ -47,7 +49,7 @@ var syncY = map[program.Addr]bool{program.Y: true}
 // TestGatedFencedMPIsWellSynchronized: with both fences and the guard,
 // the data load always has exactly one eligible store.
 func TestGatedFencedMPIsWellSynchronized(t *testing.T) {
-	rep, err := Check(gatedMP(true, true), order.Relaxed(), syncY, core.Options{})
+	rep, err := Check(context.Background(), gatedMP(true, true), order.Relaxed(), syncY, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +75,7 @@ func TestUnfencedMPIsRacy(t *testing.T) {
 		{"no reader fence", true, false},
 		{"no fences", false, false},
 	} {
-		rep, err := Check(gatedMP(tc.writerFence, tc.readerFence), order.Relaxed(), syncY, core.Options{})
+		rep, err := Check(context.Background(), gatedMP(tc.writerFence, tc.readerFence), order.Relaxed(), syncY, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -97,7 +99,7 @@ func TestUnfencedMPIsRacy(t *testing.T) {
 // well-synchronized data-wise only when the guard is present; the flag
 // load's nondeterminism never counts.
 func TestSyncAddressesExempt(t *testing.T) {
-	rep, err := Check(gatedMP(false, false), order.SC(), syncY, core.Options{})
+	rep, err := Check(context.Background(), gatedMP(false, false), order.SC(), syncY, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,7 +110,7 @@ func TestSyncAddressesExempt(t *testing.T) {
 	}
 	// With nothing marked as a sync variable, the flag load itself
 	// becomes a reported race.
-	rep, err = Check(gatedMP(false, false), order.SC(), nil, core.Options{})
+	rep, err = Check(context.Background(), gatedMP(false, false), order.SC(), nil, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +131,7 @@ func TestViolationString(t *testing.T) {
 func TestSingleThreadedIsWellSynchronized(t *testing.T) {
 	b := program.NewBuilder()
 	b.Thread("A").StoreL("S", program.X, 1).LoadL("L", 1, program.X)
-	rep, err := Check(b.Build(), order.Relaxed(), nil, core.Options{})
+	rep, err := Check(context.Background(), b.Build(), order.Relaxed(), nil, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

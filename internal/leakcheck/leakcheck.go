@@ -1,0 +1,87 @@
+// Package leakcheck detects leaked goroutines without external
+// dependencies: it parses runtime.Stack(all) and flags goroutines whose
+// "created by" frame belongs to a watched package. The parallel
+// enumeration engine's cancellation and panic-isolation guarantees are
+// verified with it — a graceful stop must tear down every worker and
+// auxiliary goroutine it started.
+package leakcheck
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// TB is the subset of testing.TB used here, so the package stays
+// import-cycle-free and usable from TestMain.
+type TB interface {
+	Helper()
+	Errorf(format string, args ...any)
+}
+
+// Snapshot returns the stacks of live goroutines created by code whose
+// "created by" function contains substr (e.g. a package path like
+// "storeatomicity/internal/core."). The calling goroutine is never
+// reported.
+func Snapshot(substr string) []string {
+	buf := make([]byte, 1<<20)
+	for {
+		n := runtime.Stack(buf, true)
+		if n < len(buf) {
+			buf = buf[:n]
+			break
+		}
+		buf = make([]byte, 2*len(buf))
+	}
+	var bad []string
+	for _, g := range strings.Split(string(buf), "\n\n") {
+		if strings.Contains(g, "created by "+substr) {
+			bad = append(bad, g)
+		}
+	}
+	return bad
+}
+
+// Wait polls Snapshot until no watched goroutine remains or the grace
+// period expires, returning the surviving stacks. Shutdown is
+// asynchronous (workers observe cancellation at their next scheduling
+// point), so a bounded settling window avoids false positives without
+// hiding real leaks.
+func Wait(substr string, grace time.Duration) []string {
+	deadline := time.Now().Add(grace)
+	for {
+		bad := Snapshot(substr)
+		if len(bad) == 0 || time.Now().After(deadline) {
+			return bad
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// Check fails t if goroutines created by substr survive a one-second
+// grace period.
+func Check(t TB, substr string) {
+	t.Helper()
+	if bad := Wait(substr, time.Second); len(bad) > 0 {
+		t.Errorf("leakcheck: %d goroutine(s) created by %s still running:\n%s",
+			len(bad), substr, strings.Join(bad, "\n\n"))
+	}
+}
+
+// Main is the TestMain hook: it returns a non-zero exit code (and prints
+// the stacks) if watched goroutines survive after the whole test binary
+// ran. Use as
+//
+//	func TestMain(m *testing.M) { os.Exit(leakcheck.Main(m.Run(), "pkg/path.")) }
+func Main(code int, substr string) int {
+	if code != 0 {
+		return code
+	}
+	if bad := Wait(substr, time.Second); len(bad) > 0 {
+		fmt.Printf("leakcheck: %d goroutine(s) created by %s still running after tests:\n%s\n",
+			len(bad), substr, strings.Join(bad, "\n\n"))
+		return 1
+	}
+	return code
+}

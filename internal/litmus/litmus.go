@@ -10,6 +10,8 @@
 package litmus
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -95,13 +97,25 @@ type Test struct {
 
 // Run enumerates the test under one model configuration.
 func Run(t *Test, m Model) (*core.Result, error) {
-	return core.Enumerate(t.Build(), m.Policy, core.Options{Speculative: m.Speculative})
+	return RunContext(context.Background(), t, m, core.Options{}, 1)
 }
 
 // RunParallel enumerates with the work-stealing engine. The behavior set
 // is identical to Run's; workers <= 0 uses one worker per CPU.
 func RunParallel(t *Test, m Model, workers int) (*core.Result, error) {
-	return core.EnumerateParallel(t.Build(), m.Policy, core.Options{Speculative: m.Speculative}, workers)
+	return RunContext(context.Background(), t, m, core.Options{}, workers)
+}
+
+// RunContext enumerates the test under ctx with caller-supplied options
+// (the model configuration overrides opts.Speculative); workers == 1 uses
+// the sequential engine. Cancellation, deadlines, and budgets return
+// partial results with Result.Incomplete set — see core.Enumerate.
+func RunContext(ctx context.Context, t *Test, m Model, opts core.Options, workers int) (*core.Result, error) {
+	opts.Speculative = m.Speculative
+	if workers == 1 {
+		return core.Enumerate(ctx, t.Build(), m.Policy, opts)
+	}
+	return core.EnumerateParallel(ctx, t.Build(), m.Policy, opts, workers)
 }
 
 // CheckResult verifies a result against the test's expectations for the

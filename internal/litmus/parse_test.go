@@ -1,6 +1,8 @@
 package litmus
 
 import (
+	"context"
+
 	"strings"
 	"testing"
 
@@ -172,11 +174,11 @@ func TestParsedBuildIsRepeatable(t *testing.T) {
 	}
 	// And both enumerate identically.
 	mc, _ := ModelByName("SC")
-	r1, err := core.Enumerate(a, mc.Policy, core.Options{})
+	r1, err := core.Enumerate(context.Background(), a, mc.Policy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	r2, err := core.Enumerate(b, mc.Policy, core.Options{})
+	r2, err := core.Enumerate(context.Background(), b, mc.Policy, core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

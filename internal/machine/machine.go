@@ -49,6 +49,15 @@ type Config struct {
 	// prediction violates the memory model: traces escape even the SC
 	// behavior set and are rejected by the verify checker.
 	ValuePredict bool
+	// Faults, when non-nil, attaches a seeded bus-fault injector to the
+	// coherence system: delayed and reordered transactions, randomized
+	// stalls, and NACKed ownership transfers with capped exponential
+	// backoff. A stalled instruction burns a scheduler step without
+	// issuing. Faults perturb only *when* transactions happen, never
+	// what they do, so faulty runs remain within the model's behavior
+	// set (see package coherence). Nil leaves the simulation
+	// byte-identical to the fault-free build.
+	Faults *coherence.FaultConfig
 }
 
 func (c Config) withDefaults() Config {
@@ -72,7 +81,10 @@ type Trace struct {
 	StoreValues map[string]program.Value
 	// Steps counts instructions issued.
 	Steps int
-	// Coherence carries the protocol counters.
+	// Stalls counts scheduler steps burned by fault-stalled
+	// instructions (always zero without Config.Faults).
+	Stalls int
+	// Coherence carries the protocol counters, including fault stats.
 	Coherence coherence.Stats
 }
 
@@ -123,6 +135,9 @@ func Run(p *program.Program, cfg Config) (*Trace, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sys := coherence.NewSystem(len(p.Threads), p.Init)
+	if cfg.Faults != nil {
+		sys.EnableFaults(*cfg.Faults)
+	}
 	cores := make([]*coreState, len(p.Threads))
 	for i := range cores {
 		cores[i] = &coreState{
@@ -175,9 +190,12 @@ func Run(p *program.Program, cfg Config) (*Trace, error) {
 			return nil, errors.New("machine: no issuable instruction (deadlock)")
 		}
 		pick := ready[rng.Intn(len(ready))]
-		cores[pick.core].issue(pick.idx, sys, tr, rng, predictions)
-		tr.Steps++
-		if tr.Steps > cfg.MaxSteps {
+		if cores[pick.core].issue(pick.idx, sys, tr, rng, predictions) {
+			tr.Steps++
+		} else {
+			tr.Stalls++
+		}
+		if tr.Steps+tr.Stalls > cfg.MaxSteps {
 			return nil, fmt.Errorf("machine: step budget (%d) exhausted", cfg.MaxSteps)
 		}
 	}
@@ -296,13 +314,14 @@ type prediction struct {
 	val   program.Value
 }
 
-// issue executes the entry against the coherence system. When predictions
-// is non-nil, half the loads (scheduler PRNG) guess a value instead of
-// reading — naive value speculation, never validated.
-func (c *coreState) issue(idx int, sys *coherence.System, tr *Trace, rng *rand.Rand, predictions map[program.Addr][]prediction) {
+// issue executes the entry against the coherence system and reports
+// whether it actually issued: under fault injection a memory operation
+// whose bus transaction stalls returns false with no state changed, and
+// the scheduler retries it on a later step. When predictions is non-nil,
+// half the loads (scheduler PRNG) guess a value instead of reading —
+// naive value speculation, never validated.
+func (c *coreState) issue(idx int, sys *coherence.System, tr *Trace, rng *rand.Rand, predictions map[program.Addr][]prediction) bool {
 	e := &c.entries[idx]
-	e.issued = true
-	c.pending--
 	switch e.instr.Kind {
 	case program.KindOp:
 		vals := make([]program.Value, len(e.argDeps))
@@ -332,9 +351,12 @@ func (c *coreState) issue(idx int, sys *coherence.System, tr *Trace, rng *rand.R
 			e.value = p.val
 			tr.LoadSources[e.label] = p.label
 			tr.LoadValues[e.label] = p.val
-			return
+			break
 		}
-		d := sys.Read(c.id, a)
+		d, ok := sys.FaultyRead(c.id, a)
+		if !ok {
+			return false
+		}
 		e.value = d.Value
 		tr.LoadSources[e.label] = d.Store
 		tr.LoadValues[e.label] = d.Value
@@ -344,14 +366,22 @@ func (c *coreState) issue(idx int, sys *coherence.System, tr *Trace, rng *rand.R
 		if e.instr.UseValReg && e.valDep != noDep {
 			v = c.entries[e.valDep].value
 		}
-		sys.Write(c.id, a, v, e.label)
+		if !sys.FaultyWrite(c.id, a, v, e.label) {
+			return false
+		}
 		tr.StoreValues[e.label] = v
 	case program.KindAtomic:
 		// The simulator issues one instruction per step, so the
 		// read-modify-write below is indivisible; acquiring
 		// ownership through the Write path orders it in the
-		// protocol's per-location store order.
+		// protocol's per-location store order. Under fault injection
+		// FaultyOwn acquires exclusive ownership up front, so the
+		// Read/Write pair below hits locally and the RMW stays
+		// indivisible even when the injector stalls bus traffic.
 		a, _ := c.addrOf(idx)
+		if !sys.FaultyOwn(c.id, a) {
+			return false
+		}
 		d := sys.Read(c.id, a)
 		e.value = d.Value
 		tr.LoadSources[e.label] = d.Store
@@ -376,4 +406,7 @@ func (c *coreState) issue(idx int, sys *coherence.System, tr *Trace, rng *rand.R
 	case program.KindFence:
 		// Ordering-only.
 	}
+	e.issued = true
+	c.pending--
+	return true
 }

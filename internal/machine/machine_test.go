@@ -3,6 +3,7 @@ package machine
 import (
 	"testing"
 
+	"storeatomicity/internal/coherence"
 	"storeatomicity/internal/litmus"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
@@ -147,5 +148,99 @@ func TestCoherenceStatsPopulated(t *testing.T) {
 	}
 	if trc.Steps == 0 {
 		t.Error("no steps recorded")
+	}
+}
+
+// TestMachineFaultySubsetOfModel extends experiment E10 with bus-fault
+// injection: delayed, reordered, and NACK-retried transactions perturb
+// only the schedule, never a transaction's effect, so every faulty
+// execution must still fall inside the model's enumerated behavior set.
+// The sweep asserts 500+ fault-injected runs total and that the injector
+// actually fired.
+func TestMachineFaultySubsetOfModel(t *testing.T) {
+	faults := coherence.FaultConfig{
+		DelayProb:   0.25,
+		MaxStall:    4,
+		ReorderProb: 0.15,
+		RetryProb:   0.25,
+		MaxRetries:  3,
+	}
+	const seeds = 10
+	runs := 0
+	var total coherence.FaultStats
+	for _, tc := range litmus.Registry() {
+		for _, mname := range []string{"SC", "TSO", "Relaxed"} {
+			m, _ := litmus.ModelByName(mname)
+			res, err := litmus.Run(tc, m)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", tc.Name, mname, err)
+			}
+			allowed := map[string]bool{}
+			for _, e := range res.Executions {
+				allowed[e.SourceKey()] = true
+			}
+			for seed := int64(0); seed < seeds; seed++ {
+				f := faults
+				f.Seed = seed + 1
+				trc, err := Run(tc.Build(), Config{Policy: m.Policy, Seed: seed, Faults: &f})
+				if err != nil {
+					t.Fatalf("%s/%s seed %d: %v", tc.Name, mname, seed, err)
+				}
+				runs++
+				total.Delays += trc.Coherence.Faults.Delays
+				total.Reorders += trc.Coherence.Faults.Reorders
+				total.Retries += trc.Coherence.Faults.Retries
+				total.StallCycles += trc.Coherence.Faults.StallCycles
+				if !allowed[trc.SourceKey()] {
+					t.Errorf("%s/%s seed %d: faulty machine produced %q, not in model's %d behaviors",
+						tc.Name, mname, seed, trc.SourceKey(), len(allowed))
+				}
+			}
+		}
+	}
+	if runs < 500 {
+		t.Fatalf("only %d fault-injected runs; the containment claim needs 500+", runs)
+	}
+	if total.Delays == 0 || total.Reorders == 0 || total.Retries == 0 || total.StallCycles == 0 {
+		t.Errorf("injector never fired some fault class: %+v over %d runs", total, runs)
+	}
+	t.Logf("%d faulty runs contained; faults: %+v", runs, total)
+}
+
+// TestMachineFaultsDeterministicPerSeed: fault placement is a pure
+// function of the two seeds.
+func TestMachineFaultsDeterministicPerSeed(t *testing.T) {
+	tc, _ := litmus.ByName("IRIW")
+	f := &coherence.FaultConfig{Seed: 7, DelayProb: 0.3, ReorderProb: 0.2, RetryProb: 0.3}
+	for seed := int64(0); seed < 5; seed++ {
+		a, err := Run(tc.Build(), Config{Policy: order.Relaxed(), Seed: seed, Faults: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Run(tc.Build(), Config{Policy: order.Relaxed(), Seed: seed, Faults: f})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.SourceKey() != b.SourceKey() || a.Stalls != b.Stalls {
+			t.Errorf("seed %d: nondeterministic faulty run: %q/%d vs %q/%d",
+				seed, a.SourceKey(), a.Stalls, b.SourceKey(), b.Stalls)
+		}
+	}
+}
+
+// TestMachineNoFaultsNoStalls: without Config.Faults the trace must be
+// byte-identical to the pre-fault-injection machine — zero stalls, zero
+// fault counters.
+func TestMachineNoFaultsNoStalls(t *testing.T) {
+	tc, _ := litmus.ByName("MP")
+	trc, err := Run(tc.Build(), Config{Policy: order.TSO(), Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trc.Stalls != 0 {
+		t.Errorf("fault-free run recorded %d stalls", trc.Stalls)
+	}
+	if trc.Coherence.Faults != (coherence.FaultStats{}) {
+		t.Errorf("fault-free run recorded fault stats %+v", trc.Coherence.Faults)
 	}
 }

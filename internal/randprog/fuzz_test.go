@@ -1,6 +1,8 @@
 package randprog
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/core"
@@ -16,7 +18,7 @@ const fuzzPrograms = 60
 func enumerate(t *testing.T, seed int64, pol order.Policy) *core.Result {
 	t.Helper()
 	p := Generate(Config{Seed: seed})
-	res, err := core.Enumerate(p, pol, core.Options{})
+	res, err := core.Enumerate(context.Background(), p, pol, core.Options{})
 	if err != nil {
 		t.Fatalf("seed %d under %s: %v", seed, pol.Name(), err)
 	}
@@ -77,7 +79,7 @@ func TestFuzzMachineContained(t *testing.T) {
 	for seed := int64(0); seed < fuzzPrograms/2; seed++ {
 		p := Generate(Config{Seed: seed})
 		for _, pol := range []order.Policy{order.SC(), order.Relaxed()} {
-			res, err := core.Enumerate(p, pol, core.Options{})
+			res, err := core.Enumerate(context.Background(), p, pol, core.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -92,7 +94,7 @@ func TestFuzzMachineContained(t *testing.T) {
 				}
 			}
 		}
-		tsoRes, err := core.Enumerate(p, order.TSO(), core.Options{})
+		tsoRes, err := core.Enumerate(context.Background(), p, order.TSO(), core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,11 +176,11 @@ func TestFuzzCheckerRejectsMutations(t *testing.T) {
 func TestFuzzDedupInvariance(t *testing.T) {
 	for seed := int64(0); seed < fuzzPrograms/3; seed++ {
 		p := Generate(Config{Seed: seed})
-		on, err := core.Enumerate(p, order.Relaxed(), core.Options{})
+		on, err := core.Enumerate(context.Background(), p, order.Relaxed(), core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		off, err := core.Enumerate(p, order.Relaxed(), core.Options{DisableDedup: true})
+		off, err := core.Enumerate(context.Background(), p, order.Relaxed(), core.Options{DisableDedup: true})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -199,11 +201,11 @@ func TestFuzzDedupInvariance(t *testing.T) {
 func TestFuzzSpeculationEquivalence(t *testing.T) {
 	for seed := int64(0); seed < fuzzPrograms/3; seed++ {
 		p := Generate(Config{Seed: seed})
-		plain, err := core.Enumerate(p, order.Relaxed(), core.Options{})
+		plain, err := core.Enumerate(context.Background(), p, order.Relaxed(), core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		spec, err := core.Enumerate(p, order.Relaxed(), core.Options{Speculative: true})
+		spec, err := core.Enumerate(context.Background(), p, order.Relaxed(), core.Options{Speculative: true})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package randprog
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/core"
@@ -27,7 +29,7 @@ func compareSets(t *testing.T, label string, p *program.Program, engine, oracle 
 
 func engineSet(t *testing.T, p *program.Program, pol order.Policy) map[string]bool {
 	t.Helper()
-	res, err := core.Enumerate(p, pol, core.Options{MaxBehaviors: 1 << 22})
+	res, err := core.Enumerate(context.Background(), p, pol, core.Options{MaxBehaviors: 1 << 22})
 	if err != nil {
 		t.Fatalf("enumerate: %v\n%s", err, p)
 	}

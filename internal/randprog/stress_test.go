@@ -1,6 +1,8 @@
 package randprog
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/core"
@@ -18,7 +20,7 @@ func TestStressThreeThreads(t *testing.T) {
 	for seed := int64(100); seed < 130; seed++ {
 		p := Generate(Config{Seed: seed, Threads: 3, Ops: 4, FencePercent: 20, AtomicPercent: 15})
 		for _, pol := range []order.Policy{order.TSO(), order.Relaxed()} {
-			res, err := core.Enumerate(p, pol, core.Options{MaxBehaviors: 1 << 22})
+			res, err := core.Enumerate(context.Background(), p, pol, core.Options{MaxBehaviors: 1 << 22})
 			if err != nil {
 				t.Fatalf("seed %d %s: %v\n%s", seed, pol.Name(), err, p)
 			}

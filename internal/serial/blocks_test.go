@@ -1,6 +1,8 @@
 package serial
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/core"
@@ -16,7 +18,7 @@ func blockFixture(t *testing.T) (*core.Execution, [][]int) {
 	b := program.NewBuilder()
 	b.Thread("A").StoreL("S1", program.X, 1).StoreL("S2", program.Y, 1)
 	b.Thread("B").LoadL("L1", 1, program.X).LoadL("L2", 2, program.Y)
-	res, err := core.Enumerate(b.Build(), order.SC(), core.Options{})
+	res, err := core.Enumerate(context.Background(), b.Build(), order.SC(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +51,7 @@ func TestWitnessBlocksAcceptsConsistent(t *testing.T) {
 	b := program.NewBuilder()
 	b.Thread("A").StoreL("S1", program.X, 1).StoreL("S2", program.Y, 1)
 	b.Thread("B").LoadL("L1", 1, program.X).LoadL("L2", 2, program.Y)
-	res, err := core.Enumerate(b.Build(), order.SC(), core.Options{})
+	res, err := core.Enumerate(context.Background(), b.Build(), order.SC(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,6 +18,8 @@
 package txn
 
 import (
+	"context"
+
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
@@ -60,8 +62,8 @@ func Atomic(e *core.Execution) bool {
 // Enumerate runs the base enumeration and keeps only transactionally
 // atomic executions. The returned Result shares the base Stats, with the
 // filtered-out count reported separately.
-func Enumerate(p *program.Program, pol order.Policy, opts core.Options) (*core.Result, int, error) {
-	res, err := core.Enumerate(p, pol, opts)
+func Enumerate(ctx context.Context, p *program.Program, pol order.Policy, opts core.Options) (*core.Result, int, error) {
+	res, err := core.Enumerate(ctx, p, pol, opts)
 	if err != nil {
 		return nil, 0, err
 	}

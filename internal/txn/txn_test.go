@@ -1,6 +1,8 @@
 package txn
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/core"
@@ -44,7 +46,7 @@ func sumInvariant(e *core.Execution) bool {
 // satisfies the invariant, under SC and under the relaxed table.
 func TestTransactionalFilterRestoresInvariant(t *testing.T) {
 	for _, pol := range []order.Policy{order.SC(), order.Relaxed()} {
-		base, err := core.Enumerate(transferProgram(), pol, core.Options{})
+		base, err := core.Enumerate(context.Background(), transferProgram(), pol, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +59,7 @@ func TestTransactionalFilterRestoresInvariant(t *testing.T) {
 		if torn == 0 {
 			t.Fatalf("%s: base enumeration shows no torn snapshot — test too weak", pol.Name())
 		}
-		res, dropped, err := Enumerate(transferProgram(), pol, core.Options{})
+		res, dropped, err := Enumerate(context.Background(), transferProgram(), pol, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -80,7 +82,7 @@ func TestTransactionalFilterRestoresInvariant(t *testing.T) {
 func TestAtomicHandlesNonTransactional(t *testing.T) {
 	b := program.NewBuilder()
 	b.Thread("A").StoreL("S", program.X, 1).LoadL("L", 1, program.X)
-	res, err := core.Enumerate(b.Build(), order.SC(), core.Options{})
+	res, err := core.Enumerate(context.Background(), b.Build(), order.SC(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +99,7 @@ func TestAtomicHandlesNonTransactional(t *testing.T) {
 // TestBlocksGrouping: block extraction groups by transaction across the
 // right nodes.
 func TestBlocksGrouping(t *testing.T) {
-	res, err := core.Enumerate(transferProgram(), order.SC(), core.Options{})
+	res, err := core.Enumerate(context.Background(), transferProgram(), order.SC(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -137,7 +139,7 @@ func TestConflictingWritersSerialize(t *testing.T) {
 		tb.TxEnd()
 		return b.Build()
 	}
-	res, dropped, err := Enumerate(build(), order.SC(), core.Options{})
+	res, dropped, err := Enumerate(context.Background(), build(), order.SC(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

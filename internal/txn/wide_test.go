@@ -1,6 +1,8 @@
 package txn
 
 import (
+	"context"
+
 	"testing"
 
 	"storeatomicity/internal/core"
@@ -60,7 +62,7 @@ func torn(lo, hi program.Value) bool {
 // TestWideLoadsTearWithoutAtomicity: the desugared model produces torn
 // wide reads even under SC — one load observes S1's half, the other S2's.
 func TestWideLoadsTearWithoutAtomicity(t *testing.T) {
-	res, err := core.Enumerate(wideProgram(false), order.SC(), core.Options{})
+	res, err := core.Enumerate(context.Background(), wideProgram(false), order.SC(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -81,7 +83,7 @@ func TestWideLoadsTearWithoutAtomicity(t *testing.T) {
 // under the relaxed table.
 func TestWideAtomicityRestoredByBlocks(t *testing.T) {
 	for _, pol := range []order.Policy{order.SC(), order.Relaxed()} {
-		res, dropped, err := Enumerate(wideProgram(true), pol, core.Options{})
+		res, dropped, err := Enumerate(context.Background(), wideProgram(true), pol, core.Options{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -104,7 +106,7 @@ func TestWideAtomicityRestoredByBlocks(t *testing.T) {
 // some torn execution the wide load's halves name two different store
 // instructions as sources.
 func TestWideLoadMatchesSeveralStores(t *testing.T) {
-	res, err := core.Enumerate(wideProgram(false), order.SC(), core.Options{})
+	res, err := core.Enumerate(context.Background(), wideProgram(false), order.SC(), core.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -40,6 +40,8 @@
 package memmodel
 
 import (
+	"context"
+
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/discipline"
 	"storeatomicity/internal/machine"
@@ -170,7 +172,17 @@ type (
 // `-tags dedupcheck` to cross-check fingerprints against the full
 // string signatures and panic on a collision).
 func Enumerate(p *Program, pol Policy, opts Options) (*Result, error) {
-	return core.Enumerate(p, pol, opts)
+	return core.Enumerate(context.Background(), p, pol, opts)
+}
+
+// EnumerateContext is Enumerate under a context: cancellation and
+// deadlines stop the run cleanly, returning the behaviors found so far
+// with Result.Incomplete set and an *IncompleteError (see the Incomplete
+// re-exports below). Every other stopping condition — the MaxBehaviors
+// and MaxNodes budgets, a panic inside the engine or a hook — degrades
+// the same way, so callers decide whether partial results are acceptable.
+func EnumerateContext(ctx context.Context, p *Program, pol Policy, opts Options) (*Result, error) {
+	return core.Enumerate(ctx, p, pol, opts)
 }
 
 // EnumerateParallel is Enumerate distributed over work-stealing workers
@@ -180,7 +192,49 @@ func Enumerate(p *Program, pol Policy, opts Options) (*Result, error) {
 // Enumerate's; executions are returned in canonical (SourceKey) order,
 // and Result.Stats.Steals counts successful steals.
 func EnumerateParallel(p *Program, pol Policy, opts Options, workers int) (*Result, error) {
-	return core.EnumerateParallel(p, pol, opts, workers)
+	return core.EnumerateParallel(context.Background(), p, pol, opts, workers)
+}
+
+// EnumerateParallelContext is EnumerateParallel under a context, with the
+// graceful-degradation semantics of EnumerateContext; worker panics are
+// additionally isolated into a *PanicError carrying the offending program
+// and enumeration path.
+func EnumerateParallelContext(ctx context.Context, p *Program, pol Policy, opts Options, workers int) (*Result, error) {
+	return core.EnumerateParallel(ctx, p, pol, opts, workers)
+}
+
+// Re-exported graceful-degradation types: every stopping condition
+// returns partial results plus a structured report, and interrupted runs
+// checkpoint/resume by replayable resolution paths.
+type (
+	// Incomplete reports why an enumeration stopped early and carries
+	// the replayable frontier.
+	Incomplete = core.Incomplete
+	// IncompleteError accompanies a partial Result.
+	IncompleteError = core.IncompleteError
+	// IncompleteReason classifies a stop.
+	IncompleteReason = core.IncompleteReason
+	// PanicError is an isolated worker crash with its repro path.
+	PanicError = core.PanicError
+	// PathStep is one Load Resolution choice of a replayable path.
+	PathStep = core.PathStep
+	// EnumCheckpoint is the serialized frontier of an interrupted run.
+	EnumCheckpoint = core.Checkpoint
+	// CheckpointConfig asks the engines for timed frontier writes.
+	CheckpointConfig = core.CheckpointConfig
+)
+
+// ErrIncomplete is the sentinel wrapped by graceful-stop errors.
+var ErrIncomplete = core.ErrIncomplete
+
+// LoadEnumCheckpoint reads a checkpoint written by EnumCheckpoint.Save or
+// by the engines' timed checkpointing.
+func LoadEnumCheckpoint(path string) (*EnumCheckpoint, error) { return core.LoadCheckpoint(path) }
+
+// ResumeEnumeration continues an interrupted enumeration from a
+// checkpoint; the final behavior set matches an uninterrupted run's.
+func ResumeEnumeration(ctx context.Context, p *Program, pol Policy, opts Options, c *EnumCheckpoint, workers int) (*Result, error) {
+	return core.Resume(ctx, p, pol, opts, c, workers)
 }
 
 // Witness returns one serialization of an execution's memory operations,
@@ -250,7 +304,7 @@ func TransactionallyAtomic(e *Execution) bool { return txn.Atomic(e) }
 // EnumerateTransactional enumerates p and keeps only transactionally
 // atomic executions, also returning how many were filtered out.
 func EnumerateTransactional(p *Program, pol Policy, opts Options) (*Result, int, error) {
-	return txn.Enumerate(p, pol, opts)
+	return txn.Enumerate(context.Background(), p, pol, opts)
 }
 
 // Re-exported discipline types.
@@ -266,5 +320,5 @@ type (
 // eligible store at every Load Resolution point. syncAddrs lists the
 // synchronization variables (flags, locks).
 func CheckDiscipline(p *Program, pol Policy, syncAddrs map[Addr]bool, opts Options) (*DisciplineReport, error) {
-	return discipline.Check(p, pol, syncAddrs, opts)
+	return discipline.Check(context.Background(), p, pol, syncAddrs, opts)
 }
