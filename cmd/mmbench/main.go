@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -22,17 +23,24 @@ import (
 	"storeatomicity/internal/cli"
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/telemetry"
 )
 
-// result is one benchmark row of the snapshot.
+// result is one benchmark row of the snapshot. NumCPU and Workers are
+// recorded per entry so rows from different hosts (or sweeps) can be
+// compared without consulting the document header. Metrics comes from a
+// single instrumented run outside the timed loop — the benchmark itself
+// always runs with telemetry disabled so the numbers stay honest.
 type result struct {
-	Name        string  `json:"name"`
-	Iterations  int     `json:"iterations"`
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	BytesPerOp  int64   `json:"bytes_per_op"`
-	Behaviors   int     `json:"behaviors,omitempty"`
-	Workers     int     `json:"workers,omitempty"`
+	Name        string             `json:"name"`
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Behaviors   int                `json:"behaviors,omitempty"`
+	NumCPU      int                `json:"num_cpu"`
+	Workers     int                `json:"workers"`
+	Metrics     telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // snapshot is the whole BENCH_enum.json document.
@@ -46,6 +54,10 @@ type snapshot struct {
 
 // enumSuite mirrors BenchmarkEnum in bench_test.go: the (experiment,
 // test, model) triples whose cost is dominated by core.Enumerate.
+// tel is package-level so fatalf can flush the trace and metrics server
+// before exiting.
+var tel cli.Telemetry
+
 var enumSuite = []struct {
 	exp, test, model string
 }{
@@ -68,9 +80,14 @@ func main() {
 		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
 	)
+	tel.RegisterFlags()
 	flag.Parse()
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	if err := tel.Init("mmbench"); err != nil {
+		fatalf("%v", err)
+	}
+	defer tel.Close()
 
 	// Validate the sweep before spending seconds on benchmarks.
 	var sweep []int
@@ -122,6 +139,9 @@ func main() {
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
 			Behaviors:   behaviors,
+			NumCPU:      runtime.NumCPU(),
+			Workers:     1,
+			Metrics:     measuredRun(ctx, s.test, s.model, 1),
 		})
 		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op\n",
 			snap.Enum[len(snap.Enum)-1].Name,
@@ -145,7 +165,9 @@ func main() {
 			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 			AllocsPerOp: r.AllocsPerOp(),
 			BytesPerOp:  r.AllocedBytesPerOp(),
+			NumCPU:      runtime.NumCPU(),
 			Workers:     w,
+			Metrics:     measuredRun(ctx, "Figure10", "Relaxed", w),
 		})
 		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op\n",
 			snap.Parallel[len(snap.Parallel)-1].Name,
@@ -166,7 +188,32 @@ func main() {
 	}
 }
 
+// measuredRun repeats one suite entry with a fresh metrics registry and
+// returns the snapshot for the JSON row. Nil (omitted from the JSON)
+// when the binary was built with the notelemetry tag or the run fails —
+// the benchmark numbers above it are still valid either way.
+func measuredRun(ctx context.Context, test, model string, workers int) telemetry.Snapshot {
+	met := telemetry.NewEnumMetrics(nil)
+	if met == nil {
+		return nil
+	}
+	tc, _ := litmus.ByName(test)
+	m, _ := litmus.ModelByName(model)
+	opts := core.Options{Speculative: m.Speculative, Metrics: met}
+	var err error
+	if workers > 1 {
+		_, err = core.EnumerateParallel(ctx, tc.Build(), m.Policy, opts, workers)
+	} else {
+		_, err = core.Enumerate(ctx, tc.Build(), m.Policy, opts)
+	}
+	if err != nil {
+		return nil
+	}
+	return met.Snapshot()
+}
+
 func fatalf(format string, args ...any) {
+	tel.Close()
 	fmt.Fprintf(os.Stderr, "mmbench: "+format+"\n", args...)
 	os.Exit(1)
 }

@@ -51,6 +51,9 @@ func main() {
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "timed checkpoint interval (with -checkpoint)")
 		resume    = flag.Bool("resume", false, "seed the run from the -checkpoint file instead of starting fresh")
 	)
+	var tel cli.Telemetry
+	tel.RegisterFlags()
+	tel.RegisterProgressFlag()
 	flag.Parse()
 
 	if *list {
@@ -131,7 +134,12 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	opts := core.Options{Speculative: m.Speculative}
+	if err := tel.Init("mmenum"); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
+	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()}
 	if *ckptPath != "" {
 		opts.Checkpoint = &core.CheckpointConfig{
 			Path:  *ckptPath,
@@ -156,11 +164,18 @@ func main() {
 		}
 		return litmus.RunContext(ctx, tc, m, opts, *workers)
 	}
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	tel.StartProgress(0, deadline)
 	res, err := run()
+	tel.StopProgress()
 	incomplete := false
 	if err != nil {
 		if !cli.ReportIncomplete(os.Stderr, "mmenum", err) {
 			fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
+			tel.Close()
 			os.Exit(1)
 		}
 		incomplete = true
@@ -220,6 +235,7 @@ func main() {
 		// A partial set cannot be judged against "must be allowed"
 		// expectations; the non-zero status says the run was cut short.
 		fmt.Println("\n(partial behavior set — expectations not checked)")
+		tel.Close()
 		os.Exit(1)
 	}
 	if bad := litmus.CheckResult(tc, m.Name, res); len(bad) > 0 {
@@ -227,6 +243,7 @@ func main() {
 		for _, b := range bad {
 			fmt.Println(" ", b)
 		}
+		tel.Close()
 		os.Exit(1)
 	}
 }

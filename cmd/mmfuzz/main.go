@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"os"
 	"runtime/debug"
+	"time"
 
 	"storeatomicity/internal/cli"
 	"storeatomicity/internal/coherence"
@@ -44,6 +45,9 @@ func main() {
 		faultsFl = flag.String("faults", "", "inject coherence bus faults into the machine runs (\"on\" or delay=P,reorder=P,retry=P,...)")
 		verbose  = flag.Bool("v", false, "print per-program statistics")
 	)
+	var tel cli.Telemetry
+	tel.RegisterFlags()
+	tel.RegisterProgressFlag()
 	flag.Parse()
 
 	ctx, stop := cli.Context(*timeout)
@@ -53,6 +57,16 @@ func main() {
 		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
 		os.Exit(2)
 	}
+	if err := tel.Init("mmfuzz"); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
+	var deadline time.Time
+	if *timeout > 0 {
+		deadline = time.Now().Add(*timeout)
+	}
+	tel.StartProgress(0, deadline)
 
 	chain := []order.Policy{order.SC(), order.TSO(), order.PSO(), order.Relaxed()}
 	totalBehaviors := 0
@@ -60,13 +74,15 @@ func main() {
 	for i := 0; i < *n; i++ {
 		seed := *seed0 + int64(i)
 		p := randprog.Generate(randprog.Config{Seed: seed, Threads: *threads, Ops: *ops})
-		if !fuzzOne(ctx, p, seed, chain, *workers, faultsBase, *verbose, &totalBehaviors) {
+		if !fuzzOne(ctx, p, seed, chain, *workers, faultsBase, &tel, *verbose, &totalBehaviors) {
+			tel.StopProgress()
 			fmt.Printf("mmfuzz: stopped early (%v) after %d of %d programs; no discrepancy in %d behaviors\n",
 				ctx.Err(), done, *n, totalBehaviors)
 			return
 		}
 		done++
 	}
+	tel.StopProgress()
 	fmt.Printf("mmfuzz: %d programs × %d models OK (%d total behaviors cross-checked)\n",
 		*n, len(chain), totalBehaviors)
 }
@@ -76,15 +92,16 @@ func main() {
 // panic anywhere in the checking pipeline is recovered into a bug report
 // carrying the program and seed.
 func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.Policy,
-	workers int, faultsBase *coherence.FaultConfig, verbose bool, totalBehaviors *int) bool {
+	workers int, faultsBase *coherence.FaultConfig, tel *cli.Telemetry, verbose bool, totalBehaviors *int) bool {
 	defer func() {
 		if r := recover(); r != nil {
 			fail(p, seed, "checker panic: %v\n%s", r, debug.Stack())
 		}
 	}()
+	opts := core.Options{MaxBehaviors: 1 << 22, Metrics: tel.Enum(), Tracer: tel.Tracer()}
 	var prev map[string]bool
 	for _, pol := range chain {
-		res, err := core.Enumerate(ctx, p, pol, core.Options{MaxBehaviors: 1 << 22})
+		res, err := core.Enumerate(ctx, p, pol, opts)
 		if err != nil {
 			if ctx.Err() != nil {
 				return false
@@ -92,7 +109,7 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 			fail(p, seed, "%s: %v", pol.Name(), err)
 		}
 		if workers > 1 {
-			par, err := core.EnumerateParallel(ctx, p, pol, core.Options{MaxBehaviors: 1 << 22}, workers)
+			par, err := core.EnumerateParallel(ctx, p, pol, opts, workers)
 			if err != nil {
 				if ctx.Err() != nil {
 					return false
@@ -146,7 +163,7 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 	// Machines contained in their models, with optional fault injection.
 	relaxed := prev
 	for ms := int64(0); ms < 10; ms++ {
-		cfg := machine.Config{Policy: order.Relaxed(), Seed: ms}
+		cfg := machine.Config{Policy: order.Relaxed(), Seed: ms, Telemetry: tel.Machine()}
 		if faultsBase != nil {
 			fc := *faultsBase
 			fc.Seed = seed*16 + ms

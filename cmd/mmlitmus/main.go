@@ -28,6 +28,8 @@ func main() {
 		outcomes = flag.Bool("outcomes", false, "list distinct outcomes per test/model")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole matrix")
 	)
+	var tel cli.Telemetry
+	tel.RegisterFlags()
 	flag.Parse()
 
 	if *table {
@@ -43,6 +45,11 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	if err := tel.Init("mmlitmus"); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
 	models := litmus.Models()
 	fmt.Printf("%-14s", "test")
 	for _, m := range models {
@@ -56,8 +63,9 @@ func main() {
 		var bad []string
 		var cells []string
 		for _, m := range models {
-			res, err := litmus.RunContext(ctx, tc, m, core.Options{}, 1)
+			res, err := litmus.RunContext(ctx, tc, m, core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}, 1)
 			if err != nil {
+				tel.Close()
 				if cli.ReportIncomplete(os.Stderr, "mmlitmus", err) {
 					fmt.Fprintf(os.Stderr, "mmlitmus: matrix incomplete at %s/%s\n", tc.Name, m.Name)
 					os.Exit(1)
@@ -95,6 +103,7 @@ func main() {
 	fmt.Println("\ncells: number of distinct value outcomes the model admits.")
 	if failures > 0 {
 		fmt.Printf("%d expectation failures\n", failures)
+		tel.Close()
 		os.Exit(1)
 	}
 	fmt.Println("all expectations hold.")

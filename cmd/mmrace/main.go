@@ -34,6 +34,8 @@ func main() {
 		syncL   = flag.String("sync", "", "comma-separated synchronization addresses (x,y,...)")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the enumeration")
 	)
+	var tel cli.Telemetry
+	tel.RegisterFlags()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mmrace [-model NAME] [-sync x,y] TEST")
@@ -63,8 +65,15 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
-	rep, err := discipline.Check(ctx, tc.Build(), m.Policy, syncAddrs, core.Options{Speculative: m.Speculative})
+	if err := tel.Init("mmrace"); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
+	rep, err := discipline.Check(ctx, tc.Build(), m.Policy, syncAddrs,
+		core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()})
 	if err != nil {
+		tel.Close()
 		if cli.ReportIncomplete(os.Stderr, "mmrace", err) {
 			// The discipline verdict needs the full behavior set; a
 			// partial enumeration proves nothing either way.
@@ -83,5 +92,6 @@ func main() {
 	for _, v := range rep.Violations {
 		fmt.Printf("    %s\n", v)
 	}
+	tel.Close()
 	os.Exit(1)
 }

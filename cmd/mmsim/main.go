@@ -35,6 +35,8 @@ func main() {
 		timeout = flag.Duration("timeout", 0, "wall-clock budget; stop the sweep early with partial counts")
 		faults  = flag.String("faults", "", "inject coherence bus faults (\"on\" or delay=P,reorder=P,retry=P,stall=N,retries=N,seed=N)")
 	)
+	var tel cli.Telemetry
+	tel.RegisterFlags()
 	flag.Parse()
 	if flag.NArg() != 1 {
 		fmt.Fprintln(os.Stderr, "usage: mmsim [-model NAME | -tso] [-seeds N] [-window W] [-timeout D] [-faults SPEC] TEST")
@@ -66,8 +68,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	res, err := litmus.RunContext(ctx, tc, m, core.Options{}, 1)
+	if err := tel.Init("mmsim"); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
+
+	res, err := litmus.RunContext(ctx, tc, m, core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}, 1)
 	if err != nil {
+		tel.Close()
 		if cli.ReportIncomplete(os.Stderr, "mmsim", err) {
 			os.Exit(1)
 		}
@@ -92,10 +101,11 @@ func main() {
 		var tr *machine.Trace
 		var err error
 		if *tso {
-			tr, err = machine.RunTSO(tc.Build(), machine.Config{Seed: int64(seed)})
+			tr, err = machine.RunTSO(tc.Build(), machine.Config{Seed: int64(seed), Telemetry: tel.Machine()})
 		} else {
 			cfg := machine.Config{
 				Policy: m.Policy, Seed: int64(seed), WindowSize: *window,
+				Telemetry: tel.Machine(),
 			}
 			if faultsBase != nil {
 				fc := *faultsBase
@@ -108,6 +118,7 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "mmsim: seed %d: %v\n", seed, err)
+			tel.Close()
 			os.Exit(1)
 		}
 		ran++
@@ -142,6 +153,7 @@ func main() {
 	}
 	if escaped > 0 {
 		fmt.Printf("%d runs escaped the model — conservativity violated\n", escaped)
+		tel.Close()
 		os.Exit(1)
 	}
 	fmt.Println("containment holds: every machine behavior is a model behavior.")

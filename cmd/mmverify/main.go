@@ -50,6 +50,8 @@ func main() {
 		example = flag.Bool("example", false, "print an example record JSON and exit")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the -demo enumeration")
 	)
+	var tel cli.Telemetry
+	tel.RegisterFlags()
 	flag.Parse()
 
 	pol := policyByName(*model)
@@ -79,8 +81,14 @@ func main() {
 		return
 	}
 
+	if err := tel.Init("mmverify"); err != nil {
+		fmt.Fprintf(os.Stderr, "%v\n", err)
+		os.Exit(1)
+	}
+	defer tel.Close()
+
 	if *demo {
-		runDemo(pol, rs, *timeout)
+		runDemo(pol, rs, *timeout, &tel)
 		return
 	}
 
@@ -113,6 +121,7 @@ func main() {
 		}
 	}
 	if bad > 0 {
+		tel.Close()
 		os.Exit(1)
 	}
 }
@@ -138,7 +147,7 @@ func sbRecord() *verify.Record {
 // runDemo checks characteristic records under every model with both rule
 // subsets, exercising enumerated executions from the corpus as accepted
 // inputs and the store-buffering record as the SC rejection.
-func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration) {
+func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration, tel *cli.Telemetry) {
 	fmt.Printf("demo: checking under %s with rules %v\n\n", pol.Name(), rs)
 
 	rec := sbRecord()
@@ -156,8 +165,9 @@ func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration) {
 	var ctx context.Context
 	ctx, stop := cli.Context(timeout)
 	defer stop()
-	res, err := litmus.RunContext(ctx, tc, m, core.Options{}, 1)
+	res, err := litmus.RunContext(ctx, tc, m, core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}, 1)
 	if err != nil {
+		tel.Close()
 		if cli.ReportIncomplete(os.Stderr, "mmverify", err) {
 			os.Exit(1)
 		}

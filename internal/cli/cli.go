@@ -51,6 +51,9 @@ func ReportIncomplete(w io.Writer, tool string, err error) bool {
 		fmt.Fprintf(w, "%s: worker panic repro — replay path %v\nprogram:\n%s\n",
 			tool, pe.Path, pe.Program)
 	}
+	if len(rep.Metrics) > 0 {
+		fmt.Fprintf(w, "%s: final metrics snapshot:\n%s", tool, rep.Metrics.Format())
+	}
 	return true
 }
 

@@ -1,0 +1,155 @@
+package cli
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"storeatomicity/internal/telemetry"
+)
+
+// Telemetry bundles the observability flags shared by the seven tools:
+//
+//	-metrics-addr ADDR  serve /metrics (Prometheus text), /debug/vars
+//	                    (expvar), and /debug/pprof on ADDR
+//	-metrics-hold DUR   keep that server up DUR after the run finishes,
+//	                    so a scraper can collect the final snapshot
+//	-trace-out PATH     write a Chrome trace_event JSON file on exit
+//	-progress MODE      live stderr progress line: auto|on|off
+//	                    (enumeration tools only)
+//
+// Register the flags before flag.Parse, Init after, and defer Close.
+// When no observability flag is used (or the binary was built with
+// -tags notelemetry) every accessor returns nil and the engines run on
+// their zero-cost disabled path.
+type Telemetry struct {
+	Addr     string
+	Hold     time.Duration
+	TraceOut string
+	Progress string
+
+	tool   string
+	reg    *telemetry.Registry
+	enum   *telemetry.EnumMetrics
+	mach   *telemetry.MachineMetrics
+	tracer *telemetry.Tracer
+	srv    *telemetry.Server
+	prog   *telemetry.Progress
+}
+
+// RegisterFlags installs -metrics-addr, -metrics-hold, and -trace-out on
+// the default flag set.
+func (t *Telemetry) RegisterFlags() {
+	flag.StringVar(&t.Addr, "metrics-addr", "",
+		"serve /metrics (Prometheus), /debug/vars (expvar), and /debug/pprof on this address (e.g. 127.0.0.1:9100)")
+	flag.DurationVar(&t.Hold, "metrics-hold", 0,
+		"keep the -metrics-addr server up this long after the run completes")
+	flag.StringVar(&t.TraceOut, "trace-out", "",
+		"write phase-level execution spans as Chrome trace_event JSON to this file (chrome://tracing)")
+}
+
+// RegisterProgressFlag additionally installs -progress (the enumeration
+// tools' live status line).
+func (t *Telemetry) RegisterProgressFlag() {
+	flag.StringVar(&t.Progress, "progress", "auto",
+		"live stderr progress line: auto (only on a terminal), on, off")
+}
+
+// progressOn resolves the -progress mode against the actual stderr.
+func (t *Telemetry) progressOn() bool {
+	switch t.Progress {
+	case "on":
+		return true
+	case "auto":
+		return telemetry.IsTerminal(os.Stderr)
+	default:
+		return false
+	}
+}
+
+// active reports whether any observability feature was requested.
+func (t *Telemetry) active() bool {
+	return t.Addr != "" || t.TraceOut != "" || t.progressOn()
+}
+
+// Init builds the metric registry, tracer, and HTTP server demanded by
+// the parsed flags. tool prefixes diagnostics. A run with no
+// observability flags allocates nothing.
+func (t *Telemetry) Init(tool string) error {
+	t.tool = tool
+	if !telemetry.Enabled || !t.active() {
+		return nil
+	}
+	t.reg = telemetry.NewRegistry()
+	t.enum = telemetry.NewEnumMetrics(t.reg)
+	t.mach = telemetry.NewMachineMetrics(t.reg)
+	if t.TraceOut != "" {
+		t.tracer = telemetry.NewTracer()
+	}
+	if t.Addr != "" {
+		srv, err := telemetry.Serve(t.Addr, t.reg)
+		if err != nil {
+			return fmt.Errorf("%s: %w", tool, err)
+		}
+		t.srv = srv
+		fmt.Fprintf(os.Stderr, "%s: telemetry on http://%s (/metrics, /debug/vars, /debug/pprof)\n", tool, srv.Addr())
+	}
+	return nil
+}
+
+// Enum returns the enumeration metric bundle (nil when telemetry is off)
+// for core.Options.Metrics.
+func (t *Telemetry) Enum() *telemetry.EnumMetrics { return t.enum }
+
+// Machine returns the machine/coherence metric bundle (nil when
+// telemetry is off) for machine.Config.Telemetry.
+func (t *Telemetry) Machine() *telemetry.MachineMetrics { return t.mach }
+
+// Tracer returns the phase tracer (nil unless -trace-out was given) for
+// core.Options.Tracer.
+func (t *Telemetry) Tracer() *telemetry.Tracer { return t.tracer }
+
+// Snapshot flattens the current counters (nil when telemetry is off).
+func (t *Telemetry) Snapshot() telemetry.Snapshot {
+	if t.reg == nil {
+		return nil
+	}
+	return t.reg.Snapshot()
+}
+
+// StartProgress begins the live stderr status line when -progress allows
+// it. budget is the MaxBehaviors state budget (0 = none); deadline is
+// the wall-clock cutoff (zero time = none). Call StopProgress (or
+// Close) before printing results.
+func (t *Telemetry) StartProgress(budget int, deadline time.Time) {
+	if t.enum == nil || !t.progressOn() {
+		return
+	}
+	t.prog = telemetry.StartProgress(os.Stderr, t.enum, budget, deadline, 0)
+}
+
+// StopProgress clears the live status line (idempotent, nil-safe).
+func (t *Telemetry) StopProgress() {
+	t.prog.Stop()
+	t.prog = nil
+}
+
+// Close stops the progress line, writes the -trace-out file, honors
+// -metrics-hold, and shuts the HTTP server down. Safe to defer
+// unconditionally.
+func (t *Telemetry) Close() {
+	t.StopProgress()
+	if t.tracer != nil && t.TraceOut != "" {
+		if err := t.tracer.WriteFile(t.TraceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", t.tool, err)
+		} else {
+			fmt.Fprintf(os.Stderr, "%s: trace written to %s (%d events)\n", t.tool, t.TraceOut, t.tracer.Len())
+		}
+	}
+	if t.srv != nil {
+		t.srv.Hold(t.Hold)
+		t.srv.Close()
+		t.srv = nil
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 
 	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
 )
 
 // LineState is the MSI state of a cached line.
@@ -97,6 +98,20 @@ type System struct {
 	mem    map[program.Addr]Datum
 	stats  Stats
 	faults *injector // nil unless EnableFaults was called
+	// met mirrors protocol events into live telemetry counters (nil = no
+	// telemetry; the Stats struct is always maintained regardless).
+	met *telemetry.MachineMetrics
+}
+
+// SetTelemetry attaches live metric counters: every bus transaction,
+// hit/miss, invalidation, writeback, and injected fault increments the
+// bundle as it happens, so a long seed sweep is observable mid-flight.
+// Safe to call before or after EnableFaults; nil detaches.
+func (s *System) SetTelemetry(met *telemetry.MachineMetrics) {
+	s.met = met
+	if s.faults != nil {
+		s.faults.met = met
+	}
 }
 
 // NewSystem builds a system with n caches. Initial memory contents are
@@ -146,10 +161,17 @@ func (s *System) Read(core int, a program.Addr) Datum {
 	l := s.caches[core].line(a)
 	if l.state != Invalid {
 		s.stats.ReadHits++
+		if s.met != nil {
+			s.met.ReadHits.Inc(core)
+		}
 		return l.data
 	}
 	s.stats.ReadMisses++
 	s.stats.BusOps++
+	if s.met != nil {
+		s.met.ReadMisses.Inc(core)
+		s.met.BusOps.Inc(core)
+	}
 	// Snoop: the owner, if any, writes back and downgrades to Shared.
 	for i, c := range s.caches {
 		if i == core {
@@ -160,6 +182,9 @@ func (s *System) Read(core int, a program.Addr) Datum {
 			s.mem[a] = rl.data
 			rl.state = Shared
 			s.stats.Writebacks++
+			if s.met != nil {
+				s.met.Writebacks.Inc(core)
+			}
 			break
 		}
 	}
@@ -178,6 +203,9 @@ func (s *System) Write(core int, a program.Addr, v program.Value, storeLabel str
 	l := s.caches[core].line(a)
 	if l.state != Modified {
 		s.stats.BusOps++
+		if s.met != nil {
+			s.met.BusOps.Inc(core)
+		}
 		if l.state == Shared {
 			s.stats.WriteUpgrades++
 		} else {
@@ -194,9 +222,15 @@ func (s *System) Write(core int, a program.Addr, v program.Value, storeLabel str
 			if rl.state == Modified {
 				s.mem[a] = rl.data
 				s.stats.Writebacks++
+				if s.met != nil {
+					s.met.Writebacks.Inc(core)
+				}
 			}
 			rl.state = Invalid
 			s.stats.Invalidations++
+			if s.met != nil {
+				s.met.Invalidations.Inc(core)
+			}
 		}
 	} else {
 		s.stats.WriteHits++
@@ -214,6 +248,9 @@ func (s *System) Flush() {
 				s.mem[a] = l.data
 				l.state = Shared
 				s.stats.Writebacks++
+				if s.met != nil {
+					s.met.Writebacks.Inc(0)
+				}
 			}
 		}
 	}

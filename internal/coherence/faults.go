@@ -14,6 +14,7 @@ import (
 	"math/rand"
 
 	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
 )
 
 // FaultConfig tunes the injector. Zero probabilities disable the
@@ -101,6 +102,18 @@ type injector struct {
 	pending   map[txnKey]*pendingTxn
 	completed int // bus transactions admitted so far
 	stats     FaultStats
+	met       *telemetry.MachineMetrics // live fault counters (nil = off)
+}
+
+// note mirrors one fault event into the live counters.
+func (in *injector) note(k txnKey, delays, reorders, retries, stallCycles int) {
+	if in.met == nil {
+		return
+	}
+	in.met.FaultDelays.Add(k.core, int64(delays))
+	in.met.FaultReorders.Add(k.core, int64(reorders))
+	in.met.FaultRetries.Add(k.core, int64(retries))
+	in.met.FaultStalls.Add(k.core, int64(stallCycles))
 }
 
 func newInjector(cfg FaultConfig) *injector {
@@ -124,12 +137,15 @@ func (in *injector) admit(k txnKey) bool {
 		case in.rng.Float64() < in.cfg.ReorderProb:
 			in.stats.Reorders++
 			in.pending[k] = &pendingTxn{reordered: true, waitBus: in.completed, stall: in.cfg.MaxStall}
+			in.note(k, 0, 1, 0, 1)
 		case in.rng.Float64() < in.cfg.DelayProb:
 			in.stats.Delays++
 			in.pending[k] = &pendingTxn{stall: 1 + in.rng.Intn(in.cfg.MaxStall)}
+			in.note(k, 1, 0, 0, 1)
 		case k.exclusive && in.rng.Float64() < in.cfg.RetryProb:
 			in.stats.Retries++
 			in.pending[k] = &pendingTxn{attempts: 1, stall: 1}
+			in.note(k, 0, 0, 1, 1)
 		default:
 			in.completed++
 			return true
@@ -143,11 +159,13 @@ func (in *injector) admit(k txnKey) bool {
 		if in.completed == t.waitBus && t.stall > 0 {
 			t.stall--
 			in.stats.StallCycles++
+			in.note(k, 0, 0, 0, 1)
 			return false
 		}
 	} else if t.stall > 0 {
 		t.stall--
 		in.stats.StallCycles++
+		in.note(k, 0, 0, 0, 1)
 		return false
 	} else if k.exclusive && t.attempts > 0 && t.attempts < in.cfg.MaxRetries &&
 		in.rng.Float64() < in.cfg.RetryProb {
@@ -156,6 +174,7 @@ func (in *injector) admit(k txnKey) bool {
 		t.stall = 1 << t.attempts
 		t.attempts++
 		in.stats.StallCycles++
+		in.note(k, 0, 0, 1, 1)
 		return false
 	}
 	delete(in.pending, k)
@@ -165,7 +184,10 @@ func (in *injector) admit(k txnKey) bool {
 
 // EnableFaults attaches a seeded fault injector to the system. Call once,
 // before the first access.
-func (s *System) EnableFaults(cfg FaultConfig) { s.faults = newInjector(cfg) }
+func (s *System) EnableFaults(cfg FaultConfig) {
+	s.faults = newInjector(cfg)
+	s.faults.met = s.met
+}
 
 // FaultyRead is Read under fault injection: hits are served immediately,
 // and a miss's bus transaction must be admitted by the injector.
@@ -225,6 +247,9 @@ func (s *System) own(core int, a program.Addr) {
 		return
 	}
 	s.stats.BusOps++
+	if s.met != nil {
+		s.met.BusOps.Inc(core)
+	}
 	if l.state == Shared {
 		s.stats.WriteUpgrades++
 	} else {
@@ -241,9 +266,15 @@ func (s *System) own(core int, a program.Addr) {
 		if rl.state == Modified {
 			s.mem[a] = rl.data
 			s.stats.Writebacks++
+			if s.met != nil {
+				s.met.Writebacks.Inc(core)
+			}
 		}
 		rl.state = Invalid
 		s.stats.Invalidations++
+		if s.met != nil {
+			s.met.Invalidations.Inc(core)
+		}
 	}
 	if l.state == Invalid {
 		l.data = s.memDatum(a)

@@ -9,6 +9,7 @@ import (
 
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
 )
 
 // PathStep is one Load Resolution choice: load node Load observed store
@@ -46,6 +47,10 @@ type Checkpoint struct {
 	Completed [][]PathStep `json:"completed"`
 	// Frontier holds the path of every unexplored behavior.
 	Frontier [][]PathStep `json:"frontier"`
+	// Metrics is the telemetry snapshot at checkpoint time (absent when
+	// telemetry is off), so a checkpoint also explains the run it froze.
+	// Resume ignores it.
+	Metrics telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // CheckpointConfig asks an engine to serialize its frontier to Path every
@@ -120,6 +125,7 @@ func (r *Result) Checkpoint(p *program.Program, opts Options) *Checkpoint {
 		ProgramHash:    ProgramHash(p),
 		Speculative:    opts.Speculative,
 		StatesExplored: r.Stats.StatesExplored,
+		Metrics:        opts.Metrics.Snapshot(),
 	}
 	for _, e := range r.Executions {
 		c.Completed = append(c.Completed, e.Path)

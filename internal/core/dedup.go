@@ -1,5 +1,7 @@
 package core
 
+import "storeatomicity/internal/telemetry"
+
 // Load–Store-graph dedup keys (Section 4.1). The enumeration engine keys
 // behaviors by a 64-bit FNV-1a fingerprint of the canonical Load–Store
 // graph encoding — node count plus the resolved (load, source) pairs in
@@ -50,10 +52,14 @@ type keySet struct {
 	hashes    map[uint64]struct{}
 	strs      map[string]struct{}
 	guard     map[uint64]string
+	coll      *telemetry.Counter
 }
 
 func newKeySet(opts Options) *keySet {
 	k := &keySet{useString: opts.dedupString}
+	if opts.Metrics != nil {
+		k.coll = opts.Metrics.Collisions
+	}
 	if k.useString {
 		k.strs = map[string]struct{}{}
 	} else {
@@ -78,7 +84,7 @@ func (k *keySet) insert(s *state) bool {
 	}
 	h := s.fingerprint()
 	if k.guard != nil {
-		checkCollision(k.guard, h, s.signature())
+		checkCollision(k.guard, h, s.signature(), k.coll)
 	}
 	if _, dup := k.hashes[h]; dup {
 		return false
@@ -88,10 +94,13 @@ func (k *keySet) insert(s *state) bool {
 }
 
 // checkCollision panics if two distinct signatures share a fingerprint
-// (dedupcheck builds only).
-func checkCollision(guard map[uint64]string, h uint64, sig string) {
+// (dedupcheck builds only). The collision counter is bumped before the
+// panic so the engine's recovered Incomplete report still carries the
+// evidence in its metrics snapshot.
+func checkCollision(guard map[uint64]string, h uint64, sig string, coll *telemetry.Counter) {
 	if prev, ok := guard[h]; ok {
 		if prev != sig {
+			coll.Inc(0)
 			panic("core: Load–Store-graph fingerprint collision: " + prev + " vs " + sig)
 		}
 		return

@@ -9,6 +9,7 @@ import (
 
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
 )
 
 // Options tunes enumeration.
@@ -43,6 +44,17 @@ type Options struct {
 	// are best-effort: failures go to Checkpoint.OnError and never
 	// abort the enumeration.
 	Checkpoint *CheckpointConfig
+	// Metrics, when non-nil, receives live engine counters: states
+	// explored, forks, pool hits/misses, dedup hits, rollbacks,
+	// steals, frontier depth, candidates(L) set sizes, per-phase
+	// timings, and checkpoint latency. Nil (the default) costs a
+	// predictable nil-check branch per event — the disabled hot path
+	// allocates nothing and regresses nothing measurable.
+	Metrics *telemetry.EnumMetrics
+	// Tracer, when non-nil, records span-style phase timings (graph
+	// generation + dataflow per behavior, Load Resolution forking,
+	// checkpoint writes) for Chrome trace_event export.
+	Tracer *telemetry.Tracer
 
 	// dedupString keys the dedup sets by the full string signature
 	// instead of the 64-bit fingerprint. It is the property-test
@@ -64,7 +76,9 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Stats counts enumeration work.
+// Stats counts enumeration work. Both engines populate every field the
+// same way — a sequential run is simply Workers == 1 with Steals == 0 —
+// so callers never branch on which engine produced a Result.
 type Stats struct {
 	// StatesExplored counts behaviors removed from the work set. Both
 	// engines stop a budgeted run after exactly MaxBehaviors states.
@@ -78,8 +92,16 @@ type Stats struct {
 	// only under speculation.
 	Rollbacks int
 	// Steals counts work items taken from another worker's deque —
-	// nonzero only for EnumerateParallel with two or more workers.
+	// always zero for the sequential engine (Workers == 1).
 	Steals int
+	// PoolHits counts forks served from a recycled state; PoolMisses
+	// counts forks that allocated fresh. Hits/(Hits+Misses) is the
+	// pool's effectiveness on this run.
+	PoolHits   int
+	PoolMisses int
+	// Workers records the engine width that produced this result (1
+	// for the sequential engine).
+	Workers int
 }
 
 // Result is the set of distinct final executions of a program under a
@@ -199,7 +221,9 @@ func copyPath(path []PathStep) []PathStep {
 	return append([]PathStep(nil), path...)
 }
 
-// checkpointNow assembles a checkpoint from in-flight engine state.
+// checkpointNow assembles a checkpoint from in-flight engine state,
+// embedding the live metrics snapshot (nil when telemetry is off) so a
+// checkpoint explains the run it froze, not just its frontier.
 func checkpointNow(model string, progHash uint64, opts Options, explored int, completed, frontier [][]PathStep) *Checkpoint {
 	return &Checkpoint{
 		Model:          model,
@@ -208,12 +232,25 @@ func checkpointNow(model string, progHash uint64, opts Options, explored int, co
 		StatesExplored: explored,
 		Completed:      completed,
 		Frontier:       frontier,
+		Metrics:        opts.Metrics.Snapshot(),
 	}
 }
 
 // saveTimed writes a periodic checkpoint, routing failures to OnError.
-func saveTimed(cfg *CheckpointConfig, c *Checkpoint) {
-	if err := c.Save(cfg.Path); err != nil && cfg.OnError != nil {
+// Write latency feeds the checkpoint histogram and a tracer span.
+func saveTimed(cfg *CheckpointConfig, c *Checkpoint, opts Options) {
+	var t0 time.Time
+	if telemetry.Enabled && (opts.Metrics != nil || opts.Tracer != nil) {
+		t0 = time.Now()
+	}
+	err := c.Save(cfg.Path)
+	if !t0.IsZero() {
+		if opts.Metrics != nil {
+			opts.Metrics.CheckpointNs.Observe(time.Since(t0).Nanoseconds())
+		}
+		opts.Tracer.Span("checkpoint", "checkpoint", 0, t0)
+	}
+	if err != nil && cfg.OnError != nil {
 		cfg.OnError(err)
 	}
 }
@@ -223,9 +260,26 @@ func saveTimed(cfg *CheckpointConfig, c *Checkpoint) {
 func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, opts Options, seed *resumeSeed) (res *Result, err error) {
 	opts = opts.withDefaults()
 	res = &Result{Model: pol.Name()}
+	res.Stats.Workers = 1
 	seen := newKeySet(opts)
 	finals := newKeySet(opts)
 	var pool statePool
+
+	met := opts.Metrics
+	inst := telemetry.Enabled && (met != nil || opts.Tracer != nil)
+	if met != nil {
+		met.Workers.Set(1)
+	}
+	// flushStats folds the pool counters into Stats (and mirrors the
+	// end-of-run counters into the metric set) on every exit path.
+	flushStats := func() {
+		res.Stats.PoolHits, res.Stats.PoolMisses = pool.hits, pool.misses
+		if met != nil {
+			met.PoolHits.Add(0, int64(pool.hits))
+			met.PoolMisses.Add(0, int64(pool.misses))
+			met.Rollbacks.Add(0, int64(res.Stats.Rollbacks))
+		}
+	}
 
 	var work []*state
 	if seed != nil {
@@ -244,6 +298,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	// rejoins the frontier so nothing explored is lost.
 	var cur *state
 	halt := func(reason IncompleteReason, cause error) (*Result, error) {
+		flushStats()
 		rep := &Incomplete{Reason: reason, Cause: cause, StatesExplored: res.Stats.StatesExplored}
 		if cur != nil {
 			work = append(work, cur)
@@ -253,6 +308,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 			rep.Frontier = append(rep.Frontier, copyPath(s.path))
 		}
 		rep.StatesPending = len(rep.Frontier)
+		rep.Metrics = met.Snapshot()
 		res.Incomplete = rep
 		return res, &IncompleteError{Report: rep}
 	}
@@ -292,7 +348,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 			for _, e := range res.Executions {
 				completed = append(completed, e.Path)
 			}
-			saveTimed(ckpt, checkpointNow(res.Model, progHash, opts, res.Stats.StatesExplored, completed, frontier))
+			saveTimed(ckpt, checkpointNow(res.Model, progHash, opts, res.Stats.StatesExplored, completed, frontier), opts)
 		}
 
 		s := work[len(work)-1]
@@ -304,9 +360,15 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		}
 		res.Stats.StatesExplored++
 		cur = s
+		if met != nil {
+			met.Explored.Inc(0)
+			met.Frontier.Set(int64(len(work) + 1))
+			met.FrontierHist.Observe(int64(len(work) + 1))
+		}
 
 		// Phase 1+2 to fixpoint (generation unblocks after branch
 		// resolution, so the two interleave).
+		s.shard = 0
 		if qerr := s.runToQuiescence(); qerr != nil {
 			if qerr == errInconsistent {
 				res.Stats.Rollbacks++
@@ -317,6 +379,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 			if errors.Is(qerr, errNodeBudget) {
 				return halt(ReasonMaxNodes, qerr)
 			}
+			flushStats()
 			return res, qerr
 		}
 
@@ -326,6 +389,9 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 				// finish hands the state's buffers to the Execution,
 				// so this state is not pooled.
 				res.Executions = append(res.Executions, s.finish())
+				if met != nil {
+					met.Behaviors.Inc(0)
+				}
 			} else {
 				pool.put(s)
 			}
@@ -340,6 +406,9 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		if !opts.DisableDedup {
 			if !seen.insert(s) {
 				res.Stats.DuplicatesDiscarded++
+				if met != nil {
+					met.DedupHits.Inc(0)
+				}
 				cur = nil
 				pool.put(s)
 				continue
@@ -347,12 +416,19 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		}
 
 		// Phase 3: Load Resolution.
+		var resolveStart time.Time
+		if inst {
+			resolveStart = time.Now()
+		}
 		progressed := false
 		for lid := range s.nodes {
 			if !s.eligible(lid) {
 				continue
 			}
 			cands := s.candidates(lid)
+			if met != nil {
+				met.Candidates.Observe(int64(len(cands)))
+			}
 			if opts.CandidateHook != nil {
 				labels := make([]string, len(cands))
 				for i, sid := range cands {
@@ -362,6 +438,9 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 			}
 			for _, sid := range cands {
 				res.Stats.Forks++
+				if met != nil {
+					met.Forks.Inc(0)
+				}
 				ns := s.fork(&pool)
 				if rerr := ns.resolveLoad(lid, sid); rerr != nil {
 					res.Stats.Rollbacks++
@@ -377,6 +456,12 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 				work = append(work, ns)
 			}
 		}
+		if inst {
+			if met != nil {
+				met.ResolveNs.Add(0, time.Since(resolveStart).Nanoseconds())
+			}
+			opts.Tracer.Span("load-resolution", "phase", 0, resolveStart)
+		}
 		if !progressed {
 			// No eligible load made progress. With speculation
 			// every candidate of every eligible load may roll
@@ -388,6 +473,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 				pool.put(s)
 				continue
 			}
+			flushStats()
 			return res, fmt.Errorf("core: enumeration stalled with unresolved loads (model %s)", pol.Name())
 		}
 		// The children forked above are deep copies; the parent's
@@ -395,13 +481,23 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		cur = nil
 		pool.put(s)
 	}
+	if met != nil {
+		met.Frontier.Set(0)
+	}
+	flushStats()
 	return res, nil
 }
 
 // runToQuiescence alternates generation and execution until neither makes
 // progress, then applies the Store Atomicity closure (alias edges inserted
 // during execution can require derived edges before any new resolution).
+// When the behavior's options carry telemetry the timed variant runs
+// instead; the untimed loop below stays free of clock reads so the
+// disabled path costs nothing.
 func (s *state) runToQuiescence() error {
+	if telemetry.Enabled && (s.opts.Metrics != nil || s.opts.Tracer != nil) {
+		return s.runToQuiescenceTimed()
+	}
 	for {
 		gen, err := s.generate()
 		if err != nil {
@@ -416,6 +512,45 @@ func (s *state) runToQuiescence() error {
 		}
 	}
 	return s.closure()
+}
+
+// runToQuiescenceTimed is runToQuiescence with phase accounting: generate
+// time feeds the Section 4 step-1 counter, execute + closure time the
+// step-2 counter, and the whole fixpoint becomes one "quiesce" span on
+// the worker's trace lane. Timings flush even on the error paths so
+// rolled-back behaviors still account their work.
+func (s *state) runToQuiescenceTimed() (err error) {
+	met, tr := s.opts.Metrics, s.opts.Tracer
+	start := time.Now()
+	var genNs, exeNs int64
+	defer func() {
+		if met != nil {
+			met.GenerateNs.Add(s.shard, genNs)
+			met.ExecuteNs.Add(s.shard, exeNs)
+		}
+		tr.Span("quiesce", "phase", s.shard, start)
+	}()
+	for {
+		t0 := time.Now()
+		gen, gerr := s.generate()
+		genNs += time.Since(t0).Nanoseconds()
+		if gerr != nil {
+			return gerr
+		}
+		t0 = time.Now()
+		exe, xerr := s.execute()
+		exeNs += time.Since(t0).Nanoseconds()
+		if xerr != nil {
+			return xerr
+		}
+		if !gen && !exe {
+			break
+		}
+	}
+	t0 := time.Now()
+	err = s.closure()
+	exeNs += time.Since(t0).Nanoseconds()
+	return err
 }
 
 // hasEligibleLoad reports whether any unresolved load is currently

@@ -3,6 +3,8 @@ package core
 import (
 	"errors"
 	"fmt"
+
+	"storeatomicity/internal/telemetry"
 )
 
 // IncompleteReason classifies why an enumeration stopped before
@@ -43,6 +45,10 @@ type Incomplete struct {
 	// behavior; feed it to Resume (via a Checkpoint) to continue the
 	// run where it left off.
 	Frontier [][]PathStep
+	// Metrics is the final telemetry snapshot of the stopped run (nil
+	// when telemetry is off), so a degraded run still reports what it
+	// did before stopping.
+	Metrics telemetry.Snapshot
 }
 
 // ErrIncomplete is the sentinel wrapped by every graceful-stop error, so

@@ -43,6 +43,7 @@ import (
 
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
 )
 
 // dedupShards is the shard count for the shared dedup/final sets; 64
@@ -69,6 +70,13 @@ type wsEngine struct {
 	opts Options
 	prog *program.Program
 	ctx  context.Context
+
+	// met/tr/inst mirror Options.Metrics/Tracer for the hot paths (inst
+	// short-circuits clock reads when both are nil or telemetry is
+	// compiled out).
+	met  *telemetry.EnumMetrics
+	tr   *telemetry.Tracer
+	inst bool
 
 	workers []*wsWorker
 
@@ -141,6 +149,11 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	}
 
 	e := &wsEngine{opts: opts, prog: p, ctx: ctx}
+	e.met, e.tr = opts.Metrics, opts.Tracer
+	e.inst = telemetry.Enabled && (e.met != nil || e.tr != nil)
+	if e.met != nil {
+		e.met.Workers.Set(int64(workers))
+	}
 	e.idleCond = sync.NewCond(&e.idleMu)
 	e.workers = make([]*wsWorker, workers)
 	for i := range e.workers {
@@ -192,7 +205,7 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 					return
 				case <-t.C:
 					saveTimed(ckpt, checkpointNow(pol.Name(), progHash, opts,
-						int(e.explored.Load()), e.completedPaths(), e.frontierPaths()))
+						int(e.explored.Load()), e.completedPaths(), e.frontierPaths()), opts)
 				}
 			}
 		}()
@@ -212,11 +225,20 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 
 	res := &Result{Model: pol.Name()}
 	res.Stats.StatesExplored = int(e.explored.Load())
+	res.Stats.Workers = workers
 	for _, w := range e.workers {
 		res.Stats.Forks += w.stats.Forks
 		res.Stats.Rollbacks += w.stats.Rollbacks
 		res.Stats.DuplicatesDiscarded += w.stats.DuplicatesDiscarded
 		res.Stats.Steals += w.stats.Steals
+		res.Stats.PoolHits += w.pool.hits
+		res.Stats.PoolMisses += w.pool.misses
+	}
+	if e.met != nil {
+		e.met.PoolHits.Add(0, int64(res.Stats.PoolHits))
+		e.met.PoolMisses.Add(0, int64(res.Stats.PoolMisses))
+		e.met.Rollbacks.Add(0, int64(res.Stats.Rollbacks))
+		e.met.Frontier.Set(e.pending.Load())
 	}
 	// Partial results are first-class: executions are collected on
 	// every path, including stops and errors.
@@ -238,6 +260,7 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 			Frontier:       e.frontierPaths(),
 		}
 		rep.StatesPending = len(rep.Frontier)
+		rep.Metrics = e.met.Snapshot()
 		res.Incomplete = rep
 		return res, &IncompleteError{Report: rep}
 	}
@@ -336,6 +359,9 @@ func (e *wsEngine) steal(w *wsWorker) *state {
 		lo.mu.Unlock()
 		if s != nil {
 			w.stats.Steals++
+			if e.met != nil {
+				e.met.Steals.Inc(w.idx)
+			}
 			return s
 		}
 	}
@@ -537,6 +563,12 @@ func (w *wsWorker) process(s *state) {
 			break
 		}
 	}
+	if e.met != nil {
+		e.met.Explored.Inc(w.idx)
+		depth := e.pending.Load()
+		e.met.Frontier.Set(depth)
+		e.met.FrontierHist.Observe(depth)
+	}
 
 	defer func() {
 		if r := recover(); r != nil {
@@ -549,6 +581,7 @@ func (w *wsWorker) process(s *state) {
 		}
 	}()
 
+	s.shard = w.idx
 	if err := s.runToQuiescence(); err != nil {
 		if err == errInconsistent {
 			w.stats.Rollbacks++
@@ -565,7 +598,11 @@ func (w *wsWorker) process(s *state) {
 	}
 
 	if s.done() {
-		if !e.addFinal(s) {
+		if e.addFinal(s) {
+			if e.met != nil {
+				e.met.Behaviors.Inc(w.idx)
+			}
+		} else {
 			w.pool.put(s)
 		}
 		return
@@ -573,16 +610,26 @@ func (w *wsWorker) process(s *state) {
 
 	if !e.opts.DisableDedup && !e.addSeen(s) {
 		w.stats.DuplicatesDiscarded++
+		if e.met != nil {
+			e.met.DedupHits.Inc(w.idx)
+		}
 		w.pool.put(s)
 		return
 	}
 
+	var resolveStart time.Time
+	if e.inst {
+		resolveStart = time.Now()
+	}
 	progressed := false
 	for lid := range s.nodes {
 		if !s.eligible(lid) {
 			continue
 		}
 		cands := s.candidates(lid)
+		if e.met != nil {
+			e.met.Candidates.Observe(int64(len(cands)))
+		}
 		if e.opts.CandidateHook != nil {
 			labels := make([]string, len(cands))
 			for i, sid := range cands {
@@ -592,6 +639,9 @@ func (w *wsWorker) process(s *state) {
 		}
 		for _, sid := range cands {
 			w.stats.Forks++
+			if e.met != nil {
+				e.met.Forks.Inc(w.idx)
+			}
 			ns := s.fork(&w.pool)
 			if err := ns.resolveLoad(lid, sid); err != nil {
 				w.stats.Rollbacks++
@@ -608,6 +658,12 @@ func (w *wsWorker) process(s *state) {
 			w.push(ns)
 		}
 	}
+	if e.inst {
+		if e.met != nil {
+			e.met.ResolveNs.Add(w.idx, time.Since(resolveStart).Nanoseconds())
+		}
+		e.tr.Span("load-resolution", "phase", w.idx, resolveStart)
+	}
 	if !progressed {
 		if s.hasEligibleLoad() {
 			w.stats.Rollbacks++
@@ -618,6 +674,15 @@ func (w *wsWorker) process(s *state) {
 		return
 	}
 	w.pool.put(s)
+}
+
+// collisions returns the collision counter when telemetry is live (nil
+// otherwise; checkCollision's counter is nil-safe).
+func (e *wsEngine) collisions() *telemetry.Counter {
+	if e.met == nil {
+		return nil
+	}
+	return e.met.Collisions
 }
 
 // addSeen inserts the behavior's Load–Store-graph fingerprint into the
@@ -634,7 +699,7 @@ func (e *wsEngine) addSeen(s *state) bool {
 		if sh.guard == nil {
 			sh.guard = map[uint64]string{}
 		}
-		checkCollision(sh.guard, h, s.signature())
+		checkCollision(sh.guard, h, s.signature(), e.collisions())
 	}
 	if _, dup := sh.seen[h]; dup {
 		return false
@@ -657,7 +722,7 @@ func (e *wsEngine) addFinal(s *state) bool {
 		if f.guard == nil {
 			f.guard = map[uint64]string{}
 		}
-		checkCollision(f.guard, h, s.signature())
+		checkCollision(f.guard, h, s.signature(), e.collisions())
 	}
 	if _, dup := f.seen[h]; dup {
 		return false

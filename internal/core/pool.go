@@ -8,6 +8,12 @@ package core
 // buffers escaped into an Execution (via finish) must never be returned.
 type statePool struct {
 	free []*state
+	// hits counts gets served from a recycled state, misses gets that
+	// found the pool empty (the caller allocates fresh). Plain ints —
+	// each pool is single-owner — folded into Stats and the telemetry
+	// counters at end of run.
+	hits   int
+	misses int
 }
 
 // poolMax bounds retained states so a deep enumeration cannot pin
@@ -18,8 +24,10 @@ const poolMax = 256
 func (p *statePool) get() *state {
 	n := len(p.free)
 	if n == 0 {
+		p.misses++
 		return nil
 	}
+	p.hits++
 	s := p.free[n-1]
 	p.free[n-1] = nil
 	p.free = p.free[:n-1]

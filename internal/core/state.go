@@ -83,6 +83,12 @@ type state struct {
 	aliases  []aliasPair
 	bypasses [][2]int
 
+	// shard is the metric shard / trace lane for telemetry: the index of
+	// the engine worker currently processing this behavior (0 for the
+	// sequential engine). The owning engine sets it before each
+	// quiescence run; it is never part of the behavior's identity.
+	shard int
+
 	// path is the Load Resolution sequence that produced this behavior
 	// from the root state. It is the behavior's replayable identity:
 	// checkpoints serialize frontier paths, and panic reports carry the

@@ -22,6 +22,7 @@ import (
 	"storeatomicity/internal/coherence"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
 )
 
 // noDep marks an absent producer.
@@ -58,6 +59,11 @@ type Config struct {
 	// set (see package coherence). Nil leaves the simulation
 	// byte-identical to the fault-free build.
 	Faults *coherence.FaultConfig
+	// Telemetry, when non-nil, receives live counters: issued steps,
+	// fault stalls, completed runs, and — wired through to the coherence
+	// system — bus transactions, hits/misses, invalidations, writebacks,
+	// and injected faults. Nil costs nothing.
+	Telemetry *telemetry.MachineMetrics
 }
 
 func (c Config) withDefaults() Config {
@@ -135,6 +141,7 @@ func Run(p *program.Program, cfg Config) (*Trace, error) {
 	cfg = cfg.withDefaults()
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	sys := coherence.NewSystem(len(p.Threads), p.Init)
+	sys.SetTelemetry(cfg.Telemetry)
 	if cfg.Faults != nil {
 		sys.EnableFaults(*cfg.Faults)
 	}
@@ -192,8 +199,14 @@ func Run(p *program.Program, cfg Config) (*Trace, error) {
 		pick := ready[rng.Intn(len(ready))]
 		if cores[pick.core].issue(pick.idx, sys, tr, rng, predictions) {
 			tr.Steps++
+			if cfg.Telemetry != nil {
+				cfg.Telemetry.Steps.Inc(pick.core)
+			}
 		} else {
 			tr.Stalls++
+			if cfg.Telemetry != nil {
+				cfg.Telemetry.Stalls.Inc(pick.core)
+			}
 		}
 		if tr.Steps+tr.Stalls > cfg.MaxSteps {
 			return nil, fmt.Errorf("machine: step budget (%d) exhausted", cfg.MaxSteps)
@@ -201,6 +214,9 @@ func Run(p *program.Program, cfg Config) (*Trace, error) {
 	}
 	sys.Flush()
 	tr.Coherence = sys.Stats()
+	if cfg.Telemetry != nil {
+		cfg.Telemetry.Runs.Inc(0)
+	}
 	return tr, nil
 }
 

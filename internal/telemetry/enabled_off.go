@@ -1,0 +1,8 @@
+//go:build notelemetry
+
+package telemetry
+
+// Enabled is false under the notelemetry build tag: constructors return
+// nil and every metric/trace method constant-folds to a no-op, removing
+// the instrumentation from the binary entirely.
+const Enabled = false

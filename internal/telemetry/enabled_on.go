@@ -1,0 +1,10 @@
+//go:build !notelemetry
+
+package telemetry
+
+// Enabled reports whether telemetry is compiled in. The default build
+// carries the instrumentation (a nil-check per event when disabled at
+// runtime); `-tags notelemetry` sets this to false, constant-folding
+// every metric and trace call to nothing — the baseline build the CI
+// overhead guard compares against.
+const Enabled = true

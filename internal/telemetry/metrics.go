@@ -1,0 +1,155 @@
+package telemetry
+
+// Domain metric bundles: the enumeration engines and the operational
+// machine each get a struct of pre-registered metrics with nil-safe
+// event methods, so the instrumented packages never touch the registry
+// and a nil bundle is a complete no-op.
+
+// Candidate-set sizes are tiny (the paper's candidates(L) is usually
+// 1–4 stores); checkpoint latencies span µs to seconds.
+var (
+	candidateBounds  = []int64{0, 1, 2, 3, 4, 6, 8, 16}
+	latencyNsBounds  = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+	frontierLogScale = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+)
+
+// EnumMetrics instruments the enumeration engines (sequential and
+// work-stealing). All methods are nil-safe; shard is the worker index
+// (0 for the sequential engine).
+type EnumMetrics struct {
+	reg *Registry
+
+	Explored   *Counter
+	Forks      *Counter
+	PoolHits   *Counter
+	PoolMisses *Counter
+	DedupHits  *Counter
+	Collisions *Counter
+	Rollbacks  *Counter
+	Steals     *Counter
+	Behaviors  *Counter
+
+	// Phase-time counters map to Section 4 of the paper: graph
+	// generation (step 1), dataflow execution + atomicity closure
+	// (step 2), and Load Resolution forking (step 3).
+	GenerateNs *Counter
+	ExecuteNs  *Counter
+	ResolveNs  *Counter
+
+	Frontier     *Gauge
+	Workers      *Gauge
+	Candidates   *Histogram
+	FrontierHist *Histogram
+	CheckpointNs *Histogram
+}
+
+// NewEnumMetrics registers the enumeration metric set on reg (a private
+// registry when reg is nil). Returns nil when telemetry is compiled out.
+func NewEnumMetrics(reg *Registry) *EnumMetrics {
+	if !Enabled {
+		return nil
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	m := &EnumMetrics{reg: reg}
+	m.Explored = reg.NewCounter("enum_states_explored_total", "behaviors removed from the work set")
+	m.Forks = reg.NewCounter("enum_forks_total", "(load, candidate) resolutions attempted")
+	m.PoolHits = reg.NewCounter("enum_pool_hits_total", "forks served from a recycled state")
+	m.PoolMisses = reg.NewCounter("enum_pool_misses_total", "forks that allocated a fresh state")
+	m.DedupHits = reg.NewCounter("enum_dedup_hits_total", "forks dropped by Load-Store-graph dedup")
+	m.Collisions = reg.NewCounter("enum_dedup_collisions_total", "fingerprint collisions (dedupcheck builds only)")
+	m.Rollbacks = reg.NewCounter("enum_rollbacks_total", "behaviors discarded as inconsistent")
+	m.Steals = reg.NewCounter("enum_steals_total", "work items stolen from another worker's deque")
+	m.Behaviors = reg.NewCounter("enum_behaviors_total", "distinct final executions recorded")
+	m.GenerateNs = reg.NewCounter("enum_phase_generate_ns_total", "time in graph generation (Section 4 step 1)")
+	m.ExecuteNs = reg.NewCounter("enum_phase_execute_ns_total", "time in dataflow execution + closure (step 2)")
+	m.ResolveNs = reg.NewCounter("enum_phase_resolve_ns_total", "time in Load Resolution forking (step 3)")
+	m.Frontier = reg.NewGauge("enum_frontier_depth", "behaviors currently queued or in flight")
+	m.Workers = reg.NewGauge("enum_workers", "engine worker count of the most recent run")
+	m.Candidates = reg.NewHistogramMetric("enum_candidates", "candidates(L) set-size distribution", candidateBounds)
+	m.FrontierHist = reg.NewHistogramMetric("enum_frontier", "frontier depth sampled per state", frontierLogScale)
+	m.CheckpointNs = reg.NewHistogramMetric("enum_checkpoint_ns", "checkpoint write latency", latencyNsBounds)
+	return m
+}
+
+// Registry returns the registry backing the bundle (nil-safe).
+func (m *EnumMetrics) Registry() *Registry {
+	if !Enabled || m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Snapshot flattens the bundle's registry (nil-safe).
+func (m *EnumMetrics) Snapshot() Snapshot {
+	if !Enabled || m == nil {
+		return nil
+	}
+	return m.reg.Snapshot()
+}
+
+// MachineMetrics instruments the operational machine and the coherence
+// bus. All methods are nil-safe; the simulator is single-threaded per
+// run, so everything lands on shard 0 (atomics keep concurrent sweeps
+// safe regardless).
+type MachineMetrics struct {
+	reg *Registry
+
+	Steps  *Counter
+	Stalls *Counter
+	Runs   *Counter
+
+	BusOps        *Counter
+	ReadHits      *Counter
+	ReadMisses    *Counter
+	Invalidations *Counter
+	Writebacks    *Counter
+
+	FaultDelays   *Counter
+	FaultReorders *Counter
+	FaultRetries  *Counter
+	FaultStalls   *Counter
+}
+
+// NewMachineMetrics registers the machine/coherence metric set on reg (a
+// private registry when reg is nil). Returns nil when telemetry is
+// compiled out.
+func NewMachineMetrics(reg *Registry) *MachineMetrics {
+	if !Enabled {
+		return nil
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	m := &MachineMetrics{reg: reg}
+	m.Steps = reg.NewCounter("machine_steps_total", "instructions issued")
+	m.Stalls = reg.NewCounter("machine_stalls_total", "scheduler steps burned by fault-stalled instructions")
+	m.Runs = reg.NewCounter("machine_runs_total", "completed simulation runs")
+	m.BusOps = reg.NewCounter("coherence_bus_ops_total", "bus transactions raised")
+	m.ReadHits = reg.NewCounter("coherence_read_hits_total", "loads served from a local S/M copy")
+	m.ReadMisses = reg.NewCounter("coherence_read_misses_total", "loads that raised a bus read")
+	m.Invalidations = reg.NewCounter("coherence_invalidations_total", "copies killed by remote writes")
+	m.Writebacks = reg.NewCounter("coherence_writebacks_total", "M copies flushed to memory")
+	m.FaultDelays = reg.NewCounter("coherence_fault_delays_total", "transactions hit by an injected stall")
+	m.FaultReorders = reg.NewCounter("coherence_fault_reorders_total", "transactions deferred behind another bus op")
+	m.FaultRetries = reg.NewCounter("coherence_fault_retries_total", "NACKed ownership transfers")
+	m.FaultStalls = reg.NewCounter("coherence_fault_stall_cycles_total", "scheduler steps burned by injected faults")
+	return m
+}
+
+// Registry returns the registry backing the bundle (nil-safe).
+func (m *MachineMetrics) Registry() *Registry {
+	if !Enabled || m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Snapshot flattens the bundle's registry (nil-safe).
+func (m *MachineMetrics) Snapshot() Snapshot {
+	if !Enabled || m == nil {
+		return nil
+	}
+	return m.reg.Snapshot()
+}

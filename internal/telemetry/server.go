@@ -1,0 +1,83 @@
+package telemetry
+
+import (
+	"expvar"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Serve exposes a registry over HTTP:
+//
+//	/metrics              Prometheus text exposition (version 0.0.4)
+//	/debug/vars           expvar JSON (includes the registry snapshot
+//	                      under the "storeatomicity" key)
+//	/debug/pprof/...      net/http/pprof (profile, heap, trace, ...)
+//
+// addr is a listen address ("127.0.0.1:0" picks a free port; Addr()
+// reports it). The server runs until Close.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// published lets the process-wide expvar hook follow the most recent
+// registry: expvar.Publish panics on duplicate names, so the name is
+// registered once and the pointer swapped per Serve call.
+var (
+	published   atomic.Pointer[Registry]
+	publishOnce sync.Once
+)
+
+// Serve starts the telemetry HTTP server on addr for reg.
+func Serve(addr string, reg *Registry) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	published.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("storeatomicity", expvar.Func(func() any {
+			return published.Load().Snapshot()
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go s.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+	return s, nil
+}
+
+// Addr returns the bound listen address (with the resolved port).
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the server down. In-flight scrapes get a short grace
+// period via the listener close; the profiling endpoints hold no state.
+func (s *Server) Close() error {
+	s.srv.SetKeepAlivesEnabled(false)
+	return s.srv.Close()
+}
+
+// Hold keeps the server alive for d (used by the CLI's -metrics-hold so
+// a scraper can collect the final snapshot after a fast run exits its
+// main loop).
+func (s *Server) Hold(d time.Duration) {
+	if d > 0 {
+		time.Sleep(d)
+	}
+}
