@@ -425,6 +425,12 @@ var enumSuite = []struct {
 	{"E10", "MP", "Relaxed"},
 	{"E11", "SB", "TSO"},
 	{"E12", "LB", "Relaxed"},
+	// E13/E14 are the heavy rotation-symmetric entries: three-thread
+	// cyclic store buffering and its two-loads-per-thread widening.
+	// Their state spaces are dominated by converging prefixes and orbit
+	// twins, which is exactly what the pruning layers remove.
+	{"E13", "SB3", "Relaxed"},
+	{"E14", "SB3W", "Relaxed"},
 }
 
 func BenchmarkEnum(b *testing.B) {
@@ -433,6 +439,56 @@ func BenchmarkEnum(b *testing.B) {
 			enumBench(b, s.test, s.model, core.Options{})
 		})
 	}
+}
+
+// --- Ablation: the three search-pruning layers on/off ---
+
+// BenchmarkPruning A/Bs the fully pruned engine (incremental closure +
+// prefix dedup + symmetry) against the unpruned baseline on the heavy
+// symmetric entries. The behavior sets are bit-identical (enforced by
+// TestPruningBitIdentical*); only the explored state count and the
+// wall-clock differ.
+func BenchmarkPruning(b *testing.B) {
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"pruned", core.Options{Symmetry: true}},
+		{"closure", core.Options{DisablePrefixPrune: true}},
+		{"prefix", core.Options{DisableIncrementalClosure: true}},
+		{"symmetry", core.Options{DisableIncrementalClosure: true, DisablePrefixPrune: true, Symmetry: true}},
+		{"unpruned", core.Options{DisableIncrementalClosure: true, DisablePrefixPrune: true}},
+	}
+	for _, s := range []struct {
+		test, model string
+	}{
+		{"SB3", "Relaxed"},
+		{"SB3W", "Relaxed"},
+		{"IRIW", "Relaxed"},
+		{"Figure10", "Relaxed"},
+	} {
+		for _, c := range configs {
+			b.Run(s.test+"_"+s.model+"/"+c.name, func(b *testing.B) {
+				benchPrune(b, s.test, s.model, c.opts)
+			})
+		}
+	}
+}
+
+func benchPrune(b *testing.B, test, model string, opts core.Options) {
+	tc, _ := litmus.ByName(test)
+	m, _ := litmus.ModelByName(model)
+	opts.Speculative = m.Speculative
+	var states int
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Enumerate(context.Background(), tc.Build(), m.Policy, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		states = res.Stats.StatesExplored
+	}
+	b.ReportMetric(float64(states), "states/op")
 }
 
 // --- Parallel enumeration scaling ---

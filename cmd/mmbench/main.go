@@ -1,4 +1,4 @@
-// Command mmbench runs the enumeration benchmark suite (the E1–E12
+// Command mmbench runs the enumeration benchmark suite (the E1–E14
 // experiments' hot path plus the parallel worker sweep) through
 // testing.Benchmark and emits a machine-readable snapshot. CI and the
 // DESIGN.md before/after tables are fed from this file, so regressions
@@ -7,6 +7,14 @@
 // Usage:
 //
 //	mmbench [-out BENCH_enum.json] [-workers 1,2,4,8] [-timeout 10m]
+//	mmbench -baseline BENCH_enum.json [-threshold 10] [-ns-threshold -1]
+//
+// The second form is the regression guard: it runs the suite, compares
+// every entry against the committed baseline snapshot, prints a delta
+// table, and exits non-zero when states explored regress by more than
+// -threshold percent (or ns/op by more than -ns-threshold percent; the
+// default -1 makes wall-clock report-only, since CI hosts differ from
+// the baseline host while states-explored counts are deterministic).
 package main
 
 import (
@@ -32,28 +40,44 @@ import (
 // single instrumented run outside the timed loop — the benchmark itself
 // always runs with telemetry disabled so the numbers stay honest.
 type result struct {
-	Name        string             `json:"name"`
-	Iterations  int                `json:"iterations"`
-	NsPerOp     float64            `json:"ns_per_op"`
-	AllocsPerOp int64              `json:"allocs_per_op"`
-	BytesPerOp  int64              `json:"bytes_per_op"`
-	Behaviors   int                `json:"behaviors,omitempty"`
-	NumCPU      int                `json:"num_cpu"`
-	Workers     int                `json:"workers"`
-	Metrics     telemetry.Snapshot `json:"metrics,omitempty"`
+	Name        string  `json:"name"`
+	Iterations  int     `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	Behaviors   int     `json:"behaviors,omitempty"`
+	// StatesExplored is deterministic for a given engine + pruning
+	// configuration, so the baseline guard compares it across hosts.
+	StatesExplored int                `json:"states_explored,omitempty"`
+	NumCPU         int                `json:"num_cpu"`
+	Workers        int                `json:"workers"`
+	Metrics        telemetry.Snapshot `json:"metrics,omitempty"`
+}
+
+// statesExplored reads the row's deterministic work counter, falling
+// back to the telemetry snapshot for baselines written before the field
+// existed. Zero means unavailable.
+func (r *result) statesExplored() int64 {
+	if r.StatesExplored > 0 {
+		return int64(r.StatesExplored)
+	}
+	return r.Metrics["enum_states_explored_total"]
 }
 
 // snapshot is the whole BENCH_enum.json document.
 type snapshot struct {
 	GoVersion string   `json:"go_version"`
 	NumCPU    int      `json:"num_cpu"`
+	Prune     string   `json:"prune,omitempty"`
 	Note      string   `json:"note,omitempty"`
 	Enum      []result `json:"enum"`
 	Parallel  []result `json:"parallel"`
 }
 
 // enumSuite mirrors BenchmarkEnum in bench_test.go: the (experiment,
-// test, model) triples whose cost is dominated by core.Enumerate.
+// test, model) triples whose cost is dominated by core.Enumerate. E13
+// and E14 are the heavy rotation-symmetric entries the pruning layers
+// exist for.
 // tel is package-level so fatalf can flush the trace and metrics server
 // before exiting.
 var tel cli.Telemetry
@@ -72,22 +96,44 @@ var enumSuite = []struct {
 	{"E10", "MP", "Relaxed"},
 	{"E11", "SB", "TSO"},
 	{"E12", "LB", "Relaxed"},
+	{"E13", "SB3", "Relaxed"},
+	{"E14", "SB3W", "Relaxed"},
 }
 
 func main() {
 	var (
-		out     = flag.String("out", "BENCH_enum.json", "output file (\"-\" for stdout)")
-		workers = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
+		out       = flag.String("out", "BENCH_enum.json", "output file (\"-\" for stdout)")
+		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
+		timeout   = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
+		prune     = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
+		baseline  = flag.String("baseline", "", "compare against this snapshot and exit non-zero on regressions")
+		threshold = flag.Float64("threshold", 10, "max allowed states-explored regression in percent (with -baseline)")
+		nsThresh  = flag.Float64("ns-threshold", -1, "max allowed ns/op regression in percent; negative = report-only (with -baseline)")
 	)
 	tel.RegisterFlags()
 	flag.Parse()
+	// The guard form must never clobber the baseline it is judging
+	// against: suppress the snapshot write unless -out was explicit.
+	outExplicit := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "out" {
+			outExplicit = true
+		}
+	})
+	if *baseline != "" && !outExplicit {
+		*out = ""
+	}
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 	if err := tel.Init("mmbench"); err != nil {
 		fatalf("%v", err)
 	}
 	defer tel.Close()
+
+	var pruneOpts core.Options
+	if err := cli.ApplyPrune(&pruneOpts, *prune); err != nil {
+		fatalf("%v", err)
+	}
 
 	// Validate the sweep before spending seconds on benchmarks.
 	var sweep []int
@@ -102,6 +148,7 @@ func main() {
 	snap := snapshot{
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
+		Prune:     *prune,
 	}
 	if runtime.NumCPU() < 4 {
 		snap.Note = fmt.Sprintf(
@@ -121,85 +168,170 @@ func main() {
 		if !ok {
 			fatalf("unknown model %s", s.model)
 		}
-		var behaviors int
+		var behaviors, states int
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				res, err := core.Enumerate(ctx, tc.Build(), m.Policy, core.Options{Speculative: m.Speculative})
+				opts := pruneOpts
+				opts.Speculative = m.Speculative
+				res, err := core.Enumerate(ctx, tc.Build(), m.Policy, opts)
 				if err != nil {
 					b.Fatal(err)
 				}
 				behaviors = len(res.Executions)
+				states = res.Stats.StatesExplored
 			}
 		})
 		snap.Enum = append(snap.Enum, result{
-			Name:        s.exp + "_" + s.test + "_" + s.model,
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			Behaviors:   behaviors,
-			NumCPU:      runtime.NumCPU(),
-			Workers:     1,
-			Metrics:     measuredRun(ctx, s.test, s.model, 1),
+			Name:           s.exp + "_" + s.test + "_" + s.model,
+			Iterations:     r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			Behaviors:      behaviors,
+			StatesExplored: states,
+			NumCPU:         runtime.NumCPU(),
+			Workers:        1,
+			Metrics:        measuredRun(ctx, s.test, s.model, 1, pruneOpts),
 		})
-		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op\n",
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op %8d states\n",
 			snap.Enum[len(snap.Enum)-1].Name,
-			snap.Enum[len(snap.Enum)-1].NsPerOp, r.AllocsPerOp())
+			snap.Enum[len(snap.Enum)-1].NsPerOp, r.AllocsPerOp(), states)
 	}
 
 	tc, _ := litmus.ByName("Figure10")
 	m, _ := litmus.ModelByName("Relaxed")
 	for _, w := range sweep {
+		var states int
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.EnumerateParallel(ctx, tc.Build(), m.Policy, core.Options{}, w); err != nil {
+				res, err := core.EnumerateParallel(ctx, tc.Build(), m.Policy, pruneOpts, w)
+				if err != nil {
 					b.Fatal(err)
 				}
+				states = res.Stats.StatesExplored
 			}
 		})
 		snap.Parallel = append(snap.Parallel, result{
-			Name:        fmt.Sprintf("Figure10_Relaxed_w%d", w),
-			Iterations:  r.N,
-			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp: r.AllocsPerOp(),
-			BytesPerOp:  r.AllocedBytesPerOp(),
-			NumCPU:      runtime.NumCPU(),
-			Workers:     w,
-			Metrics:     measuredRun(ctx, "Figure10", "Relaxed", w),
+			Name:           fmt.Sprintf("Figure10_Relaxed_w%d", w),
+			Iterations:     r.N,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:    r.AllocsPerOp(),
+			BytesPerOp:     r.AllocedBytesPerOp(),
+			StatesExplored: states,
+			NumCPU:         runtime.NumCPU(),
+			Workers:        w,
+			Metrics:        measuredRun(ctx, "Figure10", "Relaxed", w, pruneOpts),
 		})
-		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op\n",
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op %8d states\n",
 			snap.Parallel[len(snap.Parallel)-1].Name,
-			snap.Parallel[len(snap.Parallel)-1].NsPerOp, r.AllocsPerOp())
+			snap.Parallel[len(snap.Parallel)-1].NsPerOp, r.AllocsPerOp(), states)
 	}
 
-	data, err := json.MarshalIndent(snap, "", "  ")
-	if err != nil {
-		fatalf("%v", err)
+	if *out != "" {
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fatalf("%v", err)
+		}
+		data = append(data, '\n')
+		if *out == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fatalf("%v", err)
+		}
 	}
-	data = append(data, '\n')
-	if *out == "-" {
-		os.Stdout.Write(data)
-		return
+
+	if *baseline != "" {
+		data, err := os.ReadFile(*baseline)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		var base snapshot
+		if err := json.Unmarshal(data, &base); err != nil {
+			fatalf("parse baseline %s: %v", *baseline, err)
+		}
+		if failed := compareToBaseline(os.Stdout, &base, &snap, *threshold, *nsThresh); failed {
+			tel.Close()
+			os.Exit(1)
+		}
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fatalf("%v", err)
+}
+
+// compareToBaseline prints the per-entry delta table and reports whether
+// any enabled threshold was exceeded. States-explored deltas are exact
+// (the engine is deterministic); ns/op deltas are noisy and only gate
+// when nsThresh is non-negative.
+func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh float64) bool {
+	baseRows := map[string]*result{}
+	for i := range base.Enum {
+		baseRows[base.Enum[i].Name] = &base.Enum[i]
 	}
+	for i := range base.Parallel {
+		baseRows[base.Parallel[i].Name] = &base.Parallel[i]
+	}
+	if base.Prune != cur.Prune {
+		fmt.Fprintf(w, "note: baseline prune=%q, current prune=%q — deltas mix configurations\n",
+			base.Prune, cur.Prune)
+	}
+	fmt.Fprintf(w, "%-26s %14s %9s %16s %9s\n", "entry", "ns/op", "Δns%", "states", "Δstates%")
+	failed := false
+	rows := append(append([]result(nil), cur.Enum...), cur.Parallel...)
+	for i := range rows {
+		r := &rows[i]
+		b, ok := baseRows[r.Name]
+		if !ok {
+			fmt.Fprintf(w, "%-26s %14.0f %9s %16d %9s\n", r.Name, r.NsPerOp, "new", r.statesExplored(), "new")
+			continue
+		}
+		nsDelta := pctDelta(float64(b.NsPerOp), float64(r.NsPerOp))
+		stBase, stCur := b.statesExplored(), r.statesExplored()
+		stMark, nsMark := "", ""
+		var stCell string
+		if stBase == 0 || stCur == 0 {
+			stCell = "n/a"
+		} else {
+			stDelta := pctDelta(float64(stBase), float64(stCur))
+			if stDelta > stThresh {
+				failed = true
+				stMark = " REGRESSION"
+			}
+			stCell = fmt.Sprintf("%+8.1f%%%s", stDelta, stMark)
+		}
+		if nsThresh >= 0 && nsDelta > nsThresh {
+			failed = true
+			nsMark = " REGRESSION"
+		}
+		fmt.Fprintf(w, "%-26s %14.0f %+8.1f%%%s %16d %s\n",
+			r.Name, r.NsPerOp, nsDelta, nsMark, stCur, stCell)
+	}
+	if failed {
+		fmt.Fprintf(w, "mmbench: regression past threshold (states %+.0f%%, ns/op %+.0f%%)\n", stThresh, nsThresh)
+	}
+	return failed
+}
+
+func pctDelta(base, cur float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (cur - base) / base * 100
 }
 
 // measuredRun repeats one suite entry with a fresh metrics registry and
 // returns the snapshot for the JSON row. Nil (omitted from the JSON)
 // when the binary was built with the notelemetry tag or the run fails —
 // the benchmark numbers above it are still valid either way.
-func measuredRun(ctx context.Context, test, model string, workers int) telemetry.Snapshot {
+func measuredRun(ctx context.Context, test, model string, workers int, pruneOpts core.Options) telemetry.Snapshot {
 	met := telemetry.NewEnumMetrics(nil)
 	if met == nil {
 		return nil
 	}
 	tc, _ := litmus.ByName(test)
 	m, _ := litmus.ModelByName(model)
-	opts := core.Options{Speculative: m.Speculative, Metrics: met}
+	opts := pruneOpts
+	opts.Speculative = m.Speculative
+	opts.Metrics = met
 	var err error
 	if workers > 1 {
 		_, err = core.EnumerateParallel(ctx, tc.Build(), m.Policy, opts, workers)

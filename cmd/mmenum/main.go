@@ -46,6 +46,7 @@ func main() {
 		serialize = flag.Bool("serialize", false, "print a witness serialization per execution (or report non-serializability)")
 		why       = flag.String("why", "", "explain an outcome (\"L5=3,L6=1\"): check every justifying source assignment")
 		workers   = flag.Int("workers", 1, "enumerate with N parallel workers (0 = one per CPU)")
+		prune     = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; on expiry (or Ctrl-C) partial results are printed")
 		ckptPath  = flag.String("checkpoint", "", "write a resumable checkpoint here periodically and on interrupt")
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "timed checkpoint interval (with -checkpoint)")
@@ -140,6 +141,10 @@ func main() {
 	}
 	defer tel.Close()
 	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()}
+	if err := cli.ApplyPrune(&opts, *prune); err != nil {
+		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
+		os.Exit(2)
+	}
 	if *ckptPath != "" {
 		opts.Checkpoint = &core.CheckpointConfig{
 			Path:  *ckptPath,
@@ -188,9 +193,10 @@ func main() {
 		}
 	}
 
-	fmt.Printf("%d distinct executions (%d states explored, %d forks, %d duplicates discarded, %d rollbacks)\n\n",
+	fmt.Printf("%d distinct executions (%d states explored, %d forks, %d duplicates discarded, %d prefix-pruned, %d symmetry-pruned, %d rollbacks)\n\n",
 		len(res.Executions), res.Stats.StatesExplored, res.Stats.Forks,
-		res.Stats.DuplicatesDiscarded, res.Stats.Rollbacks)
+		res.Stats.DuplicatesDiscarded, res.Stats.PrefixPruned, res.Stats.SymmetryPruned,
+		res.Stats.Rollbacks)
 
 	byKey := map[string]int{}
 	for i, e := range res.Executions {

@@ -41,6 +41,7 @@ func main() {
 		ops      = flag.Int("ops", 4, "instructions per thread")
 		seed0    = flag.Int64("seed", 0, "starting seed")
 		workers  = flag.Int("workers", 0, "also cross-check EnumerateParallel with N workers (0 = skip)")
+		prune    = flag.String("prune", cli.PruneAll, "search-pruning layers under test: comma-separated subset of closure,prefix,symmetry; all; off")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget; stop early with a partial summary")
 		faultsFl = flag.String("faults", "", "inject coherence bus faults into the machine runs (\"on\" or delay=P,reorder=P,retry=P,...)")
 		verbose  = flag.Bool("v", false, "print per-program statistics")
@@ -54,6 +55,11 @@ func main() {
 	defer stop()
 	faultsBase, err := cli.ParseFaults(*faultsFl, 0)
 	if err != nil {
+		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
+		os.Exit(2)
+	}
+	var pruneOpts core.Options
+	if err := cli.ApplyPrune(&pruneOpts, *prune); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
 		os.Exit(2)
 	}
@@ -74,7 +80,7 @@ func main() {
 	for i := 0; i < *n; i++ {
 		seed := *seed0 + int64(i)
 		p := randprog.Generate(randprog.Config{Seed: seed, Threads: *threads, Ops: *ops})
-		if !fuzzOne(ctx, p, seed, chain, *workers, faultsBase, &tel, *verbose, &totalBehaviors) {
+		if !fuzzOne(ctx, p, seed, chain, *workers, faultsBase, pruneOpts, &tel, *verbose, &totalBehaviors) {
 			tel.StopProgress()
 			fmt.Printf("mmfuzz: stopped early (%v) after %d of %d programs; no discrepancy in %d behaviors\n",
 				ctx.Err(), done, *n, totalBehaviors)
@@ -92,13 +98,16 @@ func main() {
 // panic anywhere in the checking pipeline is recovered into a bug report
 // carrying the program and seed.
 func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.Policy,
-	workers int, faultsBase *coherence.FaultConfig, tel *cli.Telemetry, verbose bool, totalBehaviors *int) bool {
+	workers int, faultsBase *coherence.FaultConfig, pruneOpts core.Options, tel *cli.Telemetry, verbose bool, totalBehaviors *int) bool {
 	defer func() {
 		if r := recover(); r != nil {
 			fail(p, seed, "checker panic: %v\n%s", r, debug.Stack())
 		}
 	}()
-	opts := core.Options{MaxBehaviors: 1 << 22, Metrics: tel.Enum(), Tracer: tel.Tracer()}
+	opts := pruneOpts
+	opts.MaxBehaviors = 1 << 22
+	opts.Metrics, opts.Tracer = tel.Enum(), tel.Tracer()
+	plainOpts := core.Options{DisableIncrementalClosure: true, DisablePrefixPrune: true, MaxBehaviors: 1 << 22}
 	var prev map[string]bool
 	for _, pol := range chain {
 		res, err := core.Enumerate(ctx, p, pol, opts)
@@ -107,6 +116,21 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 				return false
 			}
 			fail(p, seed, "%s: %v", pol.Name(), err)
+		}
+		// Pruning soundness: the pruned behavior set must be
+		// bit-identical to the unpruned engine's. A mismatch is a
+		// pruning bug; shrink the program before reporting it.
+		plain, err := core.Enumerate(ctx, p, pol, plainOpts)
+		if err != nil {
+			if ctx.Err() != nil {
+				return false
+			}
+			fail(p, seed, "%s unpruned: %v", pol.Name(), err)
+		}
+		if diff := behaviorDiff(res, plain); diff != "" {
+			min := minimizeMismatch(ctx, p, pol, opts, plainOpts)
+			fail(min, seed, "%s: pruning changed the behavior set (%s; %d prefix-pruned, %d symmetry-pruned); minimized repro below",
+				pol.Name(), diff, res.Stats.PrefixPruned, res.Stats.SymmetryPruned)
 		}
 		if workers > 1 {
 			par, err := core.EnumerateParallel(ctx, p, pol, opts, workers)
@@ -156,8 +180,9 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 		prev = cur
 		*totalBehaviors += len(cur)
 		if verbose {
-			fmt.Printf("seed %4d %-8s %3d behaviors (%d states, %d dup)\n",
-				seed, pol.Name(), len(cur), res.Stats.StatesExplored, res.Stats.DuplicatesDiscarded)
+			fmt.Printf("seed %4d %-8s %3d behaviors (%d states, %d dup, %d prefix-pruned, %d sym-pruned)\n",
+				seed, pol.Name(), len(cur), res.Stats.StatesExplored, res.Stats.DuplicatesDiscarded,
+				res.Stats.PrefixPruned, res.Stats.SymmetryPruned)
 		}
 	}
 	// Machines contained in their models, with optional fault injection.
@@ -178,6 +203,93 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 		}
 	}
 	return ctx.Err() == nil
+}
+
+// behaviorDiff compares two results' behavior sets and describes the
+// first divergence ("" when identical).
+func behaviorDiff(pruned, plain *core.Result) string {
+	ps := map[string]bool{}
+	for _, e := range pruned.Executions {
+		ps[e.SourceKey()] = true
+	}
+	for _, e := range plain.Executions {
+		if !ps[e.SourceKey()] {
+			return fmt.Sprintf("pruned run missing behavior %q", e.SourceKey())
+		}
+	}
+	if len(pruned.Executions) != len(plain.Executions) {
+		return fmt.Sprintf("pruned run has %d behaviors, unpruned %d", len(pruned.Executions), len(plain.Executions))
+	}
+	return ""
+}
+
+// pruneMismatch reports whether pruned and unpruned enumeration of p
+// disagree. Errors count as "no mismatch" so the minimizer never trades
+// a soundness repro for a crashing candidate.
+func pruneMismatch(ctx context.Context, p *program.Program, pol order.Policy, prunedOpts, plainOpts core.Options) bool {
+	pruned, err := core.Enumerate(ctx, p, pol, prunedOpts)
+	if err != nil {
+		return false
+	}
+	plain, err := core.Enumerate(ctx, p, pol, plainOpts)
+	if err != nil {
+		return false
+	}
+	return behaviorDiff(pruned, plain) != ""
+}
+
+// minimizeMismatch greedily deletes instructions (and then empty
+// threads) while the pruned-vs-unpruned divergence persists, so the
+// repro attached to the failure is as small as the greedy pass can make
+// it. Programs with branches are returned untouched — deleting an
+// instruction would shift branch targets.
+func minimizeMismatch(ctx context.Context, p *program.Program, pol order.Policy, prunedOpts, plainOpts core.Options) *program.Program {
+	for _, t := range p.Threads {
+		for _, in := range t.Instrs {
+			if in.Kind == program.KindBranch {
+				return p
+			}
+		}
+	}
+	cur := cloneProgram(p)
+	for changed := true; changed; {
+		changed = false
+		for ti := range cur.Threads {
+			for ii := 0; ii < len(cur.Threads[ti].Instrs); ii++ {
+				cand := cloneProgram(cur)
+				instrs := cand.Threads[ti].Instrs
+				cand.Threads[ti].Instrs = append(instrs[:ii:ii], instrs[ii+1:]...)
+				if pruneMismatch(ctx, cand, pol, prunedOpts, plainOpts) {
+					cur = cand
+					changed = true
+					ii--
+				}
+			}
+		}
+	}
+	// Drop now-empty threads entirely.
+	kept := cur.Threads[:0]
+	for _, t := range cur.Threads {
+		if len(t.Instrs) > 0 {
+			kept = append(kept, t)
+		}
+	}
+	cur.Threads = kept
+	return cur
+}
+
+func cloneProgram(p *program.Program) *program.Program {
+	c := &program.Program{Threads: make([]program.Thread, len(p.Threads))}
+	for i, t := range p.Threads {
+		c.Threads[i] = program.Thread{Name: t.Name, Instrs: append([]program.Instr(nil), t.Instrs...)}
+	}
+	if p.Init != nil {
+		c.Init = make(map[program.Addr]program.Value, len(p.Init))
+		for a, v := range p.Init {
+			c.Init[a] = v
+		}
+	}
+	return c
 }
 
 func fail(p *program.Program, seed int64, format string, args ...interface{}) {

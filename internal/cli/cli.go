@@ -57,6 +57,49 @@ func ReportIncomplete(w io.Writer, tool string, err error) bool {
 	return true
 }
 
+// PruneAll is the -prune default: every search-pruning layer on.
+const PruneAll = "closure,prefix,symmetry"
+
+// ApplyPrune parses the -prune flag grammar into opts. The spec is a
+// comma-separated subset of the three pruning layers:
+//
+//	closure   incremental worklist Store Atomicity closure
+//	prefix    fork-time prefix-state dedup
+//	symmetry  thread/address symmetry reduction
+//
+// "all" is shorthand for every layer; "off" or "none" (or an empty spec)
+// disables them all, reproducing the unpruned engine. Layers not named
+// are disabled, so -prune=prefix really means prefix only. Every
+// combination yields the identical behavior set — the knob trades setup
+// cost against search-space reduction and exists for A/B measurement
+// and for bisecting a suspected pruning bug.
+func ApplyPrune(opts *core.Options, spec string) error {
+	opts.DisableIncrementalClosure = true
+	opts.DisablePrefixPrune = true
+	opts.Symmetry = false
+	spec = strings.TrimSpace(spec)
+	switch spec {
+	case "", "off", "none":
+		return nil
+	case "all":
+		spec = PruneAll
+	}
+	for _, layer := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(layer) {
+		case "closure":
+			opts.DisableIncrementalClosure = false
+		case "prefix":
+			opts.DisablePrefixPrune = false
+		case "symmetry":
+			opts.Symmetry = true
+		case "":
+		default:
+			return fmt.Errorf("unknown -prune layer %q (want closure, prefix, symmetry, all, or off)", layer)
+		}
+	}
+	return nil
+}
+
 // ParseFaults parses the -faults flag grammar into a coherence fault
 // config. The spec is comma-separated key=value pairs:
 //

@@ -1,0 +1,74 @@
+//go:build dedupcheck
+
+package core
+
+import (
+	"testing"
+
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+)
+
+// TestCandidatesNoScratchAliasing is the regression test for the
+// candidates() scratch-slice aliasing hazard: candidates() fills a
+// per-state scratch slice, so without the dedupcheck defensive copy a
+// caller that holds the result across a second candidates() call would
+// see it silently rewritten. Under the dedupcheck tag candidates()
+// returns a fresh copy; this test pins that contract by interleaving
+// candidate queries for two loads and checking the first result
+// survives, bitwise, both a second query and a fork+resolution.
+func TestCandidatesNoScratchAliasing(t *testing.T) {
+	b := program.NewBuilder()
+	b.Thread("A").StoreL("Sx", program.X, 1).LoadL("Ly", 1, program.Y)
+	b.Thread("B").StoreL("Sy", program.Y, 1).LoadL("Lx", 2, program.X)
+	p := b.Build()
+
+	s := newState(p, order.Relaxed(), Options{}.withDefaults())
+	if err := s.runToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	var loads []int
+	for id := range s.nodes {
+		n := &s.nodes[id]
+		if n.Reads() && !n.Resolved && s.eligible(id) {
+			loads = append(loads, id)
+		}
+	}
+	if len(loads) < 2 {
+		t.Fatalf("want ≥2 eligible loads in SB, got %v", loads)
+	}
+
+	first := s.candidates(loads[0])
+	snapshot := append([]int(nil), first...)
+	second := s.candidates(loads[1])
+	if len(first) != len(snapshot) {
+		t.Fatalf("first result changed length: %d -> %d", len(snapshot), len(first))
+	}
+	for i := range snapshot {
+		if first[i] != snapshot[i] {
+			t.Fatalf("candidates(%d) result mutated by candidates(%d): index %d is %d, was %d",
+				loads[0], loads[1], i, first[i], snapshot[i])
+		}
+	}
+	if len(first) > 0 && len(second) > 0 && &first[0] == &second[0] {
+		t.Fatal("two candidates() results alias the same backing array")
+	}
+
+	// Resolving through a fork reuses the same scratch machinery; the
+	// held slice must still be stable afterwards.
+	pool := &statePool{}
+	c := s.fork(pool)
+	if err := c.resolveLoad(loads[1], second[0]); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.closure(); err != nil {
+		t.Fatal(err)
+	}
+	_ = c.candidates(loads[0])
+	for i := range snapshot {
+		if first[i] != snapshot[i] {
+			t.Fatalf("held candidates slice mutated by fork/resolve: index %d is %d, was %d",
+				i, first[i], snapshot[i])
+		}
+	}
+}

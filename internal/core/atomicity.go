@@ -4,6 +4,7 @@ import (
 	"storeatomicity/internal/graph"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
 )
 
 // This file implements Section 3.3 (the Store Atomicity property as an
@@ -20,11 +21,29 @@ import (
 // closure applies Store Atomicity rules a, b, c to fixpoint. It returns
 // errInconsistent if a required ordering would create a cycle.
 //
+// The default implementation is the worklist closure keyed on the
+// graph's change log: each pass re-examines only the rule instances
+// whose endpoint ancestor/descendant bitsets (or index membership)
+// actually changed since the previous fixpoint. Options.
+// DisableIncrementalClosure falls back to closureFull, the whole-graph
+// fixpoint — kept as the ablation baseline and the property-test oracle.
+func (s *state) closure() error {
+	if s.g.ChangeLogEnabled() {
+		return s.closureIncremental()
+	}
+	return s.closureFull()
+}
+
+// closureFull is the original whole-graph fixpoint: every rules-a/b/c
+// instance over the per-address index is re-examined each pass until no
+// pass adds an ordering.
+//
 // The per-address store/load index is maintained incrementally on the
 // state (see addrSet) as nodes are generated, gain addresses, and
 // resolve, so each closure call starts from the live index instead of
 // rescanning every node and rebuilding a map.
-func (s *state) closure() error {
+func (s *state) closureFull() error {
+	s.newRMW = s.newRMW[:0]
 	// Read-modify-write atomicity: two atomics that both stored cannot
 	// observe the same source — each one's write must directly follow
 	// its read in every serialization.
@@ -92,6 +111,197 @@ func (s *state) closure() error {
 		if !changed {
 			return nil
 		}
+	}
+}
+
+// closureIncremental is the worklist form of the Store Atomicity
+// closure. A rule instance can only newly fire when the ancestor or
+// descendant set of one of its principal nodes grew (Before is monotone)
+// or when a principal is new to the per-address index, so each pass
+// re-examines only instances touching the union of the graph's closure
+// change log and the state's membership-dirty set. Orderings inserted by
+// a pass land in the change log and drive the next pass; the fixpoint is
+// reached when the union drains empty. The result is identical to
+// closureFull (property-tested against it and RecomputeClosure).
+func (s *state) closureIncremental() error {
+	// RMW indivisibility, incrementally: only a store-effect atomic
+	// resolved since the last closure can create a new conflicting pair,
+	// and its partner must be a resolved same-address atomic — which the
+	// per-address load index lists.
+	for _, aid32 := range s.newRMW {
+		a1 := &s.nodes[aid32]
+		ai := s.addrIdx(a1.Addr)
+		for _, lid32 := range s.addrs[ai].loads {
+			if lid32 == aid32 {
+				continue
+			}
+			a2 := &s.nodes[lid32]
+			if a2.Kind == program.KindAtomic && a2.DidStore && a2.Source == a1.Source {
+				return errInconsistent
+			}
+		}
+	}
+	s.newRMW = s.newRMW[:0]
+
+	dummy := false
+	for {
+		s.work = graph.OrInto(s.work, s.dirty)
+		s.dirty.Reset()
+		s.work = s.g.DrainChangeLog(s.work)
+		if s.work.Empty() {
+			return nil
+		}
+		if telemetry.Enabled && s.opts.Metrics != nil {
+			s.opts.Metrics.WorklistLen.Observe(int64(s.work.Count()))
+		}
+		s.invalidateElig(s.work)
+		w := s.work
+		for ai := range s.addrs {
+			ms := &s.addrs[ai]
+			for _, lid32 := range ms.loads {
+				lid := int(lid32)
+				src := s.nodes[lid].Source
+				ldDirty := w.Has(lid) || w.Has(src)
+				for _, sid32 := range ms.stores {
+					sid := int(sid32)
+					if sid == src || sid == lid {
+						continue
+					}
+					if !ldDirty && !w.Has(sid) {
+						continue
+					}
+					if s.g.Before(sid, lid) {
+						if err := s.addOrder(sid, src, &dummy); err != nil {
+							return err
+						}
+					}
+					if s.g.Before(src, sid) {
+						if err := s.addOrder(lid, sid, &dummy); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			for i := 0; i < len(ms.loads); i++ {
+				for j := i + 1; j < len(ms.loads); j++ {
+					l1, l2 := int(ms.loads[i]), int(ms.loads[j])
+					s1, s2 := s.nodes[l1].Source, s.nodes[l2].Source
+					if s1 == s2 {
+						continue
+					}
+					if !w.Has(l1) && !w.Has(l2) && !w.Has(s1) && !w.Has(s2) {
+						continue
+					}
+					if err := s.ruleC(l1, l2, s1, s2, &dummy); err != nil {
+						return err
+					}
+				}
+			}
+		}
+		s.work.Reset()
+	}
+}
+
+// eligStale/eligYes/eligNo are eligCache entry states: stale entries are
+// recomputed on demand; invalidation writes eligStale.
+const (
+	eligStale = uint8(iota)
+	eligYes
+	eligNo
+)
+
+// invalidateElig marks every node in the closure worklist stale in the
+// eligibility cache (their ancestor sets, and hence eligible(), may have
+// changed).
+func (s *state) invalidateElig(w graph.Bits) {
+	if len(s.eligCache) == 0 {
+		return
+	}
+	w.ForEach(func(id int) bool {
+		if id < len(s.eligCache) {
+			s.eligCache[id] = eligStale
+		}
+		return true
+	})
+}
+
+// noteResolved invalidates the eligibility of every load ordered after a
+// newly resolved node: eligible()'s reading-ancestor and operand
+// conditions watch resolved-ness upstream.
+func (s *state) noteResolved(id int) {
+	if len(s.eligCache) == 0 {
+		return
+	}
+	s.g.Desc(id).ForEach(func(d int) bool {
+		if d < len(s.eligCache) {
+			s.eligCache[d] = eligStale
+		}
+		return true
+	})
+}
+
+// noteAddrKnown invalidates eligibility affected by a late address
+// discovery: the node itself (a load needs its own address) and — for
+// stores — every later node of the same thread, whose localPriorStores
+// condition watches this store's address.
+func (s *state) noteAddrKnown(id int) {
+	if len(s.eligCache) == 0 {
+		return
+	}
+	if id < len(s.eligCache) {
+		s.eligCache[id] = eligStale
+	}
+	n := &s.nodes[id]
+	if n.Kind != program.KindStore || n.Thread < 0 {
+		return
+	}
+	for _, lid := range s.byThread[n.Thread] {
+		if s.nodes[lid].Seq > n.Seq && lid < len(s.eligCache) {
+			s.eligCache[lid] = eligStale
+		}
+	}
+}
+
+// eligibleCached is eligible() behind the per-load dirty-bit cache.
+// Cache entries survive across quiescence passes and forks; every event
+// that can flip eligibility (closure growth, resolutions, address
+// discoveries) marks the affected entries stale, so a non-stale entry is
+// trustworthy and skips the ancestor walk entirely.
+func (s *state) eligibleCached(lid int) bool {
+	if !s.g.ChangeLogEnabled() {
+		return s.eligible(lid)
+	}
+	n := &s.nodes[lid]
+	if !n.Reads() || n.Resolved {
+		return false
+	}
+	if lid < len(s.eligCache) {
+		switch s.eligCache[lid] {
+		case eligYes:
+			s.countDirtySkip()
+			return true
+		case eligNo:
+			s.countDirtySkip()
+			return false
+		}
+	}
+	if len(s.eligCache) < len(s.nodes) {
+		for i := len(s.eligCache); i < len(s.nodes); i++ {
+			s.eligCache = append(s.eligCache, eligStale)
+		}
+	}
+	ok := s.eligible(lid)
+	if ok {
+		s.eligCache[lid] = eligYes
+	} else {
+		s.eligCache[lid] = eligNo
+	}
+	return ok
+}
+
+func (s *state) countDirtySkip() {
+	if telemetry.Enabled && s.opts.Metrics != nil {
+		s.opts.Metrics.DirtySkips.Inc(s.shard)
 	}
 }
 
@@ -265,6 +475,14 @@ func (s *state) candidates(lid int) []int {
 		}
 		out = append(out, sid)
 	}
+	if dedupCollisionCheck {
+		// Checked builds hand every caller an independent copy: the
+		// scratch-returning fast path is correct only while callers
+		// consume the slice before the next candidates() call on this
+		// state, and the copy makes any aliasing bug visible as a test
+		// diff instead of silent corruption.
+		return append([]int(nil), out...)
+	}
 	return out
 }
 
@@ -335,6 +553,7 @@ func (s *state) overwrittenFor(sid, lid int) bool {
 // program-order-earlier local store to the same address ("S ̸@ L when
 // S = source(L) and S ≺ L otherwise"). The caller runs the closure.
 func (s *state) resolveLoad(lid, sid int) error {
+	s.prepValid = false // the resolved-pair cache no longer matches
 	s.path = append(s.path, PathStep{
 		Load: lid, Store: sid,
 		LoadLabel: s.nodes[lid].Label, StoreLabel: s.nodes[sid].Label,
@@ -363,8 +582,10 @@ func (s *state) resolveLoad(lid, sid int) error {
 			// The atomic's store half took effect: it now counts as a
 			// store-effect node in the per-address index.
 			s.noteStore(lid, l.Addr)
+			s.newRMW = append(s.newRMW, int32(lid))
 		}
 	}
+	s.noteResolved(lid)
 	locals := s.localPriorStores(lid, true)
 	bypass := false
 	for _, loc := range locals {

@@ -74,23 +74,47 @@ func newKeySet(opts Options) *keySet {
 // insert adds the state's Load–Store-graph key, reporting whether it was
 // new.
 func (k *keySet) insert(s *state) bool {
+	var sig string
+	if k.useString || k.guard != nil {
+		sig = s.signature()
+	}
+	return k.insertKey(s.fingerprint(), sig)
+}
+
+// insertKey adds a precomputed key pair, reporting whether it was new.
+// The engines use it with state.dedupKey so prefix pruning and symmetry
+// canonicalization share one seen-set with the post-quiescence check;
+// sig may be empty unless the set is string-keyed or collision-checked.
+func (k *keySet) insertKey(h uint64, sig string) bool {
 	if k.useString {
-		sig := s.signature()
 		if _, dup := k.strs[sig]; dup {
 			return false
 		}
 		k.strs[sig] = struct{}{}
 		return true
 	}
-	h := s.fingerprint()
 	if k.guard != nil {
-		checkCollision(k.guard, h, s.signature(), k.coll)
+		checkCollision(k.guard, h, sig, k.coll)
 	}
 	if _, dup := k.hashes[h]; dup {
 		return false
 	}
 	k.hashes[h] = struct{}{}
 	return true
+}
+
+// keyMatches reports whether a freshly computed key equals the key this
+// state was inserted under at fork time — the engines' self-skip: a
+// fork-time-inserted state whose key is unchanged post-quiescence must
+// not be discarded as a duplicate of itself.
+func (k *keySet) keyMatches(s *state, h uint64, sig string) bool {
+	if !s.seenKeyed {
+		return false
+	}
+	if k.useString {
+		return sig == s.seenSig
+	}
+	return h == s.seenH
 }
 
 // checkCollision panics if two distinct signatures share a fingerprint

@@ -30,7 +30,29 @@ type Options struct {
 	MaxBehaviors int
 	// DisableDedup turns off the Load–Store-graph duplicate discard of
 	// Section 4.1 — the ablation for DESIGN.md (duplicate-work blowup).
+	// It also disables prefix pruning and symmetry reduction, which are
+	// refinements of the same seen-set.
 	DisableDedup bool
+	// DisableIncrementalClosure falls back to the whole-graph fixpoint
+	// form of the Store Atomicity closure (closureFull) instead of the
+	// worklist form keyed on the graph's change log. Kept as the
+	// ablation baseline and the property-test oracle; the two produce
+	// identical graphs.
+	DisableIncrementalClosure bool
+	// DisablePrefixPrune turns off fork-time prefix-state dedup: children
+	// are then only checked against the seen-set after their next
+	// quiescence (the pre-pruning behavior). The behavior set is
+	// identical either way; prefix pruning just stops duplicate subtrees
+	// before they are queued. No effect when DisableDedup is set.
+	DisablePrefixPrune bool
+	// Symmetry enables thread/address symmetry reduction: when the
+	// program has non-trivial automorphisms (detected once per run),
+	// states are deduplicated under their canonical representative and
+	// the missing orbit members are reconstructed by path replay after a
+	// complete run. The final behavior set is bit-identical to an
+	// unpruned run. Off by default; no effect when DisableDedup is set
+	// or when the program has no symmetry.
+	Symmetry bool
 	// CandidateHook, when non-nil, observes every Load Resolution
 	// point: the resolving load's label and address, and the labels of
 	// its candidate stores. The discipline package uses it to check
@@ -85,9 +107,17 @@ type Stats struct {
 	StatesExplored int
 	// Forks counts (load, candidate) resolutions attempted.
 	Forks int
-	// DuplicatesDiscarded counts forks dropped by Load–Store-graph
-	// dedup.
+	// DuplicatesDiscarded counts behaviors dropped by the
+	// post-quiescence Load–Store-graph dedup check.
 	DuplicatesDiscarded int
+	// PrefixPruned counts forks dropped at fork time because an
+	// equivalent partially resolved state was already queued or
+	// explored (prefix-state dedup).
+	PrefixPruned int
+	// SymmetryPruned counts forks dropped at fork time because a
+	// symmetric image of the state (under a program automorphism) was
+	// already queued or explored.
+	SymmetryPruned int
 	// Rollbacks counts behaviors discarded as inconsistent — nonzero
 	// only under speculation.
 	Rollbacks int
@@ -229,6 +259,7 @@ func checkpointNow(model string, progHash uint64, opts Options, explored int, co
 		Model:          model,
 		ProgramHash:    progHash,
 		Speculative:    opts.Speculative,
+		Symmetry:       opts.Symmetry,
 		StatesExplored: explored,
 		Completed:      completed,
 		Frontier:       frontier,
@@ -264,6 +295,16 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	seen := newKeySet(opts)
 	finals := newKeySet(opts)
 	var pool statePool
+
+	// Search pruning: prefix dedup kills duplicate children at fork time
+	// (before they are queued); symmetry canonicalizes the seen-set keys
+	// under the program's automorphism group, with the pruned orbit
+	// members reconstructed after a complete run.
+	prefixPrune := !opts.DisableDedup && !opts.DisablePrefixPrune
+	var sym *symmetry
+	if opts.Symmetry && !opts.DisableDedup {
+		sym = detectSymmetry(p)
+	}
 
 	met := opts.Metrics
 	inst := telemetry.Enabled && (met != nil || opts.Tracer != nil)
@@ -402,9 +443,14 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		// resolving the same loads from the same stores in different
 		// orders are equivalent; explore one representative. The
 		// check runs post-quiescence so that generation unlocked by
-		// branch outcomes has settled.
+		// branch outcomes has settled — it remains load-bearing with
+		// prefix pruning on, because fork-time keys predate the
+		// child's quiescence (the node count can still grow). A state
+		// inserted at fork time whose key is unchanged must not be
+		// discarded as a duplicate of itself.
 		if !opts.DisableDedup {
-			if !seen.insert(s) {
+			h, sig, _ := s.dedupKey(sym, opts.dedupString)
+			if !seen.keyMatches(s, h, sig) && !seen.insertKey(h, sig) {
 				res.Stats.DuplicatesDiscarded++
 				if met != nil {
 					met.DedupHits.Inc(0)
@@ -422,7 +468,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		}
 		progressed := false
 		for lid := range s.nodes {
-			if !s.eligible(lid) {
+			if !s.eligibleCached(lid) {
 				continue
 			}
 			cands := s.candidates(lid)
@@ -437,6 +483,37 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 				opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
 			}
 			for _, sid := range cands {
+				// Prefix pruning, priced before the clone: childKey
+				// derives the would-be child's canonical key from the
+				// parent plus the (load, store) pair, so a child whose
+				// key is already in the seen-set is dropped without ever
+				// being forked. Inserting the key before attempting the
+				// resolution is sound — equal fork-time keys mean
+				// identical states, so a child whose resolution would
+				// roll back only ever suppresses twins that would roll
+				// back too. Completeness is unaffected; CandidateHook
+				// has already fired (duplicates never re-fired it).
+				var h uint64
+				var sig string
+				if prefixPrune {
+					var symHit bool
+					h, sig, symHit = s.childKey(sym, lid, sid, opts.dedupString)
+					if !seen.insertKey(h, sig) {
+						if symHit {
+							res.Stats.SymmetryPruned++
+							if met != nil {
+								met.PruneSymmetry.Inc(0)
+							}
+						} else {
+							res.Stats.PrefixPruned++
+							if met != nil {
+								met.PrunePrefix.Inc(0)
+							}
+						}
+						progressed = true
+						continue
+					}
+				}
 				res.Stats.Forks++
 				if met != nil {
 					met.Forks.Inc(0)
@@ -453,6 +530,9 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 					continue
 				}
 				progressed = true
+				if prefixPrune {
+					ns.seenKeyed, ns.seenH, ns.seenSig = true, h, sig
+				}
 				work = append(work, ns)
 			}
 		}
@@ -480,6 +560,29 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		// buffers are free to recycle.
 		cur = nil
 		pool.put(s)
+	}
+	// Orbit expansion: symmetry pruning explored one representative per
+	// state orbit, so the final set now holds at least one member of
+	// every behavior orbit. Applying every automorphism to every
+	// recorded behavior (group closure makes one pass sufficient) and
+	// replaying the permuted paths reconstructs the rest; the plain
+	// fingerprint dedup in finals drops the already-present members.
+	// Only a complete run expands — an interrupted run's frontier is
+	// resumable and expansion would record behaviors the checkpoint
+	// cannot account for.
+	if sym != nil && len(res.Executions) > 0 {
+		base := res.Executions
+		if xerr := expandSymmetry(p, pol, opts, sym, base, func(ns *state) {
+			if finals.insert(ns) {
+				res.Executions = append(res.Executions, ns.finish())
+				if met != nil {
+					met.Behaviors.Inc(0)
+				}
+			}
+		}); xerr != nil {
+			flushStats()
+			return res, xerr
+		}
 	}
 	if met != nil {
 		met.Frontier.Set(0)

@@ -69,6 +69,12 @@ type Node struct {
 	argDeps                  []int
 
 	instr program.Instr
+
+	// epoch is the generate() pass that created the node (0 for the
+	// start barrier and initializing stores). Node IDs are assigned in
+	// (epoch, class, thread, seq)-lexicographic order, which is what lets
+	// the symmetry reduction reconstruct a permuted run's ID assignment.
+	epoch int32
 }
 
 // IsMemory reports whether the node reads or writes memory.

@@ -78,6 +78,12 @@ type wsEngine struct {
 	tr   *telemetry.Tracer
 	inst bool
 
+	// prefixPrune/sym mirror the sequential engine's pruning setup:
+	// fork-time dedup against the shared seen-set, and the program's
+	// automorphism group for canonical keys (nil when off or absent).
+	prefixPrune bool
+	sym         *symmetry
+
 	workers []*wsWorker
 
 	// pending counts behaviors that are queued or being processed. A
@@ -149,6 +155,10 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	}
 
 	e := &wsEngine{opts: opts, prog: p, ctx: ctx}
+	e.prefixPrune = !opts.DisableDedup && !opts.DisablePrefixPrune
+	if opts.Symmetry && !opts.DisableDedup {
+		e.sym = detectSymmetry(p)
+	}
 	e.met, e.tr = opts.Metrics, opts.Tracer
 	e.inst = telemetry.Enabled && (e.met != nil || e.tr != nil)
 	if e.met != nil {
@@ -230,6 +240,8 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		res.Stats.Forks += w.stats.Forks
 		res.Stats.Rollbacks += w.stats.Rollbacks
 		res.Stats.DuplicatesDiscarded += w.stats.DuplicatesDiscarded
+		res.Stats.PrefixPruned += w.stats.PrefixPruned
+		res.Stats.SymmetryPruned += w.stats.SymmetryPruned
 		res.Stats.Steals += w.stats.Steals
 		res.Stats.PoolHits += w.pool.hits
 		res.Stats.PoolMisses += w.pool.misses
@@ -240,6 +252,28 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		e.met.Rollbacks.Add(0, int64(res.Stats.Rollbacks))
 		e.met.Frontier.Set(e.pending.Load())
 	}
+
+	e.errMu.Lock()
+	reason, cause, ferr := e.reason, e.cause, e.firstErr
+	e.errMu.Unlock()
+
+	// Orbit expansion (see the sequential engine): only a complete run
+	// expands — an interrupted run's frontier is resumable and would
+	// re-derive the orbits on completion.
+	if reason == "" && ferr == nil && e.sym != nil {
+		var base []*Execution
+		for i := range e.finals {
+			base = append(base, e.finals[i].execs...)
+		}
+		if xerr := expandSymmetry(p, pol, opts, e.sym, base, func(ns *state) {
+			if e.addFinal(ns) && e.met != nil {
+				e.met.Behaviors.Inc(0)
+			}
+		}); xerr != nil {
+			ferr = xerr
+		}
+	}
+
 	// Partial results are first-class: executions are collected on
 	// every path, including stops and errors.
 	for i := range e.finals {
@@ -249,9 +283,6 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		return res.Executions[i].SourceKey() < res.Executions[j].SourceKey()
 	})
 
-	e.errMu.Lock()
-	reason, cause, ferr := e.reason, e.cause, e.firstErr
-	e.errMu.Unlock()
 	if reason != "" {
 		rep := &Incomplete{
 			Reason:         reason,
@@ -608,13 +639,20 @@ func (w *wsWorker) process(s *state) {
 		return
 	}
 
-	if !e.opts.DisableDedup && !e.addSeen(s) {
-		w.stats.DuplicatesDiscarded++
-		if e.met != nil {
-			e.met.DedupHits.Inc(w.idx)
+	// Post-quiescence dedup, with the fork-time self-skip: a state
+	// inserted into the seen-set when it was forked (prefix pruning)
+	// whose key is unchanged after quiescence is not a duplicate of
+	// itself. The parallel engine always keys on fingerprints.
+	if !e.opts.DisableDedup {
+		h, sig, _ := s.dedupKey(e.sym, false)
+		if !(s.seenKeyed && h == s.seenH) && !e.addSeenKey(h, sig) {
+			w.stats.DuplicatesDiscarded++
+			if e.met != nil {
+				e.met.DedupHits.Inc(w.idx)
+			}
+			w.pool.put(s)
+			return
 		}
-		w.pool.put(s)
-		return
 	}
 
 	var resolveStart time.Time
@@ -623,7 +661,7 @@ func (w *wsWorker) process(s *state) {
 	}
 	progressed := false
 	for lid := range s.nodes {
-		if !s.eligible(lid) {
+		if !s.eligibleCached(lid) {
 			continue
 		}
 		cands := s.candidates(lid)
@@ -638,6 +676,31 @@ func (w *wsWorker) process(s *state) {
 			e.opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
 		}
 		for _, sid := range cands {
+			// Fork-time prefix/symmetry pruning priced before the
+			// clone, mirroring the sequential engine (see
+			// enumerateFrom): the would-be child's key comes from the
+			// parent via childKey, so duplicates never pay for a fork.
+			var h uint64
+			var sig string
+			if e.prefixPrune {
+				var symHit bool
+				h, sig, symHit = s.childKey(e.sym, lid, sid, false)
+				if !e.addSeenKey(h, sig) {
+					if symHit {
+						w.stats.SymmetryPruned++
+						if e.met != nil {
+							e.met.PruneSymmetry.Inc(w.idx)
+						}
+					} else {
+						w.stats.PrefixPruned++
+						if e.met != nil {
+							e.met.PrunePrefix.Inc(w.idx)
+						}
+					}
+					progressed = true
+					continue
+				}
+			}
 			w.stats.Forks++
 			if e.met != nil {
 				e.met.Forks.Inc(w.idx)
@@ -654,6 +717,9 @@ func (w *wsWorker) process(s *state) {
 				continue
 			}
 			progressed = true
+			if e.prefixPrune {
+				ns.seenKeyed, ns.seenH, ns.seenSig = true, h, sig
+			}
 			e.pending.Add(1)
 			w.push(ns)
 		}
@@ -685,10 +751,10 @@ func (e *wsEngine) collisions() *telemetry.Counter {
 	return e.met.Collisions
 }
 
-// addSeen inserts the behavior's Load–Store-graph fingerprint into the
-// sharded dedup set, reporting whether it was new.
-func (e *wsEngine) addSeen(s *state) bool {
-	h := s.fingerprint()
+// addSeenKey inserts a canonical Load–Store-graph key into the sharded
+// dedup set, reporting whether it was new. Callers compute the key with
+// state.dedupKey (which supplies the signature for checked builds).
+func (e *wsEngine) addSeenKey(h uint64, sig string) bool {
 	sh := &e.seen[h&(dedupShards-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
@@ -699,7 +765,7 @@ func (e *wsEngine) addSeen(s *state) bool {
 		if sh.guard == nil {
 			sh.guard = map[uint64]string{}
 		}
-		checkCollision(sh.guard, h, s.signature(), e.collisions())
+		checkCollision(sh.guard, h, sig, e.collisions())
 	}
 	if _, dup := sh.seen[h]; dup {
 		return false

@@ -1,0 +1,171 @@
+package core_test
+
+import (
+	"context"
+	"sort"
+	"testing"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/randprog"
+)
+
+// The non-negotiable pruning invariant: every combination of the three
+// search-pruning layers (incremental closure, prefix-state dedup,
+// symmetry reduction) must yield a final behavior set bit-identical to
+// the unpruned engine's, sequential and parallel alike. These tests are
+// in an external package so they can drive the engines through the
+// litmus corpus (which imports core).
+
+// pruneConfigs enumerates the pruning combinations under test. The
+// baseline is the original engine: from-scratch closure, post-quiescence
+// dedup only.
+func pruneConfigs() map[string]core.Options {
+	return map[string]core.Options{
+		"closure": {DisablePrefixPrune: true},
+		"prefix":  {DisableIncrementalClosure: true},
+		"all":     {Symmetry: true},
+	}
+}
+
+func baselineOpts() core.Options {
+	return core.Options{DisableIncrementalClosure: true, DisablePrefixPrune: true}
+}
+
+// behaviorKeys returns the sorted multiset of canonical execution
+// identities, so both missing and duplicated behaviors are caught.
+func behaviorKeys(r *core.Result) []string {
+	keys := make([]string, 0, len(r.Executions))
+	for _, e := range r.Executions {
+		keys = append(keys, e.SourceKey())
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestPruningBitIdenticalLitmus checks the invariant over the whole
+// litmus corpus under every model configuration, at one and four
+// workers.
+func TestPruningBitIdenticalLitmus(t *testing.T) {
+	ctx := context.Background()
+	for _, lt := range litmus.Registry() {
+		if testing.Short() && (lt.Name == "SB3W" || lt.Name == "IRIW" || lt.Name == "IRIWFenced") {
+			continue
+		}
+		for _, m := range litmus.Models() {
+			want, err := litmus.RunContext(ctx, lt, m, baselineOpts(), 1)
+			if err != nil {
+				t.Fatalf("%s/%s baseline: %v", lt.Name, m.Name, err)
+			}
+			wantKeys := behaviorKeys(want)
+			for cname, opts := range pruneConfigs() {
+				for _, workers := range []int{1, 4} {
+					got, err := litmus.RunContext(ctx, lt, m, opts, workers)
+					if err != nil {
+						t.Fatalf("%s/%s %s w%d: %v", lt.Name, m.Name, cname, workers, err)
+					}
+					if gotKeys := behaviorKeys(got); !sameKeys(gotKeys, wantKeys) {
+						t.Errorf("%s/%s: pruning %q at %d workers changed the behavior set: %d executions vs baseline %d",
+							lt.Name, m.Name, cname, workers, len(gotKeys), len(wantKeys))
+					}
+					if got.Stats.StatesExplored > want.Stats.StatesExplored {
+						t.Errorf("%s/%s: pruning %q at %d workers explored MORE states (%d) than baseline (%d)",
+							lt.Name, m.Name, cname, workers, got.Stats.StatesExplored, want.Stats.StatesExplored)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestPruningBitIdenticalRand extends the invariant to the randprog
+// corpus: ≥500 seeds in full mode (~60 under -short), all pruning layers
+// on versus all off, sequential and parallel.
+func TestPruningBitIdenticalRand(t *testing.T) {
+	seeds := 500
+	if testing.Short() {
+		seeds = 60
+	}
+	models := []order.Policy{order.TSO(), order.Relaxed()}
+	ctx := context.Background()
+	for seed := int64(0); seed < int64(seeds); seed++ {
+		threads, ops := 2, 4
+		if seed%4 == 1 {
+			threads, ops = 3, 3
+		}
+		p := randprog.Generate(randprog.Config{Seed: seed, Threads: threads, Ops: ops})
+		for _, pol := range models {
+			want, err := core.Enumerate(ctx, p, pol, baselineOpts())
+			if err != nil {
+				t.Fatalf("seed %d %s baseline: %v", seed, pol.Name(), err)
+			}
+			wantKeys := behaviorKeys(want)
+			pruned := core.Options{Symmetry: true}
+			got, err := core.Enumerate(ctx, p, pol, pruned)
+			if err != nil {
+				t.Fatalf("seed %d %s pruned: %v", seed, pol.Name(), err)
+			}
+			if gotKeys := behaviorKeys(got); !sameKeys(gotKeys, wantKeys) {
+				t.Fatalf("seed %d %s: pruned behavior set diverges (%d vs %d executions)\nprogram:\n%s",
+					seed, pol.Name(), len(gotKeys), len(wantKeys), p)
+			}
+			// Parallel spot check on a rotating subset to bound runtime.
+			if seed%5 == 0 {
+				gotPar, err := core.EnumerateParallel(ctx, p, pol, pruned, 4)
+				if err != nil {
+					t.Fatalf("seed %d %s pruned parallel: %v", seed, pol.Name(), err)
+				}
+				if gotKeys := behaviorKeys(gotPar); !sameKeys(gotKeys, wantKeys) {
+					t.Fatalf("seed %d %s: parallel pruned behavior set diverges (%d vs %d executions)\nprogram:\n%s",
+						seed, pol.Name(), len(gotKeys), len(wantKeys), p)
+				}
+			}
+		}
+	}
+}
+
+// TestSymmetryActuallyPrunes pins the point of the tentpole: on the
+// rotation-symmetric SB3 family, symmetry + prefix pruning must explore
+// strictly fewer states than the unpruned engine while (per the tests
+// above) emitting the identical behavior set.
+func TestSymmetryActuallyPrunes(t *testing.T) {
+	ctx := context.Background()
+	for _, name := range []string{"SB3", "SB3W"} {
+		lt, ok := litmus.ByName(name)
+		if !ok {
+			t.Fatalf("litmus test %s not registered", name)
+		}
+		m, _ := litmus.ModelByName("Relaxed")
+		base, err := litmus.RunContext(ctx, lt, m, baselineOpts(), 1)
+		if err != nil {
+			t.Fatalf("%s baseline: %v", name, err)
+		}
+		pruned, err := litmus.RunContext(ctx, lt, m, core.Options{Symmetry: true}, 1)
+		if err != nil {
+			t.Fatalf("%s pruned: %v", name, err)
+		}
+		if pruned.Stats.SymmetryPruned == 0 {
+			t.Errorf("%s: symmetry reduction never fired (stats %+v)", name, pruned.Stats)
+		}
+		if pruned.Stats.StatesExplored*2 > base.Stats.StatesExplored {
+			t.Errorf("%s: expected ≥2x state reduction, got %d pruned vs %d baseline",
+				name, pruned.Stats.StatesExplored, base.Stats.StatesExplored)
+		}
+		if !sameKeys(behaviorKeys(pruned), behaviorKeys(base)) {
+			t.Errorf("%s: pruned behavior set diverges from baseline", name)
+		}
+	}
+}

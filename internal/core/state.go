@@ -83,6 +83,51 @@ type state struct {
 	aliases  []aliasPair
 	bypasses [][2]int
 
+	// epoch counts generate() calls; every node is stamped with the
+	// epoch it was generated in. Together with (thread, seq) this makes
+	// node-ID assignment reconstructible under a thread permutation —
+	// the basis of the symmetry reduction's image-ID mapping.
+	epoch int32
+
+	// dirty queues nodes for the incremental closure's next worklist:
+	// membership changes in the per-address index (noteStore/noteLoad)
+	// are invisible to the graph's closure change log, so they are
+	// recorded here. Only used when the graph's change log is on.
+	dirty graph.Bits
+	// work is the incremental closure's per-pass worklist (scratch;
+	// never copied by fork).
+	work graph.Bits
+	// eligCache memoizes eligible() per node (eligStale until computed);
+	// entries are invalidated by closure growth and by resolutions.
+	eligCache []uint8
+	// newRMW lists store-effect atomics resolved since the last closure,
+	// for the incremental RMW-indivisibility check.
+	newRMW []int32
+
+	// seenKeyed/seenH/seenSig record that this state was inserted into
+	// the engine's seen set at fork time (prefix pruning) and under which
+	// key, so the post-quiescence backstop check does not discard the
+	// state as a duplicate of itself.
+	seenKeyed bool
+	seenH     uint64
+	seenSig   string
+
+	// symKeys/symIDs are scratch for the symmetry reduction's image-ID
+	// mapping (symImageNodes).
+	symKeys []uint64
+	symIDs  []int32
+
+	// prepValid/prepPairs/prepPermImg/prepPermPairs cache the dedup-key
+	// ingredients of the quiesced state (prepDedup): the sorted resolved
+	// pairs, and per automorphism the image-ID map and sorted image
+	// pairs. childKey reads them to price a would-be child's dedup key
+	// without forking. fork invalidates the clone's cache; the backing
+	// arrays are reused across pool recycles.
+	prepValid     bool
+	prepPairs     [][2]int32
+	prepPermImg   [][]int32
+	prepPermPairs [][][2]int32
+
 	// shard is the metric shard / trace lane for telemetry: the index of
 	// the engine worker currently processing this behavior (0 for the
 	// sequential engine). The owning engine sets it before each
@@ -153,6 +198,11 @@ func newState(p *program.Program, pol order.Policy, opts Options) *state {
 		byThread: make([][]int, len(p.Threads)),
 		addrs:    make([]addrSet, 0, len(addrs)+2),
 	}
+	if !opts.DisableIncrementalClosure {
+		// The worklist closure keys off the graph's change log; enable it
+		// before any edge exists so no closure growth goes unrecorded.
+		s.g.EnableChangeLog()
+	}
 	// Initializing stores precede everything (Section 4: "Memory is
 	// initialized with Store operations before any thread is started").
 	for _, a := range addrs {
@@ -192,12 +242,24 @@ func (s *state) addrIdx(a program.Addr) int {
 func (s *state) noteStore(id int, a program.Addr) {
 	i := s.addrIdx(a)
 	s.addrs[i].stores = append(s.addrs[i].stores, int32(id))
+	s.markDirty(id)
 }
 
 // noteLoad registers a resolved reading node in the per-address index.
 func (s *state) noteLoad(id int, a program.Addr) {
 	i := s.addrIdx(a)
 	s.addrs[i].loads = append(s.addrs[i].loads, int32(id))
+	s.markDirty(id)
+}
+
+// markDirty queues node id for the incremental closure's next pass.
+// Index-membership changes must be marked explicitly — the graph change
+// log only sees closure growth.
+func (s *state) markDirty(id int) {
+	if s.g.ChangeLogEnabled() {
+		s.dirty = s.dirty.Grown(id + 1)
+		s.dirty.Set(id)
+	}
 }
 
 // addInitStore creates the initializing store node for address a. When
@@ -214,6 +276,7 @@ func (s *state) addInitStore(a program.Addr, v program.Value, late bool) int {
 		Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
 	})
 	s.addrs = append(s.addrs, addrSet{addr: a, init: id, stores: []int32{int32(id)}})
+	s.markDirty(id)
 	if late {
 		mustEdge(s.g.AddEdge(id, s.start, graph.EdgeLocal))
 	}
@@ -274,6 +337,12 @@ func (s *state) fork(p *statePool) *state {
 	c.aliases = append(c.aliases[:0], s.aliases...)
 	c.bypasses = append(c.bypasses[:0], s.bypasses...)
 	c.path = append(c.path[:0], s.path...)
+	c.epoch = s.epoch
+	c.dirty = graph.CopyInto(c.dirty, s.dirty)
+	c.eligCache = append(c.eligCache[:0], s.eligCache...)
+	c.newRMW = append(c.newRMW[:0], s.newRMW...)
+	c.seenKeyed, c.seenH, c.seenSig = false, 0, ""
+	c.prepValid = false
 	return c
 }
 
@@ -300,6 +369,7 @@ func (s *state) regNode(t int, r program.Reg) int {
 // whether any node was generated.
 func (s *state) generate() (bool, error) {
 	progress := false
+	s.epoch++
 	for ti := range s.threads {
 		th := &s.threads[ti]
 		for th.blocked == NoNode && th.pc < len(s.prog.Threads[ti].Instrs) {
@@ -336,7 +406,7 @@ func (s *state) genOne(ti int) error {
 		ID: id, Thread: ti, PC: th.pc, Seq: th.genSeq, Kind: in.Kind,
 		Label:  in.Label,
 		Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
-		instr: in,
+		instr: in, epoch: s.epoch,
 	}
 	if n.Label == "" {
 		n.Label = threadLabel(ti, th.genSeq)
@@ -505,6 +575,7 @@ func (s *state) execute() (bool, error) {
 				if n.Kind == program.KindStore {
 					s.noteStore(id, n.Addr)
 				}
+				s.noteAddrKnown(id)
 				changed = true
 			}
 			// Loads and Atomics resolve only through Load
@@ -515,6 +586,7 @@ func (s *state) execute() (bool, error) {
 			switch n.Kind {
 			case program.KindFence:
 				n.Resolved = true
+				s.noteResolved(id)
 				changed = true
 			case program.KindOp:
 				// The argument buffer is scratch reused across Op
@@ -538,6 +610,7 @@ func (s *state) execute() (bool, error) {
 						n.Val = n.instr.Fn(vals)
 					}
 					n.Resolved = true
+					s.noteResolved(id)
 					changed = true
 				}
 			case program.KindBranch:
@@ -552,6 +625,7 @@ func (s *state) execute() (bool, error) {
 				if ok {
 					n.Resolved = true
 					n.Val = v
+					s.noteResolved(id)
 					th := &s.threads[n.Thread]
 					if th.blocked == n.ID {
 						th.blocked = NoNode
@@ -568,10 +642,12 @@ func (s *state) execute() (bool, error) {
 				if n.valDep == NoNode {
 					n.Val = n.instr.ValConst
 					n.Resolved = true
+					s.noteResolved(id)
 					changed = true
 				} else if s.nodes[n.valDep].Resolved {
 					n.Val = s.nodes[n.valDep].Val
 					n.Resolved = true
+					s.noteResolved(id)
 					changed = true
 				}
 			}

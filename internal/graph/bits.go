@@ -33,6 +33,53 @@ func (b Bits) Or(o Bits) {
 	}
 }
 
+// OrChanged sets b |= o and reports whether any bit of b actually
+// flipped. The incremental-closure change log uses it: propagation only
+// marks a node dirty when its ancestor/descendant set really grew, so an
+// edge insertion that was already transitively implied costs no closure
+// re-examination downstream.
+func (b Bits) OrChanged(o Bits) bool {
+	changed := false
+	for i := range b {
+		w := b[i] | o[i]
+		if w != b[i] {
+			b[i] = w
+			changed = true
+		}
+	}
+	return changed
+}
+
+// SetChanged sets bit i and reports whether it was previously clear.
+func (b Bits) SetChanged(i int) bool {
+	w := &b[i>>6]
+	mask := uint64(1) << uint(i&63)
+	if *w&mask != 0 {
+		return false
+	}
+	*w |= mask
+	return true
+}
+
+// OrInto sets dst |= src, growing dst's backing array first when src is
+// wider (Or alone requires equal capacity). It returns the destination,
+// like append.
+func OrInto(dst, src Bits) Bits {
+	if len(dst) < len(src) {
+		grown := make(Bits, len(src))
+		copy(grown, dst)
+		dst = grown
+	}
+	for i := range src {
+		dst[i] |= src[i]
+	}
+	return dst
+}
+
+// Grown returns b extended to hold n bits (the exported form of grow,
+// for callers outside the package that size worklists to a graph).
+func (b Bits) Grown(n int) Bits { return b.grow(n) }
+
 // AndNot sets b &^= o.
 func (b Bits) AndNot(o Bits) {
 	for i := range b {

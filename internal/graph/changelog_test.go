@@ -1,0 +1,144 @@
+package graph
+
+import "testing"
+
+func drainSet(g *Graph) map[int]bool {
+	var b Bits
+	b = g.DrainChangeLog(b)
+	out := map[int]bool{}
+	b.ForEach(func(id int) bool { out[id] = true; return true })
+	return out
+}
+
+func TestChangeLogRecordsClosureGrowth(t *testing.T) {
+	g := New(4, 4)
+	g.EnableChangeLog()
+	if !g.ChangeLogEmpty() {
+		t.Fatal("fresh log not empty")
+	}
+	if err := g.AddEdge(0, 1, EdgeLocal); err != nil {
+		t.Fatal(err)
+	}
+	got := drainSet(g)
+	if !got[0] || !got[1] {
+		t.Fatalf("0->1 should log both endpoints, got %v", got)
+	}
+	if got[2] || got[3] {
+		t.Fatalf("untouched nodes logged: %v", got)
+	}
+	if !g.ChangeLogEmpty() {
+		t.Fatal("drain did not clear the log")
+	}
+
+	// 1->2 grows the closure of ancestor 0 as well.
+	if err := g.AddEdge(1, 2, EdgeAtomicity); err != nil {
+		t.Fatal(err)
+	}
+	got = drainSet(g)
+	for _, id := range []int{0, 1, 2} {
+		if !got[id] {
+			t.Fatalf("1->2 should log {0,1,2}, got %v", got)
+		}
+	}
+}
+
+func TestChangeLogSkipsImpliedEdges(t *testing.T) {
+	g := New(3, 3)
+	g.EnableChangeLog()
+	mustAdd(t, g, 0, 1)
+	mustAdd(t, g, 1, 2)
+	g.DrainChangeLog(Bits{})
+	// 0->2 is already implied transitively: closure sets do not grow, so
+	// nothing may enter the log.
+	mustAdd(t, g, 0, 2)
+	if !g.ChangeLogEmpty() {
+		t.Fatalf("implied edge logged changes: %v", drainSet(g))
+	}
+	// Re-adding a known edge is likewise silent.
+	mustAdd(t, g, 0, 1)
+	if !g.ChangeLogEmpty() {
+		t.Fatalf("duplicate edge logged changes: %v", drainSet(g))
+	}
+}
+
+func TestChangeLogSurvivesGrowthAndClone(t *testing.T) {
+	g := New(2, 2)
+	g.EnableChangeLog()
+	mustAdd(t, g, 0, 1)
+	first := g.AddNodes(3)
+	mustAdd(t, g, 1, first)
+	c := g.Clone()
+	if !c.ChangeLogEnabled() {
+		t.Fatal("clone dropped change-log mode")
+	}
+	want := drainSet(g)
+	got := drainSet(c)
+	if len(want) != len(got) {
+		t.Fatalf("clone log %v != original %v", got, want)
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("clone log missing %d (want %v)", id, want)
+		}
+	}
+	// Post-clone edits are independent.
+	mustAdd(t, g, 0, first+1)
+	if c.ChangeLogEmpty() == false {
+		t.Fatal("editing the original dirtied the clone's log")
+	}
+}
+
+// TestChangeLogMatchesRecompute drives a nontrivial DAG and checks that
+// (a) the logged-variant closure equals a from-scratch RecomputeClosure
+// and (b) every node whose closure sets grew on an insertion was logged.
+func TestChangeLogMatchesRecompute(t *testing.T) {
+	const n = 12
+	g := New(n, n)
+	g.EnableChangeLog()
+	edges := [][2]int{{0, 1}, {2, 3}, {1, 4}, {3, 4}, {4, 5}, {0, 6}, {6, 5}, {7, 8}, {8, 9}, {5, 7}, {2, 10}, {10, 11}, {11, 9}, {1, 10}}
+	for _, e := range edges {
+		before := snapshotClosure(g, n)
+		mustAdd(t, g, e[0], e[1])
+		after := snapshotClosure(g, n)
+		logged := map[int]bool{}
+		g.log.ForEach(func(id int) bool { logged[id] = true; return true })
+		for id := 0; id < n; id++ {
+			grew := false
+			for j := 0; j < n; j++ {
+				if after[id][j] && !before[id][j] || after[j][id] && !before[j][id] {
+					grew = true
+				}
+			}
+			if grew && !logged[id] {
+				t.Fatalf("edge %v: node %d closure grew but was not logged", e, id)
+			}
+		}
+	}
+	oracle := g.Clone()
+	oracle.RecomputeClosure()
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			if g.Before(a, b) != oracle.Before(a, b) {
+				t.Fatalf("Before(%d,%d): incremental %v, recompute %v", a, b, g.Before(a, b), oracle.Before(a, b))
+			}
+		}
+	}
+}
+
+func snapshotClosure(g *Graph, n int) [][]bool {
+	m := make([][]bool, n)
+	for a := 0; a < n; a++ {
+		m[a] = make([]bool, n)
+		for b := 0; b < n; b++ {
+			m[a][b] = g.Before(a, b)
+		}
+	}
+	return m
+}
+
+func mustAdd(t *testing.T, g *Graph, a, b int) {
+	t.Helper()
+	if err := g.AddEdge(a, b, EdgeLocal); err != nil {
+		t.Fatalf("AddEdge(%d,%d): %v", a, b, err)
+	}
+}

@@ -69,7 +69,35 @@ type Graph struct {
 	// desc/anc are the strict transitive closure.
 	desc []Bits
 	anc  []Bits
+	// log, when enabled, accumulates the IDs of nodes whose desc or anc
+	// sets grew since the last DrainChangeLog. The Store Atomicity
+	// worklist closure keys its re-examination on this set.
+	log   Bits
+	logOn bool
 }
+
+// EnableChangeLog turns on closure change tracking: from now on, every
+// node whose ancestor or descendant set actually grows is recorded until
+// the next DrainChangeLog. Enable before inserting edges; pre-existing
+// closure facts are not retroactively logged.
+func (g *Graph) EnableChangeLog() {
+	g.logOn = true
+	g.log = g.log.grow(g.cap)
+}
+
+// ChangeLogEnabled reports whether closure change tracking is on.
+func (g *Graph) ChangeLogEnabled() bool { return g.logOn }
+
+// DrainChangeLog ORs the set of changed node IDs into dst (growing it as
+// needed), clears the log, and returns dst.
+func (g *Graph) DrainChangeLog(dst Bits) Bits {
+	dst = OrInto(dst, g.log)
+	g.log.Reset()
+	return dst
+}
+
+// ChangeLogEmpty reports whether no closure growth is pending.
+func (g *Graph) ChangeLogEmpty() bool { return !g.logOn || g.log.Empty() }
 
 // New returns a graph with n nodes and capacity for at least capHint nodes
 // (growing beyond the hint reallocates bitsets).
@@ -97,6 +125,9 @@ func (g *Graph) AddNodes(k int) int {
 			g.desc[i] = g.desc[i].grow(g.cap)
 			g.anc[i] = g.anc[i].grow(g.cap)
 		}
+	}
+	if g.logOn {
+		g.log = g.log.grow(g.cap)
 	}
 	for i := len(g.succ); i < g.n; i++ {
 		g.succ = append(g.succ, NewBits(g.cap))
@@ -173,20 +204,54 @@ func (g *Graph) AddOrder(a, b int, kind EdgeKind) error {
 }
 
 func (g *Graph) propagate(a, b int) {
-	g.desc[a].Set(b)
-	g.desc[a].Or(g.desc[b])
-	g.anc[b].Set(a)
-	g.anc[b].Or(g.anc[a])
-	// Every ancestor p of a gains a's new descendants; every descendant s
-	// of b gains b's new ancestors.
+	if !g.logOn {
+		g.desc[a].Set(b)
+		g.desc[a].Or(g.desc[b])
+		g.anc[b].Set(a)
+		g.anc[b].Or(g.anc[a])
+		// Every ancestor p of a gains a's new descendants; every
+		// descendant s of b gains b's new ancestors.
+		da := g.desc[a]
+		g.anc[a].ForEach(func(p int) bool {
+			g.desc[p].Or(da)
+			return true
+		})
+		ab := g.anc[b]
+		g.desc[b].ForEach(func(s int) bool {
+			g.anc[s].Or(ab)
+			return true
+		})
+		return
+	}
+	// Logged variant: a node enters the change log only when its closure
+	// sets really grow, so an insertion that was mostly implied stays
+	// cheap for the worklist consumer.
+	cd := g.desc[a].SetChanged(b)
+	if g.desc[a].OrChanged(g.desc[b]) {
+		cd = true
+	}
+	if cd {
+		g.log.Set(a)
+	}
+	ca := g.anc[b].SetChanged(a)
+	if g.anc[b].OrChanged(g.anc[a]) {
+		ca = true
+	}
+	if ca {
+		g.log.Set(b)
+	}
 	da := g.desc[a]
 	g.anc[a].ForEach(func(p int) bool {
-		g.desc[p].Or(da)
+		if g.desc[p].OrChanged(da) {
+			g.log.Set(p)
+		}
 		return true
 	})
 	ab := g.anc[b]
 	g.desc[b].ForEach(func(s int) bool {
-		g.anc[s].Or(ab)
+		if g.anc[s].OrChanged(ab) {
+			g.log.Set(s)
+		}
 		return true
 	})
 }
@@ -197,12 +262,13 @@ func (g *Graph) WouldCycle(a, b int) bool { return a == b || g.desc[b].Has(a) }
 // Clone returns a deep copy sharing no storage; enumeration forks behaviors
 // by cloning.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n, cap: g.cap}
+	c := &Graph{n: g.n, cap: g.cap, logOn: g.logOn}
 	c.edges = append([]Edge(nil), g.edges...)
 	c.succ = cloneBitsSlice(g.succ)
 	c.pred = cloneBitsSlice(g.pred)
 	c.desc = cloneBitsSlice(g.desc)
 	c.anc = cloneBitsSlice(g.anc)
+	c.log = g.log.Clone()
 	return c
 }
 
@@ -228,6 +294,8 @@ func (g *Graph) CloneInto(dst *Graph) *Graph {
 	dst.pred = copyBitsSliceInto(dst.pred, g.pred)
 	dst.desc = copyBitsSliceInto(dst.desc, g.desc)
 	dst.anc = copyBitsSliceInto(dst.anc, g.anc)
+	dst.logOn = g.logOn
+	dst.log = CopyInto(dst.log, g.log)
 	return dst
 }
 

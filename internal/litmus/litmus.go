@@ -146,6 +146,7 @@ func Registry() []*Test {
 	var all []*Test
 	all = append(all, Figures()...)
 	all = append(all, Classics()...)
+	all = append(all, Symmetric()...)
 	all = append(all, Extras()...)
 	all = append(all, Atomics()...)
 	all = append(all, Membars()...)

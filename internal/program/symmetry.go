@@ -1,0 +1,211 @@
+package program
+
+import "reflect"
+
+// Program automorphisms for symmetry reduction. Many litmus tests are
+// symmetric — SB's two threads run the same code with x and y exchanged,
+// IRIW's writer pair and reader pair can be swapped together — and the
+// enumeration explores each symmetric behavior once per orbit member. An
+// automorphism is a thread permutation plus an address permutation that
+// maps the program text onto itself (up to labels and per-thread register
+// naming); the core engine uses the set to canonicalize states and to
+// reconstruct pruned orbit members afterwards, so detection must be
+// sound: a permutation is reported only when every instruction unifies
+// exactly.
+
+// Automorphism is one symmetry of a program: thread i's code is thread
+// Threads[i]'s code with every address a renamed to Addrs[a] (and some
+// consistent register renaming, which is internal to a thread and not
+// reported).
+type Automorphism struct {
+	// Threads maps each thread index to its image.
+	Threads []int
+	// Addrs maps every program address (see Addresses) to its image;
+	// it is a bijection on the address set.
+	Addrs map[Addr]Addr
+}
+
+// maxSymThreads caps the thread-permutation search: the group is
+// enumerated by brute force over thread permutations, which is fine for
+// litmus-scale programs and pointless beyond.
+const maxSymThreads = 5
+
+// Automorphisms returns every non-identity automorphism of p, or nil
+// when the program has no usable symmetry. The returned set is the full
+// automorphism group minus the identity (the group axioms hold because
+// every thread permutation is tried and kept iff it unifies).
+//
+// Programs with register-indirect addressing are rejected outright:
+// late-discovered addresses create initializing-store nodes in discovery
+// order, which breaks the ID-reconstruction the core layer's symmetry
+// reduction depends on (and aliasing behavior need not be symmetric
+// under address renaming anyway).
+func Automorphisms(p *Program) []Automorphism {
+	n := len(p.Threads)
+	if n < 2 || n > maxSymThreads {
+		return nil
+	}
+	for _, t := range p.Threads {
+		for _, in := range t.Instrs {
+			if in.UseAddrReg {
+				return nil
+			}
+		}
+	}
+	var out []Automorphism
+	perm := make([]int, n)
+	used := make([]bool, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			identity := true
+			for j, v := range perm {
+				if v != j {
+					identity = false
+					break
+				}
+			}
+			if identity {
+				return
+			}
+			if am, ok := tryUnify(p, perm); ok {
+				out = append(out, am)
+			}
+			return
+		}
+		for v := 0; v < n; v++ {
+			if used[v] {
+				continue
+			}
+			used[v] = true
+			perm[i] = v
+			rec(i + 1)
+			used[v] = false
+		}
+	}
+	rec(0)
+	return out
+}
+
+// tryUnify checks whether the thread permutation extends to a full
+// automorphism, accumulating the induced address bijection as it goes.
+func tryUnify(p *Program, perm []int) (Automorphism, bool) {
+	addrTo := map[Addr]Addr{}
+	addrFrom := map[Addr]Addr{}
+	for i, img := range perm {
+		if !unifyThread(p.Threads[i].Instrs, p.Threads[img].Instrs, addrTo, addrFrom) {
+			return Automorphism{}, false
+		}
+	}
+	// Addresses referenced only by Init (no instruction constrains
+	// them) default to fixed points; a conflict with the instruction-
+	// induced bijection rejects the permutation (conservative: fewer
+	// automorphisms means less pruning, never unsoundness).
+	addrs := p.Addresses()
+	for _, a := range addrs {
+		if _, ok := addrTo[a]; ok {
+			continue
+		}
+		if _, taken := addrFrom[a]; taken {
+			return Automorphism{}, false
+		}
+		addrTo[a] = a
+		addrFrom[a] = a
+	}
+	// The initial memory image must be invariant: the permuted run
+	// starts from Init ∘ π, which must equal Init.
+	for _, a := range addrs {
+		if p.Init[a] != p.Init[addrTo[a]] {
+			return Automorphism{}, false
+		}
+	}
+	return Automorphism{Threads: append([]int(nil), perm...), Addrs: addrTo}, true
+}
+
+// unifyThread matches instruction list a against b under a consistent
+// renaming: one global address bijection (threaded through addrTo/
+// addrFrom) and one fresh per-thread-pair register bijection. Exact
+// equality is required for everything that affects semantics — kinds,
+// constants, atomic flavors, fence masks, transactions, branch targets,
+// Op functions (by code pointer) — while labels are naming only and
+// register IDs only need to correspond, not coincide (SB's two threads
+// conventionally load into r1 and r2; the symmetry is real).
+func unifyThread(a, b []Instr, addrTo, addrFrom map[Addr]Addr) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	rm := map[Reg]Reg{}
+	rinv := map[Reg]Reg{}
+	regOK := func(ra, rb Reg) bool {
+		if x, ok := rm[ra]; ok {
+			return x == rb
+		}
+		if x, ok := rinv[rb]; ok {
+			return x == ra
+		}
+		rm[ra] = rb
+		rinv[rb] = ra
+		return true
+	}
+	addrOK := func(aa, ab Addr) bool {
+		if x, ok := addrTo[aa]; ok {
+			return x == ab
+		}
+		if x, ok := addrFrom[ab]; ok {
+			return x == aa
+		}
+		addrTo[aa] = ab
+		addrFrom[ab] = aa
+		return true
+	}
+	for k := range a {
+		ia, ib := &a[k], &b[k]
+		if ia.Kind != ib.Kind || ia.UseValReg != ib.UseValReg ||
+			ia.Atomic != ib.Atomic || ia.Expect != ib.Expect ||
+			ia.FenceMask != ib.FenceMask || ia.Tx != ib.Tx || ia.Target != ib.Target {
+			return false
+		}
+		switch ia.Kind {
+		case KindLoad:
+			if !addrOK(ia.AddrConst, ib.AddrConst) || !regOK(ia.Dest, ib.Dest) {
+				return false
+			}
+		case KindStore, KindAtomic:
+			if !addrOK(ia.AddrConst, ib.AddrConst) {
+				return false
+			}
+			if ia.UseValReg {
+				if !regOK(ia.ValReg, ib.ValReg) {
+					return false
+				}
+			} else if ia.ValConst != ib.ValConst {
+				return false
+			}
+			if ia.Kind == KindAtomic && !regOK(ia.Dest, ib.Dest) {
+				return false
+			}
+		case KindOp:
+			if len(ia.Args) != len(ib.Args) || (ia.Fn == nil) != (ib.Fn == nil) {
+				return false
+			}
+			if ia.Fn != nil && reflect.ValueOf(ia.Fn).Pointer() != reflect.ValueOf(ib.Fn).Pointer() {
+				return false
+			}
+			for j := range ia.Args {
+				if !regOK(ia.Args[j], ib.Args[j]) {
+					return false
+				}
+			}
+			if !regOK(ia.Dest, ib.Dest) {
+				return false
+			}
+		case KindBranch:
+			if !regOK(ia.CondReg, ib.CondReg) {
+				return false
+			}
+		case KindFence:
+			// FenceMask already compared.
+		}
+	}
+	return true
+}

@@ -1,0 +1,132 @@
+package program
+
+import "testing"
+
+// sb builds classic two-thread store buffering; the thread swap combined
+// with X↔Y is an automorphism even though the threads use different
+// destination registers (the register bijection is per-thread-pair).
+func sb() *Program {
+	b := NewBuilder()
+	b.Thread("A").StoreL("Sx", X, 1).LoadL("Ly", 1, Y)
+	b.Thread("B").StoreL("Sy", Y, 1).LoadL("Lx", 2, X)
+	return b.Build()
+}
+
+func TestAutomorphismsSB(t *testing.T) {
+	ams := Automorphisms(sb())
+	if len(ams) != 1 {
+		t.Fatalf("SB: want exactly the thread swap, got %d automorphisms: %+v", len(ams), ams)
+	}
+	am := ams[0]
+	if am.Threads[0] != 1 || am.Threads[1] != 0 {
+		t.Errorf("SB: want thread swap, got %v", am.Threads)
+	}
+	if am.Addrs[X] != Y || am.Addrs[Y] != X {
+		t.Errorf("SB: want X<->Y, got %v", am.Addrs)
+	}
+}
+
+func TestAutomorphismsMPHasNone(t *testing.T) {
+	// Message passing is asymmetric: one thread only stores, the other
+	// only loads.
+	b := NewBuilder()
+	b.Thread("P").Store(X, 1).Store(Y, 1)
+	b.Thread("C").Load(1, Y).Load(2, X)
+	if ams := Automorphisms(b.Build()); len(ams) != 0 {
+		t.Fatalf("MP: want no automorphisms, got %+v", ams)
+	}
+}
+
+func TestAutomorphismsSB3Rotations(t *testing.T) {
+	b := NewBuilder()
+	b.Thread("A").Store(X, 1).Load(1, Y)
+	b.Thread("B").Store(Y, 1).Load(2, Z)
+	b.Thread("C").Store(Z, 1).Load(3, X)
+	ams := Automorphisms(b.Build())
+	// The cyclic structure admits exactly the two non-trivial rotations;
+	// a transposition would have to reverse the cycle, which the
+	// store-then-load-of-successor pattern forbids.
+	if len(ams) != 2 {
+		t.Fatalf("SB3: want 2 rotations, got %d: %+v", len(ams), ams)
+	}
+	for _, am := range ams {
+		next := am.Threads
+		if next[0] == next[1] || next[1] == next[2] || next[0] == next[2] {
+			t.Fatalf("SB3: permutation not injective: %v", next)
+		}
+		// Rotation consistency: thread i's addresses must shift the same
+		// way as thread i itself.
+		want := map[int][2]Addr{0: {X, Y}, 1: {Y, Z}, 2: {Z, X}}
+		for i := 0; i < 3; i++ {
+			img := want[next[i]]
+			if am.Addrs[want[i][0]] != img[0] || am.Addrs[want[i][1]] != img[1] {
+				t.Errorf("SB3: thread %d->%d but addrs map %v inconsistently (%v)", i, next[i], want[i], am.Addrs)
+			}
+		}
+	}
+}
+
+func TestAutomorphismsValueMismatch(t *testing.T) {
+	// Same shape as SB but the stored constants differ, so the swap does
+	// not preserve the program text.
+	b := NewBuilder()
+	b.Thread("A").Store(X, 1).Load(1, Y)
+	b.Thread("B").Store(Y, 2).Load(2, X)
+	if ams := Automorphisms(b.Build()); len(ams) != 0 {
+		t.Fatalf("want no automorphisms with distinct store values, got %+v", ams)
+	}
+}
+
+func TestAutomorphismsAsymmetricInit(t *testing.T) {
+	// The swap would map X to Y, but their initial values differ.
+	b := NewBuilder()
+	b.Init(X, 7)
+	b.Thread("A").Store(X, 1).Load(1, Y)
+	b.Thread("B").Store(Y, 1).Load(2, X)
+	if ams := Automorphisms(b.Build()); len(ams) != 0 {
+		t.Fatalf("want no automorphisms under asymmetric Init, got %+v", ams)
+	}
+}
+
+func TestAutomorphismsRejectAddrReg(t *testing.T) {
+	// Register-indirect addressing defeats the static address bijection;
+	// detection must bail out entirely.
+	b := NewBuilder()
+	b.Thread("A").StoreInd(1, 1).Load(2, Y)
+	b.Thread("B").StoreInd(1, 1).Load(2, Y)
+	if ams := Automorphisms(b.Build()); ams != nil {
+		t.Fatalf("want nil for register-indirect addressing, got %+v", ams)
+	}
+}
+
+func TestAutomorphismsSingleAndManyThreads(t *testing.T) {
+	one := NewBuilder()
+	one.Thread("A").Store(X, 1)
+	if ams := Automorphisms(one.Build()); ams != nil {
+		t.Fatalf("single thread: want nil, got %+v", ams)
+	}
+	big := NewBuilder()
+	for i := 0; i < 6; i++ {
+		big.Thread(string(rune('A'+i))).Load(1, X)
+	}
+	if ams := Automorphisms(big.Build()); ams != nil {
+		t.Fatalf(">maxSymThreads: want nil (detection opts out), got %+v", ams)
+	}
+}
+
+func TestAutomorphismsFenceAndRegisterStructure(t *testing.T) {
+	// Symmetric threads with fences and register-flow (Op feeding a
+	// store) unify; changing one fence mask breaks the symmetry.
+	mk := func(mask uint8) *Program {
+		b := NewBuilder()
+		b.Thread("A").Load(1, X).Membar(mask).Op(2, nil, 1).StoreReg(Y, 2)
+		b.Thread("B").Load(1, Y).Membar(0xF).Op(2, nil, 1).StoreReg(X, 2)
+		return b.Build()
+	}
+	if ams := Automorphisms(mk(0xF)); len(ams) != 1 {
+		t.Fatalf("symmetric fenced threads: want 1 automorphism, got %+v", ams)
+	}
+	if ams := Automorphisms(mk(0x3)); len(ams) != 0 {
+		t.Fatalf("mismatched membar masks: want none, got %+v", ams)
+	}
+}

@@ -11,6 +11,7 @@ var (
 	candidateBounds  = []int64{0, 1, 2, 3, 4, 6, 8, 16}
 	latencyNsBounds  = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 	frontierLogScale = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384}
+	worklistBounds   = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
 )
 
 // EnumMetrics instruments the enumeration engines (sequential and
@@ -28,6 +29,14 @@ type EnumMetrics struct {
 	Rollbacks  *Counter
 	Steals     *Counter
 	Behaviors  *Counter
+
+	// Search-pruning instrumentation: forks killed at fork time by the
+	// prefix/symmetry seen-set, candidate scans skipped by the
+	// eligibility cache, and incremental-closure worklist sizes.
+	PrunePrefix   *Counter
+	PruneSymmetry *Counter
+	DirtySkips    *Counter
+	WorklistLen   *Histogram
 
 	// Phase-time counters map to Section 4 of the paper: graph
 	// generation (step 1), dataflow execution + atomicity closure
@@ -54,7 +63,7 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	}
 	m := &EnumMetrics{reg: reg}
 	m.Explored = reg.NewCounter("enum_states_explored_total", "behaviors removed from the work set")
-	m.Forks = reg.NewCounter("enum_forks_total", "(load, candidate) resolutions attempted")
+	m.Forks = reg.NewCounter("enum_forks_total", "states forked for (load, candidate) resolutions (pruned candidates never fork)")
 	m.PoolHits = reg.NewCounter("enum_pool_hits_total", "forks served from a recycled state")
 	m.PoolMisses = reg.NewCounter("enum_pool_misses_total", "forks that allocated a fresh state")
 	m.DedupHits = reg.NewCounter("enum_dedup_hits_total", "forks dropped by Load-Store-graph dedup")
@@ -62,6 +71,10 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	m.Rollbacks = reg.NewCounter("enum_rollbacks_total", "behaviors discarded as inconsistent")
 	m.Steals = reg.NewCounter("enum_steals_total", "work items stolen from another worker's deque")
 	m.Behaviors = reg.NewCounter("enum_behaviors_total", "distinct final executions recorded")
+	m.PrunePrefix = reg.NewCounter("prune_prefix_hits", "forks dropped at fork time by prefix-state dedup")
+	m.PruneSymmetry = reg.NewCounter("prune_symmetry_hits", "forks dropped at fork time by symmetry canonicalization")
+	m.DirtySkips = reg.NewCounter("candidates_dirty_skips", "eligibility checks served from the per-load dirty-bit cache")
+	m.WorklistLen = reg.NewHistogramMetric("closure_worklist_len", "incremental-closure worklist size per pass", worklistBounds)
 	m.GenerateNs = reg.NewCounter("enum_phase_generate_ns_total", "time in graph generation (Section 4 step 1)")
 	m.ExecuteNs = reg.NewCounter("enum_phase_execute_ns_total", "time in dataflow execution + closure (step 2)")
 	m.ResolveNs = reg.NewCounter("enum_phase_resolve_ns_total", "time in Load Resolution forking (step 3)")
