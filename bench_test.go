@@ -491,6 +491,34 @@ func benchPrune(b *testing.B, test, model string, opts core.Options) {
 	b.ReportMetric(float64(states), "states/op")
 }
 
+// BenchmarkCOW A/Bs copy-on-write closure sharing against the deep-copy
+// fork path (-cow=off) on the fork-heavy entries. Behavior sets are
+// bit-identical (enforced by TestCOWBitIdenticalLitmus); only allocation
+// volume and wall-clock differ.
+func BenchmarkCOW(b *testing.B) {
+	for _, s := range []struct {
+		test, model string
+	}{
+		{"MP", "Relaxed"},
+		{"Figure10", "Relaxed"},
+		{"SB3", "Relaxed"},
+		{"SB3W", "Relaxed"},
+	} {
+		for _, c := range []struct {
+			name string
+			opts core.Options
+		}{
+			{"cow", core.Options{}},
+			{"deep", core.Options{DisableCOW: true}},
+		} {
+			b.Run(s.test+"_"+s.model+"/"+c.name, func(b *testing.B) {
+				b.ReportAllocs()
+				enumBench(b, s.test, s.model, c.opts)
+			})
+		}
+	}
+}
+
 // --- Parallel enumeration scaling ---
 
 func BenchmarkEnumerateWorkers(b *testing.B) {

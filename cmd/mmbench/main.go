@@ -12,9 +12,10 @@
 // The second form is the regression guard: it runs the suite, compares
 // every entry against the committed baseline snapshot, prints a delta
 // table, and exits non-zero when states explored regress by more than
-// -threshold percent (or ns/op by more than -ns-threshold percent; the
-// default -1 makes wall-clock report-only, since CI hosts differ from
-// the baseline host while states-explored counts are deterministic).
+// -threshold percent or allocs/op by more than -alloc-threshold percent
+// (or ns/op by more than -ns-threshold percent; the default -1 makes
+// wall-clock report-only, since CI hosts differ from the baseline host
+// while states-explored and allocation counts are deterministic).
 package main
 
 import (
@@ -69,6 +70,7 @@ type snapshot struct {
 	GoVersion string   `json:"go_version"`
 	NumCPU    int      `json:"num_cpu"`
 	Prune     string   `json:"prune,omitempty"`
+	Cow       string   `json:"cow,omitempty"`
 	Note      string   `json:"note,omitempty"`
 	Enum      []result `json:"enum"`
 	Parallel  []result `json:"parallel"`
@@ -106,9 +108,11 @@ func main() {
 		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
 		prune     = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
+		cow       = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
 		baseline  = flag.String("baseline", "", "compare against this snapshot and exit non-zero on regressions")
 		threshold = flag.Float64("threshold", 10, "max allowed states-explored regression in percent (with -baseline)")
 		nsThresh  = flag.Float64("ns-threshold", -1, "max allowed ns/op regression in percent; negative = report-only (with -baseline)")
+		allocTh   = flag.Float64("alloc-threshold", 10, "max allowed allocs/op regression in percent; negative = report-only (with -baseline)")
 	)
 	tel.RegisterFlags()
 	flag.Parse()
@@ -134,6 +138,9 @@ func main() {
 	if err := cli.ApplyPrune(&pruneOpts, *prune); err != nil {
 		fatalf("%v", err)
 	}
+	if err := cli.ApplyCOW(&pruneOpts, *cow); err != nil {
+		fatalf("%v", err)
+	}
 
 	// Validate the sweep before spending seconds on benchmarks.
 	var sweep []int
@@ -149,6 +156,7 @@ func main() {
 		GoVersion: runtime.Version(),
 		NumCPU:    runtime.NumCPU(),
 		Prune:     *prune,
+		Cow:       *cow,
 	}
 	if runtime.NumCPU() < 4 {
 		snap.Note = fmt.Sprintf(
@@ -169,6 +177,10 @@ func main() {
 			fatalf("unknown model %s", s.model)
 		}
 		var behaviors, states int
+		// Reset heap state between entries: without this, allocation
+		// pressure from earlier entries skews the GC pacing of later
+		// ones, and the last rows of the table drift 10-20% run to run.
+		runtime.GC()
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -203,6 +215,7 @@ func main() {
 	m, _ := litmus.ModelByName("Relaxed")
 	for _, w := range sweep {
 		var states int
+		runtime.GC()
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
@@ -251,7 +264,7 @@ func main() {
 		if err := json.Unmarshal(data, &base); err != nil {
 			fatalf("parse baseline %s: %v", *baseline, err)
 		}
-		if failed := compareToBaseline(os.Stdout, &base, &snap, *threshold, *nsThresh); failed {
+		if failed := compareToBaseline(os.Stdout, &base, &snap, *threshold, *nsThresh, *allocTh); failed {
 			tel.Close()
 			os.Exit(1)
 		}
@@ -260,9 +273,11 @@ func main() {
 
 // compareToBaseline prints the per-entry delta table and reports whether
 // any enabled threshold was exceeded. States-explored deltas are exact
-// (the engine is deterministic); ns/op deltas are noisy and only gate
-// when nsThresh is non-negative.
-func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh float64) bool {
+// (the engine is deterministic) and allocs/op is nearly so (the
+// allocation pattern barely depends on the host), so both gate by
+// default; ns/op deltas are noisy and only gate when nsThresh is
+// non-negative.
+func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh, allocThresh float64) bool {
 	baseRows := map[string]*result{}
 	for i := range base.Enum {
 		baseRows[base.Enum[i].Name] = &base.Enum[i]
@@ -274,19 +289,25 @@ func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh float
 		fmt.Fprintf(w, "note: baseline prune=%q, current prune=%q — deltas mix configurations\n",
 			base.Prune, cur.Prune)
 	}
-	fmt.Fprintf(w, "%-26s %14s %9s %16s %9s\n", "entry", "ns/op", "Δns%", "states", "Δstates%")
+	if base.Cow != cur.Cow {
+		fmt.Fprintf(w, "note: baseline cow=%q, current cow=%q — deltas mix fork strategies\n",
+			base.Cow, cur.Cow)
+	}
+	fmt.Fprintf(w, "%-26s %14s %9s %12s %10s %16s %9s\n",
+		"entry", "ns/op", "Δns%", "allocs/op", "Δallocs%", "states", "Δstates%")
 	failed := false
 	rows := append(append([]result(nil), cur.Enum...), cur.Parallel...)
 	for i := range rows {
 		r := &rows[i]
 		b, ok := baseRows[r.Name]
 		if !ok {
-			fmt.Fprintf(w, "%-26s %14.0f %9s %16d %9s\n", r.Name, r.NsPerOp, "new", r.statesExplored(), "new")
+			fmt.Fprintf(w, "%-26s %14.0f %9s %12d %10s %16d %9s\n",
+				r.Name, r.NsPerOp, "new", r.AllocsPerOp, "new", r.statesExplored(), "new")
 			continue
 		}
 		nsDelta := pctDelta(float64(b.NsPerOp), float64(r.NsPerOp))
 		stBase, stCur := b.statesExplored(), r.statesExplored()
-		stMark, nsMark := "", ""
+		stMark, nsMark, alMark := "", "", ""
 		var stCell string
 		if stBase == 0 || stCur == 0 {
 			stCell = "n/a"
@@ -298,15 +319,29 @@ func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh float
 			}
 			stCell = fmt.Sprintf("%+8.1f%%%s", stDelta, stMark)
 		}
+		// Baselines written before the alloc columns carry zeros; skip
+		// the gate rather than divide by them.
+		var alCell string
+		if b.AllocsPerOp == 0 {
+			alCell = "n/a"
+		} else {
+			alDelta := pctDelta(float64(b.AllocsPerOp), float64(r.AllocsPerOp))
+			if allocThresh >= 0 && alDelta > allocThresh {
+				failed = true
+				alMark = " REGRESSION"
+			}
+			alCell = fmt.Sprintf("%+8.1f%%%s", alDelta, alMark)
+		}
 		if nsThresh >= 0 && nsDelta > nsThresh {
 			failed = true
 			nsMark = " REGRESSION"
 		}
-		fmt.Fprintf(w, "%-26s %14.0f %+8.1f%%%s %16d %s\n",
-			r.Name, r.NsPerOp, nsDelta, nsMark, stCur, stCell)
+		fmt.Fprintf(w, "%-26s %14.0f %+8.1f%%%s %12d %10s %16d %s\n",
+			r.Name, r.NsPerOp, nsDelta, nsMark, r.AllocsPerOp, alCell, stCur, stCell)
 	}
 	if failed {
-		fmt.Fprintf(w, "mmbench: regression past threshold (states %+.0f%%, ns/op %+.0f%%)\n", stThresh, nsThresh)
+		fmt.Fprintf(w, "mmbench: regression past threshold (states %+.0f%%, allocs %+.0f%%, ns/op %+.0f%%)\n",
+			stThresh, allocThresh, nsThresh)
 	}
 	return failed
 }

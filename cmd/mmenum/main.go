@@ -47,6 +47,7 @@ func main() {
 		why       = flag.String("why", "", "explain an outcome (\"L5=3,L6=1\"): check every justifying source assignment")
 		workers   = flag.Int("workers", 1, "enumerate with N parallel workers (0 = one per CPU)")
 		prune     = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
+		cow       = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; on expiry (or Ctrl-C) partial results are printed")
 		ckptPath  = flag.String("checkpoint", "", "write a resumable checkpoint here periodically and on interrupt")
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "timed checkpoint interval (with -checkpoint)")
@@ -142,6 +143,10 @@ func main() {
 	defer tel.Close()
 	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()}
 	if err := cli.ApplyPrune(&opts, *prune); err != nil {
+		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.ApplyCOW(&opts, *cow); err != nil {
 		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
 		os.Exit(2)
 	}

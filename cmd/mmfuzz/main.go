@@ -42,6 +42,7 @@ func main() {
 		seed0    = flag.Int64("seed", 0, "starting seed")
 		workers  = flag.Int("workers", 0, "also cross-check EnumerateParallel with N workers (0 = skip)")
 		prune    = flag.String("prune", cli.PruneAll, "search-pruning layers under test: comma-separated subset of closure,prefix,symmetry; all; off")
+		cow      = flag.String("cow", "on", "copy-on-write closure sharing in the engine under test: on or off (deep-copy forks)")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget; stop early with a partial summary")
 		faultsFl = flag.String("faults", "", "inject coherence bus faults into the machine runs (\"on\" or delay=P,reorder=P,retry=P,...)")
 		verbose  = flag.Bool("v", false, "print per-program statistics")
@@ -60,6 +61,10 @@ func main() {
 	}
 	var pruneOpts core.Options
 	if err := cli.ApplyPrune(&pruneOpts, *prune); err != nil {
+		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.ApplyCOW(&pruneOpts, *cow); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
 		os.Exit(2)
 	}
@@ -107,7 +112,11 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 	opts := pruneOpts
 	opts.MaxBehaviors = 1 << 22
 	opts.Metrics, opts.Tracer = tel.Enum(), tel.Tracer()
-	plainOpts := core.Options{DisableIncrementalClosure: true, DisablePrefixPrune: true, MaxBehaviors: 1 << 22}
+	// The baseline engine runs with every trick off: no pruning layers
+	// AND deep-copy forks. A default fuzz run therefore cross-checks
+	// COW+pruned against deep-copy+unpruned on every program, and a
+	// divergence feeds the same shrinker either way.
+	plainOpts := core.Options{DisableIncrementalClosure: true, DisablePrefixPrune: true, DisableCOW: true, MaxBehaviors: 1 << 22}
 	var prev map[string]bool
 	for _, pol := range chain {
 		res, err := core.Enumerate(ctx, p, pol, opts)
@@ -117,9 +126,10 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 			}
 			fail(p, seed, "%s: %v", pol.Name(), err)
 		}
-		// Pruning soundness: the pruned behavior set must be
-		// bit-identical to the unpruned engine's. A mismatch is a
-		// pruning bug; shrink the program before reporting it.
+		// Engine soundness: the behavior set under pruning + COW forks
+		// must be bit-identical to the deep-copy unpruned engine's. A
+		// mismatch is a pruning or aliasing bug; shrink the program
+		// before reporting it.
 		plain, err := core.Enumerate(ctx, p, pol, plainOpts)
 		if err != nil {
 			if ctx.Err() != nil {
@@ -129,8 +139,8 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 		}
 		if diff := behaviorDiff(res, plain); diff != "" {
 			min := minimizeMismatch(ctx, p, pol, opts, plainOpts)
-			fail(min, seed, "%s: pruning changed the behavior set (%s; %d prefix-pruned, %d symmetry-pruned); minimized repro below",
-				pol.Name(), diff, res.Stats.PrefixPruned, res.Stats.SymmetryPruned)
+			fail(min, seed, "%s: engine diverged from the deep-copy unpruned baseline (%s; %d prefix-pruned, %d symmetry-pruned, %d rows copied); minimized repro below",
+				pol.Name(), diff, res.Stats.PrefixPruned, res.Stats.SymmetryPruned, res.Stats.CowRowsCopied)
 		}
 		if workers > 1 {
 			par, err := core.EnumerateParallel(ctx, p, pol, opts, workers)

@@ -27,6 +27,7 @@ func main() {
 		table    = flag.Bool("table", false, "print the reordering axiom tables and exit")
 		outcomes = flag.Bool("outcomes", false, "list distinct outcomes per test/model")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole matrix")
+		cow      = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -43,6 +44,11 @@ func main() {
 		return
 	}
 
+	var cowOpts core.Options
+	if err := cli.ApplyCOW(&cowOpts, *cow); err != nil {
+		fmt.Fprintf(os.Stderr, "mmlitmus: %v\n", err)
+		os.Exit(2)
+	}
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
 	if err := tel.Init("mmlitmus"); err != nil {
@@ -63,7 +69,9 @@ func main() {
 		var bad []string
 		var cells []string
 		for _, m := range models {
-			res, err := litmus.RunContext(ctx, tc, m, core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}, 1)
+			opts := cowOpts
+			opts.Metrics, opts.Tracer = tel.Enum(), tel.Tracer()
+			res, err := litmus.RunContext(ctx, tc, m, opts, 1)
 			if err != nil {
 				tel.Close()
 				if cli.ReportIncomplete(os.Stderr, "mmlitmus", err) {

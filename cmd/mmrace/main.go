@@ -33,6 +33,7 @@ func main() {
 		model   = flag.String("model", "Relaxed", "model configuration")
 		syncL   = flag.String("sync", "", "comma-separated synchronization addresses (x,y,...)")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the enumeration")
+		cow     = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -70,8 +71,12 @@ func main() {
 		os.Exit(1)
 	}
 	defer tel.Close()
-	rep, err := discipline.Check(ctx, tc.Build(), m.Policy, syncAddrs,
-		core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()})
+	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()}
+	if err := cli.ApplyCOW(&opts, *cow); err != nil {
+		fmt.Fprintf(os.Stderr, "mmrace: %v\n", err)
+		os.Exit(2)
+	}
+	rep, err := discipline.Check(ctx, tc.Build(), m.Policy, syncAddrs, opts)
 	if err != nil {
 		tel.Close()
 		if cli.ReportIncomplete(os.Stderr, "mmrace", err) {

@@ -34,6 +34,7 @@ func main() {
 		tso     = flag.Bool("tso", false, "use the in-order store-buffer machine (checks against the TSO model; -model/-window ignored)")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget; stop the sweep early with partial counts")
 		faults  = flag.String("faults", "", "inject coherence bus faults (\"on\" or delay=P,reorder=P,retry=P,stall=N,retries=N,seed=N)")
+		cow     = flag.String("cow", "on", "copy-on-write closure sharing in the model enumeration: on or off (deep-copy forks)")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -74,7 +75,12 @@ func main() {
 	}
 	defer tel.Close()
 
-	res, err := litmus.RunContext(ctx, tc, m, core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}, 1)
+	opts := core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}
+	if err := cli.ApplyCOW(&opts, *cow); err != nil {
+		fmt.Fprintf(os.Stderr, "mmsim: %v\n", err)
+		os.Exit(2)
+	}
+	res, err := litmus.RunContext(ctx, tc, m, opts, 1)
 	if err != nil {
 		tel.Close()
 		if cli.ReportIncomplete(os.Stderr, "mmsim", err) {

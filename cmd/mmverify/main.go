@@ -49,6 +49,7 @@ func main() {
 		demo    = flag.Bool("demo", false, "check built-in demonstration records")
 		example = flag.Bool("example", false, "print an example record JSON and exit")
 		timeout = flag.Duration("timeout", 0, "wall-clock budget for the -demo enumeration")
+		cow     = flag.String("cow", "on", "copy-on-write closure sharing in the -demo enumeration: on or off (deep-copy forks)")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -88,7 +89,12 @@ func main() {
 	defer tel.Close()
 
 	if *demo {
-		runDemo(pol, rs, *timeout, &tel)
+		var demoOpts core.Options
+		if err := cli.ApplyCOW(&demoOpts, *cow); err != nil {
+			fmt.Fprintf(os.Stderr, "mmverify: %v\n", err)
+			os.Exit(2)
+		}
+		runDemo(pol, rs, *timeout, demoOpts, &tel)
 		return
 	}
 
@@ -147,7 +153,7 @@ func sbRecord() *verify.Record {
 // runDemo checks characteristic records under every model with both rule
 // subsets, exercising enumerated executions from the corpus as accepted
 // inputs and the store-buffering record as the SC rejection.
-func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration, tel *cli.Telemetry) {
+func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration, opts core.Options, tel *cli.Telemetry) {
 	fmt.Printf("demo: checking under %s with rules %v\n\n", pol.Name(), rs)
 
 	rec := sbRecord()
@@ -165,7 +171,8 @@ func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration, tel *cli.
 	var ctx context.Context
 	ctx, stop := cli.Context(timeout)
 	defer stop()
-	res, err := litmus.RunContext(ctx, tc, m, core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}, 1)
+	opts.Metrics, opts.Tracer = tel.Enum(), tel.Tracer()
+	res, err := litmus.RunContext(ctx, tc, m, opts, 1)
 	if err != nil {
 		tel.Close()
 		if cli.ReportIncomplete(os.Stderr, "mmverify", err) {

@@ -100,6 +100,22 @@ func ApplyPrune(opts *core.Options, spec string) error {
 	return nil
 }
 
+// ApplyCOW parses the -cow flag into opts. "on" (the default) forks
+// states by copy-on-write closure sharing; "off" forces deep-copy forks
+// — the escape hatch if a COW bug is suspected, and the baseline for
+// A/B memory measurement. Both modes yield the identical behavior set.
+func ApplyCOW(opts *core.Options, spec string) error {
+	switch strings.TrimSpace(spec) {
+	case "", "on":
+		opts.DisableCOW = false
+	case "off":
+		opts.DisableCOW = true
+	default:
+		return fmt.Errorf("unknown -cow mode %q (want on or off)", spec)
+	}
+	return nil
+}
+
 // ParseFaults parses the -faults flag grammar into a coherence fault
 // config. The spec is comma-separated key=value pairs:
 //

@@ -1,0 +1,172 @@
+package core
+
+import (
+	"testing"
+
+	"storeatomicity/internal/graph"
+	"storeatomicity/internal/order"
+)
+
+// sameRelation reports whether two graphs expose identical adjacency and
+// closure rows (the full observable relation).
+func sameRelation(a, b *graph.Graph) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if !a.Desc(i).Equal(b.Desc(i)) || !a.Anc(i).Equal(b.Anc(i)) ||
+			!a.Succ(i).Equal(b.Succ(i)) || !a.Pred(i).Equal(b.Pred(i)) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestCOWStateForkInterleaved is the aliasing property test at the state
+// layer: drive the real fork/resolve/closure cycle through a pooled
+// breadth-first expansion, interleaving sibling mutations, and assert
+// after every mutation that no other live state's graph moved. Pool
+// recycling is part of the property — retired parents are reused as fork
+// destinations while their rows are still shared by live children.
+func TestCOWStateForkInterleaved(t *testing.T) {
+	type tracked struct {
+		s      *state
+		oracle *graph.Graph // deep snapshot taken when s last changed
+	}
+	opts := Options{}.withDefaults()
+	root := newState(figure10Prog(), order.Relaxed(), opts)
+	if err := root.runToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	var pool statePool
+	live := []*tracked{{s: root, oracle: root.g.Clone()}}
+
+	// Bystanders are every state not being mutated whose graph is still
+	// live: parents not yet retired into the pool, and children created so
+	// far this depth. Retired parents are fair game for recycling — a later
+	// fork may legitimately reuse their state — so they are excluded.
+	checkBystanders := func(bystanders []*tracked, skip *tracked) {
+		t.Helper()
+		for _, tr := range bystanders {
+			if tr == skip {
+				continue
+			}
+			if !sameRelation(tr.s.g, tr.oracle) {
+				t.Fatal("a bystander's graph changed while mutating another state")
+			}
+		}
+	}
+
+	for depth := 0; depth < 3 && len(live) > 0; depth++ {
+		var next []*tracked
+		for pi, parent := range live {
+			for lid := range parent.s.nodes {
+				if !parent.s.eligibleCached(lid) {
+					continue
+				}
+				for _, sid := range parent.s.candidates(lid) {
+					ns := parent.s.fork(&pool)
+					if ns.resolveLoad(lid, sid) != nil || ns.closure() != nil {
+						pool.put(ns)
+						continue
+					}
+					// The fork + child mutation must be invisible to the
+					// parent and to every other live state.
+					if !sameRelation(parent.s.g, parent.oracle) {
+						t.Fatalf("depth %d: fork+resolve mutated the parent's graph", depth)
+					}
+					checkBystanders(live[pi:], parent)
+					checkBystanders(next, nil)
+					next = append(next, &tracked{s: ns, oracle: ns.g.Clone()})
+					if len(next) >= 24 {
+						break
+					}
+				}
+				if len(next) >= 24 {
+					break
+				}
+			}
+			// Retire the parent into the pool: a later fork recycles its
+			// state while the children above still share its rows.
+			pool.put(parent.s)
+		}
+		live = next
+		for _, tr := range live {
+			if err := tr.s.runToQuiescence(); err == nil {
+				tr.oracle = tr.s.g.Clone()
+			}
+		}
+	}
+}
+
+// TestStatePoolByteBound pins the memory-pinning fix: a retired state
+// whose slab arena exceeds the pool's byte limit is dropped (and
+// counted) instead of pinned.
+func TestStatePoolByteBound(t *testing.T) {
+	opts := Options{}.withDefaults()
+	s := newState(figure10Prog(), order.Relaxed(), opts)
+	if err := s.runToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	if s.g.SlabCapBytes() == 0 {
+		t.Fatal("quiesced COW state has no slab arena")
+	}
+
+	tight := statePool{limitBytes: 1}
+	tight.put(s)
+	if tight.dropped != 1 || len(tight.free) != 0 {
+		t.Fatalf("oversized state was pooled: dropped=%d free=%d", tight.dropped, len(tight.free))
+	}
+
+	roomy := statePool{limitBytes: slabLimitFor(opts.MaxNodes)}
+	roomy.put(s)
+	if roomy.dropped != 0 || len(roomy.free) != 1 {
+		t.Fatalf("right-sized state was dropped: dropped=%d free=%d", roomy.dropped, len(roomy.free))
+	}
+
+	var unbounded statePool
+	unbounded.put(s)
+	if unbounded.dropped != 0 || len(unbounded.free) != 1 {
+		t.Fatalf("unbounded pool dropped: dropped=%d free=%d", unbounded.dropped, len(unbounded.free))
+	}
+}
+
+// TestSlabLimitFor sanity-checks the cap formula's shape.
+func TestSlabLimitFor(t *testing.T) {
+	if got := slabLimitFor(0); got != 0 {
+		t.Errorf("slabLimitFor(0) = %d, want 0 (no cap)", got)
+	}
+	if got := slabLimitFor(-3); got != 0 {
+		t.Errorf("slabLimitFor(-3) = %d, want 0", got)
+	}
+	small, big := slabLimitFor(64), slabLimitFor(192)
+	if small <= 0 || big <= small {
+		t.Errorf("slabLimitFor not monotonic: f(64)=%d f(192)=%d", small, big)
+	}
+	// ~4x headroom over one state's four row sets.
+	if want := int64(4 * 4 * 64 * 1 * 8); small != want {
+		t.Errorf("slabLimitFor(64) = %d, want %d", small, want)
+	}
+}
+
+// TestEnumerationReportsPoolDrops drives a run whose pool limit is
+// artificially tiny by shrinking MaxNodes headroom: with the limit below
+// any real arena, every pool put of a COW state is dropped and the stat
+// surfaces.
+func TestEnumerationReportsPoolDrops(t *testing.T) {
+	// Direct unit-level check of the surfaced counter (the engines read
+	// pool.dropped into Stats.PoolDropped; see flushStats/merge loops).
+	var p statePool
+	p.limitBytes = 1
+	opts := Options{}.withDefaults()
+	s := newState(figure10Prog(), order.Relaxed(), opts)
+	if err := s.runToQuiescence(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p.put(s)
+	}
+	if p.dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", p.dropped)
+	}
+}

@@ -1,0 +1,33 @@
+package core
+
+import "storeatomicity/internal/graph"
+
+// cowFams collects the distinct COW family counters an engine run
+// touches. Forks join their parent's family, so families only appear
+// where root states are built: the fresh root, checkpoint replays, and
+// orbit-expansion replays. Engines fold the totals into Stats and the
+// telemetry registry at end of run (graph layering keeps internal/graph
+// itself free of telemetry imports).
+type cowFams struct{ fams []*graph.CowCounters }
+
+func (c *cowFams) add(g *graph.Graph) {
+	f := g.CowCounters()
+	if f == nil {
+		return
+	}
+	for _, x := range c.fams {
+		if x == f {
+			return
+		}
+	}
+	c.fams = append(c.fams, f)
+}
+
+func (c *cowFams) totals() (shared, copied, slab int64) {
+	for _, f := range c.fams {
+		shared += f.RowsShared.Load()
+		copied += f.RowsCopied.Load()
+		slab += f.SlabBytes.Load()
+	}
+	return
+}

@@ -39,6 +39,11 @@ type Options struct {
 	// ablation baseline and the property-test oracle; the two produce
 	// identical graphs.
 	DisableIncrementalClosure bool
+	// DisableCOW turns off copy-on-write closure sharing: forks deep-copy
+	// every graph row (the pre-COW engine). Kept as the -cow=off escape
+	// hatch and equivalence baseline; the behavior set is bit-identical
+	// either way, at any worker count.
+	DisableCOW bool
 	// DisablePrefixPrune turns off fork-time prefix-state dedup: children
 	// are then only checked against the seen-set after their next
 	// quiescence (the pre-pruning behavior). The behavior set is
@@ -129,6 +134,15 @@ type Stats struct {
 	// pool's effectiveness on this run.
 	PoolHits   int
 	PoolMisses int
+	// PoolDropped counts retired states the pool refused because their
+	// slab arena outgrew what the current program justifies pinning
+	// (statePool.limitBytes).
+	PoolDropped int
+	// CowRowsShared/CowRowsCopied count closure rows adopted by reference
+	// at fork time vs rows copied on first write. Their ratio is the COW
+	// win: with -cow=off both are zero and every fork copies every row.
+	CowRowsShared int64
+	CowRowsCopied int64
 	// Workers records the engine width that produced this result (1
 	// for the sequential engine).
 	Workers int
@@ -295,6 +309,8 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	seen := newKeySet(opts)
 	finals := newKeySet(opts)
 	var pool statePool
+	pool.limitBytes = slabLimitFor(opts.MaxNodes)
+	var fams cowFams
 
 	// Search pruning: prefix dedup kills duplicate children at fork time
 	// (before they are queued); symmetry canonicalizes the seen-set keys
@@ -311,14 +327,21 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	if met != nil {
 		met.Workers.Set(1)
 	}
-	// flushStats folds the pool counters into Stats (and mirrors the
-	// end-of-run counters into the metric set) on every exit path.
+	// flushStats folds the pool and COW counters into Stats (and mirrors
+	// the end-of-run counters into the metric set) on every exit path.
 	flushStats := func() {
 		res.Stats.PoolHits, res.Stats.PoolMisses = pool.hits, pool.misses
+		res.Stats.PoolDropped = pool.dropped
+		res.Stats.CowRowsShared, res.Stats.CowRowsCopied, _ = fams.totals()
 		if met != nil {
 			met.PoolHits.Add(0, int64(pool.hits))
 			met.PoolMisses.Add(0, int64(pool.misses))
+			met.PoolDrops.Add(0, int64(pool.dropped))
 			met.Rollbacks.Add(0, int64(res.Stats.Rollbacks))
+			shared, copied, slab := fams.totals()
+			met.CowRowsShared.Add(0, shared)
+			met.CowRowsCopied.Add(0, copied)
+			met.SlabBytes.Add(0, slab)
 		}
 	}
 
@@ -326,13 +349,19 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	if seed != nil {
 		work = seed.work
 		res.Stats.StatesExplored = seed.explored
+		for _, s := range seed.work {
+			fams.add(s.g)
+		}
 		for _, s := range seed.finals {
+			fams.add(s.g)
 			if finals.insert(s) {
 				res.Executions = append(res.Executions, s.finish())
 			}
 		}
 	} else {
-		work = []*state{newState(p, pol, opts)}
+		root := newState(p, pol, opts)
+		fams.add(root.g)
+		work = []*state{root}
 	}
 
 	// cur is the behavior being processed; on any graceful stop it
@@ -573,6 +602,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	if sym != nil && len(res.Executions) > 0 {
 		base := res.Executions
 		if xerr := expandSymmetry(p, pol, opts, sym, base, func(ns *state) {
+			fams.add(ns.g)
 			if finals.insert(ns) {
 				res.Executions = append(res.Executions, ns.finish())
 				if met != nil {

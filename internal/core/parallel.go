@@ -166,24 +166,34 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	}
 	e.idleCond = sync.NewCond(&e.idleMu)
 	e.workers = make([]*wsWorker, workers)
+	limit := slabLimitFor(opts.MaxNodes)
 	for i := range e.workers {
 		e.workers[i] = &wsWorker{eng: e, idx: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+		e.workers[i].pool.limitBytes = limit
 	}
 
+	// Forks join their root's COW family, so collecting families at the
+	// single-threaded moments (seeding here, orbit expansion below) covers
+	// every graph the run touches.
+	var fams cowFams
 	if seed != nil {
 		e.explored.Store(int64(seed.explored))
 		for _, s := range seed.finals {
+			fams.add(s.g)
 			// Duplicate recorded behaviors in the checkpoint are
 			// dropped by the fingerprint dedup.
 			e.addFinal(s)
 		}
 		e.pending.Store(int64(len(seed.work)))
 		for i, s := range seed.work {
+			fams.add(s.g)
 			e.workers[i%workers].push(s)
 		}
 	} else {
+		root := newState(p, pol, opts)
+		fams.add(root.g)
 		e.pending.Store(1)
-		e.workers[0].push(newState(p, pol, opts))
+		e.workers[0].push(root)
 	}
 
 	// The context watcher and checkpoint ticker are torn down before
@@ -245,10 +255,12 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		res.Stats.Steals += w.stats.Steals
 		res.Stats.PoolHits += w.pool.hits
 		res.Stats.PoolMisses += w.pool.misses
+		res.Stats.PoolDropped += w.pool.dropped
 	}
 	if e.met != nil {
 		e.met.PoolHits.Add(0, int64(res.Stats.PoolHits))
 		e.met.PoolMisses.Add(0, int64(res.Stats.PoolMisses))
+		e.met.PoolDrops.Add(0, int64(res.Stats.PoolDropped))
 		e.met.Rollbacks.Add(0, int64(res.Stats.Rollbacks))
 		e.met.Frontier.Set(e.pending.Load())
 	}
@@ -266,11 +278,22 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 			base = append(base, e.finals[i].execs...)
 		}
 		if xerr := expandSymmetry(p, pol, opts, e.sym, base, func(ns *state) {
+			fams.add(ns.g)
 			if e.addFinal(ns) && e.met != nil {
 				e.met.Behaviors.Inc(0)
 			}
 		}); xerr != nil {
 			ferr = xerr
+		}
+	}
+	// COW totals fold last: orbit expansion above may have added families.
+	{
+		shared, copied, slab := fams.totals()
+		res.Stats.CowRowsShared, res.Stats.CowRowsCopied = shared, copied
+		if e.met != nil {
+			e.met.CowRowsShared.Add(0, shared)
+			e.met.CowRowsCopied.Add(0, copied)
+			e.met.SlabBytes.Add(0, slab)
 		}
 	}
 

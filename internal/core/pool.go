@@ -8,17 +8,37 @@ package core
 // buffers escaped into an Execution (via finish) must never be returned.
 type statePool struct {
 	free []*state
+	// limitBytes caps the slab arena a retired state may pin (0 = no
+	// cap). poolMax bounds the count of retained states but not their
+	// bytes: a pool warmed by a large program would otherwise pin its
+	// arenas forever while a smaller program runs. Engines set it from
+	// the current program's node bound (slabLimitFor).
+	limitBytes int64
 	// hits counts gets served from a recycled state, misses gets that
-	// found the pool empty (the caller allocates fresh). Plain ints —
+	// found the pool empty (the caller allocates fresh), dropped puts
+	// refused because the state's slab exceeded limitBytes. Plain ints —
 	// each pool is single-owner — folded into Stats and the telemetry
 	// counters at end of run.
-	hits   int
-	misses int
+	hits    int
+	misses  int
+	dropped int
 }
 
 // poolMax bounds retained states so a deep enumeration cannot pin
 // arbitrary memory after its working set shrinks.
 const poolMax = 256
+
+// slabLimitFor returns the slab-byte cap for a program bounded at
+// maxNodes nodes: ~4x the worst-case footprint of one state's four row
+// sets, leaving room for copy churn without letting an oversized retiree
+// linger. maxNodes <= 0 disables the cap.
+func slabLimitFor(maxNodes int) int64 {
+	if maxNodes <= 0 {
+		return 0
+	}
+	words := int64((maxNodes + 63) / 64)
+	return 4 * 4 * int64(maxNodes) * words * 8
+}
 
 // get returns a retired state to recycle, or nil when the pool is empty.
 func (p *statePool) get() *state {
@@ -34,9 +54,23 @@ func (p *statePool) get() *state {
 	return s
 }
 
-// put retires a state for reuse.
+// put retires a state for reuse, dropping it when the pool is full or its
+// slab arena outgrew what the current program justifies pinning.
 func (p *statePool) put(s *state) {
-	if s == nil || len(p.free) >= poolMax {
+	if s == nil {
+		return
+	}
+	if s.g != nil {
+		// Settle the graph's buffered copy-count into the family totals
+		// while we still hold the state — a dropped state never flushes
+		// again (CowCounters flushes as a side effect).
+		s.g.CowCounters()
+	}
+	if len(p.free) >= poolMax {
+		return
+	}
+	if p.limitBytes > 0 && s.g != nil && s.g.SlabCapBytes() > p.limitBytes {
+		p.dropped++
 		return
 	}
 	p.free = append(p.free, s)

@@ -198,6 +198,11 @@ func newState(p *program.Program, pol order.Policy, opts Options) *state {
 		byThread: make([][]int, len(p.Threads)),
 		addrs:    make([]addrSet, 0, len(addrs)+2),
 	}
+	if opts.DisableCOW {
+		// Deep-copy forks (-cow=off): the escape hatch and equivalence
+		// baseline. Must precede node creation.
+		s.g.DisableCOW()
+	}
 	if !opts.DisableIncrementalClosure {
 		// The worklist closure keys off the graph's change log; enable it
 		// before any edge exists so no closure growth goes unrecorded.

@@ -117,6 +117,31 @@ func CopyInto(dst, src Bits) Bits {
 	return dst
 }
 
+// Equal reports whether b and o represent the same set. Widths may
+// differ (rows widen when the graph grows); missing words count as zero.
+func (b Bits) Equal(o Bits) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i] != o[i] {
+			return false
+		}
+	}
+	for i := n; i < len(b); i++ {
+		if b[i] != 0 {
+			return false
+		}
+	}
+	for i := n; i < len(o); i++ {
+		if o[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // Clone returns an independent copy.
 func (b Bits) Clone() Bits {
 	c := make(Bits, len(b))

@@ -55,20 +55,45 @@ type Edge struct {
 var ErrCycle = errors.New("graph: edge would create a cycle")
 
 // Graph is a DAG over dense integer node IDs with an incrementally
-// maintained strict transitive closure. desc[i] holds every node reachable
-// from i by one or more edges; anc[i] holds every node that reaches i.
+// maintained strict transitive closure. desc(i) holds every node reachable
+// from i by one or more edges; anc(i) holds every node that reaches i.
+//
+// Rows live in slab segments and are addressed by pointer-free handles
+// (slab.go); they are shared copy-on-write between a graph and its
+// CloneInto forks by default — see cow.go for the ownership scheme and
+// DisableCOW for the deep-copy escape hatch.
 //
 // The zero value is not usable; call New.
 type Graph struct {
 	n     int
 	cap   int
+	rowW  int // uniform row width in words for the current capacity
 	edges []Edge
-	// succ/pred are direct (non-transitive) adjacency bitsets.
-	succ []Bits
-	pred []Bits
-	// desc/anc are the strict transitive closure.
-	desc []Bits
-	anc  []Bits
+	// segs/cur/off: slab segments and the bump-allocator cursor (slab.go).
+	segs [][]uint64
+	cur  int
+	off  int
+	// succH/predH are handles to the direct (non-transitive) adjacency
+	// rows; descH/ancH to the strict transitive closure rows. All four are
+	// pointer-free so a fork copies them with memmove.
+	succH []uint64
+	predH []uint64
+	descH []uint64
+	ancH  []uint64
+	// *Owned bitmaps mark, per row set, the rows this graph may write in
+	// place; a clear bit means the row is frozen and the first write
+	// copies it (cow.go). Unused (empty) when cow is off.
+	succOwned Bits
+	predOwned Bits
+	descOwned Bits
+	ancOwned  Bits
+	// cow gates row sharing; fam holds the family-wide telemetry
+	// counters. copiedPending buffers this graph's row-copy count so the
+	// copy hot path stays free of atomics; it is flushed to fam at fork
+	// and collection points (flushCow).
+	cow           bool
+	fam           *CowCounters
+	copiedPending int64
 	// log, when enabled, accumulates the IDs of nodes whose desc or anc
 	// sets grew since the last DrainChangeLog. The Store Atomicity
 	// worklist closure keys its re-examination on this set.
@@ -99,13 +124,16 @@ func (g *Graph) DrainChangeLog(dst Bits) Bits {
 // ChangeLogEmpty reports whether no closure growth is pending.
 func (g *Graph) ChangeLogEmpty() bool { return !g.logOn || g.log.Empty() }
 
+// rowWords is the uniform row width for a capacity.
+func rowWords(capacity int) int { return (capacity + 63) / 64 }
+
 // New returns a graph with n nodes and capacity for at least capHint nodes
-// (growing beyond the hint reallocates bitsets).
+// (growing beyond the hint reallocates rows).
 func New(n, capHint int) *Graph {
 	if capHint < n {
 		capHint = n
 	}
-	g := &Graph{n: 0, cap: capHint}
+	g := &Graph{cap: capHint, rowW: rowWords(capHint), cur: -1, cow: true, fam: &CowCounters{}}
 	g.AddNodes(n)
 	return g
 }
@@ -118,45 +146,91 @@ func (g *Graph) AddNodes(k int) int {
 	first := g.n
 	g.n += k
 	if g.n > g.cap {
+		oldW := g.rowW
 		g.cap = g.n*2 + 8
-		for i := range g.succ {
-			g.succ[i] = g.succ[i].grow(g.cap)
-			g.pred[i] = g.pred[i].grow(g.cap)
-			g.desc[i] = g.desc[i].grow(g.cap)
-			g.anc[i] = g.anc[i].grow(g.cap)
+		g.rowW = rowWords(g.cap)
+		g.regrow(g.succH, oldW)
+		g.regrow(g.predH, oldW)
+		g.regrow(g.descH, oldW)
+		g.regrow(g.ancH, oldW)
+		if g.cow {
+			// The regrown copies are private, so they are owned no matter
+			// what the bitmaps said before the growth.
+			g.succOwned = g.succOwned.grow(g.cap)
+			g.predOwned = g.predOwned.grow(g.cap)
+			g.descOwned = g.descOwned.grow(g.cap)
+			g.ancOwned = g.ancOwned.grow(g.cap)
+			for i := range g.succH {
+				g.succOwned.Set(i)
+				g.predOwned.Set(i)
+				g.descOwned.Set(i)
+				g.ancOwned.Set(i)
+			}
 		}
 	}
 	if g.logOn {
 		g.log = g.log.grow(g.cap)
 	}
-	for i := len(g.succ); i < g.n; i++ {
-		g.succ = append(g.succ, NewBits(g.cap))
-		g.pred = append(g.pred, NewBits(g.cap))
-		g.desc = append(g.desc, NewBits(g.cap))
-		g.anc = append(g.anc, NewBits(g.cap))
+	if g.cow {
+		g.succOwned = g.succOwned.grow(g.cap)
+		g.predOwned = g.predOwned.grow(g.cap)
+		g.descOwned = g.descOwned.grow(g.cap)
+		g.ancOwned = g.ancOwned.grow(g.cap)
+	}
+	for i := len(g.succH); i < g.n; i++ {
+		h, _ := g.takeZeroed(g.rowW)
+		g.succH = append(g.succH, h)
+		h, _ = g.takeZeroed(g.rowW)
+		g.predH = append(g.predH, h)
+		h, _ = g.takeZeroed(g.rowW)
+		g.descH = append(g.descH, h)
+		h, _ = g.takeZeroed(g.rowW)
+		g.ancH = append(g.ancH, h)
+		if g.cow {
+			g.succOwned.Set(i)
+			g.predOwned.Set(i)
+			g.descOwned.Set(i)
+			g.ancOwned.Set(i)
+		}
 	}
 	return first
 }
 
+// regrow re-copies every row of one set to the new width. The copies land
+// in g's own segments and are owned afterwards (AddNodes re-marks the
+// bitmaps) — the old rows, possibly frozen and shared, stay valid for
+// their sharers at the old width.
+func (g *Graph) regrow(h []uint64, oldW int) {
+	for i := range h {
+		old := g.rowAt(h[i], oldW)
+		nh, nr := g.take(g.rowW)
+		n := copy(nr, old)
+		for j := n; j < len(nr); j++ {
+			nr[j] = 0
+		}
+		h[i] = nh
+	}
+}
+
 // Before reports the strict order a @ b (a reaches b through one or more
 // edges).
-func (g *Graph) Before(a, b int) bool { return g.desc[a].Has(b) }
+func (g *Graph) Before(a, b int) bool { return g.row(g.descH[a]).Has(b) }
 
 // HasEdge reports whether a direct edge a→b exists (any kind).
-func (g *Graph) HasEdge(a, b int) bool { return g.succ[a].Has(b) }
+func (g *Graph) HasEdge(a, b int) bool { return g.row(g.succH[a]).Has(b) }
 
 // Desc returns the strict descendant set of a. The caller must not modify
 // or retain it across mutations.
-func (g *Graph) Desc(a int) Bits { return g.desc[a] }
+func (g *Graph) Desc(a int) Bits { return g.row(g.descH[a]) }
 
 // Anc returns the strict ancestor set of a, with the same aliasing caveat.
-func (g *Graph) Anc(a int) Bits { return g.anc[a] }
+func (g *Graph) Anc(a int) Bits { return g.row(g.ancH[a]) }
 
 // Succ returns the direct successor set of a (same caveat).
-func (g *Graph) Succ(a int) Bits { return g.succ[a] }
+func (g *Graph) Succ(a int) Bits { return g.row(g.succH[a]) }
 
 // Pred returns the direct predecessor set of a (same caveat).
-func (g *Graph) Pred(a int) Bits { return g.pred[a] }
+func (g *Graph) Pred(a int) Bits { return g.row(g.predH[a]) }
 
 // Edges returns the direct edge list in insertion order. Callers must not
 // modify it.
@@ -168,16 +242,16 @@ func (g *Graph) Edges() []Edge { return g.edges }
 // carry meaning for rendering and dedup. Returns ErrCycle (leaving the
 // graph unmodified) when a == b or b already precedes a.
 func (g *Graph) AddEdge(a, b int, kind EdgeKind) error {
-	if a == b || g.desc[b].Has(a) {
+	if a == b || g.row(g.descH[b]).Has(a) {
 		return ErrCycle
 	}
-	if g.succ[a].Has(b) {
+	if g.row(g.succH[a]).Has(b) {
 		return nil
 	}
-	g.succ[a].Set(b)
-	g.pred[b].Set(a)
+	g.mutable(g.succH, g.succOwned, a).Set(b)
+	g.mutable(g.predH, g.predOwned, b).Set(a)
 	g.edges = append(g.edges, Edge{From: a, To: b, Kind: kind})
-	if g.desc[a].Has(b) {
+	if g.row(g.descH[a]).Has(b) {
 		return nil // closure already knew a @ b transitively
 	}
 	// newDesc = {b} ∪ desc(b); propagate to a and every ancestor of a
@@ -190,66 +264,53 @@ func (g *Graph) AddEdge(a, b int, kind EdgeKind) error {
 // satisfied without inserting a direct edge. The Store Atomicity closure
 // uses it: rules only require a @ b, not a specific edge.
 func (g *Graph) AddOrder(a, b int, kind EdgeKind) error {
-	if a == b || g.desc[b].Has(a) {
+	if a == b || g.row(g.descH[b]).Has(a) {
 		return ErrCycle
 	}
-	if g.desc[a].Has(b) {
+	if g.row(g.descH[a]).Has(b) {
 		return nil
 	}
-	g.succ[a].Set(b)
-	g.pred[b].Set(a)
+	g.mutable(g.succH, g.succOwned, a).Set(b)
+	g.mutable(g.predH, g.predOwned, b).Set(a)
 	g.edges = append(g.edges, Edge{From: a, To: b, Kind: kind})
 	g.propagate(a, b)
 	return nil
 }
 
+// propagate folds the new ordering a @ b into the closure. All row writes
+// go through the COW helpers, which detect no-op updates before paying for
+// a copy — an insertion that was mostly implied stays cheap both for the
+// copy budget and for the change-log worklist consumer. Handles are
+// re-read after each mutation because a copy-on-write relocates the row.
 func (g *Graph) propagate(a, b int) {
-	if !g.logOn {
-		g.desc[a].Set(b)
-		g.desc[a].Or(g.desc[b])
-		g.anc[b].Set(a)
-		g.anc[b].Or(g.anc[a])
-		// Every ancestor p of a gains a's new descendants; every
-		// descendant s of b gains b's new ancestors.
-		da := g.desc[a]
-		g.anc[a].ForEach(func(p int) bool {
-			g.desc[p].Or(da)
-			return true
-		})
-		ab := g.anc[b]
-		g.desc[b].ForEach(func(s int) bool {
-			g.anc[s].Or(ab)
-			return true
-		})
-		return
-	}
-	// Logged variant: a node enters the change log only when its closure
-	// sets really grow, so an insertion that was mostly implied stays
-	// cheap for the worklist consumer.
-	cd := g.desc[a].SetChanged(b)
-	if g.desc[a].OrChanged(g.desc[b]) {
+	cd := g.rowSetChanged(g.descH, g.descOwned, a, b)
+	if g.rowOrChanged(g.descH, g.descOwned, a, g.row(g.descH[b])) {
 		cd = true
 	}
-	if cd {
+	if cd && g.logOn {
 		g.log.Set(a)
 	}
-	ca := g.anc[b].SetChanged(a)
-	if g.anc[b].OrChanged(g.anc[a]) {
+	ca := g.rowSetChanged(g.ancH, g.ancOwned, b, a)
+	if g.rowOrChanged(g.ancH, g.ancOwned, b, g.row(g.ancH[a])) {
 		ca = true
 	}
-	if ca {
+	if ca && g.logOn {
 		g.log.Set(b)
 	}
-	da := g.desc[a]
-	g.anc[a].ForEach(func(p int) bool {
-		if g.desc[p].OrChanged(da) {
+	// Every ancestor p of a gains a's new descendants; every descendant s
+	// of b gains b's new ancestors. The loops never write the row they
+	// iterate or the row they OR from: the order is strict, so a ∉ anc(a),
+	// b ∉ desc(b), and p = b (resp. s = a) would have been a cycle.
+	da := g.row(g.descH[a])
+	g.row(g.ancH[a]).ForEach(func(p int) bool {
+		if g.rowOrChanged(g.descH, g.descOwned, p, da) && g.logOn {
 			g.log.Set(p)
 		}
 		return true
 	})
-	ab := g.anc[b]
-	g.desc[b].ForEach(func(s int) bool {
-		if g.anc[s].OrChanged(ab) {
+	ab := g.row(g.ancH[b])
+	g.row(g.descH[b]).ForEach(func(s int) bool {
+		if g.rowOrChanged(g.ancH, g.ancOwned, s, ab) && g.logOn {
 			g.log.Set(s)
 		}
 		return true
@@ -257,65 +318,125 @@ func (g *Graph) propagate(a, b int) {
 }
 
 // WouldCycle reports whether inserting a→b would create a cycle.
-func (g *Graph) WouldCycle(a, b int) bool { return a == b || g.desc[b].Has(a) }
+func (g *Graph) WouldCycle(a, b int) bool { return a == b || g.row(g.descH[b]).Has(a) }
 
-// Clone returns a deep copy sharing no storage; enumeration forks behaviors
-// by cloning.
+// Clone returns a deep copy sharing no storage. The clone is a plain
+// (non-COW) graph outside any fork family, so it stays valid as a
+// snapshot or test oracle no matter what the original does next. The fork
+// hot path uses CloneInto instead.
 func (g *Graph) Clone() *Graph {
-	c := &Graph{n: g.n, cap: g.cap, logOn: g.logOn}
+	c := &Graph{cur: -1}
+	g.deepRowsInto(c)
 	c.edges = append([]Edge(nil), g.edges...)
-	c.succ = cloneBitsSlice(g.succ)
-	c.pred = cloneBitsSlice(g.pred)
-	c.desc = cloneBitsSlice(g.desc)
-	c.anc = cloneBitsSlice(g.anc)
+	c.logOn = g.logOn
 	c.log = g.log.Clone()
 	return c
 }
 
-func cloneBitsSlice(in []Bits) []Bits {
-	out := make([]Bits, len(in))
-	for i, b := range in {
-		out[i] = b.Clone()
-	}
-	return out
-}
-
-// CloneInto copies g into dst, reusing dst's edge list and bitset buffers
-// where capacities allow. dst may be nil or a retired graph of any shape;
-// the result shares no storage with g. Forking a behavior through a state
-// pool turns the dominant clone cost from alloc+copy into plain copy.
+// CloneInto forks g into dst. dst may be nil or a retired graph of any
+// shape (COW or not, any family).
+//
+// With COW enabled (the default) this is O(rows-actually-dirtied-later):
+// only pointer-free handle and tag arrays are copied (plus one slice
+// header per inherited segment); child and parent share every row by
+// reference and both are frozen by fresh generations, so the first write
+// to any row on either side copies it (cow.go). With COW disabled it is
+// the original deep copy, reusing dst's storage where capacities allow.
 func (g *Graph) CloneInto(dst *Graph) *Graph {
 	if dst == nil {
-		dst = &Graph{}
+		dst = &Graph{cur: -1}
 	}
-	dst.n, dst.cap = g.n, g.cap
+	if g.cow {
+		// Retain dst's recycled segment — including its bump offset. Rows
+		// below the offset may be shared with dst's previous incarnation's
+		// children (still live elsewhere in the search), but continuing to
+		// allocate *above* it never touches them, exactly as a live parent
+		// keeps allocating at its tail after freezing a fork. Preserving
+		// the offset instead of resetting it is what lets every pooled
+		// recycle reuse its arena: without it, each fork of a recycled
+		// state paid a fresh zeroed segment allocation, which profiling
+		// showed as the dominant fork cost. (The segment may also appear
+		// in g's inherited list if g descends from dst's previous life;
+		// that double listing is harmless — only dst appends to it, and
+		// only beyond the preserved offset.)
+		retained, roff := []uint64(nil), 0
+		if dst.cur >= 0 {
+			retained, roff = dst.segs[dst.cur], dst.off
+		}
+		dst.segs = append(dst.segs[:0], g.segs...)
+		if retained != nil {
+			dst.segs = append(dst.segs, retained)
+			dst.cur = len(dst.segs) - 1
+			dst.off = roff
+		} else {
+			dst.cur = -1
+			dst.off = 0
+		}
+		dst.n, dst.cap, dst.rowW = g.n, g.cap, g.rowW
+		dst.edges = append(dst.edges[:0], g.edges...)
+		g.shareRowsInto(dst)
+		dst.logOn = g.logOn
+		dst.log = CopyInto(dst.log, g.log)
+		return dst
+	}
+	if dst.cow {
+		// A COW-mode retiree can't donate segments to a deep copy: other
+		// graphs may still read rows in them.
+		dst.scrubCOW()
+	}
+	g.deepRowsInto(dst)
 	dst.edges = append(dst.edges[:0], g.edges...)
-	dst.succ = copyBitsSliceInto(dst.succ, g.succ)
-	dst.pred = copyBitsSliceInto(dst.pred, g.pred)
-	dst.desc = copyBitsSliceInto(dst.desc, g.desc)
-	dst.anc = copyBitsSliceInto(dst.anc, g.anc)
 	dst.logOn = g.logOn
 	dst.log = CopyInto(dst.log, g.log)
 	return dst
 }
 
-func copyBitsSliceInto(dst, src []Bits) []Bits {
-	if cap(dst) < len(src) {
-		grown := make([]Bits, len(src))
-		copy(grown, dst[:cap(dst)])
-		dst = grown
+// deepRowsInto copies every row of g into a single compact segment owned
+// by dst (reused across recycles when large enough) and rewrites dst's
+// handle arrays to match. dst comes out a plain non-COW graph.
+func (g *Graph) deepRowsInto(dst *Graph) {
+	dst.n, dst.cap, dst.rowW = g.n, g.cap, g.rowW
+	need := 4 * g.n * g.rowW
+	var arena []uint64
+	if dst.cur >= 0 && len(dst.segs[dst.cur]) >= need {
+		arena = dst.segs[dst.cur]
+	} else if need > 0 {
+		arena = make([]uint64, need)
 	}
-	dst = dst[:len(src)]
-	for i, b := range src {
-		dst[i] = CopyInto(dst[i], b)
+	dst.segs = dst.segs[:0]
+	if arena != nil {
+		dst.segs = append(dst.segs, arena)
+		dst.cur = 0
+	} else {
+		dst.cur = -1
 	}
-	return dst
+	dst.off = 0
+	dst.cow, dst.fam = false, nil
+	dst.succH = g.deepRowSet(dst, dst.succH[:0], g.succH)
+	dst.predH = g.deepRowSet(dst, dst.predH[:0], g.predH)
+	dst.descH = g.deepRowSet(dst, dst.descH[:0], g.descH)
+	dst.ancH = g.deepRowSet(dst, dst.ancH[:0], g.ancH)
+	dst.succOwned = dst.succOwned[:0]
+	dst.predOwned = dst.predOwned[:0]
+	dst.descOwned = dst.descOwned[:0]
+	dst.ancOwned = dst.ancOwned[:0]
+}
+
+// deepRowSet copies one row set of g to dst's tail, appending the new
+// handles to out.
+func (g *Graph) deepRowSet(dst *Graph, out []uint64, h []uint64) []uint64 {
+	for _, hi := range h {
+		nh, nr := dst.take(g.rowW)
+		copy(nr, g.row(hi))
+		out = append(out, nh)
+	}
+	return out
 }
 
 // Unordered reports whether neither a @ b nor b @ a (and a != b): the pair
 // may execute in either order.
 func (g *Graph) Unordered(a, b int) bool {
-	return a != b && !g.desc[a].Has(b) && !g.desc[b].Has(a)
+	return a != b && !g.row(g.descH[a]).Has(b) && !g.row(g.descH[b]).Has(a)
 }
 
 // RecomputeClosure rebuilds desc/anc from the direct edges. It exists as
@@ -323,27 +444,28 @@ func (g *Graph) Unordered(a, b int) bool {
 // a validation oracle in tests.
 func (g *Graph) RecomputeClosure() {
 	for i := 0; i < g.n; i++ {
-		for w := range g.desc[i] {
-			g.desc[i][w] = 0
-			g.anc[i][w] = 0
-		}
+		g.zeroRow(g.descH, g.descOwned, i)
+		g.zeroRow(g.ancH, g.ancOwned, i)
 	}
 	order, err := g.Toposort()
 	if err != nil {
 		panic("graph: RecomputeClosure on cyclic graph")
 	}
+	// zeroRow left every desc/anc row owned, so in-place writes are safe.
 	for i := len(order) - 1; i >= 0; i-- {
 		v := order[i]
-		g.succ[v].ForEach(func(s int) bool {
-			g.desc[v].Set(s)
-			g.desc[v].Or(g.desc[s])
+		dv := g.row(g.descH[v])
+		g.row(g.succH[v]).ForEach(func(s int) bool {
+			dv.Set(s)
+			dv.Or(g.row(g.descH[s]))
 			return true
 		})
 	}
 	for _, v := range order {
-		g.pred[v].ForEach(func(p int) bool {
-			g.anc[v].Set(p)
-			g.anc[v].Or(g.anc[p])
+		av := g.row(g.ancH[v])
+		g.row(g.predH[v]).ForEach(func(p int) bool {
+			av.Set(p)
+			av.Or(g.row(g.ancH[p]))
 			return true
 		})
 	}
@@ -355,7 +477,7 @@ func (g *Graph) RecomputeClosure() {
 func (g *Graph) Toposort() ([]int, error) {
 	indeg := make([]int, g.n)
 	for i := 0; i < g.n; i++ {
-		indeg[i] = g.pred[i].Count()
+		indeg[i] = g.row(g.predH[i]).Count()
 	}
 	queue := make([]int, 0, g.n)
 	for i := 0; i < g.n; i++ {
@@ -368,7 +490,7 @@ func (g *Graph) Toposort() ([]int, error) {
 		v := queue[0]
 		queue = queue[1:]
 		out = append(out, v)
-		g.succ[v].ForEach(func(s int) bool {
+		g.row(g.succH[v]).ForEach(func(s int) bool {
 			indeg[s]--
 			if indeg[s] == 0 {
 				queue = append(queue, s)

@@ -1,0 +1,107 @@
+package graph
+
+// Slab-backed row storage. Every closure row lives in a segment — a plain
+// []uint64 arena — and is referred to by a pointer-free handle packing
+// (segment index << 32 | word offset). The graph's four row sets are
+// therefore arrays of uint64, not arrays of slice headers: forking a
+// graph copies them with memmove, no write barriers fire, and the GC
+// never scans them. (The first COW cut shared rows as []Bits headers;
+// profiling showed ~40% of enumeration cycles in bulkBarrierPreWrite/
+// scanobject from copying those pointer-dense arrays every fork.)
+//
+// Segments are append-only while any row carved from them is reachable: a
+// copy-on-write lands at the tail of the writer's current segment and
+// never overwrites an earlier row, which is what makes rows safe to share
+// by reference with forked children (see cow.go). A graph's segs list
+// holds its own segments plus every inherited segment its handles may
+// point into; the list itself is copied per fork (a handful of slice
+// headers — one per ancestor arena — not one per row).
+
+// slabMinWords caps the sizing of a graph's first segment and floors the
+// doubling of later ones. The first segment is sized to the graph's full
+// closure footprint (4 row sets × capacity × row width) so a small graph
+// allocates exactly what it needs — symmetry replay and fuzzing churn
+// through short-lived graphs, and a fixed large minimum showed up as pure
+// zeroing and GC-assist overhead on those paths.
+const slabMinWords = 512
+
+// handle packs a row location. Offsets are bounded by the largest
+// segment (arena doubling keeps them far below 2^32).
+func handle(seg, off int) uint64 { return uint64(seg)<<32 | uint64(uint32(off)) }
+
+// row returns the Bits view of a handle at the graph's current uniform
+// row width. Three-index so an append on a row can never bleed into its
+// neighbor.
+func (g *Graph) row(h uint64) Bits {
+	s := g.segs[h>>32]
+	off := int(uint32(h))
+	return Bits(s[off : off+g.rowW : off+g.rowW])
+}
+
+// rowAt is row at an explicit width — used only mid-growth, when old rows
+// are still at the previous width.
+func (g *Graph) rowAt(h uint64, w int) Bits {
+	s := g.segs[h>>32]
+	off := int(uint32(h))
+	return Bits(s[off : off+w : off+w])
+}
+
+// take carves an uninitialized row of the given width from the current
+// segment, starting a fresh (doubled) segment when it is exhausted.
+// Append-only: rows already carved are never overwritten.
+func (g *Graph) take(words int) (uint64, Bits) {
+	if g.cur < 0 || g.off+words > len(g.segs[g.cur]) {
+		var n int
+		if g.cur < 0 {
+			// First private segment: the graph's whole closure fits in
+			// 4*cap*rowW words, so allocate that (bounded by the floor's
+			// cap) rather than a fixed large arena.
+			n = 4 * g.cap * g.rowW
+			if n > slabMinWords {
+				n = slabMinWords
+			}
+		} else {
+			n = 2 * len(g.segs[g.cur])
+			if n < slabMinWords {
+				n = slabMinWords
+			}
+		}
+		if n < words {
+			n = words
+		}
+		g.segs = append(g.segs, make([]uint64, n))
+		g.cur = len(g.segs) - 1
+		g.off = 0
+		if g.fam != nil {
+			g.fam.SlabBytes.Add(int64(n) * 8)
+		}
+	}
+	h := handle(g.cur, g.off)
+	r := Bits(g.segs[g.cur][g.off : g.off+words : g.off+words])
+	g.off += words
+	return h, r
+}
+
+// takeZeroed carves a zero row. A reused segment holds stale bits from a
+// previous incarnation, so fresh rows must be cleared explicitly (copied
+// rows are fully overwritten and need not be).
+func (g *Graph) takeZeroed(words int) (uint64, Bits) {
+	h, r := g.take(words)
+	for i := range r {
+		r[i] = 0
+	}
+	return h, r
+}
+
+// SlabCapBytes reports the total bytes of every segment the graph keeps
+// alive — its own arenas plus all inherited ones. The state pool uses it
+// to drop retired states whose reachable storage outgrew the running
+// program (see core.statePool): a deep fork chain pins every ancestor's
+// arena, and that full footprint is what pooling the state would retain.
+func (g *Graph) SlabCapBytes() int64 {
+	var n int64
+	for _, s := range g.segs {
+		n += int64(len(s))
+	}
+	return n * 8
+}

@@ -29,7 +29,7 @@ func (g *Graph) ForEachLinearExtension(nodes []int, fn func(order []int) bool) {
 	// constraints that pass through excluded nodes still apply.
 	pending := make(map[int]int, len(ids))
 	for _, v := range ids {
-		anc := g.anc[v]
+		anc := g.Anc(v)
 		cnt := 0
 		for _, u := range ids {
 			if u != v && anc.Has(u) {
@@ -50,7 +50,7 @@ func (g *Graph) ForEachLinearExtension(nodes []int, fn func(order []int) bool) {
 			}
 			pending[v] = -1 // emitted
 			order = append(order, v)
-			desc := g.desc[v]
+			desc := g.Desc(v)
 			for _, s := range ids {
 				if s != v && desc.Has(s) {
 					pending[s]--
@@ -104,7 +104,7 @@ func (g *Graph) CountLinearExtensions(nodes []int) uint64 {
 		return n
 	}
 	for i, v := range ids {
-		anc := g.anc[v]
+		anc := g.Anc(v)
 		for j, u := range ids {
 			if u != v && anc.Has(u) {
 				ancMask[i] |= 1 << uint(j)

@@ -38,6 +38,16 @@ type EnumMetrics struct {
 	DirtySkips    *Counter
 	WorklistLen   *Histogram
 
+	// Copy-on-write fork instrumentation: closure rows adopted by
+	// reference at fork time vs copied on first write, slab arena bytes
+	// allocated, and retired states the pool dropped for pinning an
+	// oversized arena. Folded from the graph layer's per-family counters
+	// at end of run (internal/graph stays telemetry-free).
+	CowRowsShared *Counter
+	CowRowsCopied *Counter
+	SlabBytes     *Counter
+	PoolDrops     *Counter
+
 	// Phase-time counters map to Section 4 of the paper: graph
 	// generation (step 1), dataflow execution + atomicity closure
 	// (step 2), and Load Resolution forking (step 3).
@@ -74,6 +84,10 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	m.PrunePrefix = reg.NewCounter("prune_prefix_hits", "forks dropped at fork time by prefix-state dedup")
 	m.PruneSymmetry = reg.NewCounter("prune_symmetry_hits", "forks dropped at fork time by symmetry canonicalization")
 	m.DirtySkips = reg.NewCounter("candidates_dirty_skips", "eligibility checks served from the per-load dirty-bit cache")
+	m.CowRowsShared = reg.NewCounter("graph_cow_rows_shared_total", "closure rows adopted by reference at fork time")
+	m.CowRowsCopied = reg.NewCounter("graph_cow_rows_copied_total", "closure rows copied into a writer's slab on first write")
+	m.SlabBytes = reg.NewCounter("graph_slab_bytes_total", "bytes allocated to slab arenas")
+	m.PoolDrops = reg.NewCounter("enum_pool_drops_total", "retired states dropped for pinning an oversized slab arena")
 	m.WorklistLen = reg.NewHistogramMetric("closure_worklist_len", "incremental-closure worklist size per pass", worklistBounds)
 	m.GenerateNs = reg.NewCounter("enum_phase_generate_ns_total", "time in graph generation (Section 4 step 1)")
 	m.ExecuteNs = reg.NewCounter("enum_phase_execute_ns_total", "time in dataflow execution + closure (step 2)")
