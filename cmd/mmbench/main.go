@@ -25,6 +25,8 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
+	"sort"
 	"strconv"
 	"strings"
 	"testing"
@@ -65,15 +67,20 @@ func (r *result) statesExplored() int64 {
 	return r.Metrics["enum_states_explored_total"]
 }
 
-// snapshot is the whole BENCH_enum.json document.
+// snapshot is the whole BENCH_enum.json document. Gogc and Gomaxprocs
+// record the runtime knobs the numbers were taken under, so two
+// snapshots are only ever compared like for like.
 type snapshot struct {
-	GoVersion string   `json:"go_version"`
-	NumCPU    int      `json:"num_cpu"`
-	Prune     string   `json:"prune,omitempty"`
-	Cow       string   `json:"cow,omitempty"`
-	Note      string   `json:"note,omitempty"`
-	Enum      []result `json:"enum"`
-	Parallel  []result `json:"parallel"`
+	GoVersion  string   `json:"go_version"`
+	NumCPU     int      `json:"num_cpu"`
+	Gogc       int      `json:"gogc"`
+	Gomaxprocs int      `json:"gomaxprocs,omitempty"`
+	Prune      string   `json:"prune,omitempty"`
+	Cow        string   `json:"cow,omitempty"`
+	DedupMem   string   `json:"dedup_mem,omitempty"`
+	Note       string   `json:"note,omitempty"`
+	Enum       []result `json:"enum"`
+	Parallel   []result `json:"parallel"`
 }
 
 // enumSuite mirrors BenchmarkEnum in bench_test.go: the (experiment,
@@ -109,10 +116,14 @@ func main() {
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
 		prune     = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
 		cow       = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
+		dedupMem  = flag.String("dedup-mem", "off", "seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
+		gogc      = flag.Int("gogc", -1, "debug.SetGCPercent during the timed loops: -1 (the default) turns the background collector off while timing — GC pacing is the biggest run-to-run variance source, but the heap then grows for the whole suite, so prefer 0 (keep the process setting) on memory-tight hosts or when comparing against a GC-on snapshot")
+		maxprocs  = flag.Int("maxprocs", 0, "GOMAXPROCS for the whole run; 0 keeps the runtime default")
 		baseline  = flag.String("baseline", "", "compare against this snapshot and exit non-zero on regressions")
 		threshold = flag.Float64("threshold", 10, "max allowed states-explored regression in percent (with -baseline)")
 		nsThresh  = flag.Float64("ns-threshold", -1, "max allowed ns/op regression in percent; negative = report-only (with -baseline)")
 		allocTh   = flag.Float64("alloc-threshold", 10, "max allowed allocs/op regression in percent; negative = report-only (with -baseline)")
+		resolveTh = flag.Float64("resolve-threshold", -1, "max allowed regression in the resolve-phase time share (enum_phase_resolve_ns_total / ns_per_op) of the heavy E13/E14 entries, in percent; negative = report-only (with -baseline)")
 	)
 	tel.RegisterFlags()
 	flag.Parse()
@@ -141,27 +152,50 @@ func main() {
 	if err := cli.ApplyCOW(&pruneOpts, *cow); err != nil {
 		fatalf("%v", err)
 	}
+	if err := cli.ApplyDedupMem(&pruneOpts, *dedupMem); err != nil {
+		fatalf("%v", err)
+	}
 
 	// Validate the sweep before spending seconds on benchmarks.
 	var sweep []int
+	maxWorkers := 1
 	for _, ws := range strings.Split(*workers, ",") {
 		w, err := strconv.Atoi(strings.TrimSpace(ws))
 		if err != nil || w < 1 {
 			fatalf("bad -workers element %q", ws)
 		}
 		sweep = append(sweep, w)
+		if w > maxWorkers {
+			maxWorkers = w
+		}
 	}
 
-	snap := snapshot{
-		GoVersion: runtime.Version(),
-		NumCPU:    runtime.NumCPU(),
-		Prune:     *prune,
-		Cow:       *cow,
+	if *maxprocs > 0 {
+		runtime.GOMAXPROCS(*maxprocs)
 	}
-	if runtime.NumCPU() < 4 {
+	snap := snapshot{
+		GoVersion:  runtime.Version(),
+		NumCPU:     runtime.NumCPU(),
+		Gogc:       *gogc,
+		Gomaxprocs: runtime.GOMAXPROCS(0),
+		Prune:      *prune,
+		Cow:        *cow,
+		DedupMem:   *dedupMem,
+	}
+	// The 1-CPU caveat is about what the scheduler can actually use, not
+	// what the hardware reports: only flag a sweep that asks for more
+	// parallelism than GOMAXPROCS provides.
+	if procs := runtime.GOMAXPROCS(0); procs < maxWorkers {
 		snap.Note = fmt.Sprintf(
-			"host has %d CPU(s); the parallel sweep measures scheduler overhead, not speedup",
-			runtime.NumCPU())
+			"GOMAXPROCS=%d < max sweep width %d; the wider parallel entries measure scheduler overhead, not speedup",
+			procs, maxWorkers)
+	}
+
+	// Run the timed loops under the requested GC regime (off by default:
+	// the explicit runtime.GC() between entries still bounds heap growth)
+	// and restore the collector before writing any output.
+	if *gogc != 0 {
+		defer debug.SetGCPercent(debug.SetGCPercent(*gogc))
 	}
 
 	for _, s := range enumSuite {
@@ -264,7 +298,7 @@ func main() {
 		if err := json.Unmarshal(data, &base); err != nil {
 			fatalf("parse baseline %s: %v", *baseline, err)
 		}
-		if failed := compareToBaseline(os.Stdout, &base, &snap, *threshold, *nsThresh, *allocTh); failed {
+		if failed := compareToBaseline(os.Stdout, &base, &snap, *threshold, *nsThresh, *allocTh, *resolveTh); failed {
 			tel.Close()
 			os.Exit(1)
 		}
@@ -277,7 +311,7 @@ func main() {
 // allocation pattern barely depends on the host), so both gate by
 // default; ns/op deltas are noisy and only gate when nsThresh is
 // non-negative.
-func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh, allocThresh float64) bool {
+func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh, allocThresh, resolveThresh float64) bool {
 	baseRows := map[string]*result{}
 	for i := range base.Enum {
 		baseRows[base.Enum[i].Name] = &base.Enum[i]
@@ -339,11 +373,62 @@ func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh, allo
 		fmt.Fprintf(w, "%-26s %14.0f %+8.1f%%%s %12d %10s %16d %s\n",
 			r.Name, r.NsPerOp, nsDelta, nsMark, r.AllocsPerOp, alCell, stCur, stCell)
 	}
+	// Resolve-phase share of the two heavy rotation-symmetric entries —
+	// the fraction of each operation spent in Load Resolution forking.
+	// The share is dimensionless, so it compares cleanly across hosts of
+	// different speeds, unlike raw ns/op.
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Name, "E13_") && !strings.HasPrefix(r.Name, "E14_") {
+			continue
+		}
+		b, ok := baseRows[r.Name]
+		if !ok {
+			continue
+		}
+		baseShare := resolveShare(b)
+		curShare := resolveShare(&r)
+		if baseShare == 0 || curShare == 0 {
+			fmt.Fprintf(w, "%-26s resolve share n/a (no phase metrics in one snapshot)\n", r.Name)
+			continue
+		}
+		delta := pctDelta(baseShare, curShare)
+		mark := ""
+		if resolveThresh >= 0 && delta > resolveThresh {
+			failed = true
+			mark = " REGRESSION"
+		}
+		fmt.Fprintf(w, "%-26s resolve share %5.1f%% -> %5.1f%% (%+.1f%%)%s\n",
+			r.Name, baseShare*100, curShare*100, delta, mark)
+	}
 	if failed {
-		fmt.Fprintf(w, "mmbench: regression past threshold (states %+.0f%%, allocs %+.0f%%, ns/op %+.0f%%)\n",
-			stThresh, allocThresh, nsThresh)
+		fmt.Fprintf(w, "mmbench: regression past threshold (states %+.0f%%, allocs %+.0f%%, ns/op %+.0f%%, resolve share %+.0f%%)\n",
+			stThresh, allocThresh, nsThresh, resolveThresh)
 	}
 	return failed
+}
+
+// resolveShare is the fraction of an entry's time spent in the Load
+// Resolution phase. Both numerator and denominator come from the same
+// instrumented run — resolve over the sum of the three phase timers —
+// so the ratio is self-consistent: dividing the instrumented resolve
+// time by the *uninstrumented* timed-loop ns/op instead was observed to
+// swing the recorded share 3x between runs (the two clocks see
+// different GC and scheduling), which no gate threshold survives. Falls
+// back to resolve/ns_per_op for baselines that predate the execute and
+// generate counters, and to zero when phase metrics are absent
+// entirely (notelemetry builds).
+func resolveShare(r *result) float64 {
+	res := float64(r.Metrics["enum_phase_resolve_ns_total"])
+	phases := res +
+		float64(r.Metrics["enum_phase_generate_ns_total"]) +
+		float64(r.Metrics["enum_phase_execute_ns_total"])
+	if phases > 0 {
+		return res / phases
+	}
+	if r.NsPerOp <= 0 {
+		return 0
+	}
+	return res / r.NsPerOp
 }
 
 func pctDelta(base, cur float64) float64 {
@@ -353,30 +438,41 @@ func pctDelta(base, cur float64) float64 {
 	return (cur - base) / base * 100
 }
 
-// measuredRun repeats one suite entry with a fresh metrics registry and
-// returns the snapshot for the JSON row. Nil (omitted from the JSON)
-// when the binary was built with the notelemetry tag or the run fails —
-// the benchmark numbers above it are still valid either way.
+// measuredRun repeats one suite entry with a fresh metrics registry per
+// attempt and returns the snapshot whose resolve-phase time is the
+// median of three — the event counters are deterministic and identical
+// across attempts, but the phase-time counters jitter enough on a busy
+// host that a single draw can swing the recorded resolve share by half.
+// Nil (omitted from the JSON) when the binary was built with the
+// notelemetry tag or the run fails — the benchmark numbers above it are
+// still valid either way.
 func measuredRun(ctx context.Context, test, model string, workers int, pruneOpts core.Options) telemetry.Snapshot {
-	met := telemetry.NewEnumMetrics(nil)
-	if met == nil {
-		return nil
-	}
 	tc, _ := litmus.ByName(test)
 	m, _ := litmus.ModelByName(model)
-	opts := pruneOpts
-	opts.Speculative = m.Speculative
-	opts.Metrics = met
-	var err error
-	if workers > 1 {
-		_, err = core.EnumerateParallel(ctx, tc.Build(), m.Policy, opts, workers)
-	} else {
-		_, err = core.Enumerate(ctx, tc.Build(), m.Policy, opts)
+	var snaps []telemetry.Snapshot
+	for i := 0; i < 3; i++ {
+		met := telemetry.NewEnumMetrics(nil)
+		if met == nil {
+			return nil
+		}
+		opts := pruneOpts
+		opts.Speculative = m.Speculative
+		opts.Metrics = met
+		var err error
+		if workers > 1 {
+			_, err = core.EnumerateParallel(ctx, tc.Build(), m.Policy, opts, workers)
+		} else {
+			_, err = core.Enumerate(ctx, tc.Build(), m.Policy, opts)
+		}
+		if err != nil {
+			return nil
+		}
+		snaps = append(snaps, met.Snapshot())
 	}
-	if err != nil {
-		return nil
-	}
-	return met.Snapshot()
+	sort.Slice(snaps, func(a, b int) bool {
+		return snaps[a]["enum_phase_resolve_ns_total"] < snaps[b]["enum_phase_resolve_ns_total"]
+	})
+	return snaps[1]
 }
 
 func fatalf(format string, args ...any) {

@@ -48,6 +48,7 @@ func main() {
 		workers   = flag.Int("workers", 1, "enumerate with N parallel workers (0 = one per CPU)")
 		prune     = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
 		cow       = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
+		dedupMem  = flag.String("dedup-mem", "off", "seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
 		timeout   = flag.Duration("timeout", 0, "wall-clock budget; on expiry (or Ctrl-C) partial results are printed")
 		ckptPath  = flag.String("checkpoint", "", "write a resumable checkpoint here periodically and on interrupt")
 		ckptEvery = flag.Duration("checkpoint-every", 5*time.Second, "timed checkpoint interval (with -checkpoint)")
@@ -147,6 +148,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := cli.ApplyCOW(&opts, *cow); err != nil {
+		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.ApplyDedupMem(&opts, *dedupMem); err != nil {
 		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
 		os.Exit(2)
 	}

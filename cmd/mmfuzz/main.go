@@ -43,6 +43,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "also cross-check EnumerateParallel with N workers (0 = skip)")
 		prune    = flag.String("prune", cli.PruneAll, "search-pruning layers under test: comma-separated subset of closure,prefix,symmetry; all; off")
 		cow      = flag.String("cow", "on", "copy-on-write closure sharing in the engine under test: on or off (deep-copy forks)")
+		dedupMem = flag.String("dedup-mem", "off", "seen-set memory budget for the engine under test (bytes; k/m/g suffix); the baseline stays unbounded so the differential cross-checks spill against in-memory dedup")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget; stop early with a partial summary")
 		faultsFl = flag.String("faults", "", "inject coherence bus faults into the machine runs (\"on\" or delay=P,reorder=P,retry=P,...)")
 		verbose  = flag.Bool("v", false, "print per-program statistics")
@@ -65,6 +66,10 @@ func main() {
 		os.Exit(2)
 	}
 	if err := cli.ApplyCOW(&pruneOpts, *cow); err != nil {
+		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.ApplyDedupMem(&pruneOpts, *dedupMem); err != nil {
 		fmt.Fprintf(os.Stderr, "mmfuzz: %v\n", err)
 		os.Exit(2)
 	}

@@ -28,6 +28,7 @@ func main() {
 		outcomes = flag.Bool("outcomes", false, "list distinct outcomes per test/model")
 		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the whole matrix")
 		cow      = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
+		dedupMem = flag.String("dedup-mem", "off", "seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -46,6 +47,10 @@ func main() {
 
 	var cowOpts core.Options
 	if err := cli.ApplyCOW(&cowOpts, *cow); err != nil {
+		fmt.Fprintf(os.Stderr, "mmlitmus: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.ApplyDedupMem(&cowOpts, *dedupMem); err != nil {
 		fmt.Fprintf(os.Stderr, "mmlitmus: %v\n", err)
 		os.Exit(2)
 	}

@@ -30,10 +30,11 @@ var addrByName = map[string]program.Addr{
 
 func main() {
 	var (
-		model   = flag.String("model", "Relaxed", "model configuration")
-		syncL   = flag.String("sync", "", "comma-separated synchronization addresses (x,y,...)")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget for the enumeration")
-		cow     = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
+		model    = flag.String("model", "Relaxed", "model configuration")
+		syncL    = flag.String("sync", "", "comma-separated synchronization addresses (x,y,...)")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the enumeration")
+		cow      = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
+		dedupMem = flag.String("dedup-mem", "off", "seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -73,6 +74,10 @@ func main() {
 	defer tel.Close()
 	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()}
 	if err := cli.ApplyCOW(&opts, *cow); err != nil {
+		fmt.Fprintf(os.Stderr, "mmrace: %v\n", err)
+		os.Exit(2)
+	}
+	if err := cli.ApplyDedupMem(&opts, *dedupMem); err != nil {
 		fmt.Fprintf(os.Stderr, "mmrace: %v\n", err)
 		os.Exit(2)
 	}

@@ -44,12 +44,13 @@ func policyByName(name string) order.Policy {
 
 func main() {
 	var (
-		model   = flag.String("model", "TSO", "model to check against (SC, TSO, NaiveTSO, PSO, Relaxed)")
-		rules   = flag.String("rules", "abc", "Store Atomicity rule subset: ab (TSOtool-equivalent) or abc (complete)")
-		demo    = flag.Bool("demo", false, "check built-in demonstration records")
-		example = flag.Bool("example", false, "print an example record JSON and exit")
-		timeout = flag.Duration("timeout", 0, "wall-clock budget for the -demo enumeration")
-		cow     = flag.String("cow", "on", "copy-on-write closure sharing in the -demo enumeration: on or off (deep-copy forks)")
+		model    = flag.String("model", "TSO", "model to check against (SC, TSO, NaiveTSO, PSO, Relaxed)")
+		rules    = flag.String("rules", "abc", "Store Atomicity rule subset: ab (TSOtool-equivalent) or abc (complete)")
+		demo     = flag.Bool("demo", false, "check built-in demonstration records")
+		example  = flag.Bool("example", false, "print an example record JSON and exit")
+		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the -demo enumeration")
+		cow      = flag.String("cow", "on", "copy-on-write closure sharing in the -demo enumeration: on or off (deep-copy forks)")
+		dedupMem = flag.String("dedup-mem", "off", "-demo seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -91,6 +92,10 @@ func main() {
 	if *demo {
 		var demoOpts core.Options
 		if err := cli.ApplyCOW(&demoOpts, *cow); err != nil {
+			fmt.Fprintf(os.Stderr, "mmverify: %v\n", err)
+			os.Exit(2)
+		}
+		if err := cli.ApplyDedupMem(&demoOpts, *dedupMem); err != nil {
 			fmt.Fprintf(os.Stderr, "mmverify: %v\n", err)
 			os.Exit(2)
 		}

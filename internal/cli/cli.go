@@ -116,6 +116,37 @@ func ApplyCOW(opts *core.Options, spec string) error {
 	return nil
 }
 
+// ApplyDedupMem parses the -dedup-mem flag into opts: a byte budget for
+// the engines' seen-sets, with optional k/m/g (KiB/MiB/GiB) suffix.
+// "", "0", and "off" keep the classic unbounded in-memory dedup; a
+// positive budget switches to the tiered spill-to-disk store, which
+// produces a bit-identical behavior set while keeping resident dedup
+// memory bounded — the knob for searches bigger than RAM.
+func ApplyDedupMem(opts *core.Options, spec string) error {
+	orig := spec
+	spec = strings.TrimSpace(strings.ToLower(spec))
+	switch spec {
+	case "", "0", "off":
+		opts.DedupMemBudget = 0
+		return nil
+	}
+	mult := int64(1)
+	switch spec[len(spec)-1] {
+	case 'k':
+		mult, spec = 1<<10, spec[:len(spec)-1]
+	case 'm':
+		mult, spec = 1<<20, spec[:len(spec)-1]
+	case 'g':
+		mult, spec = 1<<30, spec[:len(spec)-1]
+	}
+	n, err := strconv.ParseInt(strings.TrimSpace(spec), 10, 64)
+	if err != nil || n <= 0 {
+		return fmt.Errorf("bad -dedup-mem %q (want a positive byte count with optional k/m/g suffix, or off)", orig)
+	}
+	opts.DedupMemBudget = n * mult
+	return nil
+}
+
 // ParseFaults parses the -faults flag grammar into a coherence fault
 // config. The spec is comma-separated key=value pairs:
 //

@@ -1,0 +1,37 @@
+package cli
+
+import (
+	"testing"
+
+	"storeatomicity/internal/core"
+)
+
+func TestApplyDedupMem(t *testing.T) {
+	cases := []struct {
+		spec string
+		want int64
+		err  bool
+	}{
+		{"", 0, false},
+		{"off", 0, false},
+		{"0", 0, false},
+		{"4096", 4096, false},
+		{"64k", 64 << 10, false},
+		{"256M", 256 << 20, false},
+		{" 2g ", 2 << 30, false},
+		{"-1", 0, true},
+		{"64kb", 0, true},
+		{"lots", 0, true},
+	}
+	for _, c := range cases {
+		var opts core.Options
+		err := ApplyDedupMem(&opts, c.spec)
+		if (err != nil) != c.err {
+			t.Errorf("ApplyDedupMem(%q) err = %v, want err=%v", c.spec, err, c.err)
+			continue
+		}
+		if !c.err && opts.DedupMemBudget != c.want {
+			t.Errorf("ApplyDedupMem(%q) = %d, want %d", c.spec, opts.DedupMemBudget, c.want)
+		}
+	}
+}

@@ -143,7 +143,6 @@ func (s *state) closureIncremental() error {
 	}
 	s.newRMW = s.newRMW[:0]
 
-	dummy := false
 	for {
 		s.work = graph.OrInto(s.work, s.dirty)
 		s.dirty.Reset()
@@ -161,24 +160,44 @@ func (s *state) closureIncremental() error {
 			for _, lid32 := range ms.loads {
 				lid := int(lid32)
 				src := s.nodes[lid].Source
-				ldDirty := w.Has(lid) || w.Has(src)
-				for _, sid32 := range ms.stores {
-					sid := int(sid32)
-					if sid == src || sid == lid {
-						continue
+				// active: the store-effect nodes this pass must test
+				// against load lid. A dirty load endpoint re-tests every
+				// store; otherwise only the dirty stores.
+				active := graph.CopyInto(s.ruleScratch, ms.storeBits)
+				s.ruleScratch = active
+				if !w.Has(lid) && !w.Has(src) {
+					active.AndTrunc(w)
+				}
+				if active.Empty() {
+					continue
+				}
+				// Rule a, batched: every active store ordered before L
+				// must be ordered before source(L). The mask intersects
+				// "store at L's address" with anc(L), drops the stores
+				// already before source(L), and excludes the principals.
+				ra := graph.CopyInto(s.maskScratch, active)
+				s.maskScratch = ra
+				ra.AndTrunc(s.g.Anc(lid))
+				ra.AndNotTrunc(s.g.Anc(src))
+				clearIn(ra, src)
+				clearIn(ra, lid)
+				if !ra.Empty() {
+					if _, err := s.g.AddOrderFromSet(ra, src, graph.EdgeAtomicity); err != nil {
+						return errInconsistent
 					}
-					if !ldDirty && !w.Has(sid) {
-						continue
-					}
-					if s.g.Before(sid, lid) {
-						if err := s.addOrder(sid, src, &dummy); err != nil {
-							return err
-						}
-					}
-					if s.g.Before(src, sid) {
-						if err := s.addOrder(lid, sid, &dummy); err != nil {
-							return err
-						}
+				}
+				// Rule b, batched: every active store ordered after
+				// source(L) must be ordered after L. (source(L) is not in
+				// its own strict descendant set, so only L needs
+				// excluding.)
+				rb := graph.CopyInto(s.maskScratch, active)
+				s.maskScratch = rb
+				rb.AndTrunc(s.g.Desc(src))
+				rb.AndNotTrunc(s.g.Desc(lid))
+				clearIn(rb, lid)
+				if !rb.Empty() {
+					if _, err := s.g.AddOrderToSet(lid, rb, graph.EdgeAtomicity); err != nil {
+						return errInconsistent
 					}
 				}
 			}
@@ -192,13 +211,22 @@ func (s *state) closureIncremental() error {
 					if !w.Has(l1) && !w.Has(l2) && !w.Has(s1) && !w.Has(s2) {
 						continue
 					}
-					if err := s.ruleC(l1, l2, s1, s2, &dummy); err != nil {
+					if err := s.ruleCBatched(l1, l2, s1, s2); err != nil {
 						return err
 					}
 				}
 			}
 		}
 		s.work.Reset()
+	}
+}
+
+// clearIn clears bit i when it falls inside b's width (a mask sized to
+// the store IDs it has seen may be narrower than an arbitrary node ID —
+// an out-of-range bit is already clear).
+func clearIn(b graph.Bits, i int) {
+	if i >= 0 && i>>6 < len(b) {
+		b.Clear(i)
 	}
 }
 
@@ -225,10 +253,12 @@ func (s *state) invalidateElig(w graph.Bits) {
 	})
 }
 
-// noteResolved invalidates the eligibility of every load ordered after a
-// newly resolved node: eligible()'s reading-ancestor and operand
-// conditions watch resolved-ness upstream.
+// noteResolved records a newly resolved node in the resolved mask and
+// invalidates the eligibility of every load ordered after it:
+// eligible()'s reading-ancestor and operand conditions watch
+// resolved-ness upstream.
 func (s *state) noteResolved(id int) {
+	s.setNodeMask(&s.resolvedBits, id)
 	if len(s.eligCache) == 0 {
 		return
 	}
@@ -317,6 +347,31 @@ func (s *state) addOrder(a, b int, changed *bool) error {
 	return nil
 }
 
+// ruleCBatched is ruleC through the graph's batched kernel: the
+// commonAnc × commonDesc requirement is one AddOrderSet call, whose
+// cycle check also covers the a == b overlap (a node that is both a
+// mutual ancestor and a mutual descendant). Used by the incremental
+// closure; closureFull keeps the pairwise ruleC below as the
+// independently coded oracle.
+func (s *state) ruleCBatched(l1, l2, s1, s2 int) error {
+	commonAnc := graph.CopyInto(s.ancScratch, s.g.Anc(l1))
+	s.ancScratch = commonAnc
+	commonAnc.And(s.g.Anc(l2))
+	if commonAnc.Empty() {
+		return nil
+	}
+	commonDesc := graph.CopyInto(s.descScratch, s.g.Desc(s1))
+	s.descScratch = commonDesc
+	commonDesc.And(s.g.Desc(s2))
+	if commonDesc.Empty() {
+		return nil
+	}
+	if _, err := s.g.AddOrderSet(commonAnc, commonDesc, graph.EdgeAtomicity); err != nil {
+		return errInconsistent
+	}
+	return nil
+}
+
 // ruleC inserts A @ B for every mutual strict ancestor A of loads l1, l2
 // and mutual strict descendant B of their (distinct) sources. The
 // intersection bitsets are computed into per-state scratch buffers —
@@ -364,6 +419,9 @@ func (s *state) ruleC(l1, l2, s1, s2 int, changed *bool) error {
 // candidate set), and — under a bypass policy — every program-order-earlier
 // local store knows its address, so the bypass/ordering split of Section 6
 // is decidable.
+//
+// The predecessor condition is the word test anc(L) ∩ reads ∖ resolved =
+// ∅ over the node-property masks — no per-ancestor probing.
 func (s *state) eligible(lid int) bool {
 	l := &s.nodes[lid]
 	if !l.Reads() || l.Resolved || !l.AddrKnown {
@@ -374,16 +432,7 @@ func (s *state) eligible(lid int) bool {
 	if l.Kind == program.KindAtomic && l.valDep != NoNode && !s.nodes[l.valDep].Resolved {
 		return false
 	}
-	ok := true
-	s.g.Anc(lid).ForEach(func(a int) bool {
-		n := &s.nodes[a]
-		if n.Reads() && !n.Resolved {
-			ok = false
-			return false
-		}
-		return true
-	})
-	if !ok {
+	if graph.IntersectsAndNot(s.g.Anc(lid), s.readsBits, s.resolvedBits) {
 		return false
 	}
 	for _, sid := range s.localPriorStores(lid, false) {
@@ -430,12 +479,92 @@ func (s *state) localPriorStores(lid int, sameAddrOnly bool) []int {
 //
 // plus the structural requirements that S is itself resolved with a known
 // matching address and is not ordered after L.
+//
+// The default evaluator prices the whole per-address store set at once
+// over the node-property masks (candidatesWords); the per-store probing
+// scan is kept behind DisableIncrementalClosure as the ablation baseline,
+// so the fuzz differential exercises genuinely independent candidate
+// code. The two return the same set — word order is ascending node ID,
+// the scan's is index insertion order, and every consumer treats the
+// slice as a set.
 func (s *state) candidates(lid int) []int {
+	if s.g.ChangeLogEnabled() {
+		return s.candidatesWords(lid)
+	}
+	return s.candidatesScan(lid)
+}
+
+// candidatesWords is the word-level candidates(L): the structural
+// conditions (resolved, not after L, not behind the last local
+// same-address store) are three mask operations on the address's store
+// bitset, and the per-survivor conditions are one-pass intersections of
+// closure rows with the property masks.
+func (s *state) candidatesWords(lid int) []int {
 	l := &s.nodes[lid]
-	// Under a bypass policy (Section 6), resolving L orders every
-	// non-source prior local same-address store before L; any candidate
-	// already ordered before the latest such store is therefore
-	// certainly overwritten, except that store itself (the bypass).
+	lastLocal := NoNode
+	if locals := s.localPriorStores(lid, true); len(locals) > 0 {
+		lastLocal = locals[len(locals)-1]
+	}
+	out := s.candScratch[:0]
+	defer func() { s.candScratch = out[:0] }()
+	ai := s.addrIdx(l.Addr)
+	if ai < 0 {
+		return nil
+	}
+	cand := graph.CopyInto(s.candMask, s.addrs[ai].storeBits)
+	s.candMask = cand
+	cand.AndTrunc(s.resolvedBits)   // S resolved
+	clearIn(cand, lid)              // S ≠ L
+	cand.AndNotTrunc(s.g.Desc(lid)) // not L @ S: observing the future is a cycle
+	if lastLocal != NoNode {
+		// Under a bypass policy (Section 6), resolving L orders every
+		// non-source prior local same-address store before L; any
+		// candidate already ordered before the latest such store is
+		// certainly overwritten — except that store itself (the bypass),
+		// which its own strict ancestor set does not contain.
+		cand.AndNotTrunc(s.g.Anc(lastLocal))
+	}
+	if cand.Empty() {
+		return out
+	}
+	// Overwrite witnesses: S is overwritten for L iff some same-address
+	// store sits in desc(S) ∩ anc(L). The right-hand side is one mask
+	// per load, shared by every surviving candidate.
+	ow := graph.CopyInto(s.owScratch, s.addrs[ai].storeBits)
+	s.owScratch = ow
+	ow.AndTrunc(s.g.Anc(lid))
+	cand.ForEach(func(sid int) bool {
+		// Condition 1: every memory ancestor of S is resolved.
+		if graph.IntersectsAndNot(s.g.Anc(sid), s.memBits, s.resolvedBits) {
+			return true
+		}
+		// Condition 2: no overwrite witness.
+		if s.g.Desc(sid).Intersects(ow) {
+			return true
+		}
+		// RMW atomicity (see closure): a store-effect resolution may
+		// not share its source with another atomic that stored.
+		if l.Kind == program.KindAtomic && s.wouldStore(lid, s.nodes[sid].StoredValue()) && s.sourceTakenByRMW(sid, lid) {
+			return true
+		}
+		out = append(out, sid)
+		return true
+	})
+	if dedupCollisionCheck {
+		// Checked builds hand every caller an independent copy: the
+		// scratch-returning fast path is correct only while callers
+		// consume the slice before the next candidates() call on this
+		// state, and the copy makes any aliasing bug visible as a test
+		// diff instead of silent corruption.
+		return append([]int(nil), out...)
+	}
+	return out
+}
+
+// candidatesScan is the original per-store probing evaluator (see
+// candidates for when it runs).
+func (s *state) candidatesScan(lid int) []int {
+	l := &s.nodes[lid]
 	lastLocal := NoNode
 	if locals := s.localPriorStores(lid, true); len(locals) > 0 {
 		lastLocal = locals[len(locals)-1]
@@ -468,19 +597,12 @@ func (s *state) candidates(lid int) []int {
 		if s.overwrittenFor(sid, lid) {
 			continue
 		}
-		// RMW atomicity (see closure): a store-effect resolution may
-		// not share its source with another atomic that stored.
 		if l.Kind == program.KindAtomic && s.wouldStore(lid, sn.StoredValue()) && s.sourceTakenByRMW(sid, lid) {
 			continue
 		}
 		out = append(out, sid)
 	}
 	if dedupCollisionCheck {
-		// Checked builds hand every caller an independent copy: the
-		// scratch-returning fast path is correct only while callers
-		// consume the slice before the next candidates() call on this
-		// state, and the copy makes any aliasing bug visible as a test
-		// diff instead of silent corruption.
 		return append([]int(nil), out...)
 	}
 	return out

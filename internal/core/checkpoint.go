@@ -50,8 +50,18 @@ type Checkpoint struct {
 	StatesExplored int `json:"states_explored"`
 	// Completed holds the path of every distinct final execution found.
 	Completed [][]PathStep `json:"completed"`
-	// Frontier holds the path of every unexplored behavior.
-	Frontier [][]PathStep `json:"frontier"`
+	// Frontier holds the path of every unexplored behavior. In the file
+	// it is stored as FrontierC; LoadCheckpoint expands it back, so
+	// in-memory consumers only ever see this field.
+	Frontier [][]PathStep `json:"frontier,omitempty"`
+	// FrontierC is the compressed on-disk form of Frontier written by
+	// Save. The frontier dominates checkpoint size on big runs and its
+	// sibling states share long resolution prefixes, so each path stores
+	// only the number of leading steps it shares with the previous path
+	// plus its own flattened (load, store) tail, labels elided. Dropping
+	// the labels skips the per-step label cross-check on replay; the
+	// node-range and convergence checks still reject stale checkpoints.
+	FrontierC []pathBlock `json:"frontier_c,omitempty"`
 	// Metrics is the telemetry snapshot at checkpoint time (absent when
 	// telemetry is off), so a checkpoint also explains the run it froze.
 	// Resume ignores it.
@@ -80,11 +90,67 @@ func ProgramHash(p *program.Program) uint64 {
 	return h
 }
 
+// pathBlock is one frontier path in the compressed checkpoint encoding:
+// P leading steps shared with the previous path in the list, then the
+// remaining steps as flattened (load, store) pairs in T.
+type pathBlock struct {
+	P int     `json:"p,omitempty"`
+	T []int32 `json:"t,omitempty"`
+}
+
+// compressFrontier delta-encodes a frontier path list against itself.
+func compressFrontier(paths [][]PathStep) []pathBlock {
+	out := make([]pathBlock, len(paths))
+	var prev []PathStep
+	for i, path := range paths {
+		shared := 0
+		for shared < len(path) && shared < len(prev) &&
+			path[shared].Load == prev[shared].Load && path[shared].Store == prev[shared].Store {
+			shared++
+		}
+		var t []int32
+		if tail := path[shared:]; len(tail) > 0 {
+			t = make([]int32, 0, 2*len(tail))
+			for _, st := range tail {
+				t = append(t, int32(st.Load), int32(st.Store))
+			}
+		}
+		out[i] = pathBlock{P: shared, T: t}
+		prev = path
+	}
+	return out
+}
+
+// expandFrontier inverts compressFrontier.
+func expandFrontier(blocks []pathBlock) ([][]PathStep, error) {
+	out := make([][]PathStep, len(blocks))
+	var prev []PathStep
+	for i, b := range blocks {
+		if b.P < 0 || b.P > len(prev) || len(b.T)%2 != 0 {
+			return nil, fmt.Errorf("core: corrupt checkpoint frontier: block %d shares %d steps of a %d-step predecessor (tail %d words)",
+				i, b.P, len(prev), len(b.T))
+		}
+		path := make([]PathStep, 0, b.P+len(b.T)/2)
+		path = append(path, prev[:b.P]...)
+		for j := 0; j < len(b.T); j += 2 {
+			path = append(path, PathStep{Load: int(b.T[j]), Store: int(b.T[j+1])})
+		}
+		out[i] = path
+		prev = path
+	}
+	return out, nil
+}
+
 // Save writes the checkpoint atomically: temp file in the same directory,
 // then rename, so a crash mid-write never corrupts a previous good
-// checkpoint.
+// checkpoint. The frontier is written in its compressed form.
 func (c *Checkpoint) Save(path string) error {
-	data, err := json.Marshal(c)
+	enc := *c
+	if len(enc.Frontier) > 0 {
+		enc.FrontierC = compressFrontier(enc.Frontier)
+		enc.Frontier = nil
+	}
+	data, err := json.Marshal(&enc)
 	if err != nil {
 		return fmt.Errorf("core: marshal checkpoint: %w", err)
 	}
@@ -116,6 +182,13 @@ func LoadCheckpoint(path string) (*Checkpoint, error) {
 	c := &Checkpoint{}
 	if err := json.Unmarshal(data, c); err != nil {
 		return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+	}
+	if len(c.FrontierC) > 0 {
+		f, err := expandFrontier(c.FrontierC)
+		if err != nil {
+			return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
+		}
+		c.Frontier, c.FrontierC = f, nil
 	}
 	return c, nil
 }

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCheckpointFrontierCompression: Save writes the frontier in its
+// prefix-shared compressed form, LoadCheckpoint expands it back, and
+// the (load, store) resolution sequences survive the roundtrip exactly
+// (labels are deliberately elided).
+func TestCheckpointFrontierCompression(t *testing.T) {
+	frontier := [][]PathStep{
+		{{Load: 3, Store: 0, LoadLabel: "L4", StoreLabel: "S3"}},
+		{{Load: 3, Store: 0, LoadLabel: "L4", StoreLabel: "S3"}, {Load: 8, Store: 2}},
+		{{Load: 3, Store: 0}, {Load: 8, Store: 5}, {Load: 9, Store: 2}},
+		{}, // a root-state entry: empty path must survive too
+		{{Load: 1, Store: 7}},
+	}
+	c := &Checkpoint{Model: "relaxed", ProgramHash: 42, StatesExplored: 7, Frontier: frontier}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := c.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Save must not mutate the in-memory checkpoint it serialized.
+	if len(c.Frontier) != len(frontier) || c.FrontierC != nil {
+		t.Fatal("Save mutated the checkpoint's in-memory frontier")
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"frontier_c"`)) {
+		t.Error("checkpoint file has no compressed frontier")
+	}
+	if bytes.Contains(raw, []byte(`"frontier":`)) {
+		t.Error("checkpoint file still carries the uncompressed frontier")
+	}
+
+	got, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FrontierC != nil {
+		t.Error("LoadCheckpoint left the compressed form populated")
+	}
+	if len(got.Frontier) != len(frontier) {
+		t.Fatalf("%d frontier paths after roundtrip, want %d", len(got.Frontier), len(frontier))
+	}
+	for i, want := range frontier {
+		gotPath := got.Frontier[i]
+		if len(gotPath) != len(want) {
+			t.Fatalf("path %d: %d steps, want %d", i, len(gotPath), len(want))
+		}
+		for j, st := range want {
+			g := gotPath[j]
+			if g.Load != st.Load || g.Store != st.Store {
+				t.Errorf("path %d step %d: (%d,%d), want (%d,%d)", i, j, g.Load, g.Store, st.Load, st.Store)
+			}
+			if g.LoadLabel != "" || g.StoreLabel != "" {
+				t.Errorf("path %d step %d: labels survived compression", i, j)
+			}
+		}
+	}
+}
+
+// TestExpandFrontierCorrupt: a prefix length pointing past the previous
+// path, or an odd tail, is a parse error — not a panic or a silently
+// truncated frontier.
+func TestExpandFrontierCorrupt(t *testing.T) {
+	if _, err := expandFrontier([]pathBlock{{P: 0, T: []int32{1, 2}}, {P: 2, T: nil}}); err == nil {
+		t.Error("oversized shared-prefix length not rejected")
+	}
+	if _, err := expandFrontier([]pathBlock{{P: 0, T: []int32{1}}}); err == nil {
+		t.Error("odd flattened tail not rejected")
+	}
+}

@@ -44,15 +44,19 @@ func fingerprintNodes(nodes []Node) uint64 {
 }
 
 // keySet is the sequential engine's dedup set. In the default
-// configuration it holds fingerprints; with Options.dedupString it holds
-// the string signatures (the property-test baseline); under the
-// dedupcheck build tag it holds both and panics on a collision.
+// configuration it holds fingerprints — in an unbounded map, or in a
+// RAM-bounded spillStore when Options.DedupMemBudget is set; with
+// Options.dedupString it holds the string signatures (the property-test
+// baseline); under the dedupcheck build tag a signature guard
+// cross-checks fingerprints and a collision is counted and treated as a
+// distinct key (both behaviors are explored).
 type keySet struct {
 	useString bool
 	hashes    map[uint64]struct{}
 	strs      map[string]struct{}
 	guard     map[uint64]string
 	coll      *telemetry.Counter
+	spill     *spillStore
 }
 
 func newKeySet(opts Options) *keySet {
@@ -63,12 +67,24 @@ func newKeySet(opts Options) *keySet {
 	if k.useString {
 		k.strs = map[string]struct{}{}
 	} else {
-		k.hashes = map[uint64]struct{}{}
+		if opts.DedupMemBudget > 0 {
+			k.spill = newSpillStore(opts.DedupMemBudget, opts.Metrics)
+		} else {
+			k.hashes = map[uint64]struct{}{}
+		}
 		if dedupCollisionCheck {
 			k.guard = map[uint64]string{}
 		}
 	}
 	return k
+}
+
+// release frees any disk-backed tier (nil-safe; no-op for in-memory
+// sets).
+func (k *keySet) release() {
+	if k != nil && k.spill != nil {
+		k.spill.release()
+	}
 }
 
 // insert adds the state's Load–Store-graph key, reporting whether it was
@@ -93,8 +109,14 @@ func (k *keySet) insertKey(h uint64, sig string) bool {
 		k.strs[sig] = struct{}{}
 		return true
 	}
-	if k.guard != nil {
-		checkCollision(k.guard, h, sig, k.coll)
+	if k.guard != nil && checkCollision(k.guard, h, sig, k.coll) {
+		// Two distinct signatures behind one fingerprint: treat the
+		// newcomer as unseen so both behaviors are explored (merging
+		// them would silently drop one).
+		return true
+	}
+	if k.spill != nil {
+		return k.spill.insert(h)
 	}
 	if _, dup := k.hashes[h]; dup {
 		return false
@@ -117,17 +139,21 @@ func (k *keySet) keyMatches(s *state, h uint64, sig string) bool {
 	return h == s.seenH
 }
 
-// checkCollision panics if two distinct signatures share a fingerprint
-// (dedupcheck builds only). The collision counter is bumped before the
-// panic so the engine's recovered Incomplete report still carries the
-// evidence in its metrics snapshot.
-func checkCollision(guard map[uint64]string, h uint64, sig string, coll *telemetry.Counter) {
+// checkCollision reports whether sig is a *different* signature than one
+// previously recorded under the same fingerprint. Callers treat a
+// collision as a distinct key — the colliding behavior is explored (or
+// recorded) rather than merged away — and the counter makes the event
+// visible in the metrics snapshot. The guard map exists under the
+// dedupcheck build tag (and in the collision-guard tests), where memory
+// for the full signature set is acceptable.
+func checkCollision(guard map[uint64]string, h uint64, sig string, coll *telemetry.Counter) bool {
 	if prev, ok := guard[h]; ok {
 		if prev != sig {
 			coll.Inc(0)
-			panic("core: Load–Store-graph fingerprint collision: " + prev + " vs " + sig)
+			return true
 		}
-		return
+		return false
 	}
 	guard[h] = sig
+	return false
 }

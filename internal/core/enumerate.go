@@ -44,6 +44,17 @@ type Options struct {
 	// hatch and equivalence baseline; the behavior set is bit-identical
 	// either way, at any worker count.
 	DisableCOW bool
+	// DedupMemBudget caps the resident bytes of the engines' seen-sets —
+	// the one structure that grows with the number of distinct states
+	// rather than with the program. 0 (the default) keeps the classic
+	// unbounded in-memory maps. A positive budget switches the seen-set
+	// to a tiered store: a hot in-memory tier sized to the budget, with
+	// overflow spilled to sorted fingerprint runs in temp files that
+	// lookups binary-search through a sparse index (see dedupspill.go).
+	// The behavior set is bit-identical to an unbounded run at any
+	// worker count; only where fingerprints live changes. Ignored for
+	// the string-keyed test baseline.
+	DedupMemBudget int64
 	// DisablePrefixPrune turns off fork-time prefix-state dedup: children
 	// are then only checked against the seen-set after their next
 	// quiescence (the pre-pruning behavior). The behavior set is
@@ -307,7 +318,13 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	res = &Result{Model: pol.Name()}
 	res.Stats.Workers = 1
 	seen := newKeySet(opts)
-	finals := newKeySet(opts)
+	defer seen.release()
+	// The finals set is never budgeted: completed executions pin their
+	// graphs and node slices regardless, so spilling their (far fewer)
+	// fingerprints would save nothing and cost a disk probe per final.
+	fopts := opts
+	fopts.DedupMemBudget = 0
+	finals := newKeySet(fopts)
 	var pool statePool
 	pool.limitBytes = slabLimitFor(opts.MaxNodes)
 	var fams cowFams

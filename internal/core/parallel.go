@@ -50,10 +50,13 @@ import (
 // keeps lock contention negligible at any realistic worker count.
 const dedupShards = 64
 
-// seenShard is one shard of the Load–Store-graph dedup set.
+// seenShard is one shard of the Load–Store-graph dedup set. With a
+// DedupMemBudget the map is replaced by a per-shard spillStore (each
+// shard gets budget/dedupShards), still under the shard mutex.
 type seenShard struct {
 	mu    sync.Mutex
 	seen  map[uint64]struct{}
+	spill *spillStore
 	guard map[uint64]string // fingerprint collision cross-check (dedupcheck builds)
 }
 
@@ -242,6 +245,7 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	wg.Wait()
 	close(finCh)
 	aux.Wait()
+	defer e.releaseSpill()
 
 	res := &Result{Model: pol.Name()}
 	res.Stats.StatesExplored = int(e.explored.Load())
@@ -781,20 +785,41 @@ func (e *wsEngine) addSeenKey(h uint64, sig string) bool {
 	sh := &e.seen[h&(dedupShards-1)]
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	if sh.seen == nil {
-		sh.seen = map[uint64]struct{}{}
+	if sh.seen == nil && sh.spill == nil {
+		if b := e.opts.DedupMemBudget; b > 0 {
+			sh.spill = newSpillStore(b/dedupShards, e.met)
+		} else {
+			sh.seen = map[uint64]struct{}{}
+		}
 	}
 	if dedupCollisionCheck {
 		if sh.guard == nil {
 			sh.guard = map[uint64]string{}
 		}
-		checkCollision(sh.guard, h, sig, e.collisions())
+		if checkCollision(sh.guard, h, sig, e.collisions()) {
+			// Distinct signature behind a shared fingerprint: explore
+			// it rather than merging it away.
+			return true
+		}
+	}
+	if sh.spill != nil {
+		return sh.spill.insert(h)
 	}
 	if _, dup := sh.seen[h]; dup {
 		return false
 	}
 	sh.seen[h] = struct{}{}
 	return true
+}
+
+// releaseSpill frees every shard's disk-backed tier (no-op without a
+// budget).
+func (e *wsEngine) releaseSpill() {
+	for i := range e.seen {
+		if sp := e.seen[i].spill; sp != nil {
+			sp.release()
+		}
+	}
 }
 
 // addFinal records a completed behavior, deduplicating by fingerprint.
@@ -811,7 +836,11 @@ func (e *wsEngine) addFinal(s *state) bool {
 		if f.guard == nil {
 			f.guard = map[uint64]string{}
 		}
-		checkCollision(f.guard, h, s.signature(), e.collisions())
+		if checkCollision(f.guard, h, s.signature(), e.collisions()) {
+			// A colliding final is a distinct behavior: record it.
+			f.execs = append(f.execs, s.finish())
+			return true
+		}
 	}
 	if _, dup := f.seen[h]; dup {
 		return false

@@ -48,6 +48,11 @@ type addrSet struct {
 	init   int // initializing store node ID
 	stores []int32
 	loads  []int32
+	// storeBits mirrors stores as a bitset over node IDs, so the closure
+	// rules and candidates(L) can intersect "store-effect nodes at this
+	// address" against closure rows word-by-word instead of probing the
+	// graph once per store.
+	storeBits graph.Bits
 }
 
 // state is one in-flight behavior: program graph, thread states, and
@@ -97,6 +102,16 @@ type state struct {
 	// work is the incremental closure's per-pass worklist (scratch;
 	// never copied by fork).
 	work graph.Bits
+
+	// memBits/readsBits/resolvedBits are node-property masks maintained
+	// alongside the node slice: memory nodes (IsMemory), reading nodes
+	// (Reads), and resolved nodes. The closure rules, eligible(), and
+	// candidates(L) phrase their per-node predicates as word-level
+	// intersections of these masks with closure rows; they are part of
+	// the behavior's identity and are copied by fork.
+	memBits      graph.Bits
+	readsBits    graph.Bits
+	resolvedBits graph.Bits
 	// eligCache memoizes eligible() per node (eligStale until computed);
 	// entries are invalidated by closure growth and by resolutions.
 	eligCache []uint8
@@ -142,11 +157,23 @@ type state struct {
 
 	// opScratch is reused by execute() when evaluating Op arguments;
 	// candScratch by candidates(); ancScratch/descScratch by ruleC's
-	// common-ancestor/descendant intersections. None survive a call.
+	// common-ancestor/descendant intersections; ruleScratch/maskScratch
+	// by the word-level closure rules; candMask/owScratch by the
+	// word-level candidates(L). None survive a call.
 	opScratch   []program.Value
 	candScratch []int
 	ancScratch  graph.Bits
 	descScratch graph.Bits
+	ruleScratch graph.Bits
+	maskScratch graph.Bits
+	candMask    graph.Bits
+	owScratch   graph.Bits
+
+	// maskBuf is the arena behind the node-property masks, the bitset
+	// scratches above, and the per-address store masks: fork carves them
+	// all from one allocation (ensureMaskArena) instead of paying one
+	// apiece, and a recycled state keeps its arena.
+	maskBuf graph.Bits
 }
 
 // maxReg returns the register-file size needed by p.
@@ -218,6 +245,7 @@ func newState(p *program.Program, pol order.Policy, opts Options) *state {
 		ID: s.start, Thread: -1, Kind: program.KindFence, Label: "start",
 		Resolved: true, Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
 	})
+	s.setNodeMask(&s.resolvedBits, s.start)
 	for i := range s.addrs {
 		mustEdge(s.g.AddEdge(s.addrs[i].init, s.start, graph.EdgeLocal))
 	}
@@ -247,6 +275,8 @@ func (s *state) addrIdx(a program.Addr) int {
 func (s *state) noteStore(id int, a program.Addr) {
 	i := s.addrIdx(a)
 	s.addrs[i].stores = append(s.addrs[i].stores, int32(id))
+	s.addrs[i].storeBits = s.addrs[i].storeBits.Grown(id + 1)
+	s.addrs[i].storeBits.Set(id)
 	s.markDirty(id)
 }
 
@@ -255,6 +285,14 @@ func (s *state) noteLoad(id int, a program.Addr) {
 	i := s.addrIdx(a)
 	s.addrs[i].loads = append(s.addrs[i].loads, int32(id))
 	s.markDirty(id)
+}
+
+// setNodeMask grows a node-property mask to cover id and sets its bit.
+// Masks live on the state by address so the grow-reallocation is stored
+// back.
+func (s *state) setNodeMask(m *graph.Bits, id int) {
+	*m = m.Grown(id + 1)
+	m.Set(id)
 }
 
 // markDirty queues node id for the incremental closure's next pass.
@@ -280,7 +318,12 @@ func (s *state) addInitStore(a program.Addr, v program.Value, late bool) int {
 		AddrKnown: true, Addr: a, Resolved: true, Val: v,
 		Source: NoNode, addrDep: NoNode, valDep: NoNode, condDep: NoNode,
 	})
-	s.addrs = append(s.addrs, addrSet{addr: a, init: id, stores: []int32{int32(id)}})
+	ms := addrSet{addr: a, init: id, stores: []int32{int32(id)}}
+	ms.storeBits = graph.NewBits(id + 1)
+	ms.storeBits.Set(id)
+	s.addrs = append(s.addrs, ms)
+	s.setNodeMask(&s.memBits, id)
+	s.setNodeMask(&s.resolvedBits, id)
 	s.markDirty(id)
 	if late {
 		mustEdge(s.g.AddEdge(id, s.start, graph.EdgeLocal))
@@ -291,6 +334,37 @@ func (s *state) addInitStore(a program.Addr, v program.Value, late bool) int {
 func mustEdge(err error) {
 	if err != nil {
 		panic("core: unexpected cycle inserting structural edge: " + err.Error())
+	}
+}
+
+// ensureMaskArena gives the state's bitset family — dirty mask, node
+// property masks, the six closure/candidates scratches, and one store
+// mask per address — capacity w words each out of a single backing
+// allocation. The CopyInto/Grown calls that fill them then reuse the
+// carved capacity instead of allocating; w is the graph's uniform row
+// width, so nothing regrows while the graph stays within capacity. A
+// no-op when the existing arena is big enough (recycled states).
+func (c *state) ensureMaskArena(w, naddrs int) {
+	nm := 10 + naddrs
+	if cap(c.maskBuf) >= nm*w {
+		return
+	}
+	// Grow at least geometrically: nm*w creeps upward as the search
+	// discovers addresses and the graph widens, and without headroom a
+	// recycled state re-allocates its arena on every such step.
+	need := nm * w
+	if d := 2 * cap(c.maskBuf); d > need {
+		need = d
+		w = need / nm
+	}
+	c.maskBuf = make(graph.Bits, nm*w)
+	slot := func(i int) graph.Bits { return c.maskBuf[i*w : i*w : (i+1)*w] }
+	c.dirty, c.memBits, c.readsBits, c.resolvedBits = slot(0), slot(1), slot(2), slot(3)
+	c.ancScratch, c.descScratch = slot(4), slot(5)
+	c.ruleScratch, c.maskScratch = slot(6), slot(7)
+	c.candMask, c.owScratch = slot(8), slot(9)
+	for i := 0; i < naddrs && i < len(c.addrs); i++ {
+		c.addrs[i].storeBits = slot(10 + i)
 	}
 }
 
@@ -332,11 +406,13 @@ func (s *state) fork(p *statePool) *state {
 		c.addrs = grown
 	}
 	c.addrs = c.addrs[:len(s.addrs)]
+	c.ensureMaskArena(s.g.RowWords(), len(s.addrs))
 	for i := range s.addrs {
 		sa, ca := &s.addrs[i], &c.addrs[i]
 		ca.addr, ca.init = sa.addr, sa.init
 		ca.stores = append(ca.stores[:0], sa.stores...)
 		ca.loads = append(ca.loads[:0], sa.loads...)
+		ca.storeBits = graph.CopyInto(ca.storeBits, sa.storeBits)
 	}
 
 	c.aliases = append(c.aliases[:0], s.aliases...)
@@ -344,6 +420,9 @@ func (s *state) fork(p *statePool) *state {
 	c.path = append(c.path[:0], s.path...)
 	c.epoch = s.epoch
 	c.dirty = graph.CopyInto(c.dirty, s.dirty)
+	c.memBits = graph.CopyInto(c.memBits, s.memBits)
+	c.readsBits = graph.CopyInto(c.readsBits, s.readsBits)
+	c.resolvedBits = graph.CopyInto(c.resolvedBits, s.resolvedBits)
 	c.eligCache = append(c.eligCache[:0], s.eligCache...)
 	c.newRMW = append(c.newRMW[:0], s.newRMW...)
 	c.seenKeyed, c.seenH, c.seenSig = false, 0, ""
@@ -442,6 +521,12 @@ func (s *state) genOne(ti int) error {
 
 	s.nodes = append(s.nodes, n)
 	nn := &s.nodes[id]
+	if nn.IsMemory() {
+		s.setNodeMask(&s.memBits, id)
+	}
+	if nn.Reads() {
+		s.setNodeMask(&s.readsBits, id)
+	}
 	if nn.Kind == program.KindStore && nn.AddrKnown {
 		s.noteStore(id, nn.Addr)
 	}

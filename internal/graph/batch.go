@@ -1,0 +1,222 @@
+package graph
+
+// Batched ordering insertion. The Store Atomicity closure discovers its
+// required orderings as bitset intersections — "every store in this mask
+// must precede src(L)", "every mutual ancestor must precede every mutual
+// descendant" — and the pair-at-a-time AddOrder loop then re-derived, per
+// pair, facts the batch already knew: the union of the sources' ancestor
+// rows and of the destinations' descendant rows. The kernel here inserts a
+// whole bipartite requirement srcs × dsts in one sweep of those unions,
+// operating on slab rows as []uint64 AND/OR/ANDN passes.
+//
+// Correctness rests on two facts about the transitive closure:
+//
+//   - Inserting every pair (s, d) creates exactly the reachability facts
+//     up × down, where up = srcs ∪ ⋃ anc(s) and down = dsts ∪ ⋃ desc(d):
+//     any new path must cross a new edge s→d, so it starts in up and ends
+//     in down. The update is therefore desc(p) |= down for p ∈ up and
+//     anc(q) |= up for q ∈ down — two row sweeps, however many pairs the
+//     batch carries.
+//   - The batch is cyclic iff some d ∈ dsts already reaches (or is) some
+//     s ∈ srcs, i.e. iff up ∩ dsts ≠ ∅. The check runs before any row is
+//     written, so a rejected batch leaves the graph unmodified, matching
+//     AddOrder's contract. A passed check also implies up ∩ down = ∅, so
+//     the sweeps never create a self-loop and the strictness invariant
+//     (v ∉ desc(v)) is preserved.
+//
+// The closure reached is the same least fixpoint the sequential loop
+// computes — the rule system is monotone — but the *direct* edge list may
+// differ: a pair implied by an earlier pair of the same batch is skipped
+// or kept depending on insertion order, and nothing downstream depends on
+// direct edges (dedup keys and every rule read reachability, not
+// adjacency).
+
+// ensureScratch sizes the kernel's private scratch rows to the current
+// row width. The scratch is not part of the graph's identity: CloneInto
+// ignores it and forks re-derive it lazily.
+func (g *Graph) ensureScratch() {
+	if cap(g.upScratch) < g.rowW {
+		buf := make(Bits, 3*g.rowW)
+		g.upScratch = buf[:g.rowW:g.rowW]
+		g.downScratch = buf[g.rowW : 2*g.rowW : 2*g.rowW]
+		g.oneScratch = buf[2*g.rowW:]
+		return
+	}
+	g.upScratch = g.upScratch[:g.rowW]
+	g.downScratch = g.downScratch[:g.rowW]
+	g.oneScratch = g.oneScratch[:g.rowW]
+}
+
+// orTrunc ORs src into dst up to dst's width (masks handed in by callers
+// may be narrower than a closure row; missing words are zero).
+func orTrunc(dst, src Bits) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	for i := 0; i < n; i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// copyTrunc overwrites dst with src, zero-extending past src's width.
+func copyTrunc(dst, src Bits) {
+	n := copy(dst, src)
+	for i := n; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}
+
+// AddOrderSet requires s @ d for every s in srcs and every d in dsts,
+// updating the closure in one batched sweep. It reports whether any pair
+// was not already ordered (a direct edge was inserted), and returns
+// ErrCycle — leaving the graph unmodified — when any required pair would
+// close a cycle (including s == d overlaps). The masks may be narrower
+// than a closure row and are not retained; they must not alias the
+// graph's own rows (callers pass scratch copies).
+func (g *Graph) AddOrderSet(srcs, dsts Bits, kind EdgeKind) (bool, error) {
+	return g.addOrderBatch(srcs, -1, dsts, -1, kind)
+}
+
+// AddOrderFromSet requires s @ d for every s in srcs (the many-sources,
+// one-destination form: rule a's "every prior store precedes source(L)").
+func (g *Graph) AddOrderFromSet(srcs Bits, d int, kind EdgeKind) (bool, error) {
+	return g.addOrderBatch(srcs, -1, nil, d, kind)
+}
+
+// AddOrderToSet requires s @ d for every d in dsts (the one-source,
+// many-destinations form: rule b's "L precedes every later store").
+func (g *Graph) AddOrderToSet(s int, dsts Bits, kind EdgeKind) (bool, error) {
+	return g.addOrderBatch(nil, s, dsts, -1, kind)
+}
+
+// addOrderBatch is the shared kernel. Exactly one of (srcs, sOne) and one
+// of (dsts, dOne) is live per side: a nil mask means the singleton node.
+func (g *Graph) addOrderBatch(srcs Bits, sOne int, dsts Bits, dOne int, kind EdgeKind) (bool, error) {
+	g.ensureScratch()
+	up, down := g.upScratch, g.downScratch
+
+	// Fast path: every pair already ordered. The fixpoint loop re-checks
+	// rule instances after every growth round, so the dominant call sees
+	// nothing to do and must not pay for union building. need collects
+	// the destinations not yet covered by every source.
+	need := false
+	if dsts == nil {
+		g.oneScratch.Reset()
+		g.oneScratch.Set(dOne)
+		dsts = g.oneScratch
+	}
+	forEachIn(srcs, sOne, func(s int) {
+		if !need && !coveredBy(dsts, g.row(g.descH[s])) {
+			need = true
+		}
+	})
+	if !need {
+		return false, nil
+	}
+
+	// up = srcs ∪ ⋃ anc(s); cycle check before any mutation.
+	up.Reset()
+	forEachIn(srcs, sOne, func(s int) {
+		up.Set(s)
+		orTrunc(up, g.row(g.ancH[s]))
+	})
+	if intersects(up, dsts) {
+		return false, ErrCycle
+	}
+	// down = dsts ∪ ⋃ desc(d). Neither union changes during the batch:
+	// new edges point into dsts, so destinations gain ancestors only, and
+	// up ∩ down = ∅ keeps sources out of down.
+	down.Reset()
+	copyTrunc(down, dsts)
+	forEachIn(dsts, -1, func(d int) {
+		orTrunc(down, g.row(g.descH[d]))
+	})
+
+	// Direct edges: per source, the destinations not already implied. The
+	// succ row takes the whole mask in one OR; pred rows and the edge list
+	// go per pair (the list is the rendering/debug record, same as the
+	// sequential path).
+	changed := false
+	forEachIn(srcs, sOne, func(s int) {
+		ds := g.row(g.descH[s])
+		newD := false
+		dsts.ForEach(func(d int) bool {
+			if !ds.Has(d) {
+				g.mutable(g.predH, g.predOwned, d).Set(s)
+				g.edges = append(g.edges, Edge{From: s, To: d, Kind: kind})
+				newD = true
+			}
+			return true
+		})
+		if newD {
+			sr := g.mutable(g.succH, g.succOwned, s)
+			dsts.ForEach(func(d int) bool {
+				if !ds.Has(d) {
+					sr.Set(d)
+				}
+				return true
+			})
+			changed = true
+		}
+	})
+
+	// Closure sweep: one OR per member of each union, change-logged only
+	// when a row actually grew (rowOrChanged scans frozen rows read-only
+	// first, so an implied OR costs neither a copy nor a log entry).
+	up.ForEach(func(p int) bool {
+		if g.rowOrChanged(g.descH, g.descOwned, p, down) && g.logOn {
+			g.log.Set(p)
+		}
+		return true
+	})
+	down.ForEach(func(q int) bool {
+		if g.rowOrChanged(g.ancH, g.ancOwned, q, up) && g.logOn {
+			g.log.Set(q)
+		}
+		return true
+	})
+	return changed, nil
+}
+
+// forEachIn iterates a mask's set bits, or the singleton when the mask is
+// nil.
+func forEachIn(mask Bits, one int, fn func(int)) {
+	if mask == nil {
+		fn(one)
+		return
+	}
+	mask.ForEach(func(i int) bool { fn(i); return true })
+}
+
+// coveredBy reports whether every bit of mask is set in row (mask may be
+// narrower; missing row words would mean uncovered bits).
+func coveredBy(mask, row Bits) bool {
+	for i, w := range mask {
+		if i >= len(row) {
+			if w != 0 {
+				return false
+			}
+			continue
+		}
+		if w&^row[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// intersects reports whether a ∩ b ≠ ∅ (widths may differ; missing words
+// are zero).
+func intersects(a, b Bits) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i]&b[i] != 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,232 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randMask returns a mask over [0, n) with each bit set with probability
+// p, sized exactly to n bits (narrower than a closure row when n < cap —
+// the kernel must tolerate that).
+func randMask(rng *rand.Rand, n int, p float64) Bits {
+	m := NewBits(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < p {
+			m.Set(i)
+		}
+	}
+	return m
+}
+
+// seqBatch replays srcs × dsts through the sequential AddOrder on a
+// clone, returning (changedEdgeCount, err). It is the oracle: the batch
+// kernel must reach the same closure and the same error outcome.
+func seqBatch(g *Graph, srcs, dsts Bits) (*Graph, error) {
+	c := g.Clone()
+	var outer error
+	srcs.ForEach(func(s int) bool {
+		dsts.ForEach(func(d int) bool {
+			if s == d {
+				outer = ErrCycle
+				return false
+			}
+			if err := c.AddOrder(s, d, EdgeAtomicity); err != nil {
+				outer = err
+				return false
+			}
+			return true
+		})
+		return outer == nil
+	})
+	return c, outer
+}
+
+func closuresEqual(t *testing.T, a, b *Graph, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if a.Before(i, j) != b.Before(i, j) {
+				t.Fatalf("Before(%d,%d): batch=%v seq=%v", i, j, a.Before(i, j), b.Before(i, j))
+			}
+		}
+	}
+}
+
+// TestAddOrderSetMatchesSequential drives random batches into random
+// DAGs and compares the batched kernel against pairwise AddOrder plus
+// RecomputeClosure. Cyclic batches must error and leave the graph
+// untouched.
+func TestAddOrderSetMatchesSequential(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for iter := 0; iter < 300; iter++ {
+		n := 4 + rng.Intn(20)
+		g := New(n, n)
+		for k := 0; k < n*2; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddEdge(a, b, EdgeLocal) // cycles rejected, fine
+			}
+		}
+		srcs := randMask(rng, n, 0.3)
+		dsts := randMask(rng, n, 0.3)
+		if srcs.Empty() || dsts.Empty() {
+			continue
+		}
+
+		seq, seqErr := seqBatch(g, srcs, dsts)
+		before := g.Clone()
+		changed, batchErr := g.AddOrderSet(srcs, dsts, EdgeAtomicity)
+
+		if (seqErr != nil) != (batchErr != nil) {
+			t.Fatalf("iter %d: seq err %v, batch err %v", iter, seqErr, batchErr)
+		}
+		if batchErr != nil {
+			// Rejected batch leaves the graph byte-identical.
+			closuresEqual(t, g, before, n)
+			if len(g.Edges()) != len(before.Edges()) {
+				t.Fatalf("iter %d: rejected batch mutated edge list", iter)
+			}
+			continue
+		}
+		closuresEqual(t, g, seq, n)
+
+		// changed must agree with "some pair was not already implied".
+		anyNew := false
+		srcs.ForEach(func(s int) bool {
+			dsts.ForEach(func(d int) bool {
+				if !before.Before(s, d) {
+					anyNew = true
+				}
+				return !anyNew
+			})
+			return !anyNew
+		})
+		if changed != anyNew {
+			t.Fatalf("iter %d: changed=%v, want %v", iter, changed, anyNew)
+		}
+
+		// The direct edge list may differ from the sequential order, but
+		// the closure recomputed from it must be the fixpoint itself.
+		rc := g.Clone()
+		rc.RecomputeClosure()
+		closuresEqual(t, g, rc, n)
+	}
+}
+
+// TestAddOrderFromToSet exercises the singleton forms against the same
+// oracle, including change-log parity (the incremental closure drives
+// its worklist off the log).
+func TestAddOrderFromToSet(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for iter := 0; iter < 300; iter++ {
+		n := 4 + rng.Intn(16)
+		g := New(n, n)
+		g.EnableChangeLog()
+		for k := 0; k < n; k++ {
+			a, b := rng.Intn(n), rng.Intn(n)
+			if a != b {
+				g.AddOrder(a, b, EdgeLocal)
+			}
+		}
+		g.DrainChangeLog(nil)
+
+		one := rng.Intn(n)
+		mask := randMask(rng, n, 0.25)
+		mask.Clear(one)
+		if mask.Empty() {
+			continue
+		}
+		fromSet := rng.Intn(2) == 0
+
+		var srcs, dsts Bits
+		if fromSet {
+			srcs, dsts = mask, NewBits(n)
+			dsts.Set(one)
+		} else {
+			srcs, dsts = NewBits(n), mask
+			srcs.Set(one)
+		}
+		seq, seqErr := seqBatch(g, srcs, dsts)
+		pre := g.Clone()
+
+		var batchErr error
+		if fromSet {
+			_, batchErr = g.AddOrderFromSet(mask, one, EdgeAtomicity)
+		} else {
+			_, batchErr = g.AddOrderToSet(one, mask, EdgeAtomicity)
+		}
+		if (seqErr != nil) != (batchErr != nil) {
+			t.Fatalf("iter %d: seq err %v, batch err %v", iter, seqErr, batchErr)
+		}
+		if batchErr != nil {
+			continue
+		}
+		closuresEqual(t, g, seq, n)
+
+		// Change-log parity: every node whose closure row grew is logged
+		// (the incremental closure's worklist depends on it).
+		logged := g.DrainChangeLog(nil)
+		for i := 0; i < n; i++ {
+			grew := false
+			for j := 0; j < n; j++ {
+				if g.Before(i, j) != pre.Before(i, j) || g.Before(j, i) != pre.Before(j, i) {
+					grew = true
+					break
+				}
+			}
+			if grew && !logged.Has(i) {
+				t.Fatalf("iter %d: node %d grew but is not in the change log", iter, i)
+			}
+		}
+	}
+}
+
+// TestAddOrderSetNoOpIsFree asserts the fast path: a batch whose pairs
+// are all implied reports no change, logs nothing, and adds no edges.
+func TestAddOrderSetNoOpIsFree(t *testing.T) {
+	g := New(6, 8)
+	g.EnableChangeLog()
+	mustOK(t, g.AddEdge(0, 1, EdgeLocal))
+	mustOK(t, g.AddEdge(1, 2, EdgeLocal))
+	mustOK(t, g.AddEdge(1, 3, EdgeLocal))
+	g.DrainChangeLog(nil)
+
+	srcs, dsts := NewBits(6), NewBits(6)
+	srcs.Set(0)
+	srcs.Set(1)
+	dsts.Set(2)
+	dsts.Set(3)
+	edges := len(g.Edges())
+	changed, err := g.AddOrderSet(srcs, dsts, EdgeAtomicity)
+	if err != nil || changed {
+		t.Fatalf("implied batch: changed=%v err=%v", changed, err)
+	}
+	if len(g.Edges()) != edges {
+		t.Fatal("implied batch appended edges")
+	}
+	if !g.ChangeLogEmpty() {
+		t.Fatal("implied batch dirtied the change log")
+	}
+}
+
+// TestAddOrderSetCOWFork verifies the kernel respects row sharing: a
+// batch on the child must not disturb the parent's closure.
+func TestAddOrderSetCOWFork(t *testing.T) {
+	g := New(8, 8)
+	for i := 0; i < 6; i++ {
+		mustOK(t, g.AddEdge(i, i+1, EdgeLocal))
+	}
+	child := g.Clone()
+	srcs, dsts := NewBits(8), NewBits(8)
+	srcs.Set(0)
+	dsts.Set(7)
+	if _, err := child.AddOrderSet(srcs, dsts, EdgeAtomicity); err != nil {
+		t.Fatal(err)
+	}
+	if !child.Before(0, 7) {
+		t.Fatal("child missing batched ordering")
+	}
+	if g.Before(0, 7) {
+		t.Fatal("batch on child leaked into parent rows")
+	}
+}

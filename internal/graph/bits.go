@@ -97,6 +97,74 @@ func (b Bits) And(o Bits) {
 // CopyFrom overwrites b with o.
 func (b Bits) CopyFrom(o Bits) { copy(b, o) }
 
+// AndTrunc sets b &= o, treating o's missing words as zero (words of b
+// past o's width are cleared). The width-tolerant And: state-level masks
+// are sized to the IDs they have seen, closure rows to the graph's
+// capacity.
+func (b Bits) AndTrunc(o Bits) {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		b[i] &= o[i]
+	}
+	for i := n; i < len(b); i++ {
+		b[i] = 0
+	}
+}
+
+// AndNotTrunc sets b &^= o over the overlapping words (o's missing words
+// are zero, so b's tail is untouched).
+func (b Bits) AndNotTrunc(o Bits) {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		b[i] &^= o[i]
+	}
+}
+
+// Intersects reports whether b ∩ o ≠ ∅. Widths may differ; missing words
+// are zero.
+func (b Bits) Intersects(o Bits) bool {
+	n := len(b)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if b[i]&o[i] != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectsAndNot reports whether (a ∩ b) \ c ≠ ∅ — the one-pass form
+// of the closure's "is any member of b that is also under a missing from
+// c" tests (e.g. "some reading ancestor is unresolved"). Widths may
+// differ; missing words are zero.
+func IntersectsAndNot(a, b, c Bits) bool {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		w := a[i] & b[i]
+		if w == 0 {
+			continue
+		}
+		if i < len(c) {
+			w &^= c[i]
+		}
+		if w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // Reset clears every bit, keeping the capacity.
 func (b Bits) Reset() {
 	for i := range b {
@@ -189,11 +257,21 @@ func (b Bits) Slice() []int {
 	return out
 }
 
-// grow returns b extended to hold n bits, reallocating if needed.
+// grow returns b extended to hold n bits, reallocating if needed. Spare
+// capacity is reused (the extension words are zeroed — a recycled
+// buffer may carry stale bits past len), so bitsets carved from a
+// preallocated arena grow in place.
 func (b Bits) grow(n int) Bits {
 	need := (n + 63) / 64
 	if need <= len(b) {
 		return b
+	}
+	if need <= cap(b) {
+		nb := b[:need]
+		for i := len(b); i < need; i++ {
+			nb[i] = 0
+		}
+		return nb
 	}
 	nb := make(Bits, need)
 	copy(nb, b)

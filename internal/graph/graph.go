@@ -99,6 +99,12 @@ type Graph struct {
 	// worklist closure keys its re-examination on this set.
 	log   Bits
 	logOn bool
+	// Batched-kernel scratch (batch.go). Not part of the graph's
+	// identity: CloneInto leaves the clone's own scratch alone and
+	// ensureScratch re-derives it lazily.
+	upScratch   Bits
+	downScratch Bits
+	oneScratch  Bits
 }
 
 // EnableChangeLog turns on closure change tracking: from now on, every
@@ -140,6 +146,11 @@ func New(n, capHint int) *Graph {
 
 // Len returns the current node count.
 func (g *Graph) Len() int { return g.n }
+
+// RowWords returns the uniform closure-row width in 64-bit words. The
+// enumeration core sizes its node-property masks and scratch buffers to
+// it, so they never regrow while the graph stays within capacity.
+func (g *Graph) RowWords() int { return g.rowW }
 
 // AddNodes appends k nodes and returns the ID of the first.
 func (g *Graph) AddNodes(k int) int {

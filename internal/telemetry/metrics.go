@@ -48,6 +48,12 @@ type EnumMetrics struct {
 	SlabBytes     *Counter
 	PoolDrops     *Counter
 
+	// Tiered-dedup spill instrumentation: sorted fingerprint runs
+	// flushed to disk by a budgeted seen-set, and cold lookups that had
+	// to probe them.
+	SpillRuns   *Counter
+	SpillProbes *Counter
+
 	// Phase-time counters map to Section 4 of the paper: graph
 	// generation (step 1), dataflow execution + atomicity closure
 	// (step 2), and Load Resolution forking (step 3).
@@ -77,7 +83,7 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	m.PoolHits = reg.NewCounter("enum_pool_hits_total", "forks served from a recycled state")
 	m.PoolMisses = reg.NewCounter("enum_pool_misses_total", "forks that allocated a fresh state")
 	m.DedupHits = reg.NewCounter("enum_dedup_hits_total", "forks dropped by Load-Store-graph dedup")
-	m.Collisions = reg.NewCounter("enum_dedup_collisions_total", "fingerprint collisions (dedupcheck builds only)")
+	m.Collisions = reg.NewCounter("enum_dedup_collisions_total", "distinct signatures seen behind one fingerprint (signature guard; dedupcheck builds)")
 	m.Rollbacks = reg.NewCounter("enum_rollbacks_total", "behaviors discarded as inconsistent")
 	m.Steals = reg.NewCounter("enum_steals_total", "work items stolen from another worker's deque")
 	m.Behaviors = reg.NewCounter("enum_behaviors_total", "distinct final executions recorded")
@@ -89,6 +95,8 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	m.SlabBytes = reg.NewCounter("graph_slab_bytes_total", "bytes allocated to slab arenas")
 	m.PoolDrops = reg.NewCounter("enum_pool_drops_total", "retired states dropped for pinning an oversized slab arena")
 	m.WorklistLen = reg.NewHistogramMetric("closure_worklist_len", "incremental-closure worklist size per pass", worklistBounds)
+	m.SpillRuns = reg.NewCounter("enum_dedup_spill_runs_total", "sorted fingerprint runs flushed to disk by a budgeted seen-set")
+	m.SpillProbes = reg.NewCounter("enum_dedup_spill_probes_total", "dedup lookups that missed the hot tier and probed on-disk runs")
 	m.GenerateNs = reg.NewCounter("enum_phase_generate_ns_total", "time in graph generation (Section 4 step 1)")
 	m.ExecuteNs = reg.NewCounter("enum_phase_execute_ns_total", "time in dataflow execution + closure (step 2)")
 	m.ResolveNs = reg.NewCounter("enum_phase_resolve_ns_total", "time in Load Resolution forking (step 3)")
