@@ -51,6 +51,10 @@ func ReportIncomplete(w io.Writer, tool string, err error) bool {
 		fmt.Fprintf(w, "%s: worker panic repro — replay path %v\nprogram:\n%s\n",
 			tool, pe.Path, pe.Program)
 	}
+	for _, reason := range rep.SpillDegraded {
+		fmt.Fprintf(w, "%s: dedup spill degraded (%s) — the seen-set fell back to memory-only; the behavior set is still exact\n",
+			tool, reason)
+	}
 	if len(rep.Metrics) > 0 {
 		fmt.Fprintf(w, "%s: final metrics snapshot:\n%s", tool, rep.Metrics.Format())
 	}

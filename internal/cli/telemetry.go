@@ -33,6 +33,7 @@ type Telemetry struct {
 	reg    *telemetry.Registry
 	enum   *telemetry.EnumMetrics
 	mach   *telemetry.MachineMetrics
+	dist   *telemetry.DistMetrics
 	tracer *telemetry.Tracer
 	srv    *telemetry.Server
 	prog   *telemetry.Progress
@@ -84,6 +85,7 @@ func (t *Telemetry) Init(tool string) error {
 	t.reg = telemetry.NewRegistry()
 	t.enum = telemetry.NewEnumMetrics(t.reg)
 	t.mach = telemetry.NewMachineMetrics(t.reg)
+	t.dist = telemetry.NewDistMetrics(t.reg)
 	if t.TraceOut != "" {
 		t.tracer = telemetry.NewTracer()
 	}
@@ -105,6 +107,10 @@ func (t *Telemetry) Enum() *telemetry.EnumMetrics { return t.enum }
 // Machine returns the machine/coherence metric bundle (nil when
 // telemetry is off) for machine.Config.Telemetry.
 func (t *Telemetry) Machine() *telemetry.MachineMetrics { return t.mach }
+
+// Dist returns the distributed-enumeration metric bundle (nil when
+// telemetry is off) for dist.Config.Metrics / dist.WorkerConfig.Metrics.
+func (t *Telemetry) Dist() *telemetry.DistMetrics { return t.dist }
 
 // Tracer returns the phase tracer (nil unless -trace-out was given) for
 // core.Options.Tracer.

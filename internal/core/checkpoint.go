@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -141,9 +142,42 @@ func expandFrontier(blocks []pathBlock) ([][]PathStep, error) {
 	return out, nil
 }
 
+// checkpointTrailer marks the integrity trailer appended by Save: the
+// FNV-1a hash of the JSON payload, as 16 hex digits. A torn write (crash
+// mid-write on a filesystem where the temp+rename discipline was bypassed,
+// a truncating copy, a partial download) loses or corrupts the trailer,
+// so LoadCheckpoint can tell "damaged file" apart from "stale format".
+const checkpointTrailer = "\n#fnv1a "
+
+// CorruptCheckpointError reports a checkpoint file that failed integrity
+// validation: truncated, torn, bit-flipped, or missing its checksum
+// trailer entirely. It is deliberately distinct from the stale-checkpoint
+// errors replay raises — a corrupt file should be discarded, a stale one
+// regenerated.
+type CorruptCheckpointError struct {
+	Path   string
+	Reason string
+}
+
+func (e *CorruptCheckpointError) Error() string {
+	return fmt.Sprintf("core: corrupt checkpoint %s: %s", e.Path, e.Reason)
+}
+
+// checksumBytes is the payload hash written into the trailer.
+func checksumBytes(data []byte) uint64 {
+	h := uint64(fnvOffset64)
+	for _, b := range data {
+		h = fnvMix(h, uint64(b))
+	}
+	return h
+}
+
 // Save writes the checkpoint atomically: temp file in the same directory,
 // then rename, so a crash mid-write never corrupts a previous good
-// checkpoint. The frontier is written in its compressed form.
+// checkpoint. The frontier is written in its compressed form, and the
+// file ends with a checksum trailer over the JSON payload so a torn or
+// truncated file is detected at load time instead of surfacing as a raw
+// JSON decode error.
 func (c *Checkpoint) Save(path string) error {
 	enc := *c
 	if len(enc.Frontier) > 0 {
@@ -154,6 +188,7 @@ func (c *Checkpoint) Save(path string) error {
 	if err != nil {
 		return fmt.Errorf("core: marshal checkpoint: %w", err)
 	}
+	data = append(data, fmt.Sprintf("%s%016x\n", checkpointTrailer, checksumBytes(data))...)
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".checkpoint-*")
 	if err != nil {
@@ -173,14 +208,45 @@ func (c *Checkpoint) Save(path string) error {
 	return nil
 }
 
-// LoadCheckpoint reads a checkpoint written by Save.
+// splitTrailer separates a checkpoint file into JSON payload and declared
+// checksum. Errors are *CorruptCheckpointError.
+func splitTrailer(path string, data []byte) ([]byte, uint64, error) {
+	i := bytes.LastIndex(data, []byte(checkpointTrailer))
+	if i < 0 {
+		return nil, 0, &CorruptCheckpointError{Path: path,
+			Reason: "missing checksum trailer (truncated or torn write?)"}
+	}
+	tail := data[i+len(checkpointTrailer):]
+	if len(tail) != 17 || tail[16] != '\n' {
+		return nil, 0, &CorruptCheckpointError{Path: path,
+			Reason: "malformed checksum trailer (torn write?)"}
+	}
+	var want uint64
+	if _, err := fmt.Sscanf(string(tail[:16]), "%016x", &want); err != nil {
+		return nil, 0, &CorruptCheckpointError{Path: path,
+			Reason: "unreadable checksum trailer"}
+	}
+	return data[:i], want, nil
+}
+
+// LoadCheckpoint reads a checkpoint written by Save, validating the
+// checksum trailer first: truncation or corruption anywhere in the file
+// returns a *CorruptCheckpointError rather than a raw decode error.
 func LoadCheckpoint(path string) (*Checkpoint, error) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, fmt.Errorf("core: read checkpoint: %w", err)
 	}
+	payload, want, err := splitTrailer(path, data)
+	if err != nil {
+		return nil, err
+	}
+	if got := checksumBytes(payload); got != want {
+		return nil, &CorruptCheckpointError{Path: path,
+			Reason: fmt.Sprintf("checksum mismatch: file says %016x, payload hashes to %016x", want, got)}
+	}
 	c := &Checkpoint{}
-	if err := json.Unmarshal(data, c); err != nil {
+	if err := json.Unmarshal(payload, c); err != nil {
 		return nil, fmt.Errorf("core: parse checkpoint %s: %w", path, err)
 	}
 	if len(c.FrontierC) > 0 {

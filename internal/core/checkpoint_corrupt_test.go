@@ -1,0 +1,116 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/order"
+)
+
+// savedCheckpoint produces a real on-disk checkpoint from a partial run,
+// so the corruption tests mutate the exact bytes Save writes.
+func savedCheckpoint(t *testing.T) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	opts := cancelAfter(cancelCalls, cancel)
+	res, err := Enumerate(ctx, figure10Prog(), order.Relaxed(), opts)
+	if res == nil || !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want partial run, got res=%v err=%v", res, err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.json")
+	if err := res.Checkpoint(figure10Prog(), opts).Save(path); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckpointRoundTripWithChecksum: a clean Save/Load cycle still
+// works with the trailer in place.
+func TestCheckpointRoundTripWithChecksum(t *testing.T) {
+	path := savedCheckpoint(t)
+	c, err := LoadCheckpoint(path)
+	if err != nil {
+		t.Fatalf("clean checkpoint failed to load: %v", err)
+	}
+	if len(c.Frontier) == 0 {
+		t.Fatal("round-tripped checkpoint lost its frontier")
+	}
+}
+
+// TestCheckpointTornWrite: truncating the file at any point — simulating
+// a torn write — yields a typed *CorruptCheckpointError, never a raw
+// JSON decode error.
+func TestCheckpointTornWrite(t *testing.T) {
+	path := savedCheckpoint(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A spread of truncation points: inside the JSON, at the trailer
+	// boundary, and inside the trailer itself.
+	cuts := []int{1, len(data) / 4, len(data) / 2, len(data) - 30, len(data) - 10, len(data) - 1}
+	for _, cut := range cuts {
+		if cut <= 0 || cut >= len(data) {
+			continue
+		}
+		torn := filepath.Join(t.TempDir(), "torn.json")
+		if err := os.WriteFile(torn, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(torn)
+		var ce *CorruptCheckpointError
+		if !errors.As(err, &ce) {
+			t.Errorf("truncate at %d/%d: want *CorruptCheckpointError, got %v", cut, len(data), err)
+			continue
+		}
+		if !strings.Contains(ce.Error(), "corrupt checkpoint") {
+			t.Errorf("truncate at %d: unhelpful message %q", cut, ce.Error())
+		}
+	}
+}
+
+// TestCheckpointBitFlip: flipping a payload byte is caught by the
+// checksum even though the result may still be syntactically valid JSON.
+func TestCheckpointBitFlip(t *testing.T) {
+	path := savedCheckpoint(t)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int{10, len(data) / 3, len(data) / 2} {
+		flipped := append([]byte(nil), data...)
+		flipped[off] ^= 0x04
+		bad := filepath.Join(t.TempDir(), "flip.json")
+		if err := os.WriteFile(bad, flipped, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, err := LoadCheckpoint(bad)
+		var ce *CorruptCheckpointError
+		if !errors.As(err, &ce) {
+			t.Errorf("flip at %d: want *CorruptCheckpointError, got %v", off, err)
+		}
+	}
+}
+
+// TestCheckpointMissingTrailer: a file with no trailer at all (e.g. a
+// checkpoint written by hand or by an older build) is reported as
+// corrupt with a reason naming the missing trailer.
+func TestCheckpointMissingTrailer(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "legacy.json")
+	if err := os.WriteFile(bad, []byte(`{"model":"Relaxed"}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadCheckpoint(bad)
+	var ce *CorruptCheckpointError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CorruptCheckpointError, got %v", err)
+	}
+	if !strings.Contains(ce.Reason, "trailer") {
+		t.Errorf("reason %q does not mention the trailer", ce.Reason)
+	}
+}

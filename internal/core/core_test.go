@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 
 	"strings"
 	"testing"
@@ -343,7 +344,7 @@ func TestEnumerationIsDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if a.Stats != b.Stats || len(a.Executions) != len(b.Executions) {
+	if !reflect.DeepEqual(a.Stats, b.Stats) || len(a.Executions) != len(b.Executions) {
 		t.Errorf("nondeterministic enumeration: %+v vs %+v", a.Stats, b.Stats)
 	}
 	for i := range a.Executions {

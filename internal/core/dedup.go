@@ -87,6 +87,59 @@ func (k *keySet) release() {
 	}
 }
 
+// degradations reports why the spill tier (if any) fell back to
+// one-sided operation; nil for in-memory sets and healthy spills.
+func (k *keySet) degradations() []string {
+	if k == nil || k.spill == nil {
+		return nil
+	}
+	return k.spill.degraded
+}
+
+// seed pre-loads fingerprints observed elsewhere (a distributed peer's
+// completed shards). Seeds bypass the dedupcheck collision guard — they
+// carry no signature, and recording an empty one would poison the guard
+// with spurious collisions. Seeding is a pure pruning hint: a seeded
+// fingerprint's subtree was already fully explored by whoever exported
+// it, so skipping it here cannot lose behaviors.
+func (k *keySet) seed(hs []uint64) {
+	if k == nil || k.useString {
+		return
+	}
+	for _, h := range hs {
+		if k.spill != nil {
+			k.spill.insert(h)
+			continue
+		}
+		k.hashes[h] = struct{}{}
+	}
+}
+
+// export returns up to max fingerprints from the set (all of them when
+// max <= 0). A spill-backed set exports only its resident hot tier —
+// the disk runs are exactly the keys too numerous to ship anyway.
+func (k *keySet) export(max int) []uint64 {
+	if k == nil || k.useString {
+		return nil
+	}
+	src := k.hashes
+	if k.spill != nil {
+		src = k.spill.hot
+	}
+	n := len(src)
+	if max > 0 && n > max {
+		n = max
+	}
+	out := make([]uint64, 0, n)
+	for h := range src {
+		if len(out) >= n {
+			break
+		}
+		out = append(out, h)
+	}
+	return out
+}
+
 // insert adds the state's Load–Store-graph key, reporting whether it was
 // new.
 func (k *keySet) insert(s *state) bool {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 
 	"fmt"
 	"testing"
@@ -59,7 +60,7 @@ func TestHashedDedupMatchesStringBaseline(t *testing.T) {
 			}
 			// Work accounting must agree exactly between the two key
 			// encodings: same states explored, same duplicates.
-			if hashed.Stats != baseline.Stats {
+			if !reflect.DeepEqual(hashed.Stats, baseline.Stats) {
 				t.Errorf("seed %d %s: stats diverge: hashed %+v, string %+v",
 					seed, pol.Name(), hashed.Stats, baseline.Stats)
 			}

@@ -3,6 +3,7 @@ package core
 import (
 	"bufio"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"os"
 	"sort"
@@ -67,6 +68,10 @@ type spillStore struct {
 	// broken latches a flush failure: the store stops spilling and
 	// degrades to an ordinary in-memory set.
 	broken bool
+	// degraded records the first occurrence of each degradation leg
+	// (flush, compact, read) so the final Stats/Incomplete report can
+	// say *why* the run fell back, not just that it did.
+	degraded []string
 
 	runsC   *telemetry.Counter
 	probesC *telemetry.Counter
@@ -87,6 +92,17 @@ func newSpillStore(budget int64, met *telemetry.EnumMetrics) *spillStore {
 		st.runsC, st.probesC = met.SpillRuns, met.SpillProbes
 	}
 	return st
+}
+
+// degrade records one degradation reason per leg (the first failure of
+// each kind is the interesting one; repeats add no information).
+func (st *spillStore) degrade(leg string, err error) {
+	for _, d := range st.degraded {
+		if len(d) >= len(leg) && d[:len(leg)] == leg {
+			return
+		}
+	}
+	st.degraded = append(st.degraded, fmt.Sprintf("%s: %v", leg, err))
 }
 
 // contains reports whether h is in any tier.
@@ -139,6 +155,7 @@ func (st *spillStore) runContains(r *spillRun, h uint64) bool {
 	}
 	buf := st.blockBuf[:count*8]
 	if _, err := r.f.ReadAt(buf, int64(blk)*spillBlockKeys*8); err != nil {
+		st.degrade("read", err)
 		return false
 	}
 	lo, hi := 0, count
@@ -170,6 +187,7 @@ func (st *spillStore) flush() {
 	r, err := writeRun(&sliceSource{keys: keys})
 	if err != nil {
 		st.broken = true
+		st.degrade("flush", err)
 		return
 	}
 	st.runs = append(st.runs, r)
@@ -193,6 +211,7 @@ func (st *spillStore) compact() {
 	}
 	merged, err := writeRun(newLoserTree(cur))
 	if err != nil {
+		st.degrade("compact", err)
 		return
 	}
 	for _, r := range st.runs {
@@ -236,10 +255,17 @@ func (s *sliceSource) next() (uint64, bool) {
 	return h, true
 }
 
+// createRunFile opens a fresh temp run file. It is a variable so the
+// degradation tests can inject a failing or flaky filesystem without a
+// real full disk.
+var createRunFile = func() (*os.File, error) {
+	return os.CreateTemp("", "mmdedup-*.run")
+}
+
 // writeRun streams a sorted key sequence into a fresh temp run file,
 // building the sparse block index as it goes.
 func writeRun(src keySource) (*spillRun, error) {
-	f, err := os.CreateTemp("", "mmdedup-*.run")
+	f, err := createRunFile()
 	if err != nil {
 		return nil, err
 	}

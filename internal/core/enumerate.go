@@ -93,6 +93,17 @@ type Options struct {
 	// generation + dataflow per behavior, Load Resolution forking,
 	// checkpoint writes) for Chrome trace_event export.
 	Tracer *telemetry.Tracer
+	// SeedSeen pre-loads the dedup seen-set with fingerprints of states
+	// another engine already fully explored (the distributed fingerprint
+	// exchange). Purely a pruning hint: a seeded subtree's behaviors are
+	// merged from whoever exported it, so skipping it here cannot lose
+	// results. Ignored by the string-keyed test baseline.
+	SeedSeen []uint64
+	// ExportSeen, when non-zero, asks the engine to export up to that
+	// many seen-set fingerprints into Result.SeenExport after a clean
+	// run (negative means "all"). Distributed workers ship these to the
+	// coordinator so later shards skip already-explored subtrees.
+	ExportSeen int
 
 	// dedupString keys the dedup sets by the full string signature
 	// instead of the 64-bit fingerprint. It is the property-test
@@ -157,6 +168,12 @@ type Stats struct {
 	// Workers records the engine width that produced this result (1
 	// for the sequential engine).
 	Workers int
+	// SpillDegraded lists why the RAM-bounded dedup spill store (if
+	// enabled) fell back to one-sided operation — flush, compact, or
+	// read failures. Empty on a healthy run. The run stays sound either
+	// way; this surfaces that it may have re-explored duplicates or
+	// exceeded its dedup memory budget.
+	SpillDegraded []string
 }
 
 // Result is the set of distinct final executions of a program under a
@@ -170,6 +187,10 @@ type Result struct {
 	// Incomplete is nil for an exhaustive enumeration; otherwise it
 	// reports why the run stopped early and the replayable frontier.
 	Incomplete *Incomplete
+	// SeenExport holds dedup fingerprints exported after a clean run
+	// when Options.ExportSeen is set (the distributed fingerprint
+	// exchange); nil otherwise.
+	SeenExport []uint64
 }
 
 // OutcomeSet returns the distinct load-value outcome keys, deduplicated
@@ -319,6 +340,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	res.Stats.Workers = 1
 	seen := newKeySet(opts)
 	defer seen.release()
+	seen.seed(opts.SeedSeen)
 	// The finals set is never budgeted: completed executions pin their
 	// graphs and node slices regardless, so spilling their (far fewer)
 	// fingerprints would save nothing and cost a disk probe per final.
@@ -350,6 +372,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		res.Stats.PoolHits, res.Stats.PoolMisses = pool.hits, pool.misses
 		res.Stats.PoolDropped = pool.dropped
 		res.Stats.CowRowsShared, res.Stats.CowRowsCopied, _ = fams.totals()
+		res.Stats.SpillDegraded = seen.degradations()
 		if met != nil {
 			met.PoolHits.Add(0, int64(pool.hits))
 			met.PoolMisses.Add(0, int64(pool.misses))
@@ -395,6 +418,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 			rep.Frontier = append(rep.Frontier, copyPath(s.path))
 		}
 		rep.StatesPending = len(rep.Frontier)
+		rep.SpillDegraded = res.Stats.SpillDegraded
 		rep.Metrics = met.Snapshot()
 		res.Incomplete = rep
 		return res, &IncompleteError{Report: rep}
@@ -633,6 +657,9 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	}
 	if met != nil {
 		met.Frontier.Set(0)
+	}
+	if opts.ExportSeen != 0 {
+		res.SeenExport = seen.export(opts.ExportSeen)
 	}
 	flushStats()
 	return res, nil

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"storeatomicity/internal/telemetry"
+)
+
+// TestIncompleteJSONRoundTrip serializes one report per IncompleteReason
+// — each with the cause shape that reason actually produces — and checks
+// every structural field survives a JSON round-trip.
+func TestIncompleteJSONRoundTrip(t *testing.T) {
+	frontier := [][]PathStep{
+		{{Load: 3, Store: 1, LoadLabel: "L1", StoreLabel: "S1"}},
+		{{Load: 4, Store: 2}, {Load: 7, Store: 5, LoadLabel: "L2"}},
+	}
+	cases := []struct {
+		name string
+		rep  Incomplete
+	}{
+		{"canceled", Incomplete{
+			Reason: ReasonCanceled, Cause: context.Canceled,
+			StatesExplored: 12, StatesPending: 3, Frontier: frontier,
+		}},
+		{"deadline", Incomplete{
+			Reason: ReasonDeadline, Cause: context.DeadlineExceeded,
+			StatesExplored: 99, StatesPending: 1,
+			Metrics: telemetry.Snapshot{"enum_states_total": 99},
+		}},
+		{"max-behaviors", Incomplete{
+			Reason: ReasonMaxBehaviors, Cause: budgetError(1 << 10),
+			StatesExplored: 1024, StatesPending: 40, Frontier: frontier,
+		}},
+		{"max-nodes", Incomplete{
+			Reason: ReasonMaxNodes, Cause: fmt.Errorf("state 17: %w", errNodeBudget),
+			StatesExplored: 17, StatesPending: 0,
+		}},
+		{"worker-panic", Incomplete{
+			Reason: ReasonPanic,
+			Cause: &PanicError{
+				Recovered: "index out of range [8]",
+				Stack:     []byte("goroutine 7 [running]:\nstoreatomicity/internal/core.work(...)"),
+				Program:   "P0: St a 1\nP1: Ld a",
+				Path:      frontier[1],
+			},
+			StatesExplored: 5, StatesPending: 2, Frontier: frontier[:1],
+		}},
+		{"workers-lost", Incomplete{
+			Reason: ReasonWorkersLost, Cause: errors.New("2 shards pending, no worker contact for 30s"),
+			StatesExplored: 200, StatesPending: 2, Frontier: frontier,
+			SpillDegraded: []string{"flush: disk full"},
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			data, err := json.Marshal(&tc.rep)
+			if err != nil {
+				t.Fatalf("marshal: %v", err)
+			}
+			var got Incomplete
+			if err := json.Unmarshal(data, &got); err != nil {
+				t.Fatalf("unmarshal: %v", err)
+			}
+			if got.Reason != tc.rep.Reason {
+				t.Errorf("Reason: got %q want %q", got.Reason, tc.rep.Reason)
+			}
+			if got.StatesExplored != tc.rep.StatesExplored || got.StatesPending != tc.rep.StatesPending {
+				t.Errorf("counts: got (%d,%d) want (%d,%d)", got.StatesExplored, got.StatesPending,
+					tc.rep.StatesExplored, tc.rep.StatesPending)
+			}
+			if !reflect.DeepEqual(got.Frontier, tc.rep.Frontier) {
+				t.Errorf("Frontier: got %v want %v", got.Frontier, tc.rep.Frontier)
+			}
+			if !reflect.DeepEqual(got.SpillDegraded, tc.rep.SpillDegraded) {
+				t.Errorf("SpillDegraded: got %v want %v", got.SpillDegraded, tc.rep.SpillDegraded)
+			}
+			if !reflect.DeepEqual(got.Metrics, tc.rep.Metrics) {
+				t.Errorf("Metrics: got %v want %v", got.Metrics, tc.rep.Metrics)
+			}
+			if tc.rep.Cause == nil {
+				if got.Cause != nil {
+					t.Errorf("Cause: got %v want nil", got.Cause)
+				}
+				return
+			}
+			// Cause message must survive; a *PanicError must survive
+			// structurally, not just as a message.
+			var wantPE *PanicError
+			if errors.As(tc.rep.Cause, &wantPE) {
+				var gotPE *PanicError
+				if !errors.As(got.Cause, &gotPE) {
+					t.Fatalf("Cause: panic error lost its type: %T", got.Cause)
+				}
+				if fmt.Sprint(gotPE.Recovered) != fmt.Sprint(wantPE.Recovered) {
+					t.Errorf("Recovered: got %v want %v", gotPE.Recovered, wantPE.Recovered)
+				}
+				if string(gotPE.Stack) != string(wantPE.Stack) {
+					t.Errorf("Stack lost: got %q", gotPE.Stack)
+				}
+				if gotPE.Program != wantPE.Program {
+					t.Errorf("Program: got %q want %q", gotPE.Program, wantPE.Program)
+				}
+				if !reflect.DeepEqual(gotPE.Path, wantPE.Path) {
+					t.Errorf("replay Path: got %v want %v", gotPE.Path, wantPE.Path)
+				}
+			} else if got.Cause.Error() != tc.rep.Cause.Error() {
+				t.Errorf("Cause: got %q want %q", got.Cause, tc.rep.Cause)
+			}
+		})
+	}
+}
+
+// TestIncompleteErrorStillUnwraps: the wire shapes must not break the
+// in-process error contract — a round-tripped panic report still
+// satisfies errors.As for *PanicError through IncompleteError.
+func TestIncompleteErrorStillUnwraps(t *testing.T) {
+	rep := &Incomplete{
+		Reason: ReasonPanic,
+		Cause:  &PanicError{Recovered: "boom", Path: []PathStep{{Load: 1, Store: 0}}},
+	}
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Incomplete
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	wrapped := &IncompleteError{Report: &back}
+	if !errors.Is(wrapped, ErrIncomplete) {
+		t.Error("round-tripped report lost the ErrIncomplete sentinel")
+	}
+	var pe *PanicError
+	if !errors.As(wrapped, &pe) || len(pe.Path) != 1 {
+		t.Errorf("round-tripped report lost the panic replay path: %v", wrapped)
+	}
+}

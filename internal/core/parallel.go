@@ -175,6 +175,8 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		e.workers[i].pool.limitBytes = limit
 	}
 
+	e.seedSeen(opts.SeedSeen)
+
 	// Forks join their root's COW family, so collecting families at the
 	// single-threaded moments (seeding here, orbit expansion below) covers
 	// every graph the run touches.
@@ -272,6 +274,7 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	e.errMu.Lock()
 	reason, cause, ferr := e.reason, e.cause, e.firstErr
 	e.errMu.Unlock()
+	res.Stats.SpillDegraded = e.spillDegradations()
 
 	// Orbit expansion (see the sequential engine): only a complete run
 	// expands — an interrupted run's frontier is resumable and would
@@ -318,12 +321,16 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 			Frontier:       e.frontierPaths(),
 		}
 		rep.StatesPending = len(rep.Frontier)
+		rep.SpillDegraded = res.Stats.SpillDegraded
 		rep.Metrics = e.met.Snapshot()
 		res.Incomplete = rep
 		return res, &IncompleteError{Report: rep}
 	}
 	if ferr != nil {
 		return res, ferr
+	}
+	if opts.ExportSeen != 0 {
+		res.SeenExport = e.exportSeen(opts.ExportSeen)
 	}
 	return res, nil
 }
@@ -820,6 +827,65 @@ func (e *wsEngine) releaseSpill() {
 			sp.release()
 		}
 	}
+}
+
+// seedSeen pre-loads peer fingerprints (Options.SeedSeen) into the
+// sharded dedup set before the workers start. Like keySet.seed, seeds
+// bypass the dedupcheck guard: they carry no signature, and an empty
+// one would poison the guard with spurious collisions.
+func (e *wsEngine) seedSeen(hs []uint64) {
+	for _, h := range hs {
+		sh := &e.seen[h&(dedupShards-1)]
+		if sh.seen == nil && sh.spill == nil {
+			if b := e.opts.DedupMemBudget; b > 0 {
+				sh.spill = newSpillStore(b/dedupShards, e.met)
+			} else {
+				sh.seen = map[uint64]struct{}{}
+			}
+		}
+		if sh.spill != nil {
+			sh.spill.insert(h)
+			continue
+		}
+		sh.seen[h] = struct{}{}
+	}
+}
+
+// exportSeen gathers up to max dedup fingerprints across shards (all
+// when max <= 0); spill-backed shards export their resident hot tier.
+func (e *wsEngine) exportSeen(max int) []uint64 {
+	var out []uint64
+	for i := range e.seen {
+		sh := &e.seen[i]
+		sh.mu.Lock()
+		src := sh.seen
+		if sh.spill != nil {
+			src = sh.spill.hot
+		}
+		for h := range src {
+			if max > 0 && len(out) >= max {
+				sh.mu.Unlock()
+				return out
+			}
+			out = append(out, h)
+		}
+		sh.mu.Unlock()
+	}
+	return out
+}
+
+// spillDegradations collects every shard's degradation reasons.
+func (e *wsEngine) spillDegradations() []string {
+	var out []string
+	for i := range e.seen {
+		sh := &e.seen[i]
+		sh.mu.Lock()
+		if sh.spill != nil {
+			out = append(out, sh.spill.degraded...)
+		}
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // addFinal records a completed behavior, deduplicating by fingerprint.

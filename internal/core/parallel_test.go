@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 
 	"runtime"
 	"strings"
@@ -88,7 +89,7 @@ func TestParallelSingleWorkerDelegates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if seq.Stats != par.Stats {
+	if !reflect.DeepEqual(seq.Stats, par.Stats) {
 		t.Errorf("single-worker stats diverge: %+v vs %+v", seq.Stats, par.Stats)
 	}
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"reflect"
 	"testing"
 
 	"storeatomicity/internal/order"
@@ -30,7 +31,7 @@ func TestPrefixPruneStringBaseline(t *testing.T) {
 			if err != nil {
 				t.Fatalf("seed %d %s string: %v", seed, pol.Name(), err)
 			}
-			if hashed.Stats != str.Stats {
+			if !reflect.DeepEqual(hashed.Stats, str.Stats) {
 				t.Fatalf("seed %d %s: stats diverge under prefix pruning: hashed %+v, string %+v",
 					seed, pol.Name(), hashed.Stats, str.Stats)
 			}

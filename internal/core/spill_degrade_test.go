@@ -1,0 +1,179 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"storeatomicity/internal/order"
+)
+
+// withRunFiles swaps the spill run-file factory for the duration of a
+// test — the injected failing writer of the degradation tests.
+func withRunFiles(t *testing.T, f func() (*os.File, error)) {
+	t.Helper()
+	old := createRunFile
+	createRunFile = f
+	t.Cleanup(func() { createRunFile = old })
+}
+
+// hasDegradation reports whether reasons contains an entry for leg.
+func hasDegradation(reasons []string, leg string) bool {
+	for _, r := range reasons {
+		if strings.HasPrefix(r, leg+":") {
+			return true
+		}
+	}
+	return false
+}
+
+// TestSpillFlushFailureDegrades: when every run-file creation fails, the
+// store latches broken, keeps exact membership in memory, and records
+// the flush reason exactly once.
+func TestSpillFlushFailureDegrades(t *testing.T) {
+	wantErr := errors.New("disk full (injected)")
+	withRunFiles(t, func() (*os.File, error) { return nil, wantErr })
+
+	st := newSpillStore(16*8, nil) // hotCap = 8 keys
+	const n = 200
+	for i := uint64(0); i < n; i++ {
+		if !st.insert(splitmix64(i)) {
+			t.Fatalf("key %d: first insert reported duplicate", i)
+		}
+	}
+	if !st.broken {
+		t.Fatal("store did not latch broken after flush failure")
+	}
+	for i := uint64(0); i < n; i++ {
+		if st.insert(splitmix64(i)) {
+			t.Fatalf("key %d: lost after degraded flush", i)
+		}
+	}
+	if !hasDegradation(st.degraded, "flush") {
+		t.Fatalf("degradations %v missing the flush reason", st.degraded)
+	}
+	if len(st.degraded) != 1 {
+		t.Errorf("degradation reasons not deduplicated per leg: %v", st.degraded)
+	}
+}
+
+// TestSpillReadFailureDegrades: run files that can be written but not
+// read back make every cold probe answer "not seen" — sound, just
+// re-exploring — and record the read reason.
+func TestSpillReadFailureDegrades(t *testing.T) {
+	dir := t.TempDir()
+	var seq int
+	withRunFiles(t, func() (*os.File, error) {
+		seq++
+		// Write-only: writeRun succeeds, ReadAt fails with EBADF.
+		return os.OpenFile(filepath.Join(dir, "wo"+string(rune('a'+seq))+".run"),
+			os.O_CREATE|os.O_WRONLY, 0o600)
+	})
+
+	st := newSpillStore(16*8, nil)
+	const n = 100
+	for i := uint64(0); i < n; i++ {
+		st.insert(splitmix64(i))
+	}
+	if len(st.runs) == 0 {
+		t.Fatal("no runs flushed; the test needs a cold tier to probe")
+	}
+	// A spilled key now reads as "not seen": insert reports new again.
+	relost := 0
+	for i := uint64(0); i < n; i++ {
+		if st.insert(splitmix64(i)) {
+			relost++
+		}
+	}
+	if relost == 0 {
+		t.Fatal("no key was re-admitted; read failures were not exercised")
+	}
+	if !hasDegradation(st.degraded, "read") {
+		t.Fatalf("degradations %v missing the read reason", st.degraded)
+	}
+}
+
+// TestEnumerateSurfacesFlushDegradation: an engine run whose spill tier
+// cannot flush still produces the exact behavior set and reports why it
+// degraded in Stats.SpillDegraded — on the sequential and the parallel
+// engine.
+func TestEnumerateSurfacesFlushDegradation(t *testing.T) {
+	pol := order.Relaxed()
+	base, err := Enumerate(context.Background(), figure10Prog(), pol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sourceSet(base)
+
+	withRunFiles(t, func() (*os.File, error) { return nil, errors.New("disk full (injected)") })
+	budgeted := Options{DedupMemBudget: 64} // hot tier: 4 keys → flush attempts early
+	seq, err := Enumerate(context.Background(), figure10Prog(), pol, budgeted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sourceSet(seq); len(got) != len(want) {
+		t.Errorf("degraded sequential run: %d behaviors, want %d", len(got), len(want))
+	}
+	if !hasDegradation(seq.Stats.SpillDegraded, "flush") {
+		t.Errorf("sequential Stats.SpillDegraded = %v, want a flush reason", seq.Stats.SpillDegraded)
+	}
+
+	par, err := EnumerateParallel(context.Background(), figure10Prog(), pol, budgeted, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sourceSet(par); len(got) != len(want) {
+		t.Errorf("degraded parallel run: %d behaviors, want %d", len(got), len(want))
+	}
+	if !hasDegradation(par.Stats.SpillDegraded, "flush") {
+		t.Errorf("parallel Stats.SpillDegraded = %v, want a flush reason", par.Stats.SpillDegraded)
+	}
+}
+
+// TestEnumerateSurfacesReadDegradation: unreadable run files degrade the
+// probe side; the behavior set is still exact (finals dedup is
+// independent) and the read reason lands in Stats.SpillDegraded.
+func TestEnumerateSurfacesReadDegradation(t *testing.T) {
+	pol := order.Relaxed()
+	base, err := Enumerate(context.Background(), figure10Prog(), pol, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := sourceSet(base)
+
+	dir := t.TempDir()
+	var seq int
+	withRunFiles(t, func() (*os.File, error) {
+		seq++
+		return os.OpenFile(filepath.Join(dir, "wo"+string(rune('0'+seq%10))+string(rune('a'+(seq/10)%26))+".run"),
+			os.O_CREATE|os.O_WRONLY, 0o600)
+	})
+	res, err := Enumerate(context.Background(), figure10Prog(), pol, Options{DedupMemBudget: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sourceSet(res); len(got) != len(want) {
+		t.Errorf("read-degraded run: %d behaviors, want %d", len(got), len(want))
+	}
+	if !hasDegradation(res.Stats.SpillDegraded, "read") {
+		t.Errorf("Stats.SpillDegraded = %v, want a read reason", res.Stats.SpillDegraded)
+	}
+}
+
+// TestIncompleteCarriesSpillDegradation: a run that stops early while
+// degraded mirrors the reasons into the Incomplete report, so partial
+// output explains both what stopped it and what was limping.
+func TestIncompleteCarriesSpillDegradation(t *testing.T) {
+	withRunFiles(t, func() (*os.File, error) { return nil, errors.New("disk full (injected)") })
+	opts := Options{DedupMemBudget: 64, MaxBehaviors: 50}
+	res, err := Enumerate(context.Background(), figure10Prog(), order.Relaxed(), opts)
+	if !errors.Is(err, ErrIncomplete) {
+		t.Fatalf("want incomplete run, got %v", err)
+	}
+	if res.Incomplete == nil || !hasDegradation(res.Incomplete.SpillDegraded, "flush") {
+		t.Fatalf("Incomplete.SpillDegraded = %+v, want a flush reason", res.Incomplete)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"io"
 	"os"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -142,7 +143,7 @@ func TestSpillEquivalence(t *testing.T) {
 	}
 	// Spilling only moves fingerprints; every membership answer — and
 	// therefore every work counter — must match the unbounded run.
-	if seq.Stats != base.Stats {
+	if !reflect.DeepEqual(seq.Stats, base.Stats) {
 		t.Errorf("budgeted stats diverge: %+v vs %+v", seq.Stats, base.Stats)
 	}
 	if telemetry.Enabled && met.SpillRuns.Value() == 0 {

@@ -1,0 +1,23 @@
+package dist
+
+import (
+	"sort"
+	"strings"
+
+	"storeatomicity/internal/core"
+)
+
+// Canonical renders a result's behavior set as one sorted string — one
+// "sourceKey => outcomeKey" line per execution — so two results can be
+// compared for bit-identity regardless of the engine (sequential,
+// parallel, or distributed-and-merged) or discovery order that produced
+// them. The distributed headline claim is exactly Canonical(distributed)
+// == Canonical(sequential).
+func Canonical(res *core.Result) string {
+	lines := make([]string, 0, len(res.Executions))
+	for _, e := range res.Executions {
+		lines = append(lines, e.SourceKey()+" => "+e.Key())
+	}
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}

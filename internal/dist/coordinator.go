@@ -1,0 +1,574 @@
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
+)
+
+// Config tunes a coordinator.
+type Config struct {
+	// Listen is the HTTP listen address ("127.0.0.1:0" picks a free
+	// port; Addr reports it).
+	Listen string
+	// Job describes the enumeration to distribute.
+	Job JobSpec
+	// Lease is how long a granted shard stays owned without a heartbeat
+	// (default 10s). Expired leases return to the queue.
+	Lease time.Duration
+	// Heartbeat is the interval workers are told to heartbeat at
+	// (default Lease/3). Each heartbeat renews every lease its worker
+	// holds.
+	Heartbeat time.Duration
+	// WorkerDeadline bounds how long the coordinator waits with pending
+	// shards and no worker contact before degrading to an Incomplete
+	// result (default 1m; <0 disables degradation).
+	WorkerDeadline time.Duration
+	// Shards is the partition target (default 16). The partition may
+	// come back smaller when the tree is narrow.
+	Shards int
+	// FingerprintBatch caps fingerprints shipped per lease response
+	// (default 8192); the exchange log is consumed in batches across
+	// successive leases.
+	FingerprintBatch int
+	// Metrics, when non-nil, receives coordinator counters and the
+	// per-shard latency histogram.
+	Metrics *telemetry.DistMetrics
+
+	// now is the injectable clock for deterministic lease tests.
+	now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Lease <= 0 {
+		c.Lease = 10 * time.Second
+	}
+	if c.Heartbeat <= 0 {
+		c.Heartbeat = c.Lease / 3
+	}
+	if c.WorkerDeadline == 0 {
+		c.WorkerDeadline = time.Minute
+	}
+	if c.Shards <= 0 {
+		c.Shards = 16
+	}
+	if c.FingerprintBatch <= 0 {
+		c.FingerprintBatch = 8192
+	}
+	if c.now == nil {
+		c.now = time.Now
+	}
+	return c
+}
+
+// shard state machine: queued → leased → done, with leased → queued on
+// lease expiry. done is terminal — late submissions for a done shard are
+// acknowledged as duplicates, which is what makes reassignment safe.
+type shardStatus int
+
+const (
+	shardQueued shardStatus = iota
+	shardLeased
+	shardDone
+)
+
+// shard is one replayable work unit and its bookkeeping.
+type shard struct {
+	id   int
+	path []core.PathStep
+
+	status   shardStatus
+	owner    string
+	leaseExp time.Time
+	leasedAt time.Time
+	attempts int
+
+	completed [][]core.PathStep // results, once done
+	explored  int
+}
+
+// Coordinator owns the shard table and the merge. Every mutation runs
+// under mu; the HTTP handlers are thin JSON shims over the typed
+// methods (register/lease/heartbeat/complete), which the deterministic
+// tests call directly with a fake clock.
+type Coordinator struct {
+	cfg  Config
+	prog *program.Program
+	pol  order.Policy
+	opts core.Options
+	met  *telemetry.DistMetrics
+
+	ln  net.Listener
+	srv *http.Server
+
+	mu     sync.Mutex
+	shards []*shard
+	queue  []int // queued shard ids, FIFO
+
+	workers     map[string]time.Time // worker → last contact
+	lastContact time.Time
+
+	baseCompleted [][]core.PathStep // partition-time completions
+	explored      int
+
+	fpLog  []uint64
+	fpSeen map[uint64]struct{}
+
+	spillDegraded []string
+	// degradedReason/Cause latch the first degradation (a lost fleet or
+	// a worker-reported incomplete shard); extraFrontier carries frontier
+	// paths reported by incomplete shards.
+	degradedReason core.IncompleteReason
+	degradedCause  error
+	extraFrontier  [][]core.PathStep
+
+	done     chan struct{}
+	finished bool
+
+	sweepStop chan struct{}
+	sweepWG   sync.WaitGroup
+}
+
+// NewCoordinator resolves the job, partitions the frontier, and returns
+// a coordinator ready to Start (or to drive directly in tests).
+func NewCoordinator(ctx context.Context, cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	t, m, opts, err := cfg.Job.Resolve()
+	if err != nil {
+		return nil, err
+	}
+	c := &Coordinator{
+		cfg:     cfg,
+		pol:     m.Policy,
+		opts:    opts,
+		met:     cfg.Metrics,
+		workers: map[string]time.Time{},
+		fpSeen:  map[uint64]struct{}{},
+		done:    make(chan struct{}),
+	}
+	c.prog = t.Build()
+	c.cfg.Job.ProgramHash = core.ProgramHash(c.prog)
+	part, err := core.PartitionFrontier(ctx, c.prog, c.pol, c.opts, cfg.Shards)
+	if err != nil {
+		return nil, fmt.Errorf("dist: partition: %w", err)
+	}
+	c.baseCompleted = part.Completed
+	c.explored = part.StatesExplored
+	for i, path := range part.Shards {
+		c.shards = append(c.shards, &shard{id: i, path: path})
+		c.queue = append(c.queue, i)
+	}
+	c.lastContact = cfg.now()
+	if c.met != nil {
+		c.met.ShardsTotal.Set(int64(len(c.shards)))
+	}
+	if len(c.shards) == 0 {
+		// The whole tree completed during partitioning; nothing to
+		// distribute.
+		c.finish()
+	}
+	return c, nil
+}
+
+// Start binds the listener, serves the protocol, and runs the lease
+// sweeper until Close.
+func (c *Coordinator) Start() error {
+	ln, err := net.Listen("tcp", c.cfg.Listen)
+	if err != nil {
+		return fmt.Errorf("dist: listen %s: %w", c.cfg.Listen, err)
+	}
+	c.ln = ln
+	mux := http.NewServeMux()
+	mux.HandleFunc(PathRegister, handleJSON(c.handleRegister))
+	mux.HandleFunc(PathLease, handleJSON(c.handleLease))
+	mux.HandleFunc(PathHeartbeat, handleJSON(c.handleHeartbeat))
+	mux.HandleFunc(PathComplete, handleJSON(c.handleComplete))
+	mux.HandleFunc(PathStatus, func(w http.ResponseWriter, _ *http.Request) {
+		st := c.Status()
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(&st) //nolint:errcheck
+	})
+	c.srv = &http.Server{Handler: mux}
+	go c.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
+
+	c.sweepStop = make(chan struct{})
+	c.sweepWG.Add(1)
+	go func() {
+		defer c.sweepWG.Done()
+		tick := c.cfg.Lease / 4
+		if hb := c.cfg.Heartbeat / 2; hb < tick {
+			tick = hb
+		}
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-c.sweepStop:
+				return
+			case <-t.C:
+				c.sweep(c.cfg.now())
+			}
+		}
+	}()
+	return nil
+}
+
+// Addr returns the bound listen address (with the resolved port).
+func (c *Coordinator) Addr() string {
+	if c.ln == nil {
+		return ""
+	}
+	return c.ln.Addr().String()
+}
+
+// Close tears the server and sweeper down. Safe to call after a Wait.
+func (c *Coordinator) Close() error {
+	if c.sweepStop != nil {
+		close(c.sweepStop)
+		c.sweepWG.Wait()
+		c.sweepStop = nil
+	}
+	if c.srv != nil {
+		c.srv.SetKeepAlivesEnabled(false)
+		err := c.srv.Close()
+		c.srv = nil
+		return err
+	}
+	return nil
+}
+
+// handleJSON adapts a typed request/response method to an HTTP handler.
+func handleJSON[Req, Resp any](f func(*Req) (*Resp, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req Req
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		resp, err := f(&req)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(resp) //nolint:errcheck
+	}
+}
+
+// touch records worker contact. Caller holds mu.
+func (c *Coordinator) touch(worker string) {
+	now := c.cfg.now()
+	c.workers[worker] = now
+	c.lastContact = now
+	if c.met != nil {
+		live := 0
+		ttl := 3 * c.cfg.Heartbeat
+		for _, last := range c.workers {
+			if now.Sub(last) <= ttl {
+				live++
+			}
+		}
+		c.met.WorkersLive.Set(int64(live))
+	}
+}
+
+// checkHash refuses program-hash skew: a worker built from different
+// source — or one still talking to this port from a previous run —
+// would merge garbage silently. Zero (an old worker not stating its
+// hash) skips the check. Caller holds mu.
+func (c *Coordinator) checkHash(worker string, hash uint64) error {
+	if hash != 0 && hash != c.cfg.Job.ProgramHash {
+		return fmt.Errorf("dist: worker %s program hash %#x does not match job %#x (version skew?)",
+			worker, hash, c.cfg.Job.ProgramHash)
+	}
+	return nil
+}
+
+// handleRegister admits a worker.
+func (c *Coordinator) handleRegister(req *RegisterRequest) (*RegisterResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkHash(req.Worker, req.ProgramHash); err != nil {
+		return nil, err
+	}
+	c.touch(req.Worker)
+	return &RegisterResponse{
+		Job:             c.cfg.Job,
+		LeaseMillis:     c.cfg.Lease.Milliseconds(),
+		HeartbeatMillis: c.cfg.Heartbeat.Milliseconds(),
+	}, nil
+}
+
+// handleLease grants the oldest queued shard, or tells the worker to
+// wait (all leased) or exit (run over). The response piggybacks the
+// fresh slice of the fingerprint-exchange log.
+func (c *Coordinator) handleLease(req *LeaseRequest) (*LeaseResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkHash(req.Worker, req.ProgramHash); err != nil {
+		return nil, err
+	}
+	c.touch(req.Worker)
+	resp := &LeaseResponse{FpNext: req.FpSeq}
+	// Batch of the exchange log the worker has not seen yet.
+	if req.FpSeq >= 0 && req.FpSeq < len(c.fpLog) {
+		end := req.FpSeq + c.cfg.FingerprintBatch
+		if end > len(c.fpLog) {
+			end = len(c.fpLog)
+		}
+		resp.Fingerprints = append([]uint64(nil), c.fpLog[req.FpSeq:end]...)
+		resp.FpNext = end
+		if c.met != nil {
+			c.met.Fingerprints.Add(0, int64(len(resp.Fingerprints)))
+		}
+	}
+	if c.finished {
+		resp.Done = true
+		return resp, nil
+	}
+	if len(c.queue) == 0 {
+		resp.Wait = true
+		resp.RetryMillis = c.cfg.Heartbeat.Milliseconds()
+		if resp.RetryMillis < 1 {
+			resp.RetryMillis = 1
+		}
+		return resp, nil
+	}
+	id := c.queue[0]
+	c.queue = c.queue[1:]
+	sh := c.shards[id]
+	now := c.cfg.now()
+	sh.status, sh.owner = shardLeased, req.Worker
+	sh.leasedAt, sh.leaseExp = now, now.Add(c.cfg.Lease)
+	sh.attempts++
+	if c.met != nil {
+		c.met.LeasesGranted.Inc(0)
+	}
+	resp.Shard = sh.id
+	resp.Path = sh.path
+	resp.LeaseMillis = c.cfg.Lease.Milliseconds()
+	return resp, nil
+}
+
+// handleHeartbeat renews every lease the worker holds.
+func (c *Coordinator) handleHeartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.touch(req.Worker)
+	now := c.cfg.now()
+	for _, sh := range c.shards {
+		if sh.status == shardLeased && sh.owner == req.Worker {
+			sh.leaseExp = now.Add(c.cfg.Lease)
+		}
+	}
+	if c.met != nil {
+		c.met.Heartbeats.Inc(0)
+	}
+	return &HeartbeatResponse{Done: c.finished}, nil
+}
+
+// handleComplete ingests a shard result, idempotently: the first
+// submission for a shard wins — whether from the current lease holder,
+// a previous holder finishing after expiry, or a reassigned peer — and
+// every later one is acknowledged as a duplicate without double-
+// counting. Fingerprints enter the exchange log only from clean
+// completions (an incomplete shard's subtree is not fully explored, so
+// its fingerprints must not suppress exploration elsewhere).
+func (c *Coordinator) handleComplete(req *CompleteRequest) (*CompleteResponse, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := c.checkHash(req.Worker, req.ProgramHash); err != nil {
+		return nil, err
+	}
+	c.touch(req.Worker)
+	if req.Shard < 0 || req.Shard >= len(c.shards) {
+		return nil, fmt.Errorf("dist: complete for unknown shard %d", req.Shard)
+	}
+	sh := c.shards[req.Shard]
+	if sh.status == shardDone {
+		if c.met != nil {
+			c.met.Duplicates.Inc(0)
+		}
+		return &CompleteResponse{OK: true, Duplicate: true}, nil
+	}
+	// A late completion from an expired lease may find the shard back
+	// on the queue (or even re-leased): the work is identical either
+	// way — paths replay deterministically — so first-wins is safe, and
+	// the queue entry is dropped.
+	if sh.status == shardQueued {
+		for i, id := range c.queue {
+			if id == req.Shard {
+				c.queue = append(c.queue[:i], c.queue[i+1:]...)
+				break
+			}
+		}
+	}
+	sh.status = shardDone
+	sh.completed = req.Completed
+	sh.explored = req.StatesExplored
+	c.explored += req.StatesExplored
+	if c.met != nil {
+		c.met.ShardsDone.Inc(0)
+		if !sh.leasedAt.IsZero() {
+			c.met.ShardNs.Observe(c.cfg.now().Sub(sh.leasedAt).Nanoseconds())
+		}
+	}
+	if req.Incomplete != nil {
+		rep := req.Incomplete
+		c.degrade(rep.Reason, fmt.Errorf("dist: shard %d on worker %s: %w",
+			req.Shard, req.Worker, &core.IncompleteError{Report: rep}))
+		c.extraFrontier = append(c.extraFrontier, rep.Frontier...)
+		c.spillDegraded = append(c.spillDegraded, rep.SpillDegraded...)
+	} else {
+		for _, h := range req.Fingerprints {
+			if _, dup := c.fpSeen[h]; dup {
+				continue
+			}
+			c.fpSeen[h] = struct{}{}
+			c.fpLog = append(c.fpLog, h)
+		}
+	}
+	c.checkFinished()
+	return &CompleteResponse{OK: true}, nil
+}
+
+// degrade latches the first degradation classification. Caller holds mu.
+func (c *Coordinator) degrade(reason core.IncompleteReason, cause error) {
+	if c.degradedReason == "" {
+		c.degradedReason, c.degradedCause = reason, cause
+	}
+}
+
+// checkFinished closes the done latch when every shard is accounted
+// for. Caller holds mu.
+func (c *Coordinator) checkFinished() {
+	for _, sh := range c.shards {
+		if sh.status != shardDone {
+			return
+		}
+	}
+	c.finish()
+}
+
+// finish closes the done channel once. Caller holds mu (or is the
+// constructor, before any concurrency).
+func (c *Coordinator) finish() {
+	if !c.finished {
+		c.finished = true
+		close(c.done)
+	}
+}
+
+// sweep is the lease reaper: expired leases return their shards to the
+// queue, and a fleet silent past WorkerDeadline with shards still
+// pending degrades the run. Runs periodically under Start; the
+// deterministic tests call it directly with a fake clock.
+func (c *Coordinator) sweep(now time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, sh := range c.shards {
+		if sh.status == shardLeased && now.After(sh.leaseExp) {
+			sh.status, sh.owner = shardQueued, ""
+			c.queue = append(c.queue, sh.id)
+			if c.met != nil {
+				c.met.LeasesExpired.Inc(0)
+			}
+		}
+	}
+	if !c.finished && c.cfg.WorkerDeadline > 0 && now.Sub(c.lastContact) > c.cfg.WorkerDeadline {
+		c.degrade(core.ReasonWorkersLost, fmt.Errorf("dist: no worker contact for %v with %d shards pending",
+			now.Sub(c.lastContact).Round(time.Millisecond), c.pendingLocked()))
+		c.finish()
+	}
+}
+
+// pendingLocked counts shards not yet done. Caller holds mu.
+func (c *Coordinator) pendingLocked() int {
+	n := 0
+	for _, sh := range c.shards {
+		if sh.status != shardDone {
+			n++
+		}
+	}
+	return n
+}
+
+// Status snapshots progress for the /status endpoint and the CLI.
+func (c *Coordinator) Status() StatusResponse {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	pending := c.pendingLocked()
+	return StatusResponse{
+		Shards:    len(c.shards),
+		Completed: len(c.shards) - pending,
+		Pending:   pending,
+		Workers:   len(c.workers),
+		Done:      c.finished,
+		Degraded:  c.degradedReason != "",
+	}
+}
+
+// Wait blocks until every shard is accounted for (or the run degrades,
+// or ctx ends), then merges: partition-time completions plus every
+// shard's results, folded in shard-ID order through core.MergeCompleted
+// into a canonical Result that is bit-identical to a single-process
+// enumeration. A degraded run returns the partial merge plus an
+// *core.IncompleteError whose frontier is every pending shard's path.
+func (c *Coordinator) Wait(ctx context.Context) (*core.Result, error) {
+	select {
+	case <-ctx.Done():
+		c.mu.Lock()
+		c.degrade(core.ReasonCanceled, ctx.Err())
+		c.finish()
+		c.mu.Unlock()
+	case <-c.done:
+	}
+
+	c.mu.Lock()
+	completed := append([][]core.PathStep{}, c.baseCompleted...)
+	var frontier [][]core.PathStep
+	for _, sh := range c.shards {
+		completed = append(completed, sh.completed...)
+		if sh.status != shardDone {
+			frontier = append(frontier, sh.path)
+		}
+	}
+	frontier = append(frontier, c.extraFrontier...)
+	reason, cause := c.degradedReason, c.degradedCause
+	explored := c.explored
+	spill := c.spillDegraded
+	c.mu.Unlock()
+
+	res, err := core.MergeCompleted(context.WithoutCancel(ctx), c.prog, c.pol, c.opts, completed)
+	if err != nil {
+		return nil, fmt.Errorf("dist: merge: %w", err)
+	}
+	res.Stats.StatesExplored = explored
+	res.Stats.SpillDegraded = append(res.Stats.SpillDegraded, spill...)
+	if reason != "" {
+		rep := &core.Incomplete{
+			Reason:         reason,
+			Cause:          cause,
+			StatesExplored: explored,
+			StatesPending:  len(frontier),
+			Frontier:       frontier,
+			SpillDegraded:  res.Stats.SpillDegraded,
+			Metrics:        c.met.Snapshot(),
+		}
+		res.Incomplete = rep
+		return res, &core.IncompleteError{Report: rep}
+	}
+	return res, nil
+}

@@ -1,0 +1,17 @@
+package dist
+
+import (
+	"os"
+	"testing"
+
+	"storeatomicity/internal/leakcheck"
+)
+
+// TestMain gates the whole dist test binary — the lease/heartbeat/chaos
+// tests included — on goroutine hygiene: lease sweepers, heartbeat
+// tickers, HTTP serve loops, and chaos fleet supervisors must all be
+// gone when the binary exits. The watch substring has no trailing dot
+// so it also covers the dist/chaos subpackage.
+func TestMain(m *testing.M) {
+	os.Exit(leakcheck.Main(m.Run(), "storeatomicity/internal/dist"))
+}

@@ -1,0 +1,177 @@
+// Package dist is the fault-tolerant distributed enumeration layer: a
+// coordinator partitions the behavior tree into replayable-path shards
+// (core.PartitionFrontier) and hands them to worker processes over a
+// small HTTP/JSON protocol, with lease-based shard ownership, worker
+// heartbeats, capped-exponential retry with jitter on every
+// worker→coordinator call, idempotent result submission keyed by shard
+// ID, and a batched dedup-fingerprint exchange. When workers are lost
+// past a deadline the coordinator degrades to a structured
+// core.Incomplete report whose frontier is the unfinished shards.
+//
+// The protocol is deliberately minimal — five POST endpoints carrying
+// JSON bodies, stdlib only, mirroring internal/telemetry's server
+// idioms. Everything the worker needs to reproduce the computation
+// (test, model, options) travels in the registration response, and the
+// coordinator validates the worker's program hash so a version- or
+// flag-skewed worker is rejected instead of silently corrupting the
+// merge.
+package dist
+
+import (
+	"fmt"
+
+	"storeatomicity/internal/cli"
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/litmus"
+)
+
+// Protocol endpoints (all POST, JSON request/response bodies).
+const (
+	PathRegister  = "/register"
+	PathLease     = "/lease"
+	PathHeartbeat = "/heartbeat"
+	PathComplete  = "/complete"
+	PathStatus    = "/status"
+)
+
+// JobSpec describes the enumeration a coordinator is running, in the
+// registry vocabulary (test and model names) so it serializes cleanly.
+type JobSpec struct {
+	// Test names a litmus.Registry entry.
+	Test string `json:"test"`
+	// Model names a litmus.Models entry ("Relaxed", "TSO", ...).
+	Model string `json:"model"`
+	// ProgramHash fingerprints the built program; a worker whose build
+	// disagrees is refused (version skew).
+	ProgramHash uint64 `json:"program_hash"`
+	// Prune/COW/DedupMem carry the engine flag grammars (cli.ApplyPrune
+	// and friends) so every worker runs the same configuration.
+	Prune    string `json:"prune,omitempty"`
+	COW      string `json:"cow,omitempty"`
+	DedupMem string `json:"dedup_mem,omitempty"`
+	// MaxNodes/MaxBehaviors bound each shard run (0 = engine default).
+	MaxNodes     int `json:"max_nodes,omitempty"`
+	MaxBehaviors int `json:"max_behaviors,omitempty"`
+}
+
+// Resolve materializes the spec: the litmus test, the model, and the
+// engine options (with Speculative forced by the model, like
+// litmus.RunContext).
+func (j *JobSpec) Resolve() (*litmus.Test, litmus.Model, core.Options, error) {
+	var opts core.Options
+	t, ok := litmus.ByName(j.Test)
+	if !ok {
+		return nil, litmus.Model{}, opts, fmt.Errorf("dist: unknown test %q", j.Test)
+	}
+	m, ok := litmus.ModelByName(j.Model)
+	if !ok {
+		return nil, litmus.Model{}, opts, fmt.Errorf("dist: unknown model %q", j.Model)
+	}
+	if err := cli.ApplyPrune(&opts, j.Prune); err != nil {
+		return nil, litmus.Model{}, opts, fmt.Errorf("dist: job spec: %w", err)
+	}
+	if err := cli.ApplyCOW(&opts, j.COW); err != nil {
+		return nil, litmus.Model{}, opts, fmt.Errorf("dist: job spec: %w", err)
+	}
+	if err := cli.ApplyDedupMem(&opts, j.DedupMem); err != nil {
+		return nil, litmus.Model{}, opts, fmt.Errorf("dist: job spec: %w", err)
+	}
+	opts.MaxNodes = j.MaxNodes
+	opts.MaxBehaviors = j.MaxBehaviors
+	opts.Speculative = m.Speculative
+	return t, m, opts, nil
+}
+
+// RegisterRequest announces a worker.
+type RegisterRequest struct {
+	Worker      string `json:"worker"`
+	ProgramHash uint64 `json:"program_hash,omitempty"`
+}
+
+// RegisterResponse hands the worker its job and the lease discipline.
+type RegisterResponse struct {
+	Job             JobSpec `json:"job"`
+	LeaseMillis     int64   `json:"lease_ms"`
+	HeartbeatMillis int64   `json:"heartbeat_ms"`
+}
+
+// LeaseRequest asks for a shard. FpSeq is the index into the
+// coordinator's fingerprint log the worker has already consumed, so the
+// exchange ships only fresh batches.
+type LeaseRequest struct {
+	Worker string `json:"worker"`
+	FpSeq  int    `json:"fp_seq"`
+	// ProgramHash re-states the worker's program on every lease, so a
+	// stale worker that registered with an earlier coordinator (say,
+	// after a restart on the same port) cannot pull shards for a program
+	// it does not have. Zero skips the check (old workers).
+	ProgramHash uint64 `json:"program_hash,omitempty"`
+}
+
+// LeaseResponse grants a shard, asks the worker to wait, or announces
+// completion.
+type LeaseResponse struct {
+	// Done: every shard is accounted for; the worker should exit.
+	Done bool `json:"done,omitempty"`
+	// Wait: nothing grantable right now (all leased), retry after
+	// RetryMillis.
+	Wait        bool  `json:"wait,omitempty"`
+	RetryMillis int64 `json:"retry_ms,omitempty"`
+	// Shard identifies the granted work unit; Path replays to it.
+	Shard       int             `json:"shard"`
+	Path        []core.PathStep `json:"path"`
+	LeaseMillis int64           `json:"lease_ms,omitempty"`
+	// Fingerprints is the fresh slice of the dedup exchange log
+	// starting at the worker's FpSeq; FpNext is the new consumed index.
+	Fingerprints []uint64 `json:"fingerprints,omitempty"`
+	FpNext       int      `json:"fp_next"`
+}
+
+// HeartbeatRequest keeps a worker's leases alive.
+type HeartbeatRequest struct {
+	Worker string `json:"worker"`
+}
+
+// HeartbeatResponse acknowledges; Done tells the worker the run is over.
+type HeartbeatResponse struct {
+	Done bool `json:"done,omitempty"`
+}
+
+// CompleteRequest submits a shard's results. Idempotent by Shard: the
+// first submission wins, later ones are acknowledged as duplicates.
+type CompleteRequest struct {
+	Worker string `json:"worker"`
+	Shard  int    `json:"shard"`
+	// ProgramHash guards the merge the same way LeaseRequest's does: a
+	// submission built from a different program is refused, not merged.
+	ProgramHash uint64 `json:"program_hash,omitempty"`
+	// Completed holds the replayable path of every behavior the shard
+	// found (for the coordinator's merge).
+	Completed [][]core.PathStep `json:"completed"`
+	// Fingerprints exports the shard's dedup seen-set for the exchange
+	// (clean completions only).
+	Fingerprints   []uint64 `json:"fingerprints,omitempty"`
+	StatesExplored int      `json:"states_explored"`
+	// Incomplete reports a shard that stopped early (budget, panic).
+	// The coordinator latches it and degrades the final result.
+	Incomplete *core.Incomplete `json:"incomplete,omitempty"`
+}
+
+// CompleteResponse acknowledges a submission.
+type CompleteResponse struct {
+	OK bool `json:"ok"`
+	// Duplicate: this shard was already completed (by this worker after
+	// a lease expiry, or by a reassigned peer); the submission was
+	// discarded without double-counting.
+	Duplicate bool `json:"duplicate,omitempty"`
+}
+
+// StatusResponse is the coordinator's public progress snapshot.
+type StatusResponse struct {
+	Shards    int  `json:"shards"`
+	Completed int  `json:"completed"`
+	Pending   int  `json:"pending"`
+	Workers   int  `json:"workers"`
+	Done      bool `json:"done"`
+	Degraded  bool `json:"degraded"`
+}

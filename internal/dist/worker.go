@@ -1,0 +1,234 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"storeatomicity/internal/core"
+	"storeatomicity/internal/order"
+	"storeatomicity/internal/program"
+	"storeatomicity/internal/telemetry"
+)
+
+// WorkerConfig tunes a worker process (or an in-process worker in the
+// tests).
+type WorkerConfig struct {
+	// Coord is the coordinator base URL ("http://host:port").
+	Coord string
+	// ID names this worker in leases and logs.
+	ID string
+	// MaxRetries caps retries per coordinator call (default 5).
+	MaxRetries int
+	// RetryBase is the first backoff delay (default 50ms).
+	RetryBase time.Duration
+	// EngineWorkers is the per-shard engine width (default 1 =
+	// sequential; the process-level parallelism is the worker fleet).
+	EngineWorkers int
+	// ShardDelay stretches each shard by sleeping before enumeration —
+	// a test/chaos knob so kills land mid-shard (default 0).
+	ShardDelay time.Duration
+	// Seed seeds the backoff jitter (default 1).
+	Seed int64
+	// Client is the HTTP transport; injectable so the chaos harness can
+	// drop or stall calls (default http.DefaultClient semantics with a
+	// sane timeout).
+	Client *http.Client
+	// Metrics, when non-nil, receives worker-side counters
+	// (dist_retries_total chief among them).
+	Metrics *telemetry.DistMetrics
+}
+
+func (w WorkerConfig) withDefaults() WorkerConfig {
+	if w.ID == "" {
+		w.ID = "worker"
+	}
+	if w.MaxRetries <= 0 {
+		w.MaxRetries = 5
+	}
+	if w.RetryBase <= 0 {
+		w.RetryBase = 50 * time.Millisecond
+	}
+	if w.EngineWorkers <= 0 {
+		w.EngineWorkers = 1
+	}
+	if w.Seed == 0 {
+		w.Seed = 1
+	}
+	if w.Client == nil {
+		w.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	return w
+}
+
+// Worker pulls shard leases from a coordinator, enumerates each shard's
+// subtree, and posts results idempotently. Every coordinator call runs
+// under the capped-exponential-backoff retry discipline.
+type Worker struct {
+	cfg  WorkerConfig
+	c    *client
+	prog *program.Program
+	pol  order.Policy
+	opts core.Options
+
+	heartbeatEvery time.Duration
+	hash           uint64
+	fpSeq          int
+	seedSeen       []uint64
+}
+
+// NewWorker builds a worker; Run does the work.
+func NewWorker(cfg WorkerConfig) *Worker {
+	cfg = cfg.withDefaults()
+	return &Worker{
+		cfg: cfg,
+		c: &client{
+			base:    cfg.Coord,
+			hc:      cfg.Client,
+			backoff: NewBackoff(cfg.RetryBase, 0, cfg.MaxRetries, cfg.Seed),
+			met:     cfg.Metrics,
+		},
+	}
+}
+
+// Run registers, heartbeats, and drains leases until the coordinator
+// says Done (nil), the context ends (ctx.Err()), or retries exhaust
+// (the transport error). A context cancellation mid-shard abandons the
+// shard WITHOUT posting a completion: the lease expires and the shard
+// is reassigned — the crash-model contract the chaos tests enforce.
+func (w *Worker) Run(ctx context.Context) error {
+	var reg RegisterResponse
+	if err := w.c.call(ctx, PathRegister, &RegisterRequest{Worker: w.cfg.ID}, &reg); err != nil {
+		return err
+	}
+	t, m, opts, err := reg.Job.Resolve()
+	if err != nil {
+		return err
+	}
+	w.prog, w.pol, w.opts = t.Build(), m.Policy, opts
+	w.hash = core.ProgramHash(w.prog)
+	if w.hash != reg.Job.ProgramHash {
+		return fmt.Errorf("dist: worker %s built program hash %#x, job says %#x (version skew)",
+			w.cfg.ID, w.hash, reg.Job.ProgramHash)
+	}
+	w.heartbeatEvery = time.Duration(reg.HeartbeatMillis) * time.Millisecond
+	if w.heartbeatEvery <= 0 {
+		w.heartbeatEvery = time.Second
+	}
+
+	// Heartbeat loop: renews every lease this worker holds. Torn down
+	// before Run returns, so the leak gate stays clean.
+	hbCtx, hbCancel := context.WithCancel(ctx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		tick := time.NewTicker(w.heartbeatEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-hbCtx.Done():
+				return
+			case <-tick.C:
+				var hb HeartbeatResponse
+				// Heartbeat failures are not fatal by themselves — the
+				// lease loop's calls decide when the coordinator is
+				// truly gone.
+				w.c.call(hbCtx, PathHeartbeat, &HeartbeatRequest{Worker: w.cfg.ID}, &hb) //nolint:errcheck
+			}
+		}
+	}()
+	defer func() {
+		hbCancel()
+		hbWG.Wait()
+	}()
+
+	for {
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		var lease LeaseResponse
+		if err := w.c.call(ctx, PathLease, &LeaseRequest{Worker: w.cfg.ID, FpSeq: w.fpSeq, ProgramHash: w.hash}, &lease); err != nil {
+			return err
+		}
+		w.ingestFingerprints(&lease)
+		if lease.Done {
+			return nil
+		}
+		if lease.Wait {
+			wait := time.Duration(lease.RetryMillis) * time.Millisecond
+			if wait <= 0 {
+				wait = 100 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-time.After(wait):
+			}
+			continue
+		}
+		if err := w.runShard(ctx, &lease); err != nil {
+			return err
+		}
+	}
+}
+
+// ingestFingerprints folds a lease response's exchange batch into the
+// seen-set seed for subsequent shards.
+func (w *Worker) ingestFingerprints(lease *LeaseResponse) {
+	if len(lease.Fingerprints) > 0 {
+		w.seedSeen = append(w.seedSeen, lease.Fingerprints...)
+	}
+	if lease.FpNext > w.fpSeq {
+		w.fpSeq = lease.FpNext
+	}
+}
+
+// runShard enumerates one leased shard and posts its results. The
+// engine run is seeded with the fingerprints of peers' already-merged
+// shards (pure pruning; see core/partition.go) and exports its own for
+// the exchange. A ctx cancellation mid-run returns the error without
+// posting — the lease will expire and the shard be reassigned.
+func (w *Worker) runShard(ctx context.Context, lease *LeaseResponse) error {
+	if d := w.cfg.ShardDelay; d > 0 {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(d):
+		}
+	}
+	opts := w.opts
+	opts.SeedSeen = w.seedSeen
+	opts.ExportSeen = -1
+	res, err := core.EnumerateShard(ctx, w.prog, w.pol, opts, lease.Path, w.cfg.EngineWorkers)
+	req := &CompleteRequest{Worker: w.cfg.ID, Shard: lease.Shard, ProgramHash: w.hash}
+	switch {
+	case err == nil:
+		req.Fingerprints = res.SeenExport
+	case errors.Is(err, core.ErrIncomplete):
+		// A canceled shard is abandoned, not submitted: cancellation is
+		// the chaos/kill path, and posting its partial frontier would
+		// wrongly latch degradation for work the lease machinery will
+		// simply reassign. Genuine budget stops and panics DO submit —
+		// they would repeat identically on any worker, so degradation
+		// is the honest outcome.
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		req.Incomplete = res.Incomplete
+	default:
+		return fmt.Errorf("dist: shard %d: %w", lease.Shard, err)
+	}
+	req.StatesExplored = res.Stats.StatesExplored
+	for _, e := range res.Executions {
+		req.Completed = append(req.Completed, e.Path)
+	}
+	var ack CompleteResponse
+	if err := w.c.call(ctx, PathComplete, req, &ack); err != nil {
+		return err
+	}
+	return nil
+}

@@ -188,3 +188,63 @@ func (m *MachineMetrics) Snapshot() Snapshot {
 	}
 	return m.reg.Snapshot()
 }
+
+// DistMetrics instruments the distributed coordinator/worker layer:
+// shard leasing, heartbeat traffic, the retry/backoff discipline, and
+// the fingerprint exchange. Coordinator and worker each hold their own
+// bundle; all methods are nil-safe.
+type DistMetrics struct {
+	reg *Registry
+
+	ShardsDone    *Counter
+	LeasesGranted *Counter
+	LeasesExpired *Counter
+	Retries       *Counter
+	Heartbeats    *Counter
+	Fingerprints  *Counter
+	Duplicates    *Counter
+
+	ShardsTotal *Gauge
+	WorkersLive *Gauge
+
+	ShardNs *Histogram
+}
+
+// NewDistMetrics registers the distributed metric set on reg (a private
+// registry when reg is nil). Returns nil when telemetry is compiled out.
+func NewDistMetrics(reg *Registry) *DistMetrics {
+	if !Enabled {
+		return nil
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	m := &DistMetrics{reg: reg}
+	m.ShardsDone = reg.NewCounter("dist_shards_done_total", "shards completed and accepted by the coordinator")
+	m.LeasesGranted = reg.NewCounter("dist_leases_granted_total", "shard leases handed to workers")
+	m.LeasesExpired = reg.NewCounter("dist_leases_expired_total", "leases returned to the queue by expiry or a lost worker")
+	m.Retries = reg.NewCounter("dist_retries_total", "worker->coordinator calls retried after a transport or server error")
+	m.Heartbeats = reg.NewCounter("dist_heartbeats_total", "heartbeats processed")
+	m.Fingerprints = reg.NewCounter("dist_fingerprints_total", "dedup fingerprints exchanged between shards")
+	m.Duplicates = reg.NewCounter("dist_duplicate_results_total", "shard completions rejected as duplicates (idempotent resubmission)")
+	m.ShardsTotal = reg.NewGauge("dist_shards", "shards in this run's partition")
+	m.WorkersLive = reg.NewGauge("dist_workers_live", "workers currently registered and heartbeating")
+	m.ShardNs = reg.NewHistogramMetric("dist_shard_ns", "per-shard lease-to-completion latency", latencyNsBounds)
+	return m
+}
+
+// Registry returns the registry backing the bundle (nil-safe).
+func (m *DistMetrics) Registry() *Registry {
+	if !Enabled || m == nil {
+		return nil
+	}
+	return m.reg
+}
+
+// Snapshot flattens the bundle's registry (nil-safe).
+func (m *DistMetrics) Snapshot() Snapshot {
+	if !Enabled || m == nil {
+		return nil
+	}
+	return m.reg.Snapshot()
+}
