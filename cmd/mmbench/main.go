@@ -55,6 +55,21 @@ type result struct {
 	NumCPU         int                `json:"num_cpu"`
 	Workers        int                `json:"workers"`
 	Metrics        telemetry.Snapshot `json:"metrics,omitempty"`
+	// StateP50Ns/P95/P99 are per-state latency quantiles estimated from
+	// the instrumented run's enum_state_ns histogram — the tail, which
+	// ns/op (a mean) hides. Zero when phase metrics are absent
+	// (notelemetry builds or pre-quantile baselines).
+	StateP50Ns int64 `json:"state_p50_ns,omitempty"`
+	StateP95Ns int64 `json:"state_p95_ns,omitempty"`
+	StateP99Ns int64 `json:"state_p99_ns,omitempty"`
+}
+
+// fillQuantiles copies the state-latency quantiles out of the row's
+// metric snapshot into the typed columns.
+func (r *result) fillQuantiles() {
+	r.StateP50Ns = r.Metrics["enum_state_ns_p50"]
+	r.StateP95Ns = r.Metrics["enum_state_ns_p95"]
+	r.StateP99Ns = r.Metrics["enum_state_ns_p99"]
 }
 
 // statesExplored reads the row's deterministic work counter, falling
@@ -240,9 +255,10 @@ func main() {
 			Workers:        1,
 			Metrics:        measuredRun(ctx, s.test, s.model, 1, pruneOpts),
 		})
-		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op %8d states\n",
-			snap.Enum[len(snap.Enum)-1].Name,
-			snap.Enum[len(snap.Enum)-1].NsPerOp, r.AllocsPerOp(), states)
+		row := &snap.Enum[len(snap.Enum)-1]
+		row.fillQuantiles()
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op %8d states  state p95 %s\n",
+			row.Name, row.NsPerOp, r.AllocsPerOp(), states, nsCell(row.StateP95Ns))
 	}
 
 	tc, _ := litmus.ByName("Figure10")
@@ -271,9 +287,10 @@ func main() {
 			Workers:        w,
 			Metrics:        measuredRun(ctx, "Figure10", "Relaxed", w, pruneOpts),
 		})
-		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op %8d states\n",
-			snap.Parallel[len(snap.Parallel)-1].Name,
-			snap.Parallel[len(snap.Parallel)-1].NsPerOp, r.AllocsPerOp(), states)
+		row := &snap.Parallel[len(snap.Parallel)-1]
+		row.fillQuantiles()
+		fmt.Fprintf(os.Stderr, "%-24s %10.0f ns/op %8d allocs/op %8d states  state p95 %s\n",
+			row.Name, row.NsPerOp, r.AllocsPerOp(), states, nsCell(row.StateP95Ns))
 	}
 
 	if *out != "" {
@@ -429,6 +446,15 @@ func resolveShare(r *result) float64 {
 		return 0
 	}
 	return res / r.NsPerOp
+}
+
+// nsCell formats a nanosecond quantile for the progress table ("n/a"
+// when metrics were unavailable).
+func nsCell(ns int64) string {
+	if ns <= 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%dns", ns)
 }
 
 func pctDelta(base, cur float64) float64 {

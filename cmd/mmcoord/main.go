@@ -94,6 +94,11 @@ func main() {
 		WorkerDeadline: *deadline,
 		Shards:         *shards,
 		Metrics:        tel.Dist(),
+		Journal:        tel.Journal(),
+		Tracer:         tel.Tracer(),
+		Fleet:          tel.Fleet(),
+		Registry:       tel.Registry(),
+		RunID:          tel.RunID,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "mmcoord: %v\n", err)

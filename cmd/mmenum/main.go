@@ -142,7 +142,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer tel.Close()
-	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()}
+	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer(), Journal: tel.Journal()}
 	if err := cli.ApplyPrune(&opts, *prune); err != nil {
 		fmt.Fprintf(os.Stderr, "mmenum: %v\n", err)
 		os.Exit(2)

@@ -116,7 +116,7 @@ func fuzzOne(ctx context.Context, p *program.Program, seed int64, chain []order.
 	}()
 	opts := pruneOpts
 	opts.MaxBehaviors = 1 << 22
-	opts.Metrics, opts.Tracer = tel.Enum(), tel.Tracer()
+	opts.Metrics, opts.Tracer, opts.Journal = tel.Enum(), tel.Tracer(), tel.Journal()
 	// The baseline engine runs with every trick off: no pruning layers
 	// AND deep-copy forks. A default fuzz run therefore cross-checks
 	// COW+pruned against deep-copy+unpruned on every program, and a

@@ -75,7 +75,7 @@ func main() {
 		var cells []string
 		for _, m := range models {
 			opts := cowOpts
-			opts.Metrics, opts.Tracer = tel.Enum(), tel.Tracer()
+			opts.Metrics, opts.Tracer, opts.Journal = tel.Enum(), tel.Tracer(), tel.Journal()
 			res, err := litmus.RunContext(ctx, tc, m, opts, 1)
 			if err != nil {
 				tel.Close()

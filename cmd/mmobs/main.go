@@ -1,0 +1,361 @@
+// Command mmobs merges the per-process observability output of a fleet
+// run — the Chrome traces and NDJSON event journals each process
+// dropped into a shared -run-dir — into one cross-process timeline.
+//
+// Each process's trace carries a wall-clock anchor (start_unix_ns) and a
+// source name in its metadata; mmobs re-bases every event onto the
+// earliest anchor and gives each source its own process lane, so
+// chrome://tracing (or Perfetto) shows the coordinator's shard spans
+// above the workers' execution spans. Spans from the dist layer carry a
+// span_id argument ("run/s<shard>/a<attempt>"): the coordinator stamps
+// it on the winning attempt of each shard, the worker on every attempt
+// it ran, which is what lets one lease be followed across lanes.
+//
+// Journals are merged by (time, source, sequence) — a deterministic
+// order for any interleaving of the input files.
+//
+// Usage:
+//
+//	mmobs [-trace-out PATH] [-journal-out PATH] [-require-matched-spans] RUNDIR
+//
+// Example:
+//
+//	mmcoord  -run-dir /tmp/run -listen 127.0.0.1:7600 SB3W &
+//	mmworker -run-dir /tmp/run -coord http://127.0.0.1:7600 -id w1 &
+//	mmworker -run-dir /tmp/run -coord http://127.0.0.1:7600 -id w2 &
+//	wait
+//	mmobs /tmp/run
+//
+// With -require-matched-spans mmobs exits non-zero unless every
+// coordinator shard span whose completing worker's trace is present has
+// a matching span in that worker's lane (and at least one match exists)
+// — the cross-process correlation check the CI chaos job gates on.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"storeatomicity/internal/obslog"
+)
+
+// event and trace mirror the Chrome trace_event JSON that
+// telemetry.Tracer writes. Args stays raw so merging never drops keys
+// it does not know about.
+type event struct {
+	Name string          `json:"name"`
+	Cat  string          `json:"cat,omitempty"`
+	Ph   string          `json:"ph"`
+	Ts   float64         `json:"ts"`
+	Dur  float64         `json:"dur,omitempty"`
+	Pid  int             `json:"pid"`
+	Tid  int             `json:"tid"`
+	Args json.RawMessage `json:"args,omitempty"`
+}
+
+type trace struct {
+	TraceEvents     []event        `json:"traceEvents"`
+	DisplayTimeUnit string         `json:"displayTimeUnit,omitempty"`
+	Metadata        map[string]any `json:"metadata,omitempty"`
+}
+
+// lane is one loaded per-process trace.
+type lane struct {
+	path    string
+	source  string
+	role    string
+	runID   string
+	startNs int64
+	events  []event
+}
+
+func main() {
+	var (
+		traceOut   = flag.String("trace-out", "", "merged Chrome trace path (default RUNDIR/merged.trace.json)")
+		journalOut = flag.String("journal-out", "", "merged NDJSON journal path (default RUNDIR/merged.journal.ndjson; \"-\" = stdout)")
+		requireMS  = flag.Bool("require-matched-spans", false, "fail unless every coordinator shard span with its worker's trace present is matched in that worker's lane")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: mmobs [-trace-out PATH] [-journal-out PATH] [-require-matched-spans] RUNDIR")
+		os.Exit(2)
+	}
+	dir := flag.Arg(0)
+	if *traceOut == "" {
+		*traceOut = filepath.Join(dir, "merged.trace.json")
+	}
+	if *journalOut == "" {
+		*journalOut = filepath.Join(dir, "merged.journal.ndjson")
+	}
+
+	lanes, err := loadLanes(dir)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	journals, err := filepath.Glob(filepath.Join(dir, "*.journal.ndjson"))
+	if err != nil {
+		fatalf("%v", err)
+	}
+	sort.Strings(journals)
+	if len(lanes) == 0 && len(journals) == 0 {
+		fatalf("%s holds no *.trace.json or *.journal.ndjson files", dir)
+	}
+
+	if len(journals) > 0 {
+		n, err := mergeJournals(journals, *journalOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		if *journalOut != "-" {
+			fmt.Printf("mmobs: %d journal lines from %d files -> %s\n", n, len(journals), *journalOut)
+		}
+	}
+
+	if len(lanes) > 0 {
+		merged, runID := mergeTraces(lanes)
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		enc := json.NewEncoder(f)
+		if err := enc.Encode(&merged); err != nil {
+			fatalf("write %s: %v", *traceOut, err)
+		}
+		if err := f.Close(); err != nil {
+			fatalf("write %s: %v", *traceOut, err)
+		}
+		fmt.Printf("mmobs: %d trace events across %d lanes (run %s) -> %s\n",
+			len(merged.TraceEvents), len(lanes), runID, *traceOut)
+		for _, l := range lanes {
+			fmt.Printf("  lane %-16s role=%-12s %5d events\n", l.source, orDash(l.role), len(l.events))
+		}
+		matched, unmatched := matchSpans(lanes)
+		fmt.Printf("mmobs: %d shard span(s) matched coordinator<->worker, %d unmatched\n", matched, len(unmatched))
+		for _, u := range unmatched {
+			fmt.Printf("  unmatched %s\n", u)
+		}
+		if *requireMS && (matched == 0 || len(unmatched) > 0) {
+			fatalf("span matching failed (%d matched, %d unmatched)", matched, len(unmatched))
+		}
+	} else if *requireMS {
+		fatalf("-require-matched-spans: no trace files in %s", dir)
+	}
+}
+
+// loadLanes reads every *.trace.json in dir (deterministically, by
+// name), pulling the alignment anchor and identity out of each file's
+// metadata.
+func loadLanes(dir string) ([]*lane, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.trace.json"))
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(paths)
+	var lanes []*lane
+	for _, p := range paths {
+		if filepath.Base(p) == "merged.trace.json" {
+			continue // a previous mmobs output; never merge it into itself
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return nil, err
+		}
+		var t trace
+		if err := json.Unmarshal(data, &t); err != nil {
+			return nil, fmt.Errorf("parse %s: %w", p, err)
+		}
+		l := &lane{path: p, events: t.TraceEvents}
+		l.source = metaString(t.Metadata, "source")
+		if l.source == "" {
+			l.source = strings.TrimSuffix(filepath.Base(p), ".trace.json")
+		}
+		l.role = metaString(t.Metadata, "role")
+		l.runID = metaString(t.Metadata, "run_id")
+		if v, ok := t.Metadata["start_unix_ns"].(float64); ok {
+			l.startNs = int64(v)
+		}
+		lanes = append(lanes, l)
+	}
+	return lanes, nil
+}
+
+func metaString(m map[string]any, key string) string {
+	s, _ := m[key].(string)
+	return s
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
+// mergeTraces re-bases every lane onto the earliest wall-clock anchor
+// and gives each source its own pid, with process_name metadata so the
+// viewer labels the lanes. Lanes without an anchor keep relative time
+// (their events cannot be aligned, but they are still visible).
+func mergeTraces(lanes []*lane) (trace, string) {
+	var t0 int64
+	runID := ""
+	for _, l := range lanes {
+		if l.startNs > 0 && (t0 == 0 || l.startNs < t0) {
+			t0 = l.startNs
+		}
+		if l.runID != "" {
+			if runID == "" {
+				runID = l.runID
+			} else if runID != l.runID {
+				fmt.Fprintf(os.Stderr, "mmobs: warning: %s carries run %s, expected %s — merging anyway\n",
+					l.path, l.runID, runID)
+			}
+		}
+	}
+	merged := trace{
+		TraceEvents:     []event{},
+		DisplayTimeUnit: "ms",
+		Metadata:        map[string]any{"run_id": runID, "merged_lanes": len(lanes)},
+	}
+	// Coordinator lanes sort first so the shard ownership timeline reads
+	// top-down: lease above execution.
+	sort.SliceStable(lanes, func(i, j int) bool {
+		ci, cj := lanes[i].role == "coordinator", lanes[j].role == "coordinator"
+		if ci != cj {
+			return ci
+		}
+		return lanes[i].source < lanes[j].source
+	})
+	for i, l := range lanes {
+		pid := i + 1
+		name, _ := json.Marshal(map[string]string{"name": laneLabel(l)})
+		merged.TraceEvents = append(merged.TraceEvents,
+			event{Name: "process_name", Ph: "M", Pid: pid, Args: name})
+		offsetUs := 0.0
+		if l.startNs > 0 && t0 > 0 {
+			offsetUs = float64(l.startNs-t0) / 1e3
+		}
+		for _, e := range l.events {
+			e.Pid = pid
+			e.Ts += offsetUs
+			merged.TraceEvents = append(merged.TraceEvents, e)
+		}
+	}
+	return merged, runID
+}
+
+func laneLabel(l *lane) string {
+	if l.role != "" {
+		return fmt.Sprintf("%s (%s)", l.source, l.role)
+	}
+	return l.source
+}
+
+// spanArgs is the portion of a dist shard span's args mmobs matches on.
+type spanArgs struct {
+	SpanID string `json:"span_id"`
+	Worker string `json:"worker"`
+}
+
+// matchSpans pairs coordinator shard spans with worker shard spans by
+// span_id. A coordinator span is only *required* to match when the
+// worker it credits left a trace in the directory — a kill -9 victim
+// never writes one, and its completed-before-the-kill spans would
+// otherwise be false negatives.
+func matchSpans(lanes []*lane) (matched int, unmatched []string) {
+	workerSpans := map[string]bool{} // span_id present in some worker lane
+	present := map[string]bool{}     // worker source names with traces
+	for _, l := range lanes {
+		if l.role == "coordinator" {
+			continue
+		}
+		present[l.source] = true
+		for _, e := range l.events {
+			if a, ok := shardSpan(&e); ok {
+				workerSpans[a.SpanID] = true
+			}
+		}
+	}
+	for _, l := range lanes {
+		if l.role != "coordinator" {
+			continue
+		}
+		for _, e := range l.events {
+			a, ok := shardSpan(&e)
+			if !ok {
+				continue
+			}
+			if workerSpans[a.SpanID] {
+				matched++
+			} else if present[a.Worker] {
+				unmatched = append(unmatched, fmt.Sprintf("%s (completed by %s, whose trace is present)", a.SpanID, a.Worker))
+			}
+		}
+	}
+	return matched, unmatched
+}
+
+// shardSpan decodes a span's args when it is a dist shard span (cat
+// "shard" with a span_id argument).
+func shardSpan(e *event) (spanArgs, bool) {
+	var a spanArgs
+	if e.Cat != "shard" || len(e.Args) == 0 {
+		return a, false
+	}
+	if err := json.Unmarshal(e.Args, &a); err != nil || a.SpanID == "" {
+		return a, false
+	}
+	return a, true
+}
+
+// mergeJournals folds the per-process NDJSON journals into one stream
+// ordered by (time, source, sequence).
+func mergeJournals(paths []string, out string) (int, error) {
+	var files []*os.File
+	defer func() {
+		for _, f := range files {
+			f.Close()
+		}
+	}()
+	var streams []io.Reader
+	for _, p := range paths {
+		if filepath.Base(p) == "merged.journal.ndjson" {
+			continue // a previous mmobs output
+		}
+		f, err := os.Open(p)
+		if err != nil {
+			return 0, err
+		}
+		files = append(files, f)
+		streams = append(streams, f)
+	}
+	lines, err := obslog.MergeLines(streams...)
+	if err != nil {
+		return 0, err
+	}
+	w := io.Writer(os.Stdout)
+	if out != "-" {
+		f, err := os.Create(out)
+		if err != nil {
+			return 0, err
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, ln := range lines {
+		if _, err := w.Write(ln); err != nil { // lines carry their newline
+			return 0, err
+		}
+	}
+	return len(lines), nil
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "mmobs: "+format+"\n", args...)
+	os.Exit(1)
+}

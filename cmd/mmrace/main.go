@@ -72,7 +72,7 @@ func main() {
 		os.Exit(1)
 	}
 	defer tel.Close()
-	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer()}
+	opts := core.Options{Speculative: m.Speculative, Metrics: tel.Enum(), Tracer: tel.Tracer(), Journal: tel.Journal()}
 	if err := cli.ApplyCOW(&opts, *cow); err != nil {
 		fmt.Fprintf(os.Stderr, "mmrace: %v\n", err)
 		os.Exit(2)

@@ -76,7 +76,7 @@ func main() {
 	}
 	defer tel.Close()
 
-	opts := core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer()}
+	opts := core.Options{Metrics: tel.Enum(), Tracer: tel.Tracer(), Journal: tel.Journal()}
 	if err := cli.ApplyCOW(&opts, *cow); err != nil {
 		fmt.Fprintf(os.Stderr, "mmsim: %v\n", err)
 		os.Exit(2)

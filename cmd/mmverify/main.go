@@ -176,7 +176,7 @@ func runDemo(pol order.Policy, rs verify.Rules, timeout time.Duration, opts core
 	var ctx context.Context
 	ctx, stop := cli.Context(timeout)
 	defer stop()
-	opts.Metrics, opts.Tracer = tel.Enum(), tel.Tracer()
+	opts.Metrics, opts.Tracer, opts.Journal = tel.Enum(), tel.Tracer(), tel.Journal()
 	res, err := litmus.RunContext(ctx, tc, m, opts, 1)
 	if err != nil {
 		tel.Close()

@@ -52,6 +52,9 @@ func main() {
 
 	ctx, stop := cli.Context(*timeout)
 	defer stop()
+	// Two workers sharing a -run-dir must not clobber each other's
+	// journal/trace files: name them by worker ID, not tool name.
+	tel.Instance = *id
 	if err := tel.Init("mmworker"); err != nil {
 		fmt.Fprintf(os.Stderr, "%v\n", err)
 		os.Exit(1)
@@ -67,6 +70,10 @@ func main() {
 		ShardDelay:    *shardDelay,
 		Seed:          int64(os.Getpid()),
 		Metrics:       tel.Dist(),
+		Enum:          tel.Enum(),
+		Journal:       tel.Journal(),
+		Tracer:        tel.Tracer(),
+		Snapshot:      tel.Snapshot,
 	})
 	err := w.Run(ctx)
 	switch {

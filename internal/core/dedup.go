@@ -68,7 +68,7 @@ func newKeySet(opts Options) *keySet {
 		k.strs = map[string]struct{}{}
 	} else {
 		if opts.DedupMemBudget > 0 {
-			k.spill = newSpillStore(opts.DedupMemBudget, opts.Metrics)
+			k.spill = newSpillStore(opts.DedupMemBudget, opts.Metrics, opts.Journal)
 		} else {
 			k.hashes = map[uint64]struct{}{}
 		}

@@ -8,6 +8,7 @@ import (
 	"os"
 	"sort"
 
+	"storeatomicity/internal/obslog"
 	"storeatomicity/internal/telemetry"
 )
 
@@ -73,29 +74,39 @@ type spillStore struct {
 	// say *why* the run fell back, not just that it did.
 	degraded []string
 
-	runsC   *telemetry.Counter
-	probesC *telemetry.Counter
+	runsC     *telemetry.Counter
+	compactC  *telemetry.Counter
+	runfilesG *telemetry.Gauge
+	residentG *telemetry.Gauge
+	jl        *obslog.Journal
 
 	sortBuf  []uint64 // flush scratch
 	blockBuf []byte   // cold-probe read buffer (one block)
+
+	probesC *telemetry.Counter
 }
 
 // newSpillStore sizes a store to a byte budget (the hot tier holds
 // budget/spillHotBytesPerKey fingerprints, minimum one).
-func newSpillStore(budget int64, met *telemetry.EnumMetrics) *spillStore {
+func newSpillStore(budget int64, met *telemetry.EnumMetrics, jl *obslog.Journal) *spillStore {
 	hotCap := budget / spillHotBytesPerKey
 	if hotCap < 1 {
 		hotCap = 1
 	}
-	st := &spillStore{hotCap: int(hotCap), hot: make(map[uint64]struct{})}
+	st := &spillStore{hotCap: int(hotCap), hot: make(map[uint64]struct{}), jl: jl}
 	if telemetry.Enabled && met != nil {
 		st.runsC, st.probesC = met.SpillRuns, met.SpillProbes
+		st.compactC = met.SpillCompactions
+		st.runfilesG, st.residentG = met.DedupRunFiles, met.DedupResident
+		met.DedupBudget.Set(budget)
 	}
 	return st
 }
 
 // degrade records one degradation reason per leg (the first failure of
-// each kind is the interesting one; repeats add no information).
+// each kind is the interesting one; repeats add no information), and
+// journals it — a silent fallback that only surfaces in the final
+// report is exactly what the journal exists to prevent.
 func (st *spillStore) degrade(leg string, err error) {
 	for _, d := range st.degraded {
 		if len(d) >= len(leg) && d[:len(leg)] == leg {
@@ -103,6 +114,7 @@ func (st *spillStore) degrade(leg string, err error) {
 		}
 	}
 	st.degraded = append(st.degraded, fmt.Sprintf("%s: %v", leg, err))
+	st.jl.Emit(obslog.SpillDegraded, obslog.Fields{Detail: leg, Err: err.Error()})
 }
 
 // contains reports whether h is in any tier.
@@ -131,6 +143,7 @@ func (st *spillStore) insert(h uint64) bool {
 		return false
 	}
 	st.hot[h] = struct{}{}
+	st.residentG.Set(int64(len(st.hot)) * spillHotBytesPerKey)
 	if len(st.hot) >= st.hotCap && !st.broken {
 		st.flush()
 	}
@@ -195,9 +208,11 @@ func (st *spillStore) flush() {
 	if st.runsC != nil {
 		st.runsC.Inc(0)
 	}
+	st.residentG.Set(0)
 	if len(st.runs) > spillMaxRuns {
 		st.compact()
 	}
+	st.runfilesG.Set(int64(len(st.runs)))
 }
 
 // compact folds every run into one via a loser-tree merge. Failure
@@ -218,6 +233,9 @@ func (st *spillStore) compact() {
 		releaseRun(r)
 	}
 	st.runs = append(st.runs[:0], merged)
+	if st.compactC != nil {
+		st.compactC.Inc(0)
+	}
 }
 
 // release closes and deletes every run file. The store is unusable

@@ -7,6 +7,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"storeatomicity/internal/obslog"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
 	"storeatomicity/internal/telemetry"
@@ -93,6 +94,11 @@ type Options struct {
 	// generation + dataflow per behavior, Load Resolution forking,
 	// checkpoint writes) for Chrome trace_event export.
 	Tracer *telemetry.Tracer
+	// Journal, when non-nil, receives structured incident events:
+	// budget/panic stops, checkpoint writes and failures, and spill-tier
+	// degradations. Incidents are rare by construction, so the journal
+	// never appears on the per-state hot path.
+	Journal *obslog.Journal
 	// SeedSeen pre-loads the dedup seen-set with fingerprints of states
 	// another engine already fully explored (the distributed fingerprint
 	// exchange). Purely a pruning hint: a seeded subtree's behaviors are
@@ -327,6 +333,17 @@ func saveTimed(cfg *CheckpointConfig, c *Checkpoint, opts Options) {
 		}
 		opts.Tracer.Span("checkpoint", "checkpoint", 0, t0)
 	}
+	if err != nil {
+		opts.Journal.Emit(obslog.CheckpointFailed, obslog.Fields{Detail: cfg.Path, Err: err.Error()})
+	} else {
+		var ms int64
+		if !t0.IsZero() {
+			ms = time.Since(t0).Milliseconds()
+		}
+		opts.Journal.Emit(obslog.CheckpointWritten, obslog.Fields{
+			Detail: cfg.Path, States: c.StatesExplored, Count: len(c.Frontier), Ms: ms,
+		})
+	}
 	if err != nil && cfg.OnError != nil {
 		cfg.OnError(err)
 	}
@@ -421,6 +438,9 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		rep.SpillDegraded = res.Stats.SpillDegraded
 		rep.Metrics = met.Snapshot()
 		res.Incomplete = rep
+		opts.Journal.Emit(obslog.EngineIncomplete, obslog.Fields{
+			Reason: string(reason), States: rep.StatesExplored, Count: rep.StatesPending,
+		})
 		return res, &IncompleteError{Report: rep}
 	}
 
@@ -704,6 +724,7 @@ func (s *state) runToQuiescenceTimed() (err error) {
 		if met != nil {
 			met.GenerateNs.Add(s.shard, genNs)
 			met.ExecuteNs.Add(s.shard, exeNs)
+			met.StateNs.Observe(time.Since(start).Nanoseconds())
 		}
 		tr.Span("quiesce", "phase", s.shard, start)
 	}()

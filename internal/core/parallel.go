@@ -41,6 +41,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"storeatomicity/internal/obslog"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
 	"storeatomicity/internal/telemetry"
@@ -324,6 +325,9 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		rep.SpillDegraded = res.Stats.SpillDegraded
 		rep.Metrics = e.met.Snapshot()
 		res.Incomplete = rep
+		opts.Journal.Emit(obslog.EngineIncomplete, obslog.Fields{
+			Reason: string(reason), States: rep.StatesExplored, Count: rep.StatesPending,
+		})
 		return res, &IncompleteError{Report: rep}
 	}
 	if ferr != nil {
@@ -794,7 +798,7 @@ func (e *wsEngine) addSeenKey(h uint64, sig string) bool {
 	defer sh.mu.Unlock()
 	if sh.seen == nil && sh.spill == nil {
 		if b := e.opts.DedupMemBudget; b > 0 {
-			sh.spill = newSpillStore(b/dedupShards, e.met)
+			sh.spill = newSpillStore(b/dedupShards, e.met, e.opts.Journal)
 		} else {
 			sh.seen = map[uint64]struct{}{}
 		}
@@ -838,7 +842,7 @@ func (e *wsEngine) seedSeen(hs []uint64) {
 		sh := &e.seen[h&(dedupShards-1)]
 		if sh.seen == nil && sh.spill == nil {
 			if b := e.opts.DedupMemBudget; b > 0 {
-				sh.spill = newSpillStore(b/dedupShards, e.met)
+				sh.spill = newSpillStore(b/dedupShards, e.met, e.opts.Journal)
 			} else {
 				sh.seen = map[uint64]struct{}{}
 			}

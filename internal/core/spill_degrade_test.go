@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"errors"
 	"os"
@@ -8,7 +9,9 @@ import (
 	"strings"
 	"testing"
 
+	"storeatomicity/internal/obslog"
 	"storeatomicity/internal/order"
+	"storeatomicity/internal/telemetry"
 )
 
 // withRunFiles swaps the spill run-file factory for the duration of a
@@ -37,7 +40,7 @@ func TestSpillFlushFailureDegrades(t *testing.T) {
 	wantErr := errors.New("disk full (injected)")
 	withRunFiles(t, func() (*os.File, error) { return nil, wantErr })
 
-	st := newSpillStore(16*8, nil) // hotCap = 8 keys
+	st := newSpillStore(16*8, nil, nil) // hotCap = 8 keys
 	const n = 200
 	for i := uint64(0); i < n; i++ {
 		if !st.insert(splitmix64(i)) {
@@ -73,7 +76,7 @@ func TestSpillReadFailureDegrades(t *testing.T) {
 			os.O_CREATE|os.O_WRONLY, 0o600)
 	})
 
-	st := newSpillStore(16*8, nil)
+	st := newSpillStore(16*8, nil, nil)
 	const n = 100
 	for i := uint64(0); i < n; i++ {
 		st.insert(splitmix64(i))
@@ -175,5 +178,56 @@ func TestIncompleteCarriesSpillDegradation(t *testing.T) {
 	}
 	if res.Incomplete == nil || !hasDegradation(res.Incomplete.SpillDegraded, "flush") {
 		t.Fatalf("Incomplete.SpillDegraded = %+v, want a flush reason", res.Incomplete)
+	}
+}
+
+// TestSpillTierObservability: the spill store's gauges track the
+// resident hot tier, the run-file count, and compactions, the budget
+// gauge records the configured bound, and a degradation lands in the
+// journal as a spill.degraded event — the "why did memory stop
+// growing?" view ISSUE 8 asked for.
+func TestSpillTierObservability(t *testing.T) {
+	if !telemetry.Enabled || !obslog.Enabled {
+		t.Skip("telemetry compiled out")
+	}
+	met := telemetry.NewEnumMetrics(nil)
+	st := newSpillStore(16*8, met, nil) // hotCap = 8 keys
+	snap := func() telemetry.Snapshot { return met.Snapshot() }
+	if got := snap()["enum_dedup_budget_bytes"]; got != 16*8 {
+		t.Fatalf("enum_dedup_budget_bytes = %d; want %d", got, 16*8)
+	}
+	for i := uint64(0); i < 4; i++ {
+		st.insert(splitmix64(i))
+	}
+	if got := snap()["enum_dedup_resident_bytes"]; got != 4*spillHotBytesPerKey {
+		t.Errorf("enum_dedup_resident_bytes = %d after 4 inserts; want %d", got, 4*spillHotBytesPerKey)
+	}
+	// Push past the hot cap repeatedly: runs accumulate, then compaction
+	// folds them back to one.
+	for i := uint64(4); i < 8*(spillMaxRuns+2); i++ {
+		st.insert(splitmix64(i))
+	}
+	defer st.release()
+	if got := snap()["enum_dedup_runfiles"]; got != int64(len(st.runs)) {
+		t.Errorf("enum_dedup_runfiles = %d; store has %d runs", got, len(st.runs))
+	}
+	if got := snap()["enum_dedup_compactions_total"]; got < 1 {
+		t.Errorf("enum_dedup_compactions_total = %d after %d runs worth of inserts; want >= 1", got, spillMaxRuns+2)
+	}
+
+	// A flush failure journals spill.degraded.
+	var buf bytes.Buffer
+	jl := obslog.New(&buf, "r1", "test")
+	wantErr := errors.New("disk full (injected)")
+	withRunFiles(t, func() (*os.File, error) { return nil, wantErr })
+	st2 := newSpillStore(16*8, met, jl)
+	for i := uint64(0); i < 20; i++ {
+		st2.insert(splitmix64(i))
+	}
+	if !st2.broken {
+		t.Fatal("store did not latch broken")
+	}
+	if !strings.Contains(buf.String(), `"msg":"spill.degraded"`) || !strings.Contains(buf.String(), "disk full") {
+		t.Errorf("journal missing spill.degraded event: %s", buf.String())
 	}
 }

@@ -25,7 +25,7 @@ func splitmix64(x uint64) uint64 {
 // membership across many flushes and compactions, and release must
 // delete its run files.
 func TestSpillStoreRoundtrip(t *testing.T) {
-	st := newSpillStore(16*8, nil) // hotCap = 8 keys → hundreds of flushes
+	st := newSpillStore(16*8, nil, nil) // hotCap = 8 keys → hundreds of flushes
 	const n = 5000
 	for i := uint64(0); i < n; i++ {
 		if !st.insert(splitmix64(i)) {

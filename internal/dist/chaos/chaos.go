@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"storeatomicity/internal/dist"
+	"storeatomicity/internal/obslog"
 )
 
 // Kind classifies one chaos event.
@@ -145,6 +146,11 @@ type Fleet struct {
 	Plan Plan
 	// Respawn is the delay before a dead slot restarts (default 20ms).
 	Respawn time.Duration
+	// Journal, when non-nil, records every injected fault and respawn —
+	// the harness's own lane in the merged fleet timeline, so a test
+	// failure (or a human reading a chaos run) can line injected cause
+	// up against observed effect.
+	Journal *obslog.Journal
 
 	// Spawns counts worker generations started, Kills/Pauses/Partitions
 	// the events applied — test observability.
@@ -206,6 +212,11 @@ func (f *Fleet) Run(ctx context.Context) error {
 				cfg.ID = fmt.Sprintf("%s-w%dg%d", baseID(f.Base.ID), slot, gen)
 				cfg.Seed = int64(slot*1000 + gen)
 				cfg.Client = &http.Client{Transport: f.gates[slot], Timeout: 30 * time.Second}
+				if gen > 1 {
+					f.Journal.Emit(obslog.WorkerRespawned, obslog.Fields{
+						Worker: cfg.ID, Attempt: gen,
+					})
+				}
 				err := dist.NewWorker(cfg).Run(wctx)
 				cancel()
 				if err == nil {
@@ -240,6 +251,11 @@ func (f *Fleet) apply(ev Event) {
 		return
 	}
 	f.Applied = append(f.Applied, fmt.Sprintf("%v@%v w%d", ev.Kind, ev.At.Round(time.Millisecond), ev.Worker))
+	evType := map[Kind]obslog.Type{Kill: obslog.ChaosKill, Pause: obslog.ChaosPause, Partition: obslog.ChaosPartition}[ev.Kind]
+	f.Journal.Emit(evType, obslog.Fields{
+		Worker: fmt.Sprintf("w%d", ev.Worker), Ms: ev.Dur.Milliseconds(),
+		Detail: ev.At.Round(time.Millisecond).String(),
+	})
 	switch ev.Kind {
 	case Kill:
 		if c := f.cancelCurr[ev.Worker]; c != nil {

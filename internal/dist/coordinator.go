@@ -6,10 +6,12 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"time"
 
 	"storeatomicity/internal/core"
+	"storeatomicity/internal/obslog"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
 	"storeatomicity/internal/telemetry"
@@ -43,6 +45,23 @@ type Config struct {
 	// Metrics, when non-nil, receives coordinator counters and the
 	// per-shard latency histogram.
 	Metrics *telemetry.DistMetrics
+	// Journal, when non-nil, receives the coordinator's structured
+	// event stream (shard lifecycle, worker membership, degradations)
+	// and backs the GET /journal endpoint.
+	Journal *obslog.Journal
+	// Tracer, when non-nil, records one lease-to-completion span per
+	// shard attempt on the coordinator's timeline, stamped with the
+	// attempt's span ID so mmobs can match it to the worker's lane.
+	Tracer *telemetry.Tracer
+	// Fleet, when non-nil, aggregates the workers' heartbeat metric
+	// snapshots into the fleet-wide dist_fleet_* series.
+	Fleet *telemetry.FleetMetrics
+	// Registry, when non-nil, is served as Prometheus text on
+	// GET /metrics alongside the protocol (one port for everything).
+	Registry *telemetry.Registry
+	// RunID names the run; journals and traces from every process carry
+	// it. Empty derives one from the clock.
+	RunID string
 
 	// now is the injectable clock for deterministic lease tests.
 	now func() time.Time
@@ -91,9 +110,54 @@ type shard struct {
 	leaseExp time.Time
 	leasedAt time.Time
 	attempts int
+	span     string // current (or final) attempt's span ID
 
 	completed [][]core.PathStep // results, once done
 	explored  int
+	latencyMs int64 // lease-to-completion, once done
+}
+
+func (s shardStatus) String() string {
+	switch s {
+	case shardQueued:
+		return "queued"
+	case shardLeased:
+		return "leased"
+	case shardDone:
+		return "done"
+	}
+	return fmt.Sprintf("shardStatus(%d)", int(s))
+}
+
+// worker liveness, as the sweep classifies it from heartbeat silence.
+type workerState int
+
+const (
+	workerLive   workerState = iota
+	workerMissed             // silent past ~2 heartbeat intervals
+	workerLost               // silent past the 3-heartbeat TTL
+)
+
+func (w workerState) String() string {
+	switch w {
+	case workerLive:
+		return "live"
+	case workerMissed:
+		return "missed"
+	case workerLost:
+		return "lost"
+	}
+	return fmt.Sprintf("workerState(%d)", int(w))
+}
+
+// workerInfo is the coordinator's view of one worker: last contact, the
+// sweep's liveness classification, the latest heartbeat metric
+// snapshot, and completion credit for the ledger.
+type workerInfo struct {
+	lastSeen   time.Time
+	state      workerState
+	snap       telemetry.Snapshot
+	shardsDone int
 }
 
 // Coordinator owns the shard table and the merge. Every mutation runs
@@ -113,8 +177,9 @@ type Coordinator struct {
 	mu     sync.Mutex
 	shards []*shard
 	queue  []int // queued shard ids, FIFO
+	runID  string
 
-	workers     map[string]time.Time // worker → last contact
+	workers     map[string]*workerInfo
 	lastContact time.Time
 
 	baseCompleted [][]core.PathStep // partition-time completions
@@ -151,12 +216,24 @@ func NewCoordinator(ctx context.Context, cfg Config) (*Coordinator, error) {
 		pol:     m.Policy,
 		opts:    opts,
 		met:     cfg.Metrics,
-		workers: map[string]time.Time{},
+		workers: map[string]*workerInfo{},
 		fpSeen:  map[uint64]struct{}{},
 		done:    make(chan struct{}),
 	}
+	c.runID = cfg.RunID
+	if c.runID == "" {
+		// Derived from the (injectable) clock, so fake-clock tests get
+		// a deterministic run identity.
+		c.runID = fmt.Sprintf("r%08x", uint32(cfg.now().UnixNano()))
+	}
+	c.cfg.Journal.SetRun(c.runID)
+	c.cfg.Tracer.SetMeta("run_id", c.runID)
+	c.cfg.Tracer.SetMeta("role", "coordinator")
 	c.prog = t.Build()
 	c.cfg.Job.ProgramHash = core.ProgramHash(c.prog)
+	c.cfg.Journal.Emit(obslog.RunStarted, obslog.Fields{
+		Detail: fmt.Sprintf("%s/%s", cfg.Job.Test, cfg.Job.Model),
+	})
 	part, err := core.PartitionFrontier(ctx, c.prog, c.pol, c.opts, cfg.Shards)
 	if err != nil {
 		return nil, fmt.Errorf("dist: partition: %w", err)
@@ -171,6 +248,9 @@ func NewCoordinator(ctx context.Context, cfg Config) (*Coordinator, error) {
 	if c.met != nil {
 		c.met.ShardsTotal.Set(int64(len(c.shards)))
 	}
+	c.cfg.Journal.Emit(obslog.RunPartitioned, obslog.Fields{
+		Count: len(c.shards), States: part.StatesExplored,
+	})
 	if len(c.shards) == 0 {
 		// The whole tree completed during partitioning; nothing to
 		// distribute.
@@ -178,6 +258,10 @@ func NewCoordinator(ctx context.Context, cfg Config) (*Coordinator, error) {
 	}
 	return c, nil
 }
+
+// RunID returns the run identity stamped on every journal event and
+// trace of this run.
+func (c *Coordinator) RunID() string { return c.runID }
 
 // Start binds the listener, serves the protocol, and runs the lease
 // sweeper until Close.
@@ -197,6 +281,22 @@ func (c *Coordinator) Start() error {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(&st) //nolint:errcheck
 	})
+	mux.HandleFunc(PathJournal, func(w http.ResponseWriter, r *http.Request) {
+		// NDJSON tail of the coordinator's event journal. ?n bounds the
+		// line count (default: the whole retained ring).
+		n := 0
+		if v := r.URL.Query().Get("n"); v != "" {
+			fmt.Sscanf(v, "%d", &n) //nolint:errcheck
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		c.cfg.Journal.WriteTail(w, n) //nolint:errcheck
+	})
+	if c.cfg.Registry != nil {
+		mux.HandleFunc(PathMetrics, func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			c.cfg.Registry.WritePrometheus(w)
+		})
+	}
 	c.srv = &http.Server{Handler: mux}
 	go c.srv.Serve(ln) //nolint:errcheck // Serve returns ErrServerClosed on Close
 
@@ -267,21 +367,45 @@ func handleJSON[Req, Resp any](f func(*Req) (*Resp, error)) http.HandlerFunc {
 	}
 }
 
-// touch records worker contact. Caller holds mu.
-func (c *Coordinator) touch(worker string) {
+// touch records worker contact, reviving a missed/lost classification
+// (a late worker that comes back is live again — its leases may be
+// gone, but its calls are honest). Caller holds mu.
+func (c *Coordinator) touch(worker string) *workerInfo {
 	now := c.cfg.now()
-	c.workers[worker] = now
+	wi := c.workers[worker]
+	if wi == nil {
+		wi = &workerInfo{}
+		c.workers[worker] = wi
+	}
+	wi.lastSeen = now
+	wi.state = workerLive
 	c.lastContact = now
 	if c.met != nil {
 		live := 0
 		ttl := 3 * c.cfg.Heartbeat
-		for _, last := range c.workers {
-			if now.Sub(last) <= ttl {
+		for _, w := range c.workers {
+			if now.Sub(w.lastSeen) <= ttl {
 				live++
 			}
 		}
 		c.met.WorkersLive.Set(int64(live))
 	}
+	return wi
+}
+
+// updateFleetLocked recomputes the dist_fleet_* aggregation from the
+// live workers' latest heartbeat snapshots. Caller holds mu.
+func (c *Coordinator) updateFleetLocked() {
+	if c.cfg.Fleet == nil {
+		return
+	}
+	var snaps []telemetry.Snapshot
+	for _, wi := range c.workers {
+		if wi.state == workerLive && wi.snap != nil {
+			snaps = append(snaps, wi.snap)
+		}
+	}
+	c.cfg.Fleet.Update(snaps)
 }
 
 // checkHash refuses program-hash skew: a worker built from different
@@ -303,11 +427,19 @@ func (c *Coordinator) handleRegister(req *RegisterRequest) (*RegisterResponse, e
 	if err := c.checkHash(req.Worker, req.ProgramHash); err != nil {
 		return nil, err
 	}
+	if _, known := c.workers[req.Worker]; !known {
+		c.cfg.Journal.Emit(obslog.WorkerRegistered, obslog.Fields{Worker: req.Worker})
+	} else {
+		// Same ID re-registering: a chaos respawn (or restart) of a
+		// worker we already met.
+		c.cfg.Journal.Emit(obslog.WorkerRespawned, obslog.Fields{Worker: req.Worker})
+	}
 	c.touch(req.Worker)
 	return &RegisterResponse{
 		Job:             c.cfg.Job,
 		LeaseMillis:     c.cfg.Lease.Milliseconds(),
 		HeartbeatMillis: c.cfg.Heartbeat.Milliseconds(),
+		RunID:           c.runID,
 	}, nil
 }
 
@@ -353,20 +485,37 @@ func (c *Coordinator) handleLease(req *LeaseRequest) (*LeaseResponse, error) {
 	sh.status, sh.owner = shardLeased, req.Worker
 	sh.leasedAt, sh.leaseExp = now, now.Add(c.cfg.Lease)
 	sh.attempts++
+	sh.span = spanID(c.runID, sh.id, sh.attempts)
 	if c.met != nil {
 		c.met.LeasesGranted.Inc(0)
 	}
+	c.cfg.Journal.EmitShard(obslog.ShardLeased, sh.id, obslog.Fields{
+		Worker: req.Worker, Span: sh.span, Attempt: sh.attempts,
+	})
 	resp.Shard = sh.id
 	resp.Path = sh.path
 	resp.LeaseMillis = c.cfg.Lease.Milliseconds()
+	resp.SpanID = sh.span
+	resp.Attempt = sh.attempts
 	return resp, nil
+}
+
+// spanID names one lease attempt of one shard. The coordinator stamps
+// it on the lease, the worker echoes it on every event and trace span
+// of the attempt, and mmobs matches the two lanes by it.
+func spanID(run string, shard, attempt int) string {
+	return fmt.Sprintf("%s/s%d/a%d", run, shard, attempt)
 }
 
 // handleHeartbeat renews every lease the worker holds.
 func (c *Coordinator) handleHeartbeat(req *HeartbeatRequest) (*HeartbeatResponse, error) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	c.touch(req.Worker)
+	wi := c.touch(req.Worker)
+	if req.Metrics != nil {
+		wi.snap = req.Metrics
+		c.updateFleetLocked()
+	}
 	now := c.cfg.now()
 	for _, sh := range c.shards {
 		if sh.status == shardLeased && sh.owner == req.Worker {
@@ -392,7 +541,7 @@ func (c *Coordinator) handleComplete(req *CompleteRequest) (*CompleteResponse, e
 	if err := c.checkHash(req.Worker, req.ProgramHash); err != nil {
 		return nil, err
 	}
-	c.touch(req.Worker)
+	wi := c.touch(req.Worker)
 	if req.Shard < 0 || req.Shard >= len(c.shards) {
 		return nil, fmt.Errorf("dist: complete for unknown shard %d", req.Shard)
 	}
@@ -401,6 +550,9 @@ func (c *Coordinator) handleComplete(req *CompleteRequest) (*CompleteResponse, e
 		if c.met != nil {
 			c.met.Duplicates.Inc(0)
 		}
+		c.cfg.Journal.EmitShard(obslog.ShardDuplicate, sh.id, obslog.Fields{
+			Worker: req.Worker, Span: req.SpanID,
+		})
 		return &CompleteResponse{OK: true, Duplicate: true}, nil
 	}
 	// A late completion from an expired lease may find the shard back
@@ -419,6 +571,18 @@ func (c *Coordinator) handleComplete(req *CompleteRequest) (*CompleteResponse, e
 	sh.completed = req.Completed
 	sh.explored = req.StatesExplored
 	c.explored += req.StatesExplored
+	wi.shardsDone++
+	// The submission may carry an older attempt's span (a slow previous
+	// holder beating the reassignee); credit that attempt, not the
+	// current lease's.
+	if req.SpanID != "" {
+		sh.span = req.SpanID
+	}
+	if !sh.leasedAt.IsZero() {
+		sh.latencyMs = c.cfg.now().Sub(sh.leasedAt).Milliseconds()
+		c.cfg.Tracer.SpanArgs("shard", "shard", sh.id, sh.leasedAt,
+			map[string]any{"span_id": sh.span, "worker": req.Worker})
+	}
 	if c.met != nil {
 		c.met.ShardsDone.Inc(0)
 		if !sh.leasedAt.IsZero() {
@@ -427,11 +591,19 @@ func (c *Coordinator) handleComplete(req *CompleteRequest) (*CompleteResponse, e
 	}
 	if req.Incomplete != nil {
 		rep := req.Incomplete
+		c.cfg.Journal.EmitShard(obslog.ShardIncomplete, sh.id, obslog.Fields{
+			Worker: req.Worker, Span: sh.span, Reason: string(rep.Reason),
+			States: rep.StatesExplored, Count: rep.StatesPending,
+		})
 		c.degrade(rep.Reason, fmt.Errorf("dist: shard %d on worker %s: %w",
 			req.Shard, req.Worker, &core.IncompleteError{Report: rep}))
 		c.extraFrontier = append(c.extraFrontier, rep.Frontier...)
 		c.spillDegraded = append(c.spillDegraded, rep.SpillDegraded...)
 	} else {
+		c.cfg.Journal.EmitShard(obslog.ShardCompleted, sh.id, obslog.Fields{
+			Worker: req.Worker, Span: sh.span, Count: len(req.Completed),
+			States: req.StatesExplored, Ms: sh.latencyMs,
+		})
 		for _, h := range req.Fingerprints {
 			if _, dup := c.fpSeen[h]; dup {
 				continue
@@ -448,6 +620,9 @@ func (c *Coordinator) handleComplete(req *CompleteRequest) (*CompleteResponse, e
 func (c *Coordinator) degrade(reason core.IncompleteReason, cause error) {
 	if c.degradedReason == "" {
 		c.degradedReason, c.degradedCause = reason, cause
+		c.cfg.Journal.Emit(obslog.RunDegraded, obslog.Fields{
+			Reason: string(reason), Err: cause.Error(),
+		})
 	}
 }
 
@@ -467,6 +642,9 @@ func (c *Coordinator) checkFinished() {
 func (c *Coordinator) finish() {
 	if !c.finished {
 		c.finished = true
+		c.cfg.Journal.Emit(obslog.RunFinished, obslog.Fields{
+			States: c.explored, Count: len(c.shards) - c.pendingLocked(),
+		})
 		close(c.done)
 	}
 }
@@ -480,10 +658,42 @@ func (c *Coordinator) sweep(now time.Time) {
 	defer c.mu.Unlock()
 	for _, sh := range c.shards {
 		if sh.status == shardLeased && now.After(sh.leaseExp) {
+			owner := sh.owner
 			sh.status, sh.owner = shardQueued, ""
 			c.queue = append(c.queue, sh.id)
 			if c.met != nil {
 				c.met.LeasesExpired.Inc(0)
+			}
+			c.cfg.Journal.EmitShard(obslog.ShardLeaseExpired, sh.id, obslog.Fields{
+				Worker: owner, Span: sh.span, Attempt: sh.attempts,
+			})
+			c.cfg.Journal.EmitShard(obslog.ShardRequeued, sh.id, obslog.Fields{
+				Attempt: sh.attempts,
+			})
+		}
+	}
+	// Classify worker liveness from heartbeat silence: live → missed past
+	// ~2 intervals, missed → lost past the 3-heartbeat lease TTL. Each
+	// transition journals once; any contact revives the worker (touch).
+	for id, wi := range c.workers {
+		silent := now.Sub(wi.lastSeen)
+		switch wi.state {
+		case workerLive:
+			if silent > 2*c.cfg.Heartbeat {
+				wi.state = workerMissed
+				c.cfg.Journal.Emit(obslog.WorkerHeartbeatMissed, obslog.Fields{
+					Worker: id, Ms: silent.Milliseconds(),
+				})
+			}
+		case workerMissed:
+			if silent > 3*c.cfg.Heartbeat {
+				wi.state = workerLost
+				c.cfg.Journal.Emit(obslog.WorkerLost, obslog.Fields{
+					Worker: id, Ms: silent.Milliseconds(),
+				})
+				// A lost worker's stale snapshot must stop inflating the
+				// fleet aggregation.
+				c.updateFleetLocked()
 			}
 		}
 	}
@@ -505,19 +715,65 @@ func (c *Coordinator) pendingLocked() int {
 	return n
 }
 
-// Status snapshots progress for the /status endpoint and the CLI.
+// Status snapshots progress for the /status endpoint and the CLI:
+// the legacy counters plus the full run ledger — one row per shard,
+// one per worker, the degradation reason, and shard-latency quantiles.
 func (c *Coordinator) Status() StatusResponse {
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	now := c.cfg.now()
 	pending := c.pendingLocked()
-	return StatusResponse{
+	st := StatusResponse{
 		Shards:    len(c.shards),
 		Completed: len(c.shards) - pending,
 		Pending:   pending,
 		Workers:   len(c.workers),
 		Done:      c.finished,
 		Degraded:  c.degradedReason != "",
+		RunID:     c.runID,
 	}
+	if c.degradedReason != "" {
+		st.DegradedReason = string(c.degradedReason)
+	}
+	for _, sh := range c.shards {
+		row := ShardLedger{
+			ID:       sh.id,
+			State:    sh.status.String(),
+			Owner:    sh.owner,
+			Attempts: sh.attempts,
+			Span:     sh.span,
+		}
+		if sh.status == shardDone {
+			row.Behaviors = len(sh.completed)
+			row.Explored = sh.explored
+			row.LatencyMs = sh.latencyMs
+		}
+		st.ShardTable = append(st.ShardTable, row)
+	}
+	for id, wi := range c.workers {
+		row := WorkerLedger{
+			ID:         id,
+			State:      wi.state.String(),
+			LastSeenMs: now.Sub(wi.lastSeen).Milliseconds(),
+			ShardsDone: wi.shardsDone,
+		}
+		if wi.snap != nil {
+			row.Retries = wi.snap["dist_retries_total"]
+			row.Explored = wi.snap["enum_states_explored_total"]
+		}
+		st.WorkerTable = append(st.WorkerTable, row)
+	}
+	sort.Slice(st.WorkerTable, func(i, j int) bool {
+		return st.WorkerTable[i].ID < st.WorkerTable[j].ID
+	})
+	if c.met != nil && c.met.ShardNs != nil && c.met.ShardNs.Count() > 0 {
+		st.ShardLatency = &LatencySummary{
+			P50Ms: c.met.ShardNs.Quantile(0.50) / 1e6,
+			P95Ms: c.met.ShardNs.Quantile(0.95) / 1e6,
+			P99Ms: c.met.ShardNs.Quantile(0.99) / 1e6,
+		}
+	}
+	return st
 }
 
 // Wait blocks until every shard is accounted for (or the run degrades,

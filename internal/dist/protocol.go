@@ -23,15 +23,20 @@ import (
 	"storeatomicity/internal/cli"
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/telemetry"
 )
 
-// Protocol endpoints (all POST, JSON request/response bodies).
+// Protocol endpoints (all POST, JSON request/response bodies, except
+// the GET observability endpoints: /status serves the run ledger,
+// /journal the NDJSON event tail, /metrics the Prometheus exposition).
 const (
 	PathRegister  = "/register"
 	PathLease     = "/lease"
 	PathHeartbeat = "/heartbeat"
 	PathComplete  = "/complete"
 	PathStatus    = "/status"
+	PathJournal   = "/journal"
+	PathMetrics   = "/metrics"
 )
 
 // JobSpec describes the enumeration a coordinator is running, in the
@@ -88,11 +93,16 @@ type RegisterRequest struct {
 	ProgramHash uint64 `json:"program_hash,omitempty"`
 }
 
-// RegisterResponse hands the worker its job and the lease discipline.
+// RegisterResponse hands the worker its job, the lease discipline, and
+// the run ID every journal event and trace must carry.
 type RegisterResponse struct {
 	Job             JobSpec `json:"job"`
 	LeaseMillis     int64   `json:"lease_ms"`
 	HeartbeatMillis int64   `json:"heartbeat_ms"`
+	// RunID is the coordinator's authoritative run identity; workers
+	// stamp it on their journals and traces so N processes' output
+	// merges into one timeline.
+	RunID string `json:"run_id,omitempty"`
 }
 
 // LeaseRequest asks for a shard. FpSeq is the index into the
@@ -125,11 +135,21 @@ type LeaseResponse struct {
 	// starting at the worker's FpSeq; FpNext is the new consumed index.
 	Fingerprints []uint64 `json:"fingerprints,omitempty"`
 	FpNext       int      `json:"fp_next"`
+	// SpanID identifies this lease attempt ("run/s<shard>/a<attempt>").
+	// The worker stamps it on its journal events and trace spans and
+	// echoes it in CompleteRequest, so one attempt correlates across
+	// coordinator and worker output.
+	SpanID string `json:"span_id,omitempty"`
+	// Attempt is the shard's 1-based lease attempt count.
+	Attempt int `json:"attempt,omitempty"`
 }
 
-// HeartbeatRequest keeps a worker's leases alive.
+// HeartbeatRequest keeps a worker's leases alive. Metrics piggybacks a
+// compact snapshot of the worker's counters; the coordinator folds the
+// live fleet's snapshots into the dist_fleet_* aggregation series.
 type HeartbeatRequest struct {
-	Worker string `json:"worker"`
+	Worker  string             `json:"worker"`
+	Metrics telemetry.Snapshot `json:"metrics,omitempty"`
 }
 
 // HeartbeatResponse acknowledges; Done tells the worker the run is over.
@@ -155,6 +175,9 @@ type CompleteRequest struct {
 	// Incomplete reports a shard that stopped early (budget, panic).
 	// The coordinator latches it and degrades the final result.
 	Incomplete *core.Incomplete `json:"incomplete,omitempty"`
+	// SpanID echoes the lease's span ID, closing the cross-process
+	// correlation loop for this attempt.
+	SpanID string `json:"span_id,omitempty"`
 }
 
 // CompleteResponse acknowledges a submission.
@@ -166,7 +189,46 @@ type CompleteResponse struct {
 	Duplicate bool `json:"duplicate,omitempty"`
 }
 
-// StatusResponse is the coordinator's public progress snapshot.
+// ShardLedger is one row of the /status shard table.
+type ShardLedger struct {
+	ID       int    `json:"id"`
+	State    string `json:"state"` // queued | leased | done
+	Owner    string `json:"owner,omitempty"`
+	Attempts int    `json:"attempts"`
+	// Span is the current (or final) attempt's span ID.
+	Span string `json:"span,omitempty"`
+	// Behaviors/Explored/LatencyMs are filled once the shard is done.
+	Behaviors int   `json:"behaviors,omitempty"`
+	Explored  int   `json:"explored,omitempty"`
+	LatencyMs int64 `json:"latency_ms,omitempty"`
+}
+
+// WorkerLedger is one row of the /status worker table.
+type WorkerLedger struct {
+	ID string `json:"id"`
+	// State is live, missed (silent past ~2 heartbeats), or lost
+	// (silent past the worker TTL; its leases will expire).
+	State string `json:"state"`
+	// LastSeenMs is milliseconds since the worker's last contact.
+	LastSeenMs int64 `json:"last_seen_ms"`
+	ShardsDone int   `json:"shards_done"`
+	// Retries/Explored come from the worker's heartbeat snapshot.
+	Retries  int64 `json:"retries,omitempty"`
+	Explored int64 `json:"explored,omitempty"`
+}
+
+// LatencySummary carries estimated shard-latency quantiles.
+type LatencySummary struct {
+	P50Ms float64 `json:"p50_ms"`
+	P95Ms float64 `json:"p95_ms"`
+	P99Ms float64 `json:"p99_ms"`
+}
+
+// StatusResponse is the coordinator's public progress snapshot — since
+// PR 8, a full run ledger: the original counters plus per-shard and
+// per-worker tables, the degradation reason, and shard-latency
+// quantiles. The original fields keep their names so pre-ledger
+// clients still parse it.
 type StatusResponse struct {
 	Shards    int  `json:"shards"`
 	Completed int  `json:"completed"`
@@ -174,4 +236,10 @@ type StatusResponse struct {
 	Workers   int  `json:"workers"`
 	Done      bool `json:"done"`
 	Degraded  bool `json:"degraded"`
+
+	RunID          string          `json:"run_id,omitempty"`
+	DegradedReason string          `json:"degraded_reason,omitempty"`
+	ShardTable     []ShardLedger   `json:"shard_table,omitempty"`
+	WorkerTable    []WorkerLedger  `json:"worker_table,omitempty"`
+	ShardLatency   *LatencySummary `json:"shard_latency,omitempty"`
 }

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"storeatomicity/internal/core"
+	"storeatomicity/internal/obslog"
 	"storeatomicity/internal/order"
 	"storeatomicity/internal/program"
 	"storeatomicity/internal/telemetry"
@@ -40,6 +41,20 @@ type WorkerConfig struct {
 	// Metrics, when non-nil, receives worker-side counters
 	// (dist_retries_total chief among them).
 	Metrics *telemetry.DistMetrics
+	// Enum, when non-nil, receives the per-shard engine counters so the
+	// worker's heartbeat snapshot carries real exploration progress.
+	Enum *telemetry.EnumMetrics
+	// Journal, when non-nil, receives this worker's event stream. Run
+	// adopts the coordinator's run ID on registration so the stream
+	// merges with the fleet's.
+	Journal *obslog.Journal
+	// Tracer, when non-nil, records one span per shard attempt, stamped
+	// with the lease's span ID for cross-process matching.
+	Tracer *telemetry.Tracer
+	// Snapshot, when non-nil, produces the compact metric snapshot each
+	// heartbeat piggybacks (typically Registry.Snapshot of the worker's
+	// registry).
+	Snapshot func() telemetry.Snapshot
 }
 
 func (w WorkerConfig) withDefaults() WorkerConfig {
@@ -110,6 +125,15 @@ func (w *Worker) Run(ctx context.Context) error {
 	}
 	w.prog, w.pol, w.opts = t.Build(), m.Policy, opts
 	w.hash = core.ProgramHash(w.prog)
+	if reg.RunID != "" {
+		// Adopt the coordinator's run identity: from here on this
+		// worker's journal lines and trace carry the fleet's run ID, so
+		// mmobs can merge N processes into one timeline.
+		w.cfg.Journal.SetRun(reg.RunID)
+		w.cfg.Tracer.SetMeta("run_id", reg.RunID)
+	}
+	w.cfg.Tracer.SetMeta("role", "worker")
+	w.cfg.Journal.Emit(obslog.WorkerRegistered, obslog.Fields{Worker: w.cfg.ID})
 	if w.hash != reg.Job.ProgramHash {
 		return fmt.Errorf("dist: worker %s built program hash %#x, job says %#x (version skew)",
 			w.cfg.ID, w.hash, reg.Job.ProgramHash)
@@ -133,11 +157,18 @@ func (w *Worker) Run(ctx context.Context) error {
 			case <-hbCtx.Done():
 				return
 			case <-tick.C:
+				hbReq := HeartbeatRequest{Worker: w.cfg.ID}
+				if w.cfg.Snapshot != nil {
+					// Piggyback the worker's compact metric snapshot; the
+					// coordinator folds the live fleet's snapshots into
+					// the dist_fleet_* aggregation.
+					hbReq.Metrics = w.cfg.Snapshot()
+				}
 				var hb HeartbeatResponse
 				// Heartbeat failures are not fatal by themselves — the
 				// lease loop's calls decide when the coordinator is
 				// truly gone.
-				w.c.call(hbCtx, PathHeartbeat, &HeartbeatRequest{Worker: w.cfg.ID}, &hb) //nolint:errcheck
+				w.c.call(hbCtx, PathHeartbeat, &hbReq, &hb) //nolint:errcheck
 			}
 		}
 	}()
@@ -203,11 +234,23 @@ func (w *Worker) runShard(ctx context.Context, lease *LeaseResponse) error {
 	opts := w.opts
 	opts.SeedSeen = w.seedSeen
 	opts.ExportSeen = -1
+	opts.Metrics = w.cfg.Enum
+	opts.Journal = w.cfg.Journal
+	w.cfg.Journal.EmitShard(obslog.ShardStarted, lease.Shard, obslog.Fields{
+		Worker: w.cfg.ID, Span: lease.SpanID, Attempt: lease.Attempt,
+	})
+	started := time.Now()
 	res, err := core.EnumerateShard(ctx, w.prog, w.pol, opts, lease.Path, w.cfg.EngineWorkers)
-	req := &CompleteRequest{Worker: w.cfg.ID, Shard: lease.Shard, ProgramHash: w.hash}
+	w.cfg.Tracer.SpanArgs(fmt.Sprintf("shard %d", lease.Shard), "shard", lease.Shard, started,
+		map[string]any{"span_id": lease.SpanID, "attempt": lease.Attempt})
+	req := &CompleteRequest{Worker: w.cfg.ID, Shard: lease.Shard, ProgramHash: w.hash, SpanID: lease.SpanID}
 	switch {
 	case err == nil:
 		req.Fingerprints = res.SeenExport
+		w.cfg.Journal.EmitShard(obslog.ShardCompleted, lease.Shard, obslog.Fields{
+			Worker: w.cfg.ID, Span: lease.SpanID, Count: len(res.Executions),
+			States: res.Stats.StatesExplored, Ms: time.Since(started).Milliseconds(),
+		})
 	case errors.Is(err, core.ErrIncomplete):
 		// A canceled shard is abandoned, not submitted: cancellation is
 		// the chaos/kill path, and posting its partial frontier would
@@ -219,6 +262,10 @@ func (w *Worker) runShard(ctx context.Context, lease *LeaseResponse) error {
 			return cerr
 		}
 		req.Incomplete = res.Incomplete
+		w.cfg.Journal.EmitShard(obslog.ShardIncomplete, lease.Shard, obslog.Fields{
+			Worker: w.cfg.ID, Span: lease.SpanID, Reason: string(res.Incomplete.Reason),
+			States: res.Stats.StatesExplored,
+		})
 	default:
 		return fmt.Errorf("dist: shard %d: %w", lease.Shard, err)
 	}

@@ -1,0 +1,7 @@
+//go:build notelemetry
+
+package obslog
+
+// Enabled is the compile-time off switch: with -tags notelemetry every
+// journal constructor returns nil and every emit is dead code.
+const Enabled = false

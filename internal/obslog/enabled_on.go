@@ -1,0 +1,9 @@
+//go:build !notelemetry
+
+package obslog
+
+// Enabled gates journal emission at compile time. In default builds it
+// is the constant true; `-tags notelemetry` swaps in the constant false
+// and every Emit constant-folds to an empty function (the same pattern
+// as internal/telemetry).
+const Enabled = true

@@ -12,6 +12,9 @@ var (
 	latencyNsBounds  = []int64{1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
 	frontierLogScale = []int64{1, 4, 16, 64, 256, 1024, 4096, 16384}
 	worklistBounds   = []int64{1, 2, 4, 8, 16, 32, 64, 128, 256}
+	// Per-state quiescence runs sub-µs to ms, an order finer than the
+	// checkpoint/shard latency scale.
+	stateNsBounds = []int64{1e2, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8}
 )
 
 // EnumMetrics instruments the enumeration engines (sequential and
@@ -50,9 +53,15 @@ type EnumMetrics struct {
 
 	// Tiered-dedup spill instrumentation: sorted fingerprint runs
 	// flushed to disk by a budgeted seen-set, and cold lookups that had
-	// to probe them.
-	SpillRuns   *Counter
-	SpillProbes *Counter
+	// to probe them. The gauges expose the tier's live shape — run
+	// files on disk, merge compactions, and resident-vs-budget bytes —
+	// so a spilling run can be watched, not just post-mortemed.
+	SpillRuns        *Counter
+	SpillProbes      *Counter
+	SpillCompactions *Counter
+	DedupRunFiles    *Gauge
+	DedupResident    *Gauge
+	DedupBudget      *Gauge
 
 	// Phase-time counters map to Section 4 of the paper: graph
 	// generation (step 1), dataflow execution + atomicity closure
@@ -66,6 +75,10 @@ type EnumMetrics struct {
 	Candidates   *Histogram
 	FrontierHist *Histogram
 	CheckpointNs *Histogram
+	// StateNs is the per-state settle latency (one work item's
+	// quiescence pass) — its exported quantiles are the engine's tail
+	// latency in BENCH_enum.json.
+	StateNs *Histogram
 }
 
 // NewEnumMetrics registers the enumeration metric set on reg (a private
@@ -97,6 +110,10 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	m.WorklistLen = reg.NewHistogramMetric("closure_worklist_len", "incremental-closure worklist size per pass", worklistBounds)
 	m.SpillRuns = reg.NewCounter("enum_dedup_spill_runs_total", "sorted fingerprint runs flushed to disk by a budgeted seen-set")
 	m.SpillProbes = reg.NewCounter("enum_dedup_spill_probes_total", "dedup lookups that missed the hot tier and probed on-disk runs")
+	m.SpillCompactions = reg.NewCounter("enum_dedup_compactions_total", "loser-tree merges of on-disk runs triggered by the run-count cap")
+	m.DedupRunFiles = reg.NewGauge("enum_dedup_runfiles", "on-disk sorted runs currently live in the spill tier")
+	m.DedupResident = reg.NewGauge("enum_dedup_resident_bytes", "estimated bytes resident in the hot dedup tier")
+	m.DedupBudget = reg.NewGauge("enum_dedup_budget_bytes", "configured dedup memory budget (0 = unbudgeted)")
 	m.GenerateNs = reg.NewCounter("enum_phase_generate_ns_total", "time in graph generation (Section 4 step 1)")
 	m.ExecuteNs = reg.NewCounter("enum_phase_execute_ns_total", "time in dataflow execution + closure (step 2)")
 	m.ResolveNs = reg.NewCounter("enum_phase_resolve_ns_total", "time in Load Resolution forking (step 3)")
@@ -105,6 +122,7 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	m.Candidates = reg.NewHistogramMetric("enum_candidates", "candidates(L) set-size distribution", candidateBounds)
 	m.FrontierHist = reg.NewHistogramMetric("enum_frontier", "frontier depth sampled per state", frontierLogScale)
 	m.CheckpointNs = reg.NewHistogramMetric("enum_checkpoint_ns", "checkpoint write latency", latencyNsBounds)
+	m.StateNs = reg.NewHistogramMetric("enum_state_ns", "per-state quiescence latency", stateNsBounds)
 	return m
 }
 
@@ -247,4 +265,68 @@ func (m *DistMetrics) Snapshot() Snapshot {
 		return nil
 	}
 	return m.reg.Snapshot()
+}
+
+// fleetKeys maps each dist_fleet_* gauge to the worker-snapshot key it
+// sums. The set is the live-view core of the engine counters — enough
+// to spot a hot shard or a stalled worker without scraping N processes.
+var fleetKeys = []struct{ gauge, snap string }{
+	{"dist_fleet_states_explored", "enum_states_explored_total"},
+	{"dist_fleet_forks", "enum_forks_total"},
+	{"dist_fleet_behaviors", "enum_behaviors_total"},
+	{"dist_fleet_dedup_hits", "enum_dedup_hits_total"},
+	{"dist_fleet_spill_runs", "enum_dedup_spill_runs_total"},
+	{"dist_fleet_retries", "dist_retries_total"},
+}
+
+// FleetMetrics is the coordinator-side aggregation of worker metric
+// snapshots piggybacked on heartbeats: each series is the sum over the
+// live fleet, re-set on every aggregation pass (gauges, not counters —
+// a lost worker's contribution ages out with it). All methods nil-safe.
+type FleetMetrics struct {
+	reg    *Registry
+	gauges []*Gauge
+	// Workers tracks how many snapshots fed the last aggregation.
+	Workers *Gauge
+}
+
+// NewFleetMetrics registers the dist_fleet_* series on reg (a private
+// registry when reg is nil). Returns nil when telemetry is compiled out.
+func NewFleetMetrics(reg *Registry) *FleetMetrics {
+	if !Enabled {
+		return nil
+	}
+	if reg == nil {
+		reg = NewRegistry()
+	}
+	m := &FleetMetrics{reg: reg}
+	for _, k := range fleetKeys {
+		m.gauges = append(m.gauges, reg.NewGauge(k.gauge, "fleet-wide sum of "+k.snap+" over live workers' heartbeat snapshots"))
+	}
+	m.Workers = reg.NewGauge("dist_fleet_snapshot_workers", "live workers whose snapshots fed the last aggregation")
+	return m
+}
+
+// Update recomputes every fleet series from the live workers'
+// snapshots. Nil-safe; nil or empty snapshots zero the series.
+func (m *FleetMetrics) Update(snaps []Snapshot) {
+	if !Enabled || m == nil {
+		return
+	}
+	for i, k := range fleetKeys {
+		var sum int64
+		for _, s := range snaps {
+			sum += s[k.snap]
+		}
+		m.gauges[i].Set(sum)
+	}
+	m.Workers.Set(int64(len(snaps)))
+}
+
+// Registry returns the registry backing the bundle (nil-safe).
+func (m *FleetMetrics) Registry() *Registry {
+	if !Enabled || m == nil {
+		return nil
+	}
+	return m.reg
 }

@@ -107,8 +107,22 @@ func (p *Progress) eta(explored int64, rate float64, now time.Time) (string, str
 	return "", ""
 }
 
+// statusSink is a writer that owns the in-place status line itself —
+// obslog.Console implements it. Detected structurally so telemetry
+// never imports obslog: when the progress writer is a Console, redraws
+// route through it and the live line can no longer tear a structured
+// event mid-write (or vice versa).
+type statusSink interface {
+	SetStatus(string)
+	ClearStatus()
+}
+
 // print redraws the line in place, padding over the previous render.
 func (p *Progress) print(line string) {
+	if sink, ok := p.w.(statusSink); ok {
+		sink.SetStatus(line)
+		return
+	}
 	pad := ""
 	if n := p.lastLen - len(line); n > 0 {
 		pad = strings.Repeat(" ", n)
@@ -125,7 +139,9 @@ func (p *Progress) Stop() {
 	close(p.stop)
 	<-p.done
 	p.mu.Lock()
-	if p.lastLen > 0 {
+	if sink, ok := p.w.(statusSink); ok {
+		sink.ClearStatus()
+	} else if p.lastLen > 0 {
 		fmt.Fprintf(p.w, "\r%s\r", strings.Repeat(" ", p.lastLen))
 	}
 	p.mu.Unlock()

@@ -123,6 +123,52 @@ func (h *Histogram) Observe(v int64) {
 	h.total.Add(1)
 }
 
+// quantiles are the summary points exported from every histogram
+// (snapshot keys and Prometheus series get the matching _p50/_p95/_p99
+// suffixes).
+var quantiles = []struct {
+	q      float64
+	suffix string
+}{
+	{0.50, "_p50"},
+	{0.95, "_p95"},
+	{0.99, "_p99"},
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) of the observed
+// distribution by linear interpolation inside the bucket holding the
+// rank, the standard fixed-bucket estimator. Samples landing in the
+// +Inf bucket are reported as the largest finite bound — a floor, not
+// an estimate, but an honest one. Nil-safe (returns 0, as does an empty
+// histogram).
+func (h *Histogram) Quantile(q float64) float64 {
+	if !Enabled || h == nil {
+		return 0
+	}
+	total := h.total.Load()
+	if total == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	rank := q * float64(total)
+	var cum int64
+	for i := range h.counts {
+		c := h.counts[i].Load()
+		if c > 0 && float64(cum)+float64(c) >= rank {
+			if i >= len(h.bounds) {
+				return float64(h.bounds[len(h.bounds)-1])
+			}
+			lo := float64(0)
+			if i > 0 {
+				lo = float64(h.bounds[i-1])
+			}
+			hi := float64(h.bounds[i])
+			return lo + (hi-lo)*(rank-float64(cum))/float64(c)
+		}
+		cum += c
+	}
+	return float64(h.bounds[len(h.bounds)-1])
+}
+
 // Count returns the number of samples. Nil-safe.
 func (h *Histogram) Count() int64 {
 	if !Enabled || h == nil {
@@ -244,6 +290,11 @@ func (r *Registry) Snapshot() Snapshot {
 			}
 			s[e.name+"_sum"] = e.h.Sum()
 			s[e.name+"_count"] = e.h.Count()
+			if e.h.Count() > 0 {
+				for _, p := range quantiles {
+					s[e.name+p.suffix] = int64(e.h.Quantile(p.q))
+				}
+			}
 		}
 	}
 	return s
@@ -278,6 +329,13 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 				}
 			}
 			fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", e.name, e.h.Sum(), e.name, e.h.Count())
+			// Estimated tail quantiles ride along as separate gauge
+			// families (a histogram family must not mix metric types,
+			// so the summary points get their own _pNN names).
+			for _, p := range quantiles {
+				fmt.Fprintf(w, "# HELP %s%s estimated p%d of %s\n# TYPE %s%s gauge\n%s%s %g\n",
+					e.name, p.suffix, int(p.q*100), e.name, e.name, p.suffix, e.name, p.suffix, e.h.Quantile(p.q))
+			}
 		}
 	}
 }

@@ -106,6 +106,9 @@ func TestRegistrySnapshot(t *testing.T) {
 	want := Snapshot{
 		"c_total": 5, "g": -3,
 		"h_le_2": 1, "h_le_8": 2, "h_sum": 105, "h_count": 3,
+		// Summary points: p50 interpolates inside (2,8], the tail
+		// quantiles land in +Inf and floor at the largest bound.
+		"h_p50": 5, "h_p95": 8, "h_p99": 8,
 	}
 	for k, v := range want {
 		if s[k] != v {

@@ -23,6 +23,7 @@ type Tracer struct {
 	start   time.Time
 	events  []chromeEvent
 	dropped int
+	meta    map[string]any
 }
 
 // maxEvents caps the in-memory event buffer (~64 bytes/event).
@@ -71,6 +72,14 @@ func (t *Tracer) Now() time.Time {
 // spans ("phase", "checkpoint", "enumeration"); tid is the worker lane.
 // A zero start (from a nil tracer's Now) records nothing.
 func (t *Tracer) Span(name, cat string, tid int, start time.Time) {
+	t.SpanArgs(name, cat, tid, start, nil)
+}
+
+// SpanArgs is Span with an args payload — the dist layer stamps shard
+// spans with their cross-process span ID here, which is what lets
+// mmobs match a coordinator lease span to the worker execution it
+// granted. Nil-safe.
+func (t *Tracer) SpanArgs(name, cat string, tid int, start time.Time, args map[string]any) {
 	if !Enabled || t == nil || start.IsZero() {
 		return
 	}
@@ -80,7 +89,22 @@ func (t *Tracer) Span(name, cat string, tid int, start time.Time) {
 		Ts:  float64(start.Sub(t.start).Nanoseconds()) / 1e3,
 		Dur: float64(end.Sub(start).Nanoseconds()) / 1e3,
 		Pid: 1, Tid: tid,
+		Args: args,
 	})
+}
+
+// SetMeta records a key in the trace's metadata object (run ID, source
+// name, role). Nil-safe.
+func (t *Tracer) SetMeta(key string, v any) {
+	if !Enabled || t == nil {
+		return
+	}
+	t.mu.Lock()
+	if t.meta == nil {
+		t.meta = map[string]any{}
+	}
+	t.meta[key] = v
+	t.mu.Unlock()
 }
 
 // Instant records a zero-duration marker event with optional args.
@@ -123,8 +147,17 @@ func (t *Tracer) WriteChrome(w io.Writer) error {
 	if Enabled && t != nil {
 		t.mu.Lock()
 		doc.TraceEvents = append(doc.TraceEvents, t.events...)
+		doc.Metadata = map[string]any{
+			// Event timestamps are relative to the tracer's start; the
+			// wall-clock anchor lets mmobs align traces from separate
+			// processes onto one timeline.
+			"start_unix_ns": t.start.UnixNano(),
+		}
+		for k, v := range t.meta {
+			doc.Metadata[k] = v
+		}
 		if t.dropped > 0 {
-			doc.Metadata = map[string]any{"dropped_events": t.dropped}
+			doc.Metadata["dropped_events"] = t.dropped
 		}
 		t.mu.Unlock()
 	}
