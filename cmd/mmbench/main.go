@@ -94,8 +94,12 @@ type snapshot struct {
 	Cow        string   `json:"cow,omitempty"`
 	DedupMem   string   `json:"dedup_mem,omitempty"`
 	Note       string   `json:"note,omitempty"`
-	Enum       []result `json:"enum"`
-	Parallel   []result `json:"parallel"`
+	// SweepTruncated records that the parallel sweep skipped widths
+	// beyond GOMAXPROCS — those entries would measure scheduler
+	// overhead, not speedup, so they are omitted rather than mislabeled.
+	SweepTruncated bool     `json:"sweep_truncated,omitempty"`
+	Enum           []result `json:"enum"`
+	Parallel       []result `json:"parallel"`
 }
 
 // enumSuite mirrors BenchmarkEnum in bench_test.go: the (experiment,
@@ -197,12 +201,14 @@ func main() {
 		Cow:        *cow,
 		DedupMem:   *dedupMem,
 	}
-	// The 1-CPU caveat is about what the scheduler can actually use, not
-	// what the hardware reports: only flag a sweep that asks for more
-	// parallelism than GOMAXPROCS provides.
+	// The cap is about what the scheduler can actually use, not what the
+	// hardware reports: sweep entries wider than GOMAXPROCS would time
+	// scheduler overhead, not speedup, so they are skipped and the
+	// snapshot says so instead of carrying mislabeled rows.
 	if procs := runtime.GOMAXPROCS(0); procs < maxWorkers {
+		snap.SweepTruncated = true
 		snap.Note = fmt.Sprintf(
-			"GOMAXPROCS=%d < max sweep width %d; the wider parallel entries measure scheduler overhead, not speedup",
+			"GOMAXPROCS=%d < max sweep width %d; the wider parallel entries are skipped",
 			procs, maxWorkers)
 	}
 
@@ -264,6 +270,11 @@ func main() {
 	tc, _ := litmus.ByName("Figure10")
 	m, _ := litmus.ModelByName("Relaxed")
 	for _, w := range sweep {
+		if w > runtime.GOMAXPROCS(0) {
+			fmt.Fprintf(os.Stderr, "Figure10_Relaxed_w%-4d   skipped (width %d > GOMAXPROCS %d)\n",
+				w, w, runtime.GOMAXPROCS(0))
+			continue
+		}
 		var states int
 		runtime.GC()
 		r := testing.Benchmark(func(b *testing.B) {

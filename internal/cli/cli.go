@@ -120,19 +120,16 @@ func ApplyCOW(opts *core.Options, spec string) error {
 	return nil
 }
 
-// ApplyDedupMem parses the -dedup-mem flag into opts: a byte budget for
-// the engines' seen-sets, with optional k/m/g (KiB/MiB/GiB) suffix.
-// "", "0", and "off" keep the classic unbounded in-memory dedup; a
-// positive budget switches to the tiered spill-to-disk store, which
-// produces a bit-identical behavior set while keeping resident dedup
-// memory bounded — the knob for searches bigger than RAM.
-func ApplyDedupMem(opts *core.Options, spec string) error {
+// ParseBytes parses the byte-budget flag grammar shared by -dedup-mem
+// and -cache-mem: a positive byte count with optional k/m/g (KiB/MiB/
+// GiB) suffix, or "", "0", "off" for zero (the caller's "unbounded").
+// flagName only labels the error.
+func ParseBytes(flagName, spec string) (int64, error) {
 	orig := spec
 	spec = strings.TrimSpace(strings.ToLower(spec))
 	switch spec {
 	case "", "0", "off":
-		opts.DedupMemBudget = 0
-		return nil
+		return 0, nil
 	}
 	mult := int64(1)
 	switch spec[len(spec)-1] {
@@ -145,9 +142,23 @@ func ApplyDedupMem(opts *core.Options, spec string) error {
 	}
 	n, err := strconv.ParseInt(strings.TrimSpace(spec), 10, 64)
 	if err != nil || n <= 0 {
-		return fmt.Errorf("bad -dedup-mem %q (want a positive byte count with optional k/m/g suffix, or off)", orig)
+		return 0, fmt.Errorf("bad %s %q (want a positive byte count with optional k/m/g suffix, or off)", flagName, orig)
 	}
-	opts.DedupMemBudget = n * mult
+	return n * mult, nil
+}
+
+// ApplyDedupMem parses the -dedup-mem flag into opts: a byte budget for
+// the engines' seen-sets, in the ParseBytes grammar. "", "0", and "off"
+// keep the classic unbounded in-memory dedup; a positive budget
+// switches to the tiered spill-to-disk store, which produces a
+// bit-identical behavior set while keeping resident dedup memory
+// bounded — the knob for searches bigger than RAM.
+func ApplyDedupMem(opts *core.Options, spec string) error {
+	n, err := ParseBytes("-dedup-mem", spec)
+	if err != nil {
+		return err
+	}
+	opts.DedupMemBudget = n
 	return nil
 }
 

@@ -1,0 +1,137 @@
+package cli
+
+import (
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"testing"
+)
+
+// The flag audit: every binary must register the shared flags with the
+// canonical name, default, and helper, and must not grow (or lose)
+// engine flags without this matrix saying so. The check reads the
+// cmd/*/main.go sources, because what we are pinning is the
+// registration itself — a drifted default or a hand-rolled parser would
+// still pass any behavioral test that only exercises the happy path.
+
+// engineFlags says which of the three engine knobs each binary exposes.
+// Binaries that enumerate locally take all three; binaries that only
+// replay or embed a single enumeration (mmlitmus, mmrace, mmsim,
+// mmverify) have no pruning A/B story but still honor -cow/-dedup-mem;
+// mmworker inherits its options from the coordinator's job and mmobs
+// never enumerates at all.
+var engineFlags = map[string]struct{ prune, cow, dedupMem bool }{
+	"mmbench":  {true, true, true},
+	"mmcoord":  {true, true, true},
+	"mmenum":   {true, true, true},
+	"mmfuzz":   {true, true, true},
+	"mmload":   {true, true, true},
+	"mmserve":  {true, true, true},
+	"mmlitmus": {false, true, true},
+	"mmrace":   {false, true, true},
+	"mmsim":    {false, true, true},
+	"mmverify": {false, true, true},
+	"mmworker": {false, false, false},
+	"mmobs":    {false, false, false},
+}
+
+// noTelemetry lists binaries allowed to skip tel.RegisterFlags (and so
+// -metrics-addr): only mmobs, which merges other runs' telemetry
+// instead of emitting its own.
+var noTelemetry = map[string]bool{"mmobs": true}
+
+// The canonical registrations. Pinning the default in the pattern means
+// a binary cannot quietly ship -prune defaulting to "off" or a -cow
+// that defaults to deep copies.
+var (
+	pruneReg    = regexp.MustCompile(`flag\.String\("prune",\s*cli\.PruneAll,`)
+	cowReg      = regexp.MustCompile(`flag\.String\("cow",\s*"on",`)
+	dedupMemReg = regexp.MustCompile(`flag\.String\("dedup-mem",\s*"off",`)
+	telReg      = regexp.MustCompile(`\btel\.RegisterFlags\(\)`)
+
+	// A flag is "applied" when it reaches the shared helper — either
+	// directly, or (mmcoord) forwarded verbatim in a dist Job, whose
+	// receiver runs the same cli.Apply* on the worker side.
+	pruneApply    = regexp.MustCompile(`cli\.ApplyPrune\(|Prune:\s*\*prune\b`)
+	cowApply      = regexp.MustCompile(`cli\.ApplyCOW\(|COW:\s*\*cow\b`)
+	dedupMemApply = regexp.MustCompile(`cli\.ApplyDedupMem\(|DedupMem:\s*\*dedupMem\b`)
+
+	anyPrune    = regexp.MustCompile(`flag\.\w+\("prune"`)
+	anyCow      = regexp.MustCompile(`flag\.\w+\("cow"`)
+	anyDedupMem = regexp.MustCompile(`flag\.\w+\("dedup-mem"`)
+)
+
+func TestFlagMatrix(t *testing.T) {
+	cmdDir := filepath.Join("..", "..", "cmd")
+	entries, err := os.ReadDir(cmdDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var tools []string
+	for _, e := range entries {
+		if e.IsDir() {
+			tools = append(tools, e.Name())
+		}
+	}
+	sort.Strings(tools)
+
+	// The matrix and the cmd tree must agree exactly: a new binary must
+	// be added to the matrix (deciding its engine flags deliberately),
+	// and a deleted one must be removed.
+	for _, tool := range tools {
+		if _, ok := engineFlags[tool]; !ok {
+			t.Errorf("cmd/%s is not in the flag matrix — add it and decide which engine flags it takes", tool)
+		}
+	}
+	for tool := range engineFlags {
+		found := false
+		for _, d := range tools {
+			if d == tool {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("flag matrix lists %s but cmd/%s does not exist", tool, tool)
+		}
+	}
+
+	for _, tool := range tools {
+		want, ok := engineFlags[tool]
+		if !ok {
+			continue
+		}
+		src, err := os.ReadFile(filepath.Join(cmdDir, tool, "main.go"))
+		if err != nil {
+			t.Errorf("%s: %v", tool, err)
+			continue
+		}
+		check := func(name string, want bool, reg, apply, any *regexp.Regexp) {
+			has := any.Match(src)
+			if has != want {
+				t.Errorf("%s: -%s registered=%v, matrix says %v", tool, name, has, want)
+				return
+			}
+			if !want {
+				return
+			}
+			if !reg.Match(src) {
+				t.Errorf("%s: -%s is registered but not with the canonical name/default", tool, name)
+			}
+			if !apply.Match(src) {
+				t.Errorf("%s: -%s is registered but never fed through the shared cli.Apply helper", tool, name)
+			}
+		}
+		check("prune", want.prune, pruneReg, pruneApply, anyPrune)
+		check("cow", want.cow, cowReg, cowApply, anyCow)
+		check("dedup-mem", want.dedupMem, dedupMemReg, dedupMemApply, anyDedupMem)
+
+		if telReg.Match(src) == noTelemetry[tool] {
+			if noTelemetry[tool] {
+				t.Errorf("%s: now calls tel.RegisterFlags() — drop it from the noTelemetry exemption", tool)
+			} else {
+				t.Errorf("%s: missing tel.RegisterFlags() — every emitting binary exposes -metrics-addr and friends", tool)
+			}
+		}
+	}
+}

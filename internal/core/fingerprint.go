@@ -1,0 +1,54 @@
+package core
+
+import (
+	"storeatomicity/internal/program"
+)
+
+// The canonical request fingerprint. A memory model in this codebase is
+// a pure function: (model, program, enumeration options that cut the
+// behavior set) fully determine the set of final executions, so one
+// 64-bit FNV-1a fingerprint over exactly those inputs is a sound memo
+// key for any layer that caches or cross-checks enumeration results.
+// Two layers consume it today: the distributed protocol's version-skew
+// guard (internal/dist refuses a worker whose fingerprint disagrees
+// with the job's) and the enumeration service's memo cache
+// (internal/serve keys cached behavior sets by it).
+//
+// What is IN the key: the model name, the program listing, and the
+// options that change which behaviors come back — Speculative (the
+// model's aliasing discipline), MaxNodes, and MaxBehaviors (budget
+// cut-offs truncate the set deterministically for the sequential
+// engine). Options are folded through withDefaults first, so an unset
+// budget and the explicit default hash identically.
+//
+// What is OUT: everything equivalence-preserving. Pruning layers, COW,
+// dedup spill budgets, worker counts, telemetry, and checkpointing all
+// yield bit-identical behavior sets (the property tests and chaos
+// harness enforce exactly that), so none of them may split the key —
+// a cache keyed on them would miss on requests whose answers are
+// provably equal.
+
+// ProgramFingerprint returns the canonical (model, program, options)
+// request fingerprint.
+func ProgramFingerprint(model string, p *program.Program, opts Options) uint64 {
+	opts = opts.withDefaults()
+	h := uint64(fnvOffset64)
+	for _, b := range []byte(model) {
+		h = fnvMix(h, uint64(b))
+	}
+	// A zero byte separates the fields: it cannot appear in the model
+	// name or listing, so "SC"+"3W..." and "SC3"+"W..." cannot collide.
+	h = fnvMix(h, 0)
+	for _, b := range []byte(p.String()) {
+		h = fnvMix(h, uint64(b))
+	}
+	h = fnvMix(h, 0)
+	var spec uint64
+	if opts.Speculative {
+		spec = 1
+	}
+	h = fnvMix(h, spec)
+	h = fnvMix(h, uint64(opts.MaxNodes))
+	h = fnvMix(h, uint64(opts.MaxBehaviors))
+	return h
+}

@@ -1,0 +1,83 @@
+package core
+
+import (
+	"testing"
+
+	"storeatomicity/internal/program"
+)
+
+// sbProgram builds the classic store-buffering shape used by the
+// fingerprint tests; two invocations must produce identical listings.
+func fpSBProgram() *program.Program {
+	b := program.NewBuilder()
+	ta := b.Thread("A")
+	ta.Store(program.X, 1)
+	ta.Load(1, program.Y)
+	tb := b.Thread("B")
+	tb.Store(program.Y, 1)
+	tb.Load(2, program.X)
+	return b.Build()
+}
+
+func TestProgramFingerprintDeterministic(t *testing.T) {
+	a := ProgramFingerprint("TSO", fpSBProgram(), Options{})
+	b := ProgramFingerprint("TSO", fpSBProgram(), Options{})
+	if a != b {
+		t.Fatalf("fingerprints of identical requests differ: %#x vs %#x", a, b)
+	}
+}
+
+// TestProgramFingerprintSplitsOnBehaviorSetInputs: anything that can
+// change the enumerated behavior set must change the key — the model,
+// the program, speculation, and the budget cut-offs.
+func TestProgramFingerprintSplitsOnBehaviorSetInputs(t *testing.T) {
+	base := ProgramFingerprint("TSO", fpSBProgram(), Options{})
+	cases := []struct {
+		name  string
+		model string
+		prog  *program.Program
+		opts  Options
+	}{
+		{"model", "SC", fpSBProgram(), Options{}},
+		{"speculative", "TSO", fpSBProgram(), Options{Speculative: true}},
+		{"max-behaviors", "TSO", fpSBProgram(), Options{MaxBehaviors: 3}},
+		{"max-nodes", "TSO", fpSBProgram(), Options{MaxNodes: 64}},
+		{"program", "TSO", func() *program.Program {
+			b := program.NewBuilder()
+			ta := b.Thread("A")
+			ta.Store(program.X, 2)
+			ta.Load(1, program.Y)
+			tb := b.Thread("B")
+			tb.Store(program.Y, 1)
+			tb.Load(2, program.X)
+			return b.Build()
+		}(), Options{}},
+	}
+	for _, c := range cases {
+		if got := ProgramFingerprint(c.model, c.prog, c.opts); got == base {
+			t.Errorf("%s: fingerprint did not change (%#x)", c.name, got)
+		}
+	}
+}
+
+// TestProgramFingerprintIgnoresEquivalencePreservingOptions: options
+// proven not to change the behavior set (pruning, COW, dedup budgets,
+// exports) must not split the key, and an unset budget must hash like
+// the explicit default.
+func TestProgramFingerprintIgnoresEquivalencePreservingOptions(t *testing.T) {
+	base := ProgramFingerprint("Relaxed", fpSBProgram(), Options{})
+	same := []Options{
+		{MaxBehaviors: 1 << 20, MaxNodes: 192}, // the withDefaults values, explicit
+		{DisableDedup: true},
+		{DisableIncrementalClosure: true, DisablePrefixPrune: true},
+		{Symmetry: true},
+		{DisableCOW: true},
+		{DedupMemBudget: 4096},
+		{ExportSeen: -1},
+	}
+	for i, opts := range same {
+		if got := ProgramFingerprint("Relaxed", fpSBProgram(), opts); got != base {
+			t.Errorf("case %d: equivalence-preserving option split the key: %#x vs %#x", i, got, base)
+		}
+	}
+}

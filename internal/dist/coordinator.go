@@ -230,7 +230,7 @@ func NewCoordinator(ctx context.Context, cfg Config) (*Coordinator, error) {
 	c.cfg.Tracer.SetMeta("run_id", c.runID)
 	c.cfg.Tracer.SetMeta("role", "coordinator")
 	c.prog = t.Build()
-	c.cfg.Job.ProgramHash = core.ProgramHash(c.prog)
+	c.cfg.Job.ProgramHash = core.ProgramFingerprint(cfg.Job.Model, c.prog, c.opts)
 	c.cfg.Journal.Emit(obslog.RunStarted, obslog.Fields{
 		Detail: fmt.Sprintf("%s/%s", cfg.Job.Test, cfg.Job.Model),
 	})

@@ -46,8 +46,10 @@ type JobSpec struct {
 	Test string `json:"test"`
 	// Model names a litmus.Models entry ("Relaxed", "TSO", ...).
 	Model string `json:"model"`
-	// ProgramHash fingerprints the built program; a worker whose build
-	// disagrees is refused (version skew).
+	// ProgramHash is the canonical request fingerprint
+	// (core.ProgramFingerprint over model + built program + behavior-set
+	// options — the same key internal/serve memoizes by); a worker whose
+	// build disagrees is refused (version skew).
 	ProgramHash uint64 `json:"program_hash"`
 	// Prune/COW/DedupMem carry the engine flag grammars (cli.ApplyPrune
 	// and friends) so every worker runs the same configuration.

@@ -124,7 +124,7 @@ func (w *Worker) Run(ctx context.Context) error {
 		return err
 	}
 	w.prog, w.pol, w.opts = t.Build(), m.Policy, opts
-	w.hash = core.ProgramHash(w.prog)
+	w.hash = core.ProgramFingerprint(reg.Job.Model, w.prog, w.opts)
 	if reg.RunID != "" {
 		// Adopt the coordinator's run identity: from here on this
 		// worker's journal lines and trace carry the fleet's run ID, so

@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+)
+
+// The memo cache: a sharded LRU keyed by the canonical request
+// fingerprint (core.ProgramFingerprint), holding finished canonical
+// response bodies under a global byte budget, with per-key single-flight
+// so a burst of identical misses costs one enumeration.
+//
+// Sharding serves two masters: lock contention (16 independent mutexes
+// instead of one) and eviction locality (each shard runs its own LRU
+// under budget/16, so a hot shard cannot starve the others' recency
+// information). The fingerprint is already uniformly mixed FNV-1a, so
+// the low bits pick the shard directly.
+
+const (
+	cacheShards = 16
+	// entryOverhead approximates the per-entry bookkeeping (map slot,
+	// list element, entry struct) charged against the byte budget on top
+	// of the body itself.
+	entryOverhead = 96
+)
+
+// flight is one in-progress enumeration that concurrent identical
+// requests wait on instead of re-enumerating (single-flight).
+type flight struct {
+	done   chan struct{}
+	status int
+	body   []byte
+	// retryAfter is set when the leader was turned away by admission
+	// control, so followers inherit the 429 + Retry-After verbatim.
+	retryAfter int
+}
+
+type cacheEntry struct {
+	fp   uint64
+	body []byte
+}
+
+type cacheShard struct {
+	mu     sync.Mutex
+	lru    *list.List // front = most recently used; values are *cacheEntry
+	byFP   map[uint64]*list.Element
+	flight map[uint64]*flight
+	bytes  int64
+}
+
+// Cache is the fingerprint-keyed memo cache. All counters are plain
+// atomics (not telemetry) so /status works in -tags notelemetry builds;
+// the server mirrors them into a telemetry bundle when one is live.
+type Cache struct {
+	shards      [cacheShards]cacheShard
+	shardBudget int64 // 0 = unbounded
+
+	hits      atomic.Int64
+	misses    atomic.Int64
+	coalesced atomic.Int64
+	evictions atomic.Int64
+	oversize  atomic.Int64
+	entries   atomic.Int64
+	bytes     atomic.Int64
+}
+
+// NewCache builds a cache holding at most budget bytes of response
+// bodies (plus bookkeeping overhead); budget <= 0 means unbounded.
+func NewCache(budget int64) *Cache {
+	c := &Cache{}
+	if budget > 0 {
+		c.shardBudget = budget / cacheShards
+		if c.shardBudget < 1 {
+			c.shardBudget = 1
+		}
+	}
+	for i := range c.shards {
+		c.shards[i].lru = list.New()
+		c.shards[i].byFP = make(map[uint64]*list.Element)
+		c.shards[i].flight = make(map[uint64]*flight)
+	}
+	return c
+}
+
+func (c *Cache) shard(fp uint64) *cacheShard { return &c.shards[fp%cacheShards] }
+
+// Get returns the cached body for fp, promoting it to most recently
+// used. The returned slice is shared — callers must not mutate it.
+func (c *Cache) Get(fp uint64) ([]byte, bool) {
+	s := c.shard(fp)
+	s.mu.Lock()
+	el, ok := s.byFP[fp]
+	if !ok {
+		s.mu.Unlock()
+		c.misses.Add(1)
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	body := el.Value.(*cacheEntry).body
+	s.mu.Unlock()
+	c.hits.Add(1)
+	return body, true
+}
+
+// peek is Get without the hit/miss accounting — the flight leader's
+// double-check after winning the race, which already counted its miss.
+func (c *Cache) peek(fp uint64) ([]byte, bool) {
+	s := c.shard(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	el, ok := s.byFP[fp]
+	if !ok {
+		return nil, false
+	}
+	s.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put inserts fp → body, evicting least-recently-used entries until the
+// shard fits its budget. A body larger than the whole shard budget is
+// not cached at all (it would only evict everything and then itself);
+// Put reports whether the entry was admitted.
+func (c *Cache) Put(fp uint64, body []byte) bool {
+	size := int64(len(body)) + entryOverhead
+	if c.shardBudget > 0 && size > c.shardBudget {
+		c.oversize.Add(1)
+		return false
+	}
+	s := c.shard(fp)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.byFP[fp]; ok {
+		// A racing leader already cached this key; keep the incumbent
+		// (the bodies are bit-identical by construction).
+		s.lru.MoveToFront(el)
+		return true
+	}
+	for c.shardBudget > 0 && s.bytes+size > c.shardBudget {
+		tail := s.lru.Back()
+		if tail == nil {
+			break
+		}
+		victim := tail.Value.(*cacheEntry)
+		s.lru.Remove(tail)
+		delete(s.byFP, victim.fp)
+		vsize := int64(len(victim.body)) + entryOverhead
+		s.bytes -= vsize
+		c.bytes.Add(-vsize)
+		c.entries.Add(-1)
+		c.evictions.Add(1)
+	}
+	s.byFP[fp] = s.lru.PushFront(&cacheEntry{fp: fp, body: body})
+	s.bytes += size
+	c.bytes.Add(size)
+	c.entries.Add(1)
+	return true
+}
+
+// Begin joins or starts the single-flight for fp. The first caller gets
+// leader=true and MUST call Finish exactly once; followers receive the
+// completed flight (its done channel already closed by the leader) and
+// are counted as coalesced.
+func (c *Cache) Begin(fp uint64) (f *flight, leader bool) {
+	s := c.shard(fp)
+	s.mu.Lock()
+	if f, ok := s.flight[fp]; ok {
+		s.mu.Unlock()
+		c.coalesced.Add(1)
+		<-f.done
+		return f, false
+	}
+	f = &flight{done: make(chan struct{})}
+	s.flight[fp] = f
+	s.mu.Unlock()
+	return f, true
+}
+
+// Finish publishes the leader's outcome to every waiter and retires the
+// flight, so later requests go back through the cache.
+func (c *Cache) Finish(fp uint64, f *flight, status int, body []byte, retryAfter int) {
+	f.status, f.body, f.retryAfter = status, body, retryAfter
+	s := c.shard(fp)
+	s.mu.Lock()
+	delete(s.flight, fp)
+	s.mu.Unlock()
+	close(f.done)
+}
+
+// Stats returns the cache counters as a flat snapshot for /status.
+func (c *Cache) Stats() CacheStats {
+	return CacheStats{
+		Hits:      c.hits.Load(),
+		Misses:    c.misses.Load(),
+		Coalesced: c.coalesced.Load(),
+		Evictions: c.evictions.Load(),
+		Oversize:  c.oversize.Load(),
+		Entries:   c.entries.Load(),
+		Bytes:     c.bytes.Load(),
+		Budget:    c.shardBudget * cacheShards,
+	}
+}
+
+// CacheStats is the /status cache block.
+type CacheStats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Coalesced int64 `json:"coalesced"`
+	Evictions int64 `json:"evictions"`
+	Oversize  int64 `json:"oversize"`
+	Entries   int64 `json:"entries"`
+	Bytes     int64 `json:"bytes"`
+	Budget    int64 `json:"budget,omitempty"`
+}

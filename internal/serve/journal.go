@@ -1,0 +1,288 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Write-behind persistence for the memo cache, NDJSON, append-only.
+//
+// The cache is a pure memo — losing it costs recomputation, never
+// correctness — so persistence is deliberately asynchronous: Append
+// queues an encoded record and returns; a flusher empties the queue
+// with ONE file write per batch, either when the batch reaches
+// FlushOps records or when FlushInterval elapses with records pending,
+// whichever comes first. The dbCalls counter counts actual file writes
+// and logicalWrites counts records, so the batching win (dbCalls ≪
+// logicalWrites) is observable, not asserted.
+//
+// Crash model: the file is opened O_APPEND and each flush is a single
+// Write of whole lines, so a crash can lose the queued tail and tear at
+// most the final line. Replay therefore verifies every line
+// independently — a per-record FNV-1a checksum over model|fp|body, and
+// the fingerprint embedded in the body must match the record's — and
+// drops what fails without giving up on the rest.
+
+const (
+	// DefaultFlushOps and DefaultFlushInterval are the write-behind
+	// batching thresholds: flush after 64 queued records or 10ms of
+	// quiet, whichever comes first.
+	DefaultFlushOps      = 64
+	DefaultFlushInterval = 10 * time.Millisecond
+)
+
+// Record is one persisted cache entry.
+type Record struct {
+	Model string          `json:"model"`
+	FP    string          `json:"fp"` // %016x of the request fingerprint
+	Body  json.RawMessage `json:"body"`
+	Sum   string          `json:"sum"` // %016x FNV-1a over model|fp|body
+}
+
+// recordSum computes the per-record checksum.
+func recordSum(model, fp string, body []byte) string {
+	h := fnv.New64a()
+	h.Write([]byte(model))
+	h.Write([]byte{0})
+	h.Write([]byte(fp))
+	h.Write([]byte{0})
+	h.Write(body)
+	return fmt.Sprintf("%016x", h.Sum64())
+}
+
+// Store is the write-behind journal writer.
+type Store struct {
+	mu      sync.Mutex
+	f       *os.File
+	pending []byte
+	count   int
+
+	flushOps      int
+	flushInterval time.Duration
+
+	logicalWrites atomic.Int64
+	dbCalls       atomic.Int64
+	flushes       atomic.Int64
+	errors        atomic.Int64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// OpenStore opens (creating if needed) the journal at path for
+// appending. flushOps/flushInterval <= 0 take the defaults.
+func OpenStore(path string, flushOps int, flushInterval time.Duration) (*Store, error) {
+	if flushOps <= 0 {
+		flushOps = DefaultFlushOps
+	}
+	if flushInterval <= 0 {
+		flushInterval = DefaultFlushInterval
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: journal: %w", err)
+	}
+	s := &Store{
+		f:             f,
+		flushOps:      flushOps,
+		flushInterval: flushInterval,
+		stop:          make(chan struct{}),
+		done:          make(chan struct{}),
+	}
+	go s.flusher()
+	return s, nil
+}
+
+// Append queues one record; it returns once the record is encoded and
+// queued, not once it is durable (write-behind).
+func (s *Store) Append(model string, fp uint64, body []byte) {
+	fps := fmt.Sprintf("%016x", fp)
+	rec := Record{Model: model, FP: fps, Body: json.RawMessage(body), Sum: recordSum(model, fps, body)}
+	line, err := json.Marshal(&rec)
+	if err != nil {
+		s.errors.Add(1)
+		return
+	}
+	line = append(line, '\n')
+	s.mu.Lock()
+	s.pending = append(s.pending, line...)
+	s.count++
+	s.logicalWrites.Add(1)
+	full := s.count >= s.flushOps
+	if full {
+		s.flushLocked()
+	}
+	s.mu.Unlock()
+}
+
+// flushLocked writes the whole pending batch with one file write.
+// Callers hold s.mu.
+func (s *Store) flushLocked() {
+	if s.count == 0 {
+		return
+	}
+	if _, err := s.f.Write(s.pending); err != nil {
+		s.errors.Add(1)
+	}
+	s.dbCalls.Add(1)
+	s.flushes.Add(1)
+	s.pending = s.pending[:0]
+	s.count = 0
+}
+
+// flusher drains the queue on the interval clock so a quiet period
+// never strands queued records past FlushInterval.
+func (s *Store) flusher() {
+	defer close(s.done)
+	tick := time.NewTicker(s.flushInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-tick.C:
+			s.mu.Lock()
+			s.flushLocked()
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Close flushes the remaining queue and closes the file.
+func (s *Store) Close() error {
+	close(s.stop)
+	<-s.done
+	s.mu.Lock()
+	s.flushLocked()
+	err := s.f.Close()
+	s.mu.Unlock()
+	return err
+}
+
+// Stats returns the persistence counters for /status.
+func (s *Store) Stats() JournalStats {
+	s.mu.Lock()
+	pending := s.count
+	s.mu.Unlock()
+	return JournalStats{
+		LogicalWrites: s.logicalWrites.Load(),
+		DBCalls:       s.dbCalls.Load(),
+		Flushes:       s.flushes.Load(),
+		Errors:        s.errors.Load(),
+		Pending:       pending,
+	}
+}
+
+// JournalStats is the /status journal block. Replayed/Dropped are
+// filled by the server from its startup replay.
+type JournalStats struct {
+	LogicalWrites int64 `json:"logical_writes"`
+	DBCalls       int64 `json:"db_calls"`
+	Flushes       int64 `json:"flushes"`
+	Errors        int64 `json:"errors,omitempty"`
+	Pending       int   `json:"pending"`
+	Replayed      int   `json:"replayed,omitempty"`
+	Dropped       int   `json:"dropped,omitempty"`
+}
+
+// bodyFingerprint pulls the fingerprint field out of a canonical
+// response body for the replay cross-check.
+type bodyFingerprint struct {
+	Fingerprint string `json:"fingerprint"`
+}
+
+// ReplayFile reads the journal at path, verifying every line: valid
+// JSON, checksum over model|fp|body, and the body's embedded
+// fingerprint must equal the record's. Lines that fail any check are
+// counted in dropped and skipped — a torn tail (the crash model) and
+// even interior corruption cannot poison the cache, because a record
+// that verifies is exactly what the server wrote. Later records win
+// over earlier ones for the same fingerprint (they are bit-identical
+// by construction; dedup just bounds memory). A missing file replays
+// empty.
+func ReplayFile(path string) (recs []Record, dropped int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, 0, nil
+		}
+		return nil, 0, fmt.Errorf("serve: journal replay: %w", err)
+	}
+	defer f.Close()
+	byFP := make(map[string]int)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<24)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil {
+			dropped++
+			continue
+		}
+		if rec.Sum != recordSum(rec.Model, rec.FP, rec.Body) {
+			dropped++
+			continue
+		}
+		var bf bodyFingerprint
+		if json.Unmarshal(rec.Body, &bf) != nil || bf.Fingerprint != rec.FP {
+			dropped++
+			continue
+		}
+		if i, ok := byFP[rec.FP]; ok {
+			recs[i] = rec
+			continue
+		}
+		byFP[rec.FP] = len(recs)
+		recs = append(recs, rec)
+	}
+	if serr := sc.Err(); serr != nil {
+		return recs, dropped, fmt.Errorf("serve: journal replay: %w", serr)
+	}
+	return recs, dropped, nil
+}
+
+// CompactFile rewrites path to hold exactly recs (the verified survivors
+// of a replay), via a temp file and an atomic rename, so each restart
+// sheds torn tails and duplicate appends instead of accreting them.
+func CompactFile(path string, recs []Record) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".journal-compact-*")
+	if err != nil {
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for i := range recs {
+		line, merr := json.Marshal(&recs[i])
+		if merr != nil {
+			continue
+		}
+		line = append(line, '\n')
+		if _, err = w.Write(line); err != nil {
+			break
+		}
+	}
+	if err == nil {
+		err = w.Flush()
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err == nil {
+		err = os.Rename(tmp.Name(), path)
+	}
+	if err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("serve: journal compact: %w", err)
+	}
+	return nil
+}
