@@ -34,6 +34,7 @@ import (
 	"storeatomicity/internal/cli"
 	"storeatomicity/internal/core"
 	"storeatomicity/internal/litmus"
+	"storeatomicity/internal/program"
 	"storeatomicity/internal/telemetry"
 )
 
@@ -51,10 +52,21 @@ type result struct {
 	Behaviors   int     `json:"behaviors,omitempty"`
 	// StatesExplored is deterministic for a given engine + pruning
 	// configuration, so the baseline guard compares it across hosts.
-	StatesExplored int                `json:"states_explored,omitempty"`
-	NumCPU         int                `json:"num_cpu"`
-	Workers        int                `json:"workers"`
-	Metrics        telemetry.Snapshot `json:"metrics,omitempty"`
+	StatesExplored int `json:"states_explored,omitempty"`
+	// Forks counts materialized-and-queued children — the number the
+	// trial-apply engine exists to shrink. Deterministic, so it gates
+	// against the baseline on the heavy entries.
+	Forks int `json:"forks,omitempty"`
+	// FrontierPeakBytes is the resident-frontier high-water mark and
+	// FrontierDemoted the states demoted to replay paths; deterministic
+	// for the sequential entries, so E13–E15 gate the peak against the
+	// baseline (a leak that re-materializes the whole queue shows here
+	// before it shows in allocs/op).
+	FrontierPeakBytes int64              `json:"frontier_peak_bytes,omitempty"`
+	FrontierDemoted   int                `json:"frontier_demoted,omitempty"`
+	NumCPU            int                `json:"num_cpu"`
+	Workers           int                `json:"workers"`
+	Metrics           telemetry.Snapshot `json:"metrics,omitempty"`
 	// StateP50Ns/P95/P99 are per-state latency quantiles estimated from
 	// the instrumented run's enum_state_ns histogram — the tail, which
 	// ns/op (a mean) hides. Zero when phase metrics are absent
@@ -86,14 +98,15 @@ func (r *result) statesExplored() int64 {
 // record the runtime knobs the numbers were taken under, so two
 // snapshots are only ever compared like for like.
 type snapshot struct {
-	GoVersion  string   `json:"go_version"`
-	NumCPU     int      `json:"num_cpu"`
-	Gogc       int      `json:"gogc"`
-	Gomaxprocs int      `json:"gomaxprocs,omitempty"`
-	Prune      string   `json:"prune,omitempty"`
-	Cow        string   `json:"cow,omitempty"`
-	DedupMem   string   `json:"dedup_mem,omitempty"`
-	Note       string   `json:"note,omitempty"`
+	GoVersion        string `json:"go_version"`
+	NumCPU           int    `json:"num_cpu"`
+	Gogc             int    `json:"gogc"`
+	Gomaxprocs       int    `json:"gomaxprocs,omitempty"`
+	Prune            string `json:"prune,omitempty"`
+	Cow              string `json:"cow,omitempty"`
+	DedupMem         string `json:"dedup_mem,omitempty"`
+	FrontierResident string `json:"frontier_resident,omitempty"`
+	Note             string `json:"note,omitempty"`
 	// SweepTruncated records that the parallel sweep skipped widths
 	// beyond GOMAXPROCS — those entries would measure scheduler
 	// overhead, not speedup, so they are omitted rather than mislabeled.
@@ -105,44 +118,91 @@ type snapshot struct {
 // enumSuite mirrors BenchmarkEnum in bench_test.go: the (experiment,
 // test, model) triples whose cost is dominated by core.Enumerate. E13
 // and E14 are the heavy rotation-symmetric entries the pruning layers
-// exist for.
+// exist for; E15 is the deep end — a frontier bigger than its resident
+// budget, so the run must demote queued states to replay paths and
+// revive them to finish (frontierBytes pins the entry's budget
+// regardless of -frontier-resident; zero defers to the flag).
 // tel is package-level so fatalf can flush the trace and metrics server
 // before exiting.
 var tel cli.Telemetry
 
 var enumSuite = []struct {
 	exp, test, model string
+	frontierBytes    int64
 }{
-	{"E2", "Figure3", "Relaxed"},
-	{"E3", "Figure4", "Relaxed"},
-	{"E4", "Figure5", "Relaxed"},
-	{"E5", "Figure7", "Relaxed"},
-	{"E6", "Figure8", "Relaxed+spec"},
-	{"E7", "Figure10", "TSO"},
-	{"E8", "Figure10", "Relaxed"},
-	{"E9", "IRIW", "Relaxed"},
-	{"E10", "MP", "Relaxed"},
-	{"E11", "SB", "TSO"},
-	{"E12", "LB", "Relaxed"},
-	{"E13", "SB3", "Relaxed"},
-	{"E14", "SB3W", "Relaxed"},
+	{"E2", "Figure3", "Relaxed", 0},
+	{"E3", "Figure4", "Relaxed", 0},
+	{"E4", "Figure5", "Relaxed", 0},
+	{"E5", "Figure7", "Relaxed", 0},
+	{"E6", "Figure8", "Relaxed+spec", 0},
+	{"E7", "Figure10", "TSO", 0},
+	{"E8", "Figure10", "Relaxed", 0},
+	{"E9", "IRIW", "Relaxed", 0},
+	{"E10", "MP", "Relaxed", 0},
+	{"E11", "SB", "TSO", 0},
+	{"E12", "LB", "Relaxed", 0},
+	{"E13", "SB3", "Relaxed", 0},
+	{"E14", "SB3W", "Relaxed", 0},
+	// E15's undemoted frontier peaks near 4 MB; the 1 MB budget forces
+	// real demotion traffic while staying far above any single state.
+	{"E15", "SB4W", "Relaxed", 1 << 20},
+}
+
+// sb4w builds the E15 program: SB3W's rotation-symmetric wide store
+// buffering grown to four threads, each storing its own address and
+// loading the other three (16 memory operations, three candidate stores
+// per load). Deliberately NOT in the litmus registry: Registry() feeds
+// the corpus sweeps that enumerate every unpruned configuration, and
+// this program is sized to be tractable only with the pruning layers on.
+func sb4w() *litmus.Test {
+	addrs := []program.Addr{program.X, program.Y, program.Z, program.W}
+	build := func() *program.Program {
+		b := program.NewBuilder()
+		reg := 1
+		for i := range addrs {
+			t := b.Thread(fmt.Sprintf("T%d", i))
+			t.StoreL(fmt.Sprintf("S%d", i), addrs[i], 1)
+			for k := 1; k < len(addrs); k++ {
+				t.LoadL(fmt.Sprintf("L%d_%d", i, k), program.Reg(reg), addrs[(i+k)%len(addrs)])
+				reg++
+			}
+		}
+		return b.Build()
+	}
+	return &litmus.Test{
+		Name:  "SB4W",
+		Doc:   "Four-thread wide cyclic store buffering: 4 stores, 12 loads; rotation-symmetric.",
+		Build: build,
+	}
+}
+
+// suiteTest resolves a suite entry's test: the registry, plus the
+// bench-only programs too heavy for the corpus sweeps.
+func suiteTest(name string) (*litmus.Test, bool) {
+	if name == "SB4W" {
+		return sb4w(), true
+	}
+	return litmus.ByName(name)
 }
 
 func main() {
 	var (
-		out       = flag.String("out", "BENCH_enum.json", "output file (\"-\" for stdout)")
-		workers   = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
-		timeout   = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
-		prune     = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
-		cow       = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
-		dedupMem  = flag.String("dedup-mem", "off", "seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
-		gogc      = flag.Int("gogc", -1, "debug.SetGCPercent during the timed loops: -1 (the default) turns the background collector off while timing — GC pacing is the biggest run-to-run variance source, but the heap then grows for the whole suite, so prefer 0 (keep the process setting) on memory-tight hosts or when comparing against a GC-on snapshot")
-		maxprocs  = flag.Int("maxprocs", 0, "GOMAXPROCS for the whole run; 0 keeps the runtime default")
-		baseline  = flag.String("baseline", "", "compare against this snapshot and exit non-zero on regressions")
-		threshold = flag.Float64("threshold", 10, "max allowed states-explored regression in percent (with -baseline)")
-		nsThresh  = flag.Float64("ns-threshold", -1, "max allowed ns/op regression in percent; negative = report-only (with -baseline)")
-		allocTh   = flag.Float64("alloc-threshold", 10, "max allowed allocs/op regression in percent; negative = report-only (with -baseline)")
-		resolveTh = flag.Float64("resolve-threshold", -1, "max allowed regression in the resolve-phase time share (enum_phase_resolve_ns_total / ns_per_op) of the heavy E13/E14 entries, in percent; negative = report-only (with -baseline)")
+		out              = flag.String("out", "BENCH_enum.json", "output file (\"-\" for stdout)")
+		workers          = flag.String("workers", "1,2,4,8", "comma-separated worker counts for the parallel sweep")
+		timeout          = flag.Duration("timeout", 0, "wall-clock budget; an interrupted suite fails rather than emitting a skewed snapshot")
+		prune            = flag.String("prune", cli.PruneAll, "search-pruning layers: comma-separated subset of closure,prefix,symmetry; all; off")
+		cow              = flag.String("cow", "on", "copy-on-write closure sharing: on or off (deep-copy forks)")
+		dedupMem         = flag.String("dedup-mem", "off", "seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
+		frontierResident = flag.String("frontier-resident", "auto", "resident frontier budget (bytes; k/m/g suffix); auto sizes from the node ceiling; off = keep everything resident. E15 pins its own 1m budget regardless")
+		gogc             = flag.Int("gogc", -1, "debug.SetGCPercent during the timed loops: -1 (the default) turns the background collector off while timing — GC pacing is the biggest run-to-run variance source, but the heap then grows for the whole suite, so prefer 0 (keep the process setting) on memory-tight hosts or when comparing against a GC-on snapshot")
+		maxprocs         = flag.Int("maxprocs", 0, "GOMAXPROCS for the whole run; 0 keeps the runtime default")
+		baseline         = flag.String("baseline", "", "compare against this snapshot and exit non-zero on regressions")
+		threshold        = flag.Float64("threshold", 10, "max allowed states-explored regression in percent (with -baseline)")
+		nsThresh         = flag.Float64("ns-threshold", -1, "max allowed ns/op regression in percent; negative = report-only (with -baseline)")
+		allocTh          = flag.Float64("alloc-threshold", 10, "max allowed allocs/op regression in percent; negative = report-only (with -baseline)")
+		resolveTh        = flag.Float64("resolve-threshold", -1, "max allowed regression in the resolve-phase time share (enum_phase_resolve_ns_total / ns_per_op) of the heavy E13/E14 entries, in percent; negative = report-only (with -baseline)")
+		forksTh          = flag.Float64("forks-threshold", 10, "max allowed forks/op regression on the heavy E13–E15 entries, in percent; negative = report-only (with -baseline)")
+		frontTh          = flag.Float64("frontier-threshold", 10, "max allowed resident-frontier-peak regression on the heavy E13–E15 entries, in percent; negative = report-only (with -baseline)")
 	)
 	tel.RegisterFlags()
 	flag.Parse()
@@ -174,6 +234,9 @@ func main() {
 	if err := cli.ApplyDedupMem(&pruneOpts, *dedupMem); err != nil {
 		fatalf("%v", err)
 	}
+	if err := cli.ApplyFrontierResident(&pruneOpts, *frontierResident); err != nil {
+		fatalf("%v", err)
+	}
 
 	// Validate the sweep before spending seconds on benchmarks.
 	var sweep []int
@@ -193,13 +256,14 @@ func main() {
 		runtime.GOMAXPROCS(*maxprocs)
 	}
 	snap := snapshot{
-		GoVersion:  runtime.Version(),
-		NumCPU:     runtime.NumCPU(),
-		Gogc:       *gogc,
-		Gomaxprocs: runtime.GOMAXPROCS(0),
-		Prune:      *prune,
-		Cow:        *cow,
-		DedupMem:   *dedupMem,
+		GoVersion:        runtime.Version(),
+		NumCPU:           runtime.NumCPU(),
+		Gogc:             *gogc,
+		Gomaxprocs:       runtime.GOMAXPROCS(0),
+		Prune:            *prune,
+		Cow:              *cow,
+		DedupMem:         *dedupMem,
+		FrontierResident: *frontierResident,
 	}
 	// The cap is about what the scheduler can actually use, not what the
 	// hardware reports: sweep entries wider than GOMAXPROCS would time
@@ -223,7 +287,7 @@ func main() {
 		if ctx.Err() != nil {
 			fatalf("interrupted: %v (benchmarks must run to completion for a valid snapshot)", ctx.Err())
 		}
-		tc, ok := litmus.ByName(s.test)
+		tc, ok := suiteTest(s.test)
 		if !ok {
 			fatalf("unknown test %s", s.test)
 		}
@@ -231,7 +295,12 @@ func main() {
 		if !ok {
 			fatalf("unknown model %s", s.model)
 		}
-		var behaviors, states int
+		entryOpts := pruneOpts
+		if s.frontierBytes != 0 {
+			entryOpts.FrontierResidentBytes = s.frontierBytes
+		}
+		var behaviors, states, forks, demoted int
+		var frontierPeak int64
 		// Reset heap state between entries: without this, allocation
 		// pressure from earlier entries skews the GC pacing of later
 		// ones, and the last rows of the table drift 10-20% run to run.
@@ -239,7 +308,7 @@ func main() {
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				opts := pruneOpts
+				opts := entryOpts
 				opts.Speculative = m.Speculative
 				res, err := core.Enumerate(ctx, tc.Build(), m.Policy, opts)
 				if err != nil {
@@ -247,19 +316,25 @@ func main() {
 				}
 				behaviors = len(res.Executions)
 				states = res.Stats.StatesExplored
+				forks = res.Stats.Forks
+				demoted = res.Stats.FrontierDemoted
+				frontierPeak = res.Stats.FrontierResidentPeak
 			}
 		})
 		snap.Enum = append(snap.Enum, result{
-			Name:           s.exp + "_" + s.test + "_" + s.model,
-			Iterations:     r.N,
-			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
-			AllocsPerOp:    r.AllocsPerOp(),
-			BytesPerOp:     r.AllocedBytesPerOp(),
-			Behaviors:      behaviors,
-			StatesExplored: states,
-			NumCPU:         runtime.NumCPU(),
-			Workers:        1,
-			Metrics:        measuredRun(ctx, s.test, s.model, 1, pruneOpts),
+			Name:              s.exp + "_" + s.test + "_" + s.model,
+			Iterations:        r.N,
+			NsPerOp:           float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp:       r.AllocsPerOp(),
+			BytesPerOp:        r.AllocedBytesPerOp(),
+			Behaviors:         behaviors,
+			StatesExplored:    states,
+			Forks:             forks,
+			FrontierPeakBytes: frontierPeak,
+			FrontierDemoted:   demoted,
+			NumCPU:            runtime.NumCPU(),
+			Workers:           1,
+			Metrics:           measuredRun(ctx, tc, s.model, 1, entryOpts),
 		})
 		row := &snap.Enum[len(snap.Enum)-1]
 		row.fillQuantiles()
@@ -275,7 +350,7 @@ func main() {
 				w, w, runtime.GOMAXPROCS(0))
 			continue
 		}
-		var states int
+		var states, forks int
 		runtime.GC()
 		r := testing.Benchmark(func(b *testing.B) {
 			b.ReportAllocs()
@@ -285,8 +360,12 @@ func main() {
 					b.Fatal(err)
 				}
 				states = res.Stats.StatesExplored
+				forks = res.Stats.Forks
 			}
 		})
+		// The frontier peak is omitted for the parallel rows: it sums
+		// per-worker high-water marks, which depends on the steal
+		// schedule and would make the gate flaky.
 		snap.Parallel = append(snap.Parallel, result{
 			Name:           fmt.Sprintf("Figure10_Relaxed_w%d", w),
 			Iterations:     r.N,
@@ -294,9 +373,10 @@ func main() {
 			AllocsPerOp:    r.AllocsPerOp(),
 			BytesPerOp:     r.AllocedBytesPerOp(),
 			StatesExplored: states,
+			Forks:          forks,
 			NumCPU:         runtime.NumCPU(),
 			Workers:        w,
-			Metrics:        measuredRun(ctx, "Figure10", "Relaxed", w, pruneOpts),
+			Metrics:        measuredRun(ctx, tc, "Relaxed", w, pruneOpts),
 		})
 		row := &snap.Parallel[len(snap.Parallel)-1]
 		row.fillQuantiles()
@@ -326,7 +406,7 @@ func main() {
 		if err := json.Unmarshal(data, &base); err != nil {
 			fatalf("parse baseline %s: %v", *baseline, err)
 		}
-		if failed := compareToBaseline(os.Stdout, &base, &snap, *threshold, *nsThresh, *allocTh, *resolveTh); failed {
+		if failed := compareToBaseline(os.Stdout, &base, &snap, *threshold, *nsThresh, *allocTh, *resolveTh, *forksTh, *frontTh); failed {
 			tel.Close()
 			os.Exit(1)
 		}
@@ -339,7 +419,7 @@ func main() {
 // allocation pattern barely depends on the host), so both gate by
 // default; ns/op deltas are noisy and only gate when nsThresh is
 // non-negative.
-func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh, allocThresh, resolveThresh float64) bool {
+func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh, allocThresh, resolveThresh, forksThresh, frontierThresh float64) bool {
 	baseRows := map[string]*result{}
 	for i := range base.Enum {
 		baseRows[base.Enum[i].Name] = &base.Enum[i]
@@ -428,9 +508,41 @@ func compareToBaseline(w *os.File, base, cur *snapshot, stThresh, nsThresh, allo
 		fmt.Fprintf(w, "%-26s resolve share %5.1f%% -> %5.1f%% (%+.1f%%)%s\n",
 			r.Name, baseShare*100, curShare*100, delta, mark)
 	}
+	// Fork-elision gate on the heavy entries: forks/op and the resident-
+	// frontier peak are deterministic (sequential engine), so a change
+	// that quietly re-materializes pruned children or re-inflates the
+	// queue fails here even when ns/op hides it in host noise.
+	for _, r := range rows {
+		if !strings.HasPrefix(r.Name, "E13_") && !strings.HasPrefix(r.Name, "E14_") && !strings.HasPrefix(r.Name, "E15_") {
+			continue
+		}
+		b, ok := baseRows[r.Name]
+		if !ok {
+			continue
+		}
+		if b.Forks > 0 && r.Forks > 0 {
+			delta := pctDelta(float64(b.Forks), float64(r.Forks))
+			mark := ""
+			if forksThresh >= 0 && delta > forksThresh {
+				failed = true
+				mark = " REGRESSION"
+			}
+			fmt.Fprintf(w, "%-26s forks/op %d -> %d (%+.1f%%)%s\n", r.Name, b.Forks, r.Forks, delta, mark)
+		}
+		if b.FrontierPeakBytes > 0 && r.FrontierPeakBytes > 0 {
+			delta := pctDelta(float64(b.FrontierPeakBytes), float64(r.FrontierPeakBytes))
+			mark := ""
+			if frontierThresh >= 0 && delta > frontierThresh {
+				failed = true
+				mark = " REGRESSION"
+			}
+			fmt.Fprintf(w, "%-26s frontier peak %d -> %d bytes (%+.1f%%, %d demoted)%s\n",
+				r.Name, b.FrontierPeakBytes, r.FrontierPeakBytes, delta, r.FrontierDemoted, mark)
+		}
+	}
 	if failed {
-		fmt.Fprintf(w, "mmbench: regression past threshold (states %+.0f%%, allocs %+.0f%%, ns/op %+.0f%%, resolve share %+.0f%%)\n",
-			stThresh, allocThresh, nsThresh, resolveThresh)
+		fmt.Fprintf(w, "mmbench: regression past threshold (states %+.0f%%, allocs %+.0f%%, ns/op %+.0f%%, resolve share %+.0f%%, forks %+.0f%%, frontier peak %+.0f%%)\n",
+			stThresh, allocThresh, nsThresh, resolveThresh, forksThresh, frontierThresh)
 	}
 	return failed
 }
@@ -483,8 +595,7 @@ func pctDelta(base, cur float64) float64 {
 // Nil (omitted from the JSON) when the binary was built with the
 // notelemetry tag or the run fails — the benchmark numbers above it are
 // still valid either way.
-func measuredRun(ctx context.Context, test, model string, workers int, pruneOpts core.Options) telemetry.Snapshot {
-	tc, _ := litmus.ByName(test)
+func measuredRun(ctx context.Context, tc *litmus.Test, model string, workers int, pruneOpts core.Options) telemetry.Snapshot {
 	m, _ := litmus.ModelByName(model)
 	var snaps []telemetry.Snapshot
 	for i := 0; i < 3; i++ {

@@ -44,13 +44,14 @@ func policyByName(name string) order.Policy {
 
 func main() {
 	var (
-		model    = flag.String("model", "TSO", "model to check against (SC, TSO, NaiveTSO, PSO, Relaxed)")
-		rules    = flag.String("rules", "abc", "Store Atomicity rule subset: ab (TSOtool-equivalent) or abc (complete)")
-		demo     = flag.Bool("demo", false, "check built-in demonstration records")
-		example  = flag.Bool("example", false, "print an example record JSON and exit")
-		timeout  = flag.Duration("timeout", 0, "wall-clock budget for the -demo enumeration")
-		cow      = flag.String("cow", "on", "copy-on-write closure sharing in the -demo enumeration: on or off (deep-copy forks)")
-		dedupMem = flag.String("dedup-mem", "off", "-demo seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
+		model            = flag.String("model", "TSO", "model to check against (SC, TSO, NaiveTSO, PSO, Relaxed)")
+		rules            = flag.String("rules", "abc", "Store Atomicity rule subset: ab (TSOtool-equivalent) or abc (complete)")
+		demo             = flag.Bool("demo", false, "check built-in demonstration records")
+		example          = flag.Bool("example", false, "print an example record JSON and exit")
+		timeout          = flag.Duration("timeout", 0, "wall-clock budget for the -demo enumeration")
+		cow              = flag.String("cow", "on", "copy-on-write closure sharing in the -demo enumeration: on or off (deep-copy forks)")
+		dedupMem         = flag.String("dedup-mem", "off", "-demo seen-set memory budget (bytes; k/m/g suffix) — overflow spills to disk; off = unbounded in-memory")
+		frontierResident = flag.String("frontier-resident", "auto", "-demo resident frontier budget (bytes; k/m/g suffix); auto sizes from the node ceiling; off = keep everything resident")
 	)
 	var tel cli.Telemetry
 	tel.RegisterFlags()
@@ -96,6 +97,10 @@ func main() {
 			os.Exit(2)
 		}
 		if err := cli.ApplyDedupMem(&demoOpts, *dedupMem); err != nil {
+			fmt.Fprintf(os.Stderr, "mmverify: %v\n", err)
+			os.Exit(2)
+		}
+		if err := cli.ApplyFrontierResident(&demoOpts, *frontierResident); err != nil {
 			fmt.Fprintf(os.Stderr, "mmverify: %v\n", err)
 			os.Exit(2)
 		}

@@ -162,6 +162,29 @@ func ApplyDedupMem(opts *core.Options, spec string) error {
 	return nil
 }
 
+// ApplyFrontierResident parses the -frontier-resident flag into opts: a
+// byte budget for fully materialized states on the engines' work
+// queues. "auto" (the default) sizes the budget from -max-nodes so
+// ordinary runs never demote; "", "0", and "off" keep every queued
+// state resident (the classic engine); a positive budget (ParseBytes
+// grammar) demotes queued states beyond it to delta-compressed replay
+// paths and re-materializes them by replay on pop. Every setting yields
+// a bit-identical behavior set — the knob bounds resident frontier
+// memory for searches deeper than RAM, and composes with -dedup-mem
+// (which bounds the seen-set the same way).
+func ApplyFrontierResident(opts *core.Options, spec string) error {
+	if strings.EqualFold(strings.TrimSpace(spec), "auto") {
+		opts.FrontierResidentBytes = -1
+		return nil
+	}
+	n, err := ParseBytes("-frontier-resident", spec)
+	if err != nil {
+		return err
+	}
+	opts.FrontierResidentBytes = n
+	return nil
+}
+
 // ParseFaults parses the -faults flag grammar into a coherence fault
 // config. The spec is comma-separated key=value pairs:
 //

@@ -15,25 +15,25 @@ import (
 // registration itself — a drifted default or a hand-rolled parser would
 // still pass any behavioral test that only exercises the happy path.
 
-// engineFlags says which of the three engine knobs each binary exposes.
-// Binaries that enumerate locally take all three; binaries that only
+// engineFlags says which of the four engine knobs each binary exposes.
+// Binaries that enumerate locally take all four; binaries that only
 // replay or embed a single enumeration (mmlitmus, mmrace, mmsim,
-// mmverify) have no pruning A/B story but still honor -cow/-dedup-mem;
-// mmworker inherits its options from the coordinator's job and mmobs
-// never enumerates at all.
-var engineFlags = map[string]struct{ prune, cow, dedupMem bool }{
-	"mmbench":  {true, true, true},
-	"mmcoord":  {true, true, true},
-	"mmenum":   {true, true, true},
-	"mmfuzz":   {true, true, true},
-	"mmload":   {true, true, true},
-	"mmserve":  {true, true, true},
-	"mmlitmus": {false, true, true},
-	"mmrace":   {false, true, true},
-	"mmsim":    {false, true, true},
-	"mmverify": {false, true, true},
-	"mmworker": {false, false, false},
-	"mmobs":    {false, false, false},
+// mmverify) have no pruning A/B story but still honor -cow/-dedup-mem/
+// -frontier-resident; mmworker inherits its options from the
+// coordinator's job and mmobs never enumerates at all.
+var engineFlags = map[string]struct{ prune, cow, dedupMem, frontierResident bool }{
+	"mmbench":  {true, true, true, true},
+	"mmcoord":  {true, true, true, true},
+	"mmenum":   {true, true, true, true},
+	"mmfuzz":   {true, true, true, true},
+	"mmload":   {true, true, true, true},
+	"mmserve":  {true, true, true, true},
+	"mmlitmus": {false, true, true, true},
+	"mmrace":   {false, true, true, true},
+	"mmsim":    {false, true, true, true},
+	"mmverify": {false, true, true, true},
+	"mmworker": {false, false, false, false},
+	"mmobs":    {false, false, false, false},
 }
 
 // noTelemetry lists binaries allowed to skip tel.RegisterFlags (and so
@@ -45,21 +45,24 @@ var noTelemetry = map[string]bool{"mmobs": true}
 // a binary cannot quietly ship -prune defaulting to "off" or a -cow
 // that defaults to deep copies.
 var (
-	pruneReg    = regexp.MustCompile(`flag\.String\("prune",\s*cli\.PruneAll,`)
-	cowReg      = regexp.MustCompile(`flag\.String\("cow",\s*"on",`)
-	dedupMemReg = regexp.MustCompile(`flag\.String\("dedup-mem",\s*"off",`)
-	telReg      = regexp.MustCompile(`\btel\.RegisterFlags\(\)`)
+	pruneReg            = regexp.MustCompile(`flag\.String\("prune",\s*cli\.PruneAll,`)
+	cowReg              = regexp.MustCompile(`flag\.String\("cow",\s*"on",`)
+	dedupMemReg         = regexp.MustCompile(`flag\.String\("dedup-mem",\s*"off",`)
+	frontierResidentReg = regexp.MustCompile(`flag\.String\("frontier-resident",\s*"auto",`)
+	telReg              = regexp.MustCompile(`\btel\.RegisterFlags\(\)`)
 
 	// A flag is "applied" when it reaches the shared helper — either
 	// directly, or (mmcoord) forwarded verbatim in a dist Job, whose
 	// receiver runs the same cli.Apply* on the worker side.
-	pruneApply    = regexp.MustCompile(`cli\.ApplyPrune\(|Prune:\s*\*prune\b`)
-	cowApply      = regexp.MustCompile(`cli\.ApplyCOW\(|COW:\s*\*cow\b`)
-	dedupMemApply = regexp.MustCompile(`cli\.ApplyDedupMem\(|DedupMem:\s*\*dedupMem\b`)
+	pruneApply            = regexp.MustCompile(`cli\.ApplyPrune\(|Prune:\s*\*prune\b`)
+	cowApply              = regexp.MustCompile(`cli\.ApplyCOW\(|COW:\s*\*cow\b`)
+	dedupMemApply         = regexp.MustCompile(`cli\.ApplyDedupMem\(|DedupMem:\s*\*dedupMem\b`)
+	frontierResidentApply = regexp.MustCompile(`cli\.ApplyFrontierResident\(|FrontierResident:\s*\*frontierResident\b`)
 
-	anyPrune    = regexp.MustCompile(`flag\.\w+\("prune"`)
-	anyCow      = regexp.MustCompile(`flag\.\w+\("cow"`)
-	anyDedupMem = regexp.MustCompile(`flag\.\w+\("dedup-mem"`)
+	anyPrune            = regexp.MustCompile(`flag\.\w+\("prune"`)
+	anyCow              = regexp.MustCompile(`flag\.\w+\("cow"`)
+	anyDedupMem         = regexp.MustCompile(`flag\.\w+\("dedup-mem"`)
+	anyFrontierResident = regexp.MustCompile(`flag\.\w+\("frontier-resident"`)
 )
 
 func TestFlagMatrix(t *testing.T) {
@@ -125,6 +128,7 @@ func TestFlagMatrix(t *testing.T) {
 		check("prune", want.prune, pruneReg, pruneApply, anyPrune)
 		check("cow", want.cow, cowReg, cowApply, anyCow)
 		check("dedup-mem", want.dedupMem, dedupMemReg, dedupMemApply, anyDedupMem)
+		check("frontier-resident", want.frontierResident, frontierResidentReg, frontierResidentApply, anyFrontierResident)
 
 		if telReg.Match(src) == noTelemetry[tool] {
 			if noTelemetry[tool] {

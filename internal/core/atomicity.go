@@ -675,6 +675,15 @@ func (s *state) overwrittenFor(sid, lid int) bool {
 // program-order-earlier local store to the same address ("S ̸@ L when
 // S = source(L) and S ≺ L otherwise"). The caller runs the closure.
 func (s *state) resolveLoad(lid, sid int) error {
+	return s.resolveLoadWith(lid, sid, s.localPriorStores(lid, true))
+}
+
+// resolveLoadWith is resolveLoad with the load's prior-local-store list
+// precomputed. The list depends only on generated nodes and known
+// addresses — both constant across sibling resolutions of one load — so
+// the candidate sweep computes it once per load instead of once per
+// (load, store) trial.
+func (s *state) resolveLoadWith(lid, sid int, locals []int) error {
 	s.prepValid = false // the resolved-pair cache no longer matches
 	s.path = append(s.path, PathStep{
 		Load: lid, Store: sid,
@@ -708,7 +717,6 @@ func (s *state) resolveLoad(lid, sid int) error {
 		}
 	}
 	s.noteResolved(lid)
-	locals := s.localPriorStores(lid, true)
 	bypass := false
 	for _, loc := range locals {
 		if loc == sid {

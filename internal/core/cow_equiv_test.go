@@ -59,6 +59,56 @@ func TestCOWBitIdenticalLitmus(t *testing.T) {
 	}
 }
 
+// TestTrialFrontierBitIdenticalLitmus is the fork-elision acceptance
+// gate. DisableCOW also disables trial application, so the cow=off
+// single-worker run is the legacy clone-every-child oracle; against it
+// we sweep the trial-apply engine with the path-compressed frontier in
+// every regime — off (0), forced to demote everything (1 byte), and
+// the auto budget (-1) — at 1, 2, and 4 workers. Behavior sets must be
+// bit-identical everywhere, and the forced-budget legs must actually
+// demote (otherwise the sweep silently stops covering revival-by-replay).
+func TestTrialFrontierBitIdenticalLitmus(t *testing.T) {
+	ctx := context.Background()
+	configs := []struct {
+		name string
+		opts core.Options
+	}{
+		{"trial", core.Options{}},
+		{"trial+fr1", core.Options{FrontierResidentBytes: 1}},
+		{"trial+fr-auto", core.Options{FrontierResidentBytes: -1}},
+		{"legacy+fr1", core.Options{DisableCOW: true, FrontierResidentBytes: 1}},
+	}
+	demoted := 0
+	for _, lt := range litmus.Registry() {
+		if testing.Short() && (lt.Name == "SB3W" || lt.Name == "IRIW" || lt.Name == "IRIW+Fences") {
+			continue
+		}
+		for _, m := range litmus.Models() {
+			want, err := litmus.RunContext(ctx, lt, m, core.Options{DisableCOW: true}, 1)
+			if err != nil {
+				t.Fatalf("%s/%s oracle: %v", lt.Name, m.Name, err)
+			}
+			wantKeys := behaviorKeys(want)
+			for _, c := range configs {
+				for _, workers := range []int{1, 2, 4} {
+					got, err := litmus.RunContext(ctx, lt, m, c.opts, workers)
+					if err != nil {
+						t.Fatalf("%s/%s %s w%d: %v", lt.Name, m.Name, c.name, workers, err)
+					}
+					if gotKeys := behaviorKeys(got); !sameKeys(gotKeys, wantKeys) {
+						t.Errorf("%s/%s: %s at %d workers changed the behavior set: %d executions vs oracle %d",
+							lt.Name, m.Name, c.name, workers, len(gotKeys), len(wantKeys))
+					}
+					demoted += got.Stats.FrontierDemoted
+				}
+			}
+		}
+	}
+	if demoted == 0 {
+		t.Error("no run in the sweep demoted a frontier state — the forced-budget legs are not exercising revival")
+	}
+}
+
 // TestCOWBitIdenticalRand extends the invariant to the randprog corpus:
 // register-indirect addressing, branches, and RMWs hit fork/mutation
 // interleavings the litmus tests never produce.

@@ -23,6 +23,25 @@ func (c *cowFams) add(g *graph.Graph) {
 	c.fams = append(c.fams, f)
 }
 
+// merge folds another collector's families into this one, pointer-
+// deduplicated. The parallel engine gives each worker a private collector
+// (add is not safe for concurrent use — frontier revivals create families
+// on worker goroutines) and merges them after the workers join.
+func (c *cowFams) merge(o *cowFams) {
+	for _, f := range o.fams {
+		dup := false
+		for _, x := range c.fams {
+			if x == f {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.fams = append(c.fams, f)
+		}
+	}
+}
+
 func (c *cowFams) totals() (shared, copied, slab int64) {
 	for _, f := range c.fams {
 		shared += f.RowsShared.Load()

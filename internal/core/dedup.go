@@ -178,6 +178,39 @@ func (k *keySet) insertKey(h uint64, sig string) bool {
 	return true
 }
 
+// hasState reports whether the state's Load–Store-graph key is already
+// recorded, without inserting it. The engines use it on a leaf parent's
+// trial state to elide the fork for an already-recorded final behavior.
+func (k *keySet) hasState(s *state) bool {
+	var sig string
+	if k.useString || k.guard != nil {
+		sig = s.signature()
+	}
+	return k.hasKey(s.fingerprint(), sig)
+}
+
+// hasKey is the lookup half of insertKey: present-and-matching keys
+// report true, everything else (including a dedupcheck fingerprint
+// collision, which insertKey would treat as a distinct key) reports
+// false — the sound direction, since an "absent" answer only re-records
+// a behavior the set-level dedup then drops.
+func (k *keySet) hasKey(h uint64, sig string) bool {
+	if k.useString {
+		_, dup := k.strs[sig]
+		return dup
+	}
+	if k.guard != nil {
+		if prev, ok := k.guard[h]; ok && prev != sig {
+			return false
+		}
+	}
+	if k.spill != nil {
+		return k.spill.contains(h)
+	}
+	_, dup := k.hashes[h]
+	return dup
+}
+
 // keyMatches reports whether a freshly computed key equals the key this
 // state was inserted under at fork time — the engines' self-skip: a
 // fork-time-inserted state whose key is unchanged post-quiescence must

@@ -56,6 +56,21 @@ type Options struct {
 	// worker count; only where fingerprints live changes. Ignored for
 	// the string-keyed test baseline.
 	DedupMemBudget int64
+	// FrontierResidentBytes caps the bytes of fully materialized states
+	// parked on the engines' work queues. Beyond the budget, the oldest
+	// queued states are demoted to delta-compressed replay paths (the
+	// checkpoint pathBlock codec) and their graphs and arenas recycled
+	// immediately; a demoted state is re-materialized by deterministic
+	// path replay when popped or stolen. Resident memory becomes
+	// O(window) instead of O(frontier) and the behavior set is
+	// bit-identical at any worker count — demotion/revival preserves the
+	// exact exploration order. 0 (the default) never demotes; a negative
+	// value picks an automatic budget (~1024 resident states at the
+	// MaxNodes ceiling); the parallel engine splits the budget evenly
+	// across workers. Composes with DedupMemBudget: together they bound
+	// the two structures that grow with the search rather than with the
+	// program.
+	FrontierResidentBytes int64
 	// DisablePrefixPrune turns off fork-time prefix-state dedup: children
 	// are then only checked against the seen-set after their next
 	// quiescence (the pre-pruning behavior). The behavior set is
@@ -138,8 +153,27 @@ type Stats struct {
 	// StatesExplored counts behaviors removed from the work set. Both
 	// engines stop a budgeted run after exactly MaxBehaviors states.
 	StatesExplored int
-	// Forks counts (load, candidate) resolutions attempted.
+	// Forks counts child states materialized and queued. With the
+	// trial-apply engine (COW on) a (load, candidate) resolution that is
+	// pruned, rolls back, or completes a final behavior in place never
+	// forks — those land in PrefixPruned/SymmetryPruned, TrialRollbacks,
+	// or ChildrenElided instead. With -cow=off every attempted
+	// resolution forks first, as before.
 	Forks int
+	// ChildrenElided counts candidate children evaluated in place on the
+	// parent (trial-apply) and never queued: doomed resolutions,
+	// already-recorded leaf behaviors, and newly recorded leaf behaviors
+	// that skipped the queue round trip.
+	ChildrenElided int
+	// TrialRollbacks counts trial applications undone in place because
+	// the resolution or its closure failed — the forks-plus-rollbacks
+	// the trial engine priced without cloning.
+	TrialRollbacks int
+	// FrontierDemoted counts queued states demoted to compressed replay
+	// paths under Options.FrontierResidentBytes; FrontierResidentPeak is
+	// the high-water mark of resident frontier bytes.
+	FrontierDemoted      int
+	FrontierResidentPeak int64
 	// DuplicatesDiscarded counts behaviors dropped by the
 	// post-quiescence Load–Store-graph dedup check.
 	DuplicatesDiscarded int
@@ -365,8 +399,9 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	fopts.DedupMemBudget = 0
 	finals := newKeySet(fopts)
 	var pool statePool
-	pool.limitBytes = slabLimitFor(opts.MaxNodes)
+	pool.limitBytes = stateLimitFor(opts.MaxNodes)
 	var fams cowFams
+	var fr frontier
 
 	// Search pruning: prefix dedup kills duplicate children at fork time
 	// (before they are queued); symmetry canonicalizes the seen-set keys
@@ -390,6 +425,8 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		res.Stats.PoolDropped = pool.dropped
 		res.Stats.CowRowsShared, res.Stats.CowRowsCopied, _ = fams.totals()
 		res.Stats.SpillDegraded = seen.degradations()
+		res.Stats.FrontierDemoted = int(fr.demotals)
+		res.Stats.FrontierResidentPeak = fr.peak
 		if met != nil {
 			met.PoolHits.Add(0, int64(pool.hits))
 			met.PoolMisses.Add(0, int64(pool.misses))
@@ -402,12 +439,18 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		}
 	}
 
-	var work []*state
+	// The work stack, with path-compressed demotion beyond the resident
+	// budget (see frontier.go). Budget 0 keeps every state resident.
+	frBudget := opts.FrontierResidentBytes
+	if frBudget < 0 {
+		frBudget = autoFrontierBudget(opts.MaxNodes)
+	}
+	fr = frontier{budget: frBudget, pool: &pool, met: met, p: p, pol: pol, opts: opts, fams: &fams}
 	if seed != nil {
-		work = seed.work
 		res.Stats.StatesExplored = seed.explored
 		for _, s := range seed.work {
 			fams.add(s.g)
+			fr.push(s)
 		}
 		for _, s := range seed.finals {
 			fams.add(s.g)
@@ -418,7 +461,7 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	} else {
 		root := newState(p, pol, opts)
 		fams.add(root.g)
-		work = []*state{root}
+		fr.push(root)
 	}
 
 	// cur is the behavior being processed; on any graceful stop it
@@ -427,12 +470,12 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 	halt := func(reason IncompleteReason, cause error) (*Result, error) {
 		flushStats()
 		rep := &Incomplete{Reason: reason, Cause: cause, StatesExplored: res.Stats.StatesExplored}
+		// Demoted entries are emitted straight from their stored paths —
+		// no replay — so a halt costs O(frontier) encoding, not replays.
+		rep.Frontier = fr.appendPaths(rep.Frontier)
 		if cur != nil {
-			work = append(work, cur)
+			rep.Frontier = append(rep.Frontier, copyPath(cur.path))
 			cur = nil
-		}
-		for _, s := range work {
-			rep.Frontier = append(rep.Frontier, copyPath(s.path))
 		}
 		rep.StatesPending = len(rep.Frontier)
 		rep.SpillDegraded = res.Stats.SpillDegraded
@@ -465,26 +508,25 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		lastCkpt = time.Now()
 	}
 
-	for len(work) > 0 {
+	for fr.len() > 0 {
 		if cerr := ctx.Err(); cerr != nil {
 			return halt(classifyCtxErr(cerr), cerr)
 		}
 		if ckpt != nil && time.Since(lastCkpt) >= ckpt.Every {
 			lastCkpt = time.Now()
-			var frontier [][]PathStep
-			for _, s := range work {
-				frontier = append(frontier, copyPath(s.path))
-			}
+			queued := fr.appendPaths(nil)
 			var completed [][]PathStep
 			for _, e := range res.Executions {
 				completed = append(completed, e.Path)
 			}
-			saveTimed(ckpt, checkpointNow(res.Model, progHash, opts, res.Stats.StatesExplored, completed, frontier), opts)
+			saveTimed(ckpt, checkpointNow(res.Model, progHash, opts, res.Stats.StatesExplored, completed, queued), opts)
 		}
 
-		s := work[len(work)-1]
-		work[len(work)-1] = nil
-		work = work[:len(work)-1]
+		s, perr := fr.pop()
+		if perr != nil {
+			flushStats()
+			return res, fmt.Errorf("core: frontier revival failed: %w", perr)
+		}
 		if res.Stats.StatesExplored >= opts.MaxBehaviors {
 			cur = s
 			return halt(ReasonMaxBehaviors, budgetError(opts.MaxBehaviors))
@@ -493,8 +535,8 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 		cur = s
 		if met != nil {
 			met.Explored.Inc(0)
-			met.Frontier.Set(int64(len(work) + 1))
-			met.FrontierHist.Observe(int64(len(work) + 1))
+			met.Frontier.Set(int64(fr.len() + 1))
+			met.FrontierHist.Observe(int64(fr.len() + 1))
 		}
 
 		// Phase 1+2 to fixpoint (generation unblocks after branch
@@ -551,11 +593,22 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 			}
 		}
 
-		// Phase 3: Load Resolution.
+		// Phase 3: Load Resolution. With COW on, sibling children are
+		// evaluated by trial-applying each resolution + closure directly
+		// on the parent and rolling it back in place (state.beginTrial /
+		// graph.BeginTrial): a candidate the closure rejects never pays a
+		// fork, and a surviving child is materialized mid-trial with the
+		// ordinary COW fork. -cow=off keeps the fork-first legacy loop as
+		// the equivalence baseline.
 		var resolveStart time.Time
 		if inst {
 			resolveStart = time.Now()
 		}
+		useTrial := !opts.DisableCOW
+		// A leaf parent's children are complete behaviors: they are
+		// recorded (or elided as already-recorded finals) during this
+		// sweep and never queued at all.
+		leaf := useTrial && s.leafParent()
 		progressed := false
 		for lid := range s.nodes {
 			if !s.eligibleCached(lid) {
@@ -572,13 +625,20 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 				}
 				opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
 			}
+			// The load's prior-local-store list depends only on generated
+			// nodes and known addresses — constant across this load's
+			// sibling resolutions, so hoist it out of the candidate loop.
+			var locals []int
+			if useTrial && len(cands) > 0 {
+				locals = s.localPriorStores(lid, true)
+			}
 			for _, sid := range cands {
-				// Prefix pruning, priced before the clone: childKey
+				// Prefix pruning, priced before any work: childKey
 				// derives the would-be child's canonical key from the
 				// parent plus the (load, store) pair, so a child whose
 				// key is already in the seen-set is dropped without ever
-				// being forked. Inserting the key before attempting the
-				// resolution is sound — equal fork-time keys mean
+				// being evaluated. Inserting the key before attempting
+				// the resolution is sound — equal fork-time keys mean
 				// identical states, so a child whose resolution would
 				// roll back only ever suppresses twins that would roll
 				// back too. Completeness is unaffected; CandidateHook
@@ -604,26 +664,92 @@ func enumerateFrom(ctx context.Context, p *program.Program, pol order.Policy, op
 						continue
 					}
 				}
+				if !useTrial {
+					res.Stats.Forks++
+					if met != nil {
+						met.Forks.Inc(0)
+					}
+					ns := s.fork(&pool)
+					if rerr := ns.resolveLoad(lid, sid); rerr != nil {
+						res.Stats.Rollbacks++
+						pool.put(ns)
+						continue
+					}
+					if cerr := ns.closure(); cerr != nil {
+						res.Stats.Rollbacks++
+						pool.put(ns)
+						continue
+					}
+					progressed = true
+					if prefixPrune {
+						ns.seenKeyed, ns.seenH, ns.seenSig = true, h, sig
+					}
+					fr.push(ns)
+					continue
+				}
+				// Trial-apply on the parent: resolution + closure run in
+				// place; only a surviving, non-duplicate child pays a
+				// fork.
+				m := s.beginTrial(lid)
+				rerr := s.resolveLoadWith(lid, sid, locals)
+				if rerr == nil {
+					rerr = s.closure()
+				}
+				if rerr != nil {
+					s.rollbackTrial(m, false)
+					res.Stats.Rollbacks++
+					res.Stats.TrialRollbacks++
+					res.Stats.ChildrenElided++
+					if met != nil {
+						met.TrialRollbacks.Inc(0)
+						met.ChildrenElided.Inc(0)
+					}
+					continue
+				}
+				if leaf && s.done() {
+					// The trial state IS the completed child behavior, so
+					// its fingerprint can be checked against the finals
+					// set before any fork: an already-recorded behavior
+					// rolls back in place and the child never exists.
+					if finals.hasState(s) {
+						s.rollbackTrial(m, false)
+						res.Stats.ChildrenElided++
+						if met != nil {
+							met.ChildrenElided.Inc(0)
+						}
+						progressed = true
+						continue
+					}
+					ns := s.fork(&pool)
+					s.rollbackTrial(m, true)
+					res.Stats.ChildrenElided++
+					if met != nil {
+						met.ChildrenElided.Inc(0)
+					}
+					progressed = true
+					if finals.insert(ns) {
+						res.Executions = append(res.Executions, ns.finish())
+						if met != nil {
+							met.Behaviors.Inc(0)
+						}
+					} else {
+						pool.put(ns)
+					}
+					continue
+				}
+				// Interior survivor: materialize mid-trial. The child is
+				// content-identical to a legacy fork-then-resolve child.
+				ns := s.fork(&pool)
+				s.rollbackTrial(m, true)
+				progressed = true
 				res.Stats.Forks++
 				if met != nil {
 					met.Forks.Inc(0)
 				}
-				ns := s.fork(&pool)
-				if rerr := ns.resolveLoad(lid, sid); rerr != nil {
-					res.Stats.Rollbacks++
-					pool.put(ns)
-					continue
-				}
-				if cerr := ns.closure(); cerr != nil {
-					res.Stats.Rollbacks++
-					pool.put(ns)
-					continue
-				}
-				progressed = true
 				if prefixPrune {
 					ns.seenKeyed, ns.seenH, ns.seenSig = true, h, sig
 				}
-				work = append(work, ns)
+				fr.push(ns)
 			}
 		}
 		if inst {

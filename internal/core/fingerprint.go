@@ -28,11 +28,31 @@ import (
 // a cache keyed on them would miss on requests whose answers are
 // provably equal.
 
+// fingerprintVersion is the body-format version folded into every
+// fingerprint. Bump it whenever the engine changes WHAT a given
+// (model, program, options) request returns — not just how fast. Version
+// history:
+//
+//	1: implicit (unversioned keys).
+//	2: trial-apply fork elision — a budget-truncated sequential run now
+//	   records leaf behaviors found during a sweep even when the budget
+//	   expires before those children would have been popped, so
+//	   truncated behavior sets (MaxBehaviors is in the key) differ from
+//	   version 1's.
+const fingerprintVersion = 2
+
 // ProgramFingerprint returns the canonical (model, program, options)
-// request fingerprint.
+// request fingerprint under the current body-format version.
 func ProgramFingerprint(model string, p *program.Program, opts Options) uint64 {
+	return programFingerprintV(fingerprintVersion, model, p, opts)
+}
+
+// programFingerprintV computes the fingerprint for an explicit format
+// version; split out so tests can pin that versions partition the key
+// space.
+func programFingerprintV(version uint64, model string, p *program.Program, opts Options) uint64 {
 	opts = opts.withDefaults()
-	h := uint64(fnvOffset64)
+	h := fnvMix(uint64(fnvOffset64), version)
 	for _, b := range []byte(model) {
 		h = fnvMix(h, uint64(b))
 	}

@@ -73,11 +73,29 @@ func TestProgramFingerprintIgnoresEquivalencePreservingOptions(t *testing.T) {
 		{Symmetry: true},
 		{DisableCOW: true},
 		{DedupMemBudget: 4096},
+		{FrontierResidentBytes: 1 << 20},
+		{FrontierResidentBytes: -1},
 		{ExportSeen: -1},
 	}
 	for i, opts := range same {
 		if got := ProgramFingerprint("Relaxed", fpSBProgram(), opts); got != base {
 			t.Errorf("case %d: equivalence-preserving option split the key: %#x vs %#x", i, got, base)
 		}
+	}
+}
+
+// TestProgramFingerprintSplitsOnVersion: the body-format version
+// partitions the key space — a consumer holding version-N keys can never
+// collide with version-N+1 answers (stale truncated behavior sets from
+// an older engine must miss, not hit).
+func TestProgramFingerprintSplitsOnVersion(t *testing.T) {
+	cur := programFingerprintV(fingerprintVersion, "TSO", fpSBProgram(), Options{})
+	next := programFingerprintV(fingerprintVersion+1, "TSO", fpSBProgram(), Options{})
+	prev := programFingerprintV(fingerprintVersion-1, "TSO", fpSBProgram(), Options{})
+	if cur == next || cur == prev || next == prev {
+		t.Fatalf("versions do not partition the key space: v=%#x v+1=%#x v-1=%#x", cur, next, prev)
+	}
+	if got := ProgramFingerprint("TSO", fpSBProgram(), Options{}); got != cur {
+		t.Fatalf("ProgramFingerprint is not version %d: %#x vs %#x", fingerprintVersion, got, cur)
 	}
 }

@@ -73,6 +73,7 @@ type finalShard struct {
 type wsEngine struct {
 	opts Options
 	prog *program.Program
+	pol  order.Policy
 	ctx  context.Context
 
 	// met/tr/inst mirror Options.Metrics/Tracer for the hot paths (inst
@@ -133,6 +134,24 @@ type wsWorker struct {
 	head    int
 	deque   []*state
 	current *state
+	// Frontier demotion (see frontier.go): charges mirrors deque (the
+	// resident charge of each queued state), bytes their sum, budget the
+	// per-worker share of Options.FrontierResidentBytes. dem holds the
+	// demoted (older) portion of this worker's frontier as compressed
+	// replay paths. currentDemoted advertises a demoted path between its
+	// removal from a stack and the completion of its replay, preserving
+	// the frontier-snapshot invariant that no behavior is in transit
+	// outside all locks.
+	charges        []int64
+	bytes          int64
+	peak           int64
+	budget         int64
+	dem            demotedStack
+	currentDemoted []PathStep
+
+	// fams collects COW families created on this worker (frontier
+	// revivals); merged into the run's collector after the workers join.
+	fams cowFams
 
 	pool  statePool
 	stats Stats
@@ -158,7 +177,7 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		return enumerateFrom(ctx, p, pol, opts, seed)
 	}
 
-	e := &wsEngine{opts: opts, prog: p, ctx: ctx}
+	e := &wsEngine{opts: opts, prog: p, pol: pol, ctx: ctx}
 	e.prefixPrune = !opts.DisableDedup && !opts.DisablePrefixPrune
 	if opts.Symmetry && !opts.DisableDedup {
 		e.sym = detectSymmetry(p)
@@ -170,10 +189,24 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	}
 	e.idleCond = sync.NewCond(&e.idleMu)
 	e.workers = make([]*wsWorker, workers)
-	limit := slabLimitFor(opts.MaxNodes)
+	limit := stateLimitFor(opts.MaxNodes)
+	// The frontier budget is split evenly across workers: each deque
+	// demotes its own oldest entries past its share.
+	frBudget := opts.FrontierResidentBytes
+	if frBudget < 0 {
+		frBudget = autoFrontierBudget(opts.MaxNodes)
+	}
+	var perWorker int64
+	if frBudget > 0 {
+		perWorker = frBudget / int64(workers)
+		if perWorker < 1 {
+			perWorker = 1
+		}
+	}
 	for i := range e.workers {
 		e.workers[i] = &wsWorker{eng: e, idx: i, rng: uint64(i)*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
 		e.workers[i].pool.limitBytes = limit
+		e.workers[i].budget = perWorker
 	}
 
 	e.seedSeen(opts.SeedSeen)
@@ -255,6 +288,12 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	res.Stats.Workers = workers
 	for _, w := range e.workers {
 		res.Stats.Forks += w.stats.Forks
+		res.Stats.ChildrenElided += w.stats.ChildrenElided
+		res.Stats.TrialRollbacks += w.stats.TrialRollbacks
+		res.Stats.FrontierDemoted += w.stats.FrontierDemoted
+		// Summed per-worker peaks: a conservative bound on the true
+		// simultaneous peak, which no single lock ever observes.
+		res.Stats.FrontierResidentPeak += w.peak
 		res.Stats.Rollbacks += w.stats.Rollbacks
 		res.Stats.DuplicatesDiscarded += w.stats.DuplicatesDiscarded
 		res.Stats.PrefixPruned += w.stats.PrefixPruned
@@ -263,6 +302,12 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 		res.Stats.PoolHits += w.pool.hits
 		res.Stats.PoolMisses += w.pool.misses
 		res.Stats.PoolDropped += w.pool.dropped
+		// Frontier revivals created COW families on worker goroutines;
+		// fold each worker's private collector in now that they joined.
+		fams.merge(&w.fams)
+	}
+	if e.met != nil && res.Stats.FrontierResidentPeak > 0 {
+		e.met.FrontierResidentPeak.Set(res.Stats.FrontierResidentPeak)
 	}
 	if e.met != nil {
 		e.met.PoolHits.Add(0, int64(res.Stats.PoolHits))
@@ -339,50 +384,121 @@ func enumerateParallelFrom(ctx context.Context, p *program.Program, pol order.Po
 	return res, nil
 }
 
-// push appends a behavior to the worker's own deque and wakes a parked
-// worker if any. The caller must have accounted for the behavior in
-// e.pending before pushing.
+// push appends a behavior to the worker's own deque, demotes past the
+// frontier budget, and wakes a parked worker if any. The caller must have
+// accounted for the behavior in e.pending before pushing.
 func (w *wsWorker) push(s *state) {
+	c := s.residentBytes()
 	w.mu.Lock()
 	w.deque = append(w.deque, s)
+	w.charges = append(w.charges, c)
+	w.bytes += c
+	if w.bytes > w.peak {
+		w.peak = w.bytes
+	}
+	if w.budget > 0 {
+		// Demote the oldest resident entries until the deque fits; the
+		// newest stays resident (the owner pops it right back in the
+		// common depth-first pattern).
+		for w.bytes > w.budget && len(w.deque)-w.head > 1 {
+			w.demoteOldestLocked()
+		}
+	}
 	w.mu.Unlock()
 	w.eng.wake()
 }
 
-// pop takes the newest behavior (LIFO) and advertises it as w.current
-// under the same lock acquisition, or returns nil.
-func (w *wsWorker) pop() *state {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.head >= len(w.deque) {
-		return nil
-	}
-	n := len(w.deque) - 1
-	s := w.deque[n]
-	w.deque[n] = nil
-	w.deque = w.deque[:n]
+// demoteOldestLocked compresses the oldest resident behavior onto the
+// demoted stack and recycles its buffers. Caller holds w.mu (and is the
+// owner — the pool is owner-private).
+func (w *wsWorker) demoteOldestLocked() {
+	s := w.deque[w.head]
+	w.deque[w.head] = nil
+	w.bytes -= w.charges[w.head]
+	w.head++
 	if w.head == len(w.deque) {
 		w.head = 0
 		w.deque = w.deque[:0]
+		w.charges = w.charges[:0]
 	}
-	w.current = s
-	return s
+	w.dem.push(copyPath(s.path), seenMeta{keyed: s.seenKeyed, h: s.seenH, sig: s.seenSig})
+	w.pool.put(s)
+	w.stats.FrontierDemoted++
+	if w.eng.met != nil {
+		w.eng.met.FrontierDemoted.Inc(w.idx)
+	}
 }
 
-// takeOldestLocked removes the oldest behavior (FIFO), or nil. Caller
-// holds w.mu.
+// pop takes the newest queued behavior (LIFO) and advertises it under the
+// same lock acquisition: a resident state lands in w.current, a demoted
+// path in w.currentDemoted (the caller replays it outside the lock via
+// revive). Returns (nil, nil, _) when the worker's frontier is empty.
+func (w *wsWorker) pop() (*state, []PathStep, seenMeta) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.head < len(w.deque) {
+		n := len(w.deque) - 1
+		s := w.deque[n]
+		w.deque[n] = nil
+		w.deque = w.deque[:n]
+		w.bytes -= w.charges[n]
+		w.charges = w.charges[:n]
+		if w.head == len(w.deque) {
+			w.head = 0
+			w.deque = w.deque[:0]
+			w.charges = w.charges[:0]
+		}
+		w.current = s
+		return s, nil, seenMeta{}
+	}
+	if path, m, ok := w.dem.popNewest(); ok {
+		w.currentDemoted = path
+		return nil, path, m
+	}
+	return nil, nil, seenMeta{}
+}
+
+// takeOldestLocked removes the oldest resident behavior (FIFO), or nil.
+// Caller holds w.mu.
 func (w *wsWorker) takeOldestLocked() *state {
 	if w.head >= len(w.deque) {
 		return nil
 	}
 	s := w.deque[w.head]
 	w.deque[w.head] = nil
+	w.bytes -= w.charges[w.head]
 	w.head++
 	if w.head == len(w.deque) {
 		w.head = 0
 		w.deque = w.deque[:0]
+		w.charges = w.charges[:0]
 	}
 	return s
+}
+
+// revive replays a demoted path into a live state on the worker's own
+// goroutine (outside every deque lock — replay is the expensive half of
+// demotion) and advertises the result as w.current. On replay failure the
+// engine stops with the error and the behavior's pending slot is
+// released; revive then returns nil.
+func (w *wsWorker) revive(path []PathStep, m seenMeta) *state {
+	e := w.eng
+	ns, err := replayPath(e.prog, e.pol, e.opts, path)
+	if err != nil {
+		e.setErr(fmt.Errorf("core: frontier revival failed: %w", err))
+		w.mu.Lock()
+		w.currentDemoted = nil
+		w.mu.Unlock()
+		e.pending.Add(-1)
+		return nil
+	}
+	ns.seenKeyed, ns.seenH, ns.seenSig = m.keyed, m.h, m.sig
+	w.fams.add(ns.g)
+	w.mu.Lock()
+	w.current = ns
+	w.currentDemoted = nil
+	w.mu.Unlock()
+	return ns
 }
 
 // clearCurrent retires the advertised in-flight behavior.
@@ -403,10 +519,13 @@ func (w *wsWorker) nextRand() uint64 {
 }
 
 // steal scans victims starting at a random offset. The victim's deque
-// slot and the thief's current pointer are updated under both locks
-// (taken in worker-index order), so a frontier snapshot can never observe
-// the stolen behavior in neither place.
-func (e *wsEngine) steal(w *wsWorker) *state {
+// slot and the thief's current (or currentDemoted) pointer are updated
+// under both locks (taken in worker-index order), so a frontier snapshot
+// can never observe the stolen behavior in neither place. The victim's
+// demoted entries are stolen before its resident ones — they are the
+// oldest, hence the largest subtrees; the thief replays the path outside
+// the locks.
+func (e *wsEngine) steal(w *wsWorker) (*state, []PathStep, seenMeta) {
 	n := len(e.workers)
 	off := int(w.nextRand() % uint64(n))
 	for i := 0; i < n; i++ {
@@ -420,21 +539,27 @@ func (e *wsEngine) steal(w *wsWorker) *state {
 		}
 		lo.mu.Lock()
 		hi.mu.Lock()
-		s := v.takeOldestLocked()
-		if s != nil {
-			w.current = s
+		var s *state
+		path, m, ok := v.dem.takeOldest()
+		if ok {
+			w.currentDemoted = path
+		} else {
+			s = v.takeOldestLocked()
+			if s != nil {
+				w.current = s
+			}
 		}
 		hi.mu.Unlock()
 		lo.mu.Unlock()
-		if s != nil {
+		if s != nil || ok {
 			w.stats.Steals++
 			if e.met != nil {
 				e.met.Steals.Inc(w.idx)
 			}
-			return s
+			return s, path, m
 		}
 	}
-	return nil
+	return nil, nil, seenMeta{}
 }
 
 // wake signals one parked worker, if any. The fast path is a single
@@ -502,11 +627,15 @@ func (e *wsEngine) frontierPaths() [][]PathStep {
 		w.mu.Lock()
 	}
 	for _, w := range e.workers {
+		paths = w.dem.appendPaths(paths)
 		for i := w.head; i < len(w.deque); i++ {
 			paths = append(paths, copyPath(w.deque[i].path))
 		}
 		if w.current != nil {
 			paths = append(paths, copyPath(w.current.path))
+		}
+		if w.currentDemoted != nil {
+			paths = append(paths, copyPath(w.currentDemoted))
 		}
 	}
 	for i := len(e.workers) - 1; i >= 0; i-- {
@@ -537,11 +666,12 @@ func (e *wsEngine) completedPaths() [][]PathStep {
 	return paths
 }
 
-// hasQueuedWork reports whether any deque is non-empty.
+// hasQueuedWork reports whether any deque holds work, resident or
+// demoted.
 func (e *wsEngine) hasQueuedWork() bool {
 	for _, v := range e.workers {
 		v.mu.Lock()
-		n := len(v.deque) - v.head
+		n := len(v.deque) - v.head + v.dem.count()
 		v.mu.Unlock()
 		if n > 0 {
 			return true
@@ -574,17 +704,24 @@ func (w *wsWorker) run() {
 		if e.stop.Load() {
 			return
 		}
-		s := w.pop()
-		if s == nil {
-			s = e.steal(w)
+		s, path, m := w.pop()
+		if s == nil && path == nil {
+			s, path, m = e.steal(w)
 		}
-		if s == nil {
+		if s == nil && path == nil {
 			if e.pending.Load() == 0 {
 				e.wakeAll()
 				return
 			}
 			e.park()
 			continue
+		}
+		if s == nil {
+			// A demoted path: re-materialize it by replay, outside the
+			// deque locks.
+			if s = w.revive(path, m); s == nil {
+				return
+			}
 		}
 		w.process(s)
 		w.clearCurrent()
@@ -693,10 +830,16 @@ func (w *wsWorker) process(s *state) {
 		}
 	}
 
+	// Load Resolution, mirroring the sequential engine's trial-apply
+	// sweep (see enumerateFrom): with COW on, sibling children are
+	// evaluated in place on the parent and only survivors are forked;
+	// -cow=off keeps the fork-first legacy loop.
 	var resolveStart time.Time
 	if e.inst {
 		resolveStart = time.Now()
 	}
+	useTrial := !e.opts.DisableCOW
+	leaf := useTrial && s.leafParent()
 	progressed := false
 	for lid := range s.nodes {
 		if !s.eligibleCached(lid) {
@@ -713,11 +856,15 @@ func (w *wsWorker) process(s *state) {
 			}
 			e.opts.CandidateHook(s.nodes[lid].Label, s.nodes[lid].Addr, labels)
 		}
+		var locals []int
+		if useTrial && len(cands) > 0 {
+			locals = s.localPriorStores(lid, true)
+		}
 		for _, sid := range cands {
-			// Fork-time prefix/symmetry pruning priced before the
-			// clone, mirroring the sequential engine (see
-			// enumerateFrom): the would-be child's key comes from the
-			// parent via childKey, so duplicates never pay for a fork.
+			// Fork-time prefix/symmetry pruning priced before any work,
+			// mirroring the sequential engine (see enumerateFrom): the
+			// would-be child's key comes from the parent via childKey,
+			// so duplicates never pay for a fork.
 			var h uint64
 			var sig string
 			if e.prefixPrune {
@@ -739,22 +886,92 @@ func (w *wsWorker) process(s *state) {
 					continue
 				}
 			}
+			if !useTrial {
+				w.stats.Forks++
+				if e.met != nil {
+					e.met.Forks.Inc(w.idx)
+				}
+				ns := s.fork(&w.pool)
+				if err := ns.resolveLoad(lid, sid); err != nil {
+					w.stats.Rollbacks++
+					w.pool.put(ns)
+					continue
+				}
+				if err := ns.closure(); err != nil {
+					w.stats.Rollbacks++
+					w.pool.put(ns)
+					continue
+				}
+				progressed = true
+				if e.prefixPrune {
+					ns.seenKeyed, ns.seenH, ns.seenSig = true, h, sig
+				}
+				e.pending.Add(1)
+				w.push(ns)
+				continue
+			}
+			// Trial-apply on the parent: resolution + closure run in
+			// place; only a surviving, non-duplicate child pays a fork.
+			m := s.beginTrial(lid)
+			rerr := s.resolveLoadWith(lid, sid, locals)
+			if rerr == nil {
+				rerr = s.closure()
+			}
+			if rerr != nil {
+				s.rollbackTrial(m, false)
+				w.stats.Rollbacks++
+				w.stats.TrialRollbacks++
+				w.stats.ChildrenElided++
+				if e.met != nil {
+					e.met.TrialRollbacks.Inc(w.idx)
+					e.met.ChildrenElided.Inc(w.idx)
+				}
+				continue
+			}
+			if leaf && s.done() {
+				// The trial state is the completed child behavior:
+				// check the final set before any fork. Losing the
+				// membership race to a peer is benign — addFinal below
+				// re-checks under the shard lock.
+				fh := s.fingerprint()
+				var fsig string
+				if dedupCollisionCheck {
+					fsig = s.signature()
+				}
+				if e.finalSeen(fh, fsig) {
+					s.rollbackTrial(m, false)
+					w.stats.ChildrenElided++
+					if e.met != nil {
+						e.met.ChildrenElided.Inc(w.idx)
+					}
+					progressed = true
+					continue
+				}
+				ns := s.fork(&w.pool)
+				s.rollbackTrial(m, true)
+				w.stats.ChildrenElided++
+				if e.met != nil {
+					e.met.ChildrenElided.Inc(w.idx)
+				}
+				progressed = true
+				if e.addFinal(ns) {
+					if e.met != nil {
+						e.met.Behaviors.Inc(w.idx)
+					}
+				} else {
+					w.pool.put(ns)
+				}
+				continue
+			}
+			// Interior survivor: materialize mid-trial. The child is
+			// content-identical to a legacy fork-then-resolve child.
+			ns := s.fork(&w.pool)
+			s.rollbackTrial(m, true)
+			progressed = true
 			w.stats.Forks++
 			if e.met != nil {
 				e.met.Forks.Inc(w.idx)
 			}
-			ns := s.fork(&w.pool)
-			if err := ns.resolveLoad(lid, sid); err != nil {
-				w.stats.Rollbacks++
-				w.pool.put(ns)
-				continue
-			}
-			if err := ns.closure(); err != nil {
-				w.stats.Rollbacks++
-				w.pool.put(ns)
-				continue
-			}
-			progressed = true
 			if e.prefixPrune {
 				ns.seenKeyed, ns.seenH, ns.seenSig = true, h, sig
 			}
@@ -890,6 +1107,27 @@ func (e *wsEngine) spillDegradations() []string {
 		sh.mu.Unlock()
 	}
 	return out
+}
+
+// finalSeen reports whether a completed behavior's fingerprint is already
+// recorded, without inserting it — the leaf fork-elision pre-check. Under
+// dedupcheck a colliding fingerprint (different signature) reports false,
+// matching addFinal's treat-as-distinct handling. Racing peers may both
+// see false; addFinal re-checks under the same shard lock.
+func (e *wsEngine) finalSeen(h uint64, sig string) bool {
+	f := &e.finals[h&(dedupShards-1)]
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.seen == nil {
+		return false
+	}
+	if dedupCollisionCheck && f.guard != nil {
+		if prev, ok := f.guard[h]; ok && prev != sig {
+			return false
+		}
+	}
+	_, dup := f.seen[h]
+	return dup
 }
 
 // addFinal records a completed behavior, deduplicating by fingerprint.

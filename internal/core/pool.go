@@ -40,6 +40,18 @@ func slabLimitFor(maxNodes int) int64 {
 	return 4 * 4 * int64(maxNodes) * words * 8
 }
 
+// stateLimitFor is the resident-byte cap for one retired state: the slab
+// cap plus the worst-case mask arena (10 fixed slots + one per address,
+// addresses bounded by nodes, one bitset word row each). The pool charges
+// retirees with state.residentBytes, which measures the same two arenas.
+func stateLimitFor(maxNodes int) int64 {
+	if maxNodes <= 0 {
+		return 0
+	}
+	words := int64((maxNodes + 63) / 64)
+	return slabLimitFor(maxNodes) + (10+int64(maxNodes))*words*8
+}
+
 // get returns a retired state to recycle, or nil when the pool is empty.
 func (p *statePool) get() *state {
 	n := len(p.free)
@@ -55,7 +67,8 @@ func (p *statePool) get() *state {
 }
 
 // put retires a state for reuse, dropping it when the pool is full or its
-// slab arena outgrew what the current program justifies pinning.
+// resident arenas (slab + mask arena) outgrew what the current program
+// justifies pinning.
 func (p *statePool) put(s *state) {
 	if s == nil {
 		return
@@ -69,7 +82,7 @@ func (p *statePool) put(s *state) {
 	if len(p.free) >= poolMax {
 		return
 	}
-	if p.limitBytes > 0 && s.g != nil && s.g.SlabCapBytes() > p.limitBytes {
+	if p.limitBytes > 0 && s.residentBytes() > p.limitBytes {
 		p.dropped++
 		return
 	}

@@ -56,6 +56,12 @@ type JobSpec struct {
 	Prune    string `json:"prune,omitempty"`
 	COW      string `json:"cow,omitempty"`
 	DedupMem string `json:"dedup_mem,omitempty"`
+	// FrontierResident carries the -frontier-resident grammar
+	// (cli.ApplyFrontierResident): the resident-frontier byte budget each
+	// worker runs its shards under. Empty means off — NOT auto — so specs
+	// serialized by pre-frontier coordinators resolve to the engine they
+	// were built against.
+	FrontierResident string `json:"frontier_resident,omitempty"`
 	// MaxNodes/MaxBehaviors bound each shard run (0 = engine default).
 	MaxNodes     int `json:"max_nodes,omitempty"`
 	MaxBehaviors int `json:"max_behaviors,omitempty"`
@@ -81,6 +87,9 @@ func (j *JobSpec) Resolve() (*litmus.Test, litmus.Model, core.Options, error) {
 		return nil, litmus.Model{}, opts, fmt.Errorf("dist: job spec: %w", err)
 	}
 	if err := cli.ApplyDedupMem(&opts, j.DedupMem); err != nil {
+		return nil, litmus.Model{}, opts, fmt.Errorf("dist: job spec: %w", err)
+	}
+	if err := cli.ApplyFrontierResident(&opts, j.FrontierResident); err != nil {
 		return nil, litmus.Model{}, opts, fmt.Errorf("dist: job spec: %w", err)
 	}
 	opts.MaxNodes = j.MaxNodes

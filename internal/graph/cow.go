@@ -92,6 +92,9 @@ func (g *Graph) mutable(h []uint64, own Bits, i int) Bits {
 	}
 	nh, nr := g.take(len(r))
 	copy(nr, r)
+	if g.trial {
+		g.trialUndo = append(g.trialUndo, trialRec{h: h, i: i, old: h[i]})
+	}
 	h[i] = nh
 	own.Set(i)
 	g.copiedPending++
@@ -124,6 +127,9 @@ func (g *Graph) rowOrChanged(h []uint64, own Bits, i int, src Bits) bool {
 	nh, nr := g.take(len(dst))
 	copy(nr, dst)
 	nr.Or(src)
+	if g.trial {
+		g.trialUndo = append(g.trialUndo, trialRec{h: h, i: i, old: h[i]})
+	}
 	h[i] = nh
 	own.Set(i)
 	g.copiedPending++
@@ -150,6 +156,9 @@ func (g *Graph) zeroRow(h []uint64, own Bits, i int) {
 		return
 	}
 	nh, _ := g.takeZeroed(g.rowW)
+	if g.trial {
+		g.trialUndo = append(g.trialUndo, trialRec{h: h, i: i, old: h[i]})
+	}
 	h[i] = nh
 	own.Set(i)
 	g.copiedPending++

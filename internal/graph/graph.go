@@ -105,6 +105,15 @@ type Graph struct {
 	upScratch   Bits
 	downScratch Bits
 	oneScratch  Bits
+	// Trial mode (trial.go): while set, every handle swap performed by
+	// the COW write paths is journaled so RollbackTrial can restore the
+	// pre-trial view in place, and the slab bump cursor can be rewound.
+	trial      bool
+	trialUndo  []trialRec
+	trialEdges int
+	trialSegs  int
+	trialCur   int
+	trialOff   int
 }
 
 // EnableChangeLog turns on closure change tracking: from now on, every
@@ -154,6 +163,12 @@ func (g *Graph) RowWords() int { return g.rowW }
 
 // AddNodes appends k nodes and returns the ID of the first.
 func (g *Graph) AddNodes(k int) int {
+	if g.trial {
+		// Node growth can regrow every row at a new width, which the
+		// trial journal does not cover. Trials wrap resolution + closure
+		// only — both node-count-preserving.
+		panic("graph: AddNodes during trial")
+	}
 	first := g.n
 	g.n += k
 	if g.n > g.cap {

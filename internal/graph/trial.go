@@ -1,0 +1,108 @@
+package graph
+
+// Trial-apply: evaluate a candidate edge set against the live graph and
+// roll it back in place, instead of cloning the graph to find out whether
+// the candidate survives. The enumeration engine uses this to price all
+// sibling children of one parent against a single graph — a child that
+// the closure rejects, or whose final behavior is already recorded, never
+// pays a fork at all.
+//
+// The mechanism rides on the COW machinery: BeginTrial freezes every row
+// (memclr of the ownership bitmaps), so the first write to any row during
+// the trial goes through the copy branches in cow.go, which journal the
+// handle swap. RollbackTrial replays the journal in reverse — each row
+// handle snaps back to the frozen pre-trial row, which was never written —
+// truncates the edge list, and (unless the trial was materialized by a
+// CloneInto) rewinds the slab bump cursor so the trial rows are reclaimed
+// by the very next allocation.
+//
+// Invariants the engine upholds between BeginTrial and RollbackTrial:
+//
+//   - no AddNodes (enforced by panic): trials wrap load resolution plus
+//     the atomicity closure, both node-count-preserving;
+//   - the change log is empty at BeginTrial (the parent is at a closure
+//     fixpoint), so RollbackTrial may simply Reset it;
+//   - a CloneInto mid-trial (materializing a surviving child) is legal,
+//     but must be followed by RollbackTrial(materialized=true): the
+//     child's handles point into the trial rows, so the cursor is not
+//     rewound and the parent keeps allocating above them — the same
+//     live-parent tail-allocation pattern CloneInto already documents.
+
+// trialRec journals one handle swap: row i of handle array h pointed to
+// old before a COW write relocated it.
+type trialRec struct {
+	h   []uint64
+	i   int
+	old uint64
+}
+
+// InTrial reports whether a trial is open.
+func (g *Graph) InTrial() bool { return g.trial }
+
+// BeginTrial opens a trial. All subsequent closure writes are journaled
+// until RollbackTrial. Requires COW mode and an empty change log.
+func (g *Graph) BeginTrial() {
+	if !g.cow {
+		panic("graph: BeginTrial requires COW mode")
+	}
+	if g.trial {
+		panic("graph: nested BeginTrial")
+	}
+	if g.logOn && !g.log.Empty() {
+		panic("graph: BeginTrial with pending change log")
+	}
+	g.trial = true
+	g.trialUndo = g.trialUndo[:0]
+	g.trialEdges = len(g.edges)
+	g.trialSegs, g.trialCur, g.trialOff = len(g.segs), g.cur, g.off
+	// Freeze every row: an owned row written in place would be
+	// unrecoverable, so force all first writes through the journaling
+	// copy branches. (Frozen is always a safe state — the next writer
+	// pays one row copy, exactly as after a fork.)
+	g.succOwned.Reset()
+	g.predOwned.Reset()
+	g.descOwned.Reset()
+	g.ancOwned.Reset()
+}
+
+// RollbackTrial closes the trial and restores the pre-trial graph:
+// journaled handle swaps are undone newest-first, the edge list is
+// truncated, and the change log cleared. With materialized=false the slab
+// cursor is rewound too, reclaiming every trial row; with
+// materialized=true (a CloneInto happened mid-trial) the trial rows stay
+// allocated because the clone's handles reference them.
+func (g *Graph) RollbackTrial(materialized bool) {
+	if !g.trial {
+		panic("graph: RollbackTrial without BeginTrial")
+	}
+	g.trial = false
+	for i := len(g.trialUndo) - 1; i >= 0; i-- {
+		rec := g.trialUndo[i]
+		rec.h[rec.i] = rec.old
+	}
+	g.trialUndo = g.trialUndo[:0]
+	g.edges = g.edges[:g.trialEdges]
+	// All rows stay frozen: trial copies are dropped (or, materialized,
+	// now belong to the clone), and pre-trial rows were frozen at
+	// BeginTrial. A mid-trial CloneInto already reset these; Reset again
+	// is idempotent.
+	g.succOwned.Reset()
+	g.predOwned.Reset()
+	g.descOwned.Reset()
+	g.ancOwned.Reset()
+	g.log.Reset()
+	if !materialized {
+		if len(g.segs) > g.trialSegs {
+			// The trial overflowed the current segment. Keep the first
+			// fresh segment as the (now empty) current one instead of
+			// rewinding into the full pre-trial segment — otherwise every
+			// sibling trial would allocate and drop a segment. The
+			// pre-trial segment's tail is abandoned; the waste is bounded
+			// by one tail and only occurs when that segment was full.
+			g.segs = g.segs[:g.trialSegs+1]
+			g.cur, g.off = g.trialSegs, 0
+		} else {
+			g.cur, g.off = g.trialCur, g.trialOff
+		}
+	}
+}

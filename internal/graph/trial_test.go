@@ -1,0 +1,169 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// edgesSnapshot copies the direct edge list.
+func edgesSnapshot(g *Graph) []Edge {
+	return append([]Edge(nil), g.Edges()...)
+}
+
+func assertEdgesEqual(t *testing.T, g *Graph, want []Edge, who string) {
+	t.Helper()
+	got := g.Edges()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d edges, want %d", who, len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s: edge[%d] = %v, want %v", who, i, got[i], want[i])
+		}
+	}
+}
+
+// TestTrialRollbackRestores is the core property test: a trial's edge
+// insertions and closure propagation must leave no trace after rollback,
+// across random DAGs, repeated trials on one graph, and graphs that are
+// mid-family (forked from and into).
+func TestTrialRollbackRestores(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for round := 0; round < 60; round++ {
+		n := 4 + rng.Intn(14)
+		g := New(n, n)
+		addRandomEdges(g, rng, n)
+		if rng.Intn(2) == 0 {
+			// Half the rounds run on a forked graph so trials exercise
+			// frozen shared rows, not just owned ones.
+			g = g.CloneInto(nil)
+		}
+		want := cowSnapshot(g)
+		wantEdges := edgesSnapshot(g)
+		for trial := 0; trial < 4; trial++ {
+			g.BeginTrial()
+			if !g.InTrial() {
+				t.Fatal("InTrial false after BeginTrial")
+			}
+			addRandomEdges(g, rng, 1+rng.Intn(2*n))
+			g.RollbackTrial(false)
+			if g.InTrial() {
+				t.Fatal("InTrial true after RollbackTrial")
+			}
+			assertClosureEqual(t, g, want, "post-rollback graph")
+			assertEdgesEqual(t, g, wantEdges, "post-rollback graph")
+		}
+		// The graph must stay a correct closure maintainer after trials:
+		// real insertions compared against a from-scratch oracle.
+		addRandomEdges(g, rng, n)
+		oracle := g.Clone()
+		oracle.RecomputeClosure()
+		assertClosureEqual(t, g, cowSnapshot(oracle), "post-trial graph")
+	}
+}
+
+// TestTrialChangeLogRollback pins that a rollback clears closure-growth
+// tracking: the incremental-closure worklist must not see trial writes.
+func TestTrialChangeLogRollback(t *testing.T) {
+	g := New(8, 8)
+	g.EnableChangeLog()
+	addRandomEdges(g, rand.New(rand.NewSource(3)), 8)
+	g.DrainChangeLog(nil)
+
+	g.BeginTrial()
+	if err := g.AddOrder(0, 7, EdgeAtomicity); err != nil && err != ErrCycle {
+		t.Fatal(err)
+	}
+	g.RollbackTrial(false)
+	if !g.ChangeLogEmpty() {
+		t.Fatal("change log not empty after rollback")
+	}
+}
+
+// TestTrialMaterialize pins the fork-the-survivor pattern: trial-apply
+// edges on the parent, CloneInto the surviving child mid-trial, roll the
+// parent back. The child must equal a conventionally forked-then-mutated
+// graph; the parent must be restored; both must remain independently
+// mutable afterwards.
+func TestTrialMaterialize(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for round := 0; round < 40; round++ {
+		n := 4 + rng.Intn(12)
+		parent := New(n, n)
+		addRandomEdges(parent, rng, n)
+
+		// Conventional oracle: fork first, then apply the same edges.
+		seed := int64(round * 1000)
+		oracle := parent.CloneInto(nil)
+		addRandomEdges(oracle, rand.New(rand.NewSource(seed)), n)
+
+		parentWant := cowSnapshot(parent)
+		parentEdges := edgesSnapshot(parent)
+
+		parent.BeginTrial()
+		addRandomEdges(parent, rand.New(rand.NewSource(seed)), n)
+		child := parent.CloneInto(nil)
+		parent.RollbackTrial(true)
+
+		assertClosureEqual(t, child, cowSnapshot(oracle), "materialized child")
+		assertEdgesEqual(t, child, edgesSnapshot(oracle), "materialized child")
+		assertClosureEqual(t, parent, parentWant, "rolled-back parent")
+		assertEdgesEqual(t, parent, parentEdges, "rolled-back parent")
+
+		// Diverge both sides; neither may observe the other's writes.
+		addRandomEdges(parent, rng, n/2+1)
+		childWant := cowSnapshot(child)
+		assertClosureEqual(t, child, childWant, "child after parent writes")
+		addRandomEdges(child, rng, n/2+1)
+		ro := child.Clone()
+		ro.RecomputeClosure()
+		assertClosureEqual(t, child, cowSnapshot(ro), "child closure")
+	}
+}
+
+// TestTrialSlabReuse pins that repeated non-materialized trials do not
+// grow the slab without bound: after the first trial/rollback cycle has
+// sized the arena, later cycles reuse it.
+func TestTrialSlabReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	g := New(16, 16)
+	addRandomEdges(g, rng, 24)
+	g = g.CloneInto(nil) // freeze everything so trials copy rows
+
+	var after int64
+	for i := 0; i < 200; i++ {
+		g.BeginTrial()
+		addRandomEdges(g, rand.New(rand.NewSource(int64(i))), 24)
+		g.RollbackTrial(false)
+		cap := g.SlabCapBytes()
+		if i == 0 {
+			after = cap
+			continue
+		}
+		if cap != after {
+			t.Fatalf("trial %d: slab cap %d, want stable %d", i, cap, after)
+		}
+	}
+}
+
+func TestTrialGuards(t *testing.T) {
+	mustPanic := func(who string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s: no panic", who)
+			}
+		}()
+		f()
+	}
+	g := New(4, 4)
+	g.BeginTrial()
+	mustPanic("nested BeginTrial", func() { g.BeginTrial() })
+	mustPanic("AddNodes during trial", func() { g.AddNodes(1) })
+	g.RollbackTrial(false)
+	mustPanic("RollbackTrial without trial", func() { g.RollbackTrial(false) })
+
+	d := New(0, 4)
+	d.DisableCOW()
+	d.AddNodes(4)
+	mustPanic("BeginTrial without COW", func() { d.BeginTrial() })
+}

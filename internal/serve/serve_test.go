@@ -100,7 +100,7 @@ func TestServeBasicHitMiss(t *testing.T) {
 func TestServeBadRequests(t *testing.T) {
 	s := startServer(t, Config{})
 	for _, req := range []EnumRequest{
-		{Model: "TSO"},                              // no program
+		{Model: "TSO"}, // no program
 		{Test: "SB", Litmus: "name X", Model: "SC"}, // both
 		{Test: "NoSuchTest", Model: "TSO"},
 		{Test: "SB", Model: "NoSuchModel"},
@@ -263,8 +263,10 @@ func TestServeAdmissionControl(t *testing.T) {
 		go func(i int) {
 			defer wg.Done()
 			// Distinct MaxBehaviors budgets → distinct fingerprints →
-			// no coalescing; both requests want an admission slot.
-			req := EnumRequest{Litmus: slowLitmus(5), Model: "Relaxed", MaxBehaviors: 2000 + i}
+			// no coalescing; both requests want an admission slot. The
+			// program must enumerate slowly enough that the requests
+			// overlap — sized up as the engine got faster.
+			req := EnumRequest{Litmus: slowLitmus(6), Model: "Relaxed", MaxBehaviors: 20000 + i}
 			body, _ := json.Marshal(req)
 			resp, err := http.Post("http://"+s.Addr()+PathEnumerate, "application/json", bytes.NewReader(body))
 			if err != nil {

@@ -41,6 +41,20 @@ type EnumMetrics struct {
 	DirtySkips    *Counter
 	WorklistLen   *Histogram
 
+	// Fork-elision instrumentation: candidate children evaluated by
+	// trial-applying the resolution on the parent and never queued
+	// (ChildrenElided), and the subset whose trial was undone because the
+	// resolution or closure failed (TrialRollbacks).
+	ChildrenElided *Counter
+	TrialRollbacks *Counter
+
+	// Path-compressed frontier instrumentation: queued states demoted to
+	// compressed replay paths, and the resident frontier bytes (live and
+	// high-water) the demotion budget governs.
+	FrontierDemoted      *Counter
+	FrontierResident     *Gauge
+	FrontierResidentPeak *Gauge
+
 	// Copy-on-write fork instrumentation: closure rows adopted by
 	// reference at fork time vs copied on first write, slab arena bytes
 	// allocated, and retired states the pool dropped for pinning an
@@ -92,7 +106,7 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	}
 	m := &EnumMetrics{reg: reg}
 	m.Explored = reg.NewCounter("enum_states_explored_total", "behaviors removed from the work set")
-	m.Forks = reg.NewCounter("enum_forks_total", "states forked for (load, candidate) resolutions (pruned candidates never fork)")
+	m.Forks = reg.NewCounter("enum_forks_total", "child states materialized and queued (pruned, rolled-back, and leaf-elided candidates never fork)")
 	m.PoolHits = reg.NewCounter("enum_pool_hits_total", "forks served from a recycled state")
 	m.PoolMisses = reg.NewCounter("enum_pool_misses_total", "forks that allocated a fresh state")
 	m.DedupHits = reg.NewCounter("enum_dedup_hits_total", "forks dropped by Load-Store-graph dedup")
@@ -108,6 +122,11 @@ func NewEnumMetrics(reg *Registry) *EnumMetrics {
 	m.SlabBytes = reg.NewCounter("graph_slab_bytes_total", "bytes allocated to slab arenas")
 	m.PoolDrops = reg.NewCounter("enum_pool_drops_total", "retired states dropped for pinning an oversized slab arena")
 	m.WorklistLen = reg.NewHistogramMetric("closure_worklist_len", "incremental-closure worklist size per pass", worklistBounds)
+	m.ChildrenElided = reg.NewCounter("enum_children_elided_total", "candidate children evaluated in place on the parent and never queued")
+	m.TrialRollbacks = reg.NewCounter("enum_trial_rollbacks_total", "trial applications undone in place (failed resolution or closure)")
+	m.FrontierDemoted = reg.NewCounter("frontier_demoted_total", "queued states demoted to compressed replay paths")
+	m.FrontierResident = reg.NewGauge("frontier_resident_bytes", "bytes of fully materialized states on the work queues")
+	m.FrontierResidentPeak = reg.NewGauge("frontier_resident_peak_bytes", "high-water mark of frontier_resident_bytes this run")
 	m.SpillRuns = reg.NewCounter("enum_dedup_spill_runs_total", "sorted fingerprint runs flushed to disk by a budgeted seen-set")
 	m.SpillProbes = reg.NewCounter("enum_dedup_spill_probes_total", "dedup lookups that missed the hot tier and probed on-disk runs")
 	m.SpillCompactions = reg.NewCounter("enum_dedup_compactions_total", "loser-tree merges of on-disk runs triggered by the run-count cap")
